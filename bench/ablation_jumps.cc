@@ -1,0 +1,84 @@
+// Ablation: initial jump offsets J on vs off. The paper reports jumps help
+// little on XMark (0.1-2.6% of input) but noticeably on MEDLINE M5 (7.6%);
+// this bench verifies outputs stay identical and quantifies the delta.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/io.h"
+#include "common/timer.h"
+#include "core/prefilter.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx::bench {
+namespace {
+
+int Run() {
+  struct Case {
+    const char* dataset;
+    const Workload* w;
+    dtd::Dtd dtd;
+  };
+  std::vector<Case> cases;
+  for (const Workload& w : XmarkWorkloads()) {
+    std::string id(w.id);
+    if (id == "XM5" || id == "XM6" || id == "XM13") {
+      cases.push_back({"xmark", &w, xmlgen::XmarkDtd()});
+    }
+  }
+  for (const Workload& w : MedlineWorkloads()) {
+    cases.push_back({"medline", &w, xmlgen::MedlineDtd()});
+  }
+
+  std::printf("== Ablation: initial jump offsets (table J) on/off ==\n");
+  TablePrinter table({"query", "jumps", "Usr+Sys", "CharComp", "JumpChars",
+                      "delta"});
+  for (Case& c : cases) {
+    const std::string& doc = Dataset(c.dataset, ScaleBytes());
+    double base_cpu = 0;
+    std::string base_out;
+    for (bool jumps : {true, false}) {
+      core::CompileOptions copts;
+      copts.tables.enable_initial_jumps = jumps;
+      auto pf = core::Prefilter::Compile(c.dtd,
+                                         MustPaths(c.w->projection_paths),
+                                         copts);
+      if (!pf.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     pf.status().ToString().c_str());
+        return 1;
+      }
+      core::RunStats stats;
+      CpuTimer cpu;
+      auto out = pf->RunOnBuffer(doc, &stats);
+      double cpu_s = cpu.Seconds();
+      if (!out.ok()) {
+        std::fprintf(stderr, "run: %s\n", out.status().ToString().c_str());
+        return 1;
+      }
+      if (jumps) {
+        base_cpu = cpu_s;
+        base_out = *out;
+      } else if (*out != base_out) {
+        std::fprintf(stderr, "%s: jumps changed the output!\n", c.w->id);
+        return 1;
+      }
+      char delta[32];
+      std::snprintf(delta, sizeof(delta), "%+.0f%%",
+                    jumps ? 0.0 : 100.0 * (cpu_s - base_cpu) /
+                                      (base_cpu > 0 ? base_cpu : 1));
+      table.AddRow({c.w->id, jumps ? "on" : "off", Secs(cpu_s),
+                    Pct(stats.CharCompPct()),
+                    Pct(stats.InitialJumpPct()), jumps ? "-" : delta});
+    }
+  }
+  table.Print("ablation_jumps");
+  return 0;
+}
+
+}  // namespace
+}  // namespace smpx::bench
+
+int main() { return smpx::bench::Run(); }

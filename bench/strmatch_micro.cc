@@ -1,0 +1,109 @@
+// Micro-benchmarks of the string matching substrate (google-benchmark):
+// the paper's core enabling claim is that Boyer-Moore/Commentz-Walter scan
+// XML-shaped text far below one inspected character per input byte. We
+// sweep algorithms x keyword lengths x keyword-set sizes on XMark text.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "strmatch/matcher.h"
+
+namespace smpx::bench {
+namespace {
+
+using strmatch::Algorithm;
+using strmatch::Matcher;
+using strmatch::SearchStats;
+
+const std::string& Text() {
+  static const std::string* text = new std::string(
+      Dataset("xmark", std::min<uint64_t>(ScaleBytes(), 8 << 20)));
+  return *text;
+}
+
+std::vector<std::string> Keywords(int count, bool long_names) {
+  std::vector<std::string> all =
+      long_names ? std::vector<std::string>{"<description", "<annotation",
+                                            "<emailaddress", "<incategory",
+                                            "<open_auction"}
+                 : std::vector<std::string>{"<name", "<date", "<from", "<to",
+                                            "<age"};
+  all.resize(static_cast<size_t>(count));
+  return all;
+}
+
+void RunSearch(benchmark::State& state, Algorithm algo, int keywords,
+               bool long_names) {
+  std::unique_ptr<Matcher> m =
+      strmatch::MakeMatcher(Keywords(keywords, long_names), algo);
+  if (m == nullptr) {
+    state.SkipWithError("algorithm cannot handle this pattern set");
+    return;
+  }
+  const std::string& text = Text();
+  SearchStats stats;
+  for (auto _ : state) {
+    size_t from = 0;
+    int found = 0;
+    for (;;) {
+      strmatch::Match r = m->Search(text, from, &stats);
+      if (!r.found()) break;
+      ++found;
+      from = r.pos + 1;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+  state.counters["inspect%"] =
+      100.0 * static_cast<double>(stats.comparisons) /
+      (static_cast<double>(text.size()) *
+       static_cast<double>(state.iterations()));
+  state.counters["avg_shift"] = stats.AvgShift();
+}
+
+void BM_Single(benchmark::State& state) {
+  RunSearch(state, Algorithm::kBoyerMoore, 1, state.range(0) != 0);
+}
+BENCHMARK(BM_Single)->Arg(0)->Arg(1);
+
+void BM_Horspool(benchmark::State& state) {
+  RunSearch(state, Algorithm::kHorspool, 1, state.range(0) != 0);
+}
+BENCHMARK(BM_Horspool)->Arg(0)->Arg(1);
+
+void BM_CommentzWalter(benchmark::State& state) {
+  RunSearch(state, Algorithm::kCommentzWalter,
+            static_cast<int>(state.range(0)), state.range(1) != 0);
+}
+BENCHMARK(BM_CommentzWalter)
+    ->Args({1, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({5, 1});
+
+void BM_SetHorspool(benchmark::State& state) {
+  RunSearch(state, Algorithm::kSetHorspool, static_cast<int>(state.range(0)),
+            state.range(1) != 0);
+}
+BENCHMARK(BM_SetHorspool)->Args({3, 1})->Args({5, 1});
+
+void BM_AhoCorasick(benchmark::State& state) {
+  RunSearch(state, Algorithm::kAhoCorasick, static_cast<int>(state.range(0)),
+            state.range(1) != 0);
+}
+BENCHMARK(BM_AhoCorasick)->Args({3, 1})->Args({5, 1});
+
+void BM_Memchr(benchmark::State& state) {
+  RunSearch(state, Algorithm::kMemchr, static_cast<int>(state.range(0)),
+            state.range(1) != 0);
+}
+BENCHMARK(BM_Memchr)->Args({3, 1});
+
+}  // namespace
+}  // namespace smpx::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Domain example 4: inspect the static analysis -- print the
+// DTD-automaton, the selected state set S, and the compiled lookup tables
+// A/V/J/T for a query, as in the paper's Figs. 3, 5 and 6. Useful when
+// debugging why the runtime visits (or skips) certain tags.
+//
+//   $ ./dtd_explorer                      # the paper's running example
+//   $ ./dtd_explorer <dtd-file> <paths>   # your own schema
+
+#include <cstdio>
+#include <string>
+
+#include "common/io.h"
+#include "core/prefilter.h"
+#include "dtd/dtd.h"
+#include "dtd/dtd_automaton.h"
+#include "paths/projection_path.h"
+
+int main(int argc, char** argv) {
+  std::string dtd_text =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>";
+  std::string path_list = "/a/b#";
+  if (argc >= 3) {
+    auto file = smpx::ReadFileToString(argv[1]);
+    if (!file.ok()) {
+      std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+      return 1;
+    }
+    dtd_text = *file;
+    path_list = argv[2];
+  }
+
+  auto dtd = smpx::dtd::Dtd::Parse(dtd_text);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DTD (root <%s>, %zu elements):\n%s\n\n",
+              dtd->root().c_str(), dtd->elements().size(),
+              dtd->ToString().c_str());
+
+  auto aut = smpx::dtd::DtdAutomaton::Build(*dtd);
+  if (!aut.ok()) {
+    std::fprintf(stderr, "automaton: %s\n",
+                 aut.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DTD-automaton (paper Fig. 5): %d states, %zu instances\n",
+              aut->num_states(), aut->instances().size());
+  std::printf("Graphviz:\n%s\n", aut->ToDot().c_str());
+
+  auto paths = smpx::paths::ProjectionPath::ParseList(path_list);
+  if (!paths.ok()) {
+    std::fprintf(stderr, "paths: %s\n", paths.status().ToString().c_str());
+    return 1;
+  }
+  auto pf = smpx::core::Prefilter::Compile(std::move(*dtd), *paths);
+  if (!pf.ok()) {
+    std::fprintf(stderr, "compile: %s\n", pf.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Runtime tables A/V/J/T (paper Fig. 3) for %s:\n%s",
+              path_list.c_str(), pf->tables().DebugString().c_str());
+  return 0;
+}

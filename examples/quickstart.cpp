@@ -1,0 +1,86 @@
+// Quickstart: compile a (DTD, projection paths) pair and prefilter a
+// document, exactly the paper's Example 1 scenario.
+//
+//   $ ./quickstart
+//
+// walks through: parsing a DTD, parsing projection paths, compiling the
+// runtime tables (A, V, J, T), prefiltering a document, and reading the
+// runtime statistics.
+
+#include <cstdio>
+
+#include "core/prefilter.h"
+#include "dtd/dtd.h"
+#include "paths/projection_path.h"
+
+int main() {
+  // 1. A nonrecursive DTD (the paper's Fig. 1 XMark excerpt).
+  const char* dtd_text = R"(<!DOCTYPE site [
+    <!ELEMENT site (regions)>
+    <!ELEMENT regions (africa, asia, australia)>
+    <!ELEMENT africa (item*)>
+    <!ELEMENT asia (item*)>
+    <!ELEMENT australia (item*)>
+    <!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+    <!ELEMENT location (#PCDATA)> <!ELEMENT name (#PCDATA)>
+    <!ELEMENT payment (#PCDATA)> <!ELEMENT description (#PCDATA)>
+    <!ELEMENT shipping (#PCDATA)> <!ELEMENT incategory EMPTY>
+    <!ATTLIST incategory category CDATA #REQUIRED>
+  ]>)";
+  auto dtd = smpx::dtd::Dtd::Parse(dtd_text);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Projection paths for the XQuery <q>{//australia//description}</q>.
+  //    The '#' flag keeps whole subtrees; "/*" (the top-level node) is
+  //    added automatically.
+  auto paths =
+      smpx::paths::ProjectionPath::ParseList("//australia//description#");
+  if (!paths.ok()) {
+    std::fprintf(stderr, "paths: %s\n", paths.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Static analysis (Section IV): one compilation, any number of runs.
+  auto prefilter =
+      smpx::core::Prefilter::Compile(std::move(*dtd), std::move(*paths));
+  if (!prefilter.ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 prefilter.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled runtime automaton: %zu states\n%s\n",
+              prefilter->num_states(),
+              prefilter->tables().DebugString().c_str());
+
+  // 4. Prefilter the paper's Fig. 2 document.
+  const char* document =
+      "<site><regions><africa><item><location>United States</location>"
+      "<name>T V</name><payment>Creditcard</payment>"
+      "<description>15''LCD-FlatPanel</description>"
+      "<shipping>Within country</shipping><incategory category=\"3\"/>"
+      "</item></africa><asia/><australia><item ><location>Egypt</location>"
+      "<name>PDA</name><payment>Check</payment>"
+      "<description>Palm Zire 71</description><shipping/>"
+      "<incategory category=\"3\"/></item></australia></regions></site>";
+
+  smpx::core::RunStats stats;
+  auto projected = prefilter->RunOnBuffer(document, &stats);
+  if (!projected.ok()) {
+    std::fprintf(stderr, "run: %s\n", projected.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("input  (%zu bytes): %s\n", std::string(document).size(),
+              document);
+  std::printf("output (%zu bytes): %s\n", projected->size(),
+              projected->c_str());
+  std::printf(
+      "\ncharacters inspected: %.1f%%  (paper reports ~22%% for this "
+      "example)\naverage forward shift: %.2f chars, initial jumps skipped "
+      "%.1f%% of the input\n",
+      stats.CharCompPct(), stats.AvgShift(), stats.InitialJumpPct());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Domain example 3: the string matching substrate on its own -- flat
+// keyword search with skip statistics, the paper's Section I "ICDE"
+// illustration. Compares Boyer-Moore, Commentz-Walter and Aho-Corasick on
+// the same text and shows why skip-based search inspects only a fraction
+// of the input.
+//
+//   $ ./string_search [keyword ...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "strmatch/matcher.h"
+#include "xmlgen/xmark.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> keywords;
+  for (int i = 1; i < argc; ++i) keywords.push_back(argv[i]);
+  if (keywords.empty()) {
+    keywords = {"<description", "<annotation", "<emailaddress"};
+  }
+
+  smpx::xmlgen::XmarkOptions gen;
+  gen.target_bytes = 4 << 20;
+  std::string text = smpx::xmlgen::GenerateXmark(gen);
+  std::printf("searching %.1f MB of XMark text for %zu keyword(s)\n\n",
+              text.size() / 1048576.0, keywords.size());
+
+  using smpx::strmatch::Algorithm;
+  const Algorithm algos[] = {Algorithm::kAuto, Algorithm::kSetHorspool,
+                             Algorithm::kAhoCorasick, Algorithm::kMemchr};
+  for (Algorithm algo : algos) {
+    auto matcher = smpx::strmatch::MakeMatcher(keywords, algo);
+    if (matcher == nullptr) continue;
+    smpx::strmatch::SearchStats stats;
+    size_t from = 0;
+    size_t occurrences = 0;
+    for (;;) {
+      smpx::strmatch::Match m = matcher->Search(text, from, &stats);
+      if (!m.found()) break;
+      ++occurrences;
+      from = m.pos + 1;
+    }
+    std::printf(
+        "%-12s %8zu occurrences, inspected %5.1f%% of the text, "
+        "avg shift %5.2f chars\n",
+        std::string(matcher->name()).c_str(), occurrences,
+        100.0 * static_cast<double>(stats.comparisons) /
+            static_cast<double>(text.size()),
+        stats.AvgShift());
+  }
+  std::printf(
+      "\nBM/CW skip most characters (the paper's enabling observation); "
+      "AC must touch every one.\n");
+  return 0;
+}

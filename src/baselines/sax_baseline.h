@@ -1,0 +1,31 @@
+// Minimal "just tokenize" application, the stand-in for the Xerces-C SAX
+// throughput baseline of Fig. 7(c): the cheapest thing any
+// tokenization-based system can possibly do is look at every character
+// once. SAX1 mode tokenizes; SAX2 mode additionally checks tag balance
+// (Xerces checks well-formedness by default).
+
+#ifndef SMPX_BASELINES_SAX_BASELINE_H_
+#define SMPX_BASELINES_SAX_BASELINE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace smpx::baselines {
+
+struct SaxParseStats {
+  uint64_t tokens = 0;
+  uint64_t elements = 0;
+  uint64_t attributes = 0;
+  uint64_t text_bytes = 0;
+};
+
+/// Tokenizes the whole input, counting tokens (SAX1-like). Returns stats or
+/// the first parse error.
+Result<SaxParseStats> SaxParse(std::string_view document,
+                               bool check_well_formed);
+
+}  // namespace smpx::baselines
+
+#endif  // SMPX_BASELINES_SAX_BASELINE_H_

@@ -1,0 +1,226 @@
+#include "baselines/sax_projector.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "xml/tokenizer.h"
+
+namespace smpx::baselines {
+
+namespace {
+constexpr size_t kNoCopy = std::numeric_limits<size_t>::max();
+
+/// Lazily-built DFA over the path-NFA state sets, so the per-node work is
+/// one hash lookup after warm-up -- the same precomputation idea that makes
+/// Type-Based Projection cheap per token (it looks decisions up by type).
+/// Node identity is (NFA state sets, C2-so-far); both determine the
+/// relevance verdict and all transitions.
+class LazyDfa {
+ public:
+  struct Node {
+    paths::PathSetEvaluator::State state;
+    bool c2 = false;
+    paths::BranchRelevance rel;
+    std::map<std::string, Node*, std::less<>> children;
+  };
+
+  LazyDfa(const paths::RelevanceAnalyzer* analyzer, bool memoize)
+      : analyzer_(analyzer), memoize_(memoize) {
+    Node root;
+    root.state = analyzer_->evaluator().Initial();
+    root.c2 = false;
+    root.rel = analyzer_->Classify(root.state, root.state, root.c2,
+                                   /*at_document_node=*/true);
+    root_ = Intern(std::move(root));
+  }
+
+  Node* root() const { return root_; }
+
+  /// The node reached from `from` by reading an element label.
+  Node* Step(Node* from, std::string_view label) {
+    if (!memoize_) return StepUncached(from, label);
+    auto it = from->children.find(label);
+    if (it != from->children.end()) return it->second;
+    Node next;
+    next.state = from->state;
+    analyzer_->evaluator().Step(label, &next.state);
+    next.c2 = from->c2 || analyzer_->AnyHashAccepting(next.state);
+    next.rel = analyzer_->Classify(next.state, from->state, next.c2,
+                                   /*at_document_node=*/false);
+    Node* interned = Intern(std::move(next));
+    from->children[std::string(label)] = interned;
+    return interned;
+  }
+
+  /// Releases a node produced by StepUncached (no-op for cached nodes).
+  void Release(Node* node) {
+    if (!memoize_ && node != root_) delete node;
+  }
+
+ private:
+  /// NFA-per-node mode: compute a fresh node every time (caller releases).
+  Node* StepUncached(Node* from, std::string_view label) {
+    auto next = std::make_unique<Node>();
+    next->state = from->state;
+    analyzer_->evaluator().Step(label, &next->state);
+    next->c2 = from->c2 || analyzer_->AnyHashAccepting(next->state);
+    next->rel = analyzer_->Classify(next->state, from->state, next->c2,
+                                    /*at_document_node=*/false);
+    return next.release();
+  }
+
+  /// Deduplicates nodes by (state, c2) so equivalent contexts share their
+  /// transition cache (keeps the DFA small on recursive-looking documents).
+  Node* Intern(Node&& node) {
+    std::string key;
+    key.reserve(64);
+    key.push_back(node.c2 ? '1' : '0');
+    for (const auto& set : node.state.sets) {
+      key.push_back('|');
+      for (bool b : set) key.push_back(b ? '1' : '0');
+    }
+    auto it = interned_.find(key);
+    if (it != interned_.end()) return it->second.get();
+    auto owned = std::make_unique<Node>(std::move(node));
+    Node* raw = owned.get();
+    interned_.emplace(std::move(key), std::move(owned));
+    return raw;
+  }
+
+  const paths::RelevanceAnalyzer* analyzer_;
+  bool memoize_;
+  std::map<std::string, std::unique_ptr<Node>, std::less<>> interned_;
+  Node* root_ = nullptr;
+};
+
+}  // namespace
+
+SaxProjector::SaxProjector(std::vector<paths::ProjectionPath> paths,
+                           Mode mode)
+    : paths_(std::move(paths)), mode_(mode) {
+  paths::ProjectionPath star;
+  paths::PathStep step;
+  step.wildcard = true;
+  star.steps.push_back(step);
+  if (std::find(paths_.begin(), paths_.end(), star) == paths_.end()) {
+    paths_.push_back(star);
+  }
+  analyzer_ = std::make_unique<paths::RelevanceAnalyzer>(
+      paths_, paths::DeriveC3Alphabet(paths_));
+}
+
+Status SaxProjector::Project(std::string_view document, OutputSink* out,
+                             SaxProjectStats* stats) const {
+  xml::TokenizerOptions topts;
+  topts.check_well_formed = true;  // a projector must not accept garbage
+  xml::Tokenizer tok(document, topts);
+  LazyDfa dfa(analyzer_.get(), mode_ == Mode::kMemoizedDfa);
+  std::vector<LazyDfa::Node*> stack = {dfa.root()};
+  xml::Token t;
+  size_t copy_root = kNoCopy;  // stack depth of the subtree-copy root
+
+  auto raw = [&](const xml::Token& token) {
+    return out->Append(document.substr(
+        static_cast<size_t>(token.begin),
+        static_cast<size_t>(token.end - token.begin)));
+  };
+
+  // The loop body runs in a lambda so uncached nodes left on the stack are
+  // released on every exit path (including parse errors).
+  Status status = [&]() -> Status {
+  while (tok.Next(&t)) {
+    if (stats != nullptr) ++stats->tokens;
+    switch (t.type) {
+      case xml::TokenType::kStartTag: {
+        stack.push_back(dfa.Step(stack.back(), t.name));
+        if (copy_root != kNoCopy) {
+          SMPX_RETURN_IF_ERROR(raw(t));
+          break;
+        }
+        const paths::BranchRelevance& r = stack.back()->rel;
+        if (r.leaf_hash) {
+          copy_root = stack.size() - 1;
+          SMPX_RETURN_IF_ERROR(raw(t));
+          if (stats != nullptr) ++stats->elements_kept;
+        } else if (r.relevant()) {
+          if (stats != nullptr) ++stats->elements_kept;
+          if (r.leaf_attrs) {
+            SMPX_RETURN_IF_ERROR(raw(t));
+          } else {
+            SMPX_RETURN_IF_ERROR(
+                out->Append("<" + std::string(t.name) + ">"));
+          }
+        } else {
+          if (stats != nullptr) ++stats->elements_dropped;
+        }
+        break;
+      }
+      case xml::TokenType::kEndTag: {
+        if (copy_root != kNoCopy) {
+          SMPX_RETURN_IF_ERROR(raw(t));
+          if (stack.size() - 1 == copy_root) copy_root = kNoCopy;
+        } else if (stack.back()->rel.relevant()) {
+          SMPX_RETURN_IF_ERROR(out->Append("</" + std::string(t.name) + ">"));
+        }
+        dfa.Release(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case xml::TokenType::kEmptyTag: {
+        LazyDfa::Node* node = dfa.Step(stack.back(), t.name);
+        struct Guard {
+          LazyDfa* dfa;
+          LazyDfa::Node* node;
+          ~Guard() { dfa->Release(node); }
+        } guard{&dfa, node};
+        if (copy_root != kNoCopy) {
+          SMPX_RETURN_IF_ERROR(raw(t));
+        } else {
+          const paths::BranchRelevance& r = node->rel;
+          if (r.relevant()) {
+            if (stats != nullptr) ++stats->elements_kept;
+            if (r.leaf_hash || r.leaf_attrs) {
+              SMPX_RETURN_IF_ERROR(raw(t));
+            } else {
+              SMPX_RETURN_IF_ERROR(
+                  out->Append("<" + std::string(t.name) + "/>"));
+            }
+          } else if (stats != nullptr) {
+            ++stats->elements_dropped;
+          }
+        }
+        break;
+      }
+      case xml::TokenType::kText:
+      case xml::TokenType::kCData: {
+        if (copy_root != kNoCopy || stack.back()->c2) {
+          SMPX_RETURN_IF_ERROR(raw(t));
+        }
+        break;
+      }
+      case xml::TokenType::kComment:
+      case xml::TokenType::kPi:
+      case xml::TokenType::kDoctype:
+        if (copy_root != kNoCopy) {
+          SMPX_RETURN_IF_ERROR(raw(t));
+        }
+        break;
+    }
+  }
+  return tok.status();
+  }();
+  while (stack.size() > 1) {
+    dfa.Release(stack.back());
+    stack.pop_back();
+  }
+  SMPX_RETURN_IF_ERROR(status);
+  if (stats != nullptr) {
+    stats->input_bytes = document.size();
+    stats->output_bytes = out->bytes_written();
+  }
+  return Status::Ok();
+}
+
+}  // namespace smpx::baselines

@@ -1,0 +1,186 @@
+#include "common/io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace smpx {
+
+Result<size_t> MemoryInputStream::Read(char* buf, size_t len) {
+  size_t n = std::min(len, data_.size() - pos_);
+  std::memcpy(buf, data_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+Result<std::unique_ptr<FileInputStream>> FileInputStream::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<FileInputStream>(new FileInputStream(f));
+}
+
+FileInputStream::~FileInputStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<size_t> FileInputStream::Read(char* buf, size_t len) {
+  size_t n = std::fread(buf, 1, len, file_);
+  if (n < len && std::ferror(file_)) {
+    return Status::IoError("read failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return n;
+}
+
+Result<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<FileSink>(new FileSink(f));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSink::Append(std::string_view data) {
+  size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+  bytes_written_ += n;
+  if (n != data.size()) {
+    return Status::IoError("write failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status FileSink::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+SlidingWindow::SlidingWindow(InputStream* in, size_t capacity)
+    : in_(in), buf_(std::max<size_t>(capacity, 64)) {
+  max_capacity_ = buf_.size();
+}
+
+void SlidingWindow::Fill() {
+  while (!eof_ && size_ < buf_.size()) {
+    Result<size_t> n = in_->Read(buf_.data() + size_, buf_.size() - size_);
+    if (!n.ok()) {
+      status_ = n.status();
+      eof_ = true;
+      return;
+    }
+    if (*n == 0) {
+      eof_ = true;
+      return;
+    }
+    size_ += *n;
+  }
+}
+
+void SlidingWindow::SlideTo(uint64_t new_base) {
+  if (new_base <= base_) return;
+  uint64_t evict_end = std::min<uint64_t>(new_base, base_ + size_);
+  if (evict_fn_ && evict_end > base_) {
+    evict_fn_(base_, std::string_view(buf_.data(),
+                                      static_cast<size_t>(evict_end - base_)));
+  }
+  size_t drop = static_cast<size_t>(new_base - base_);
+  if (drop >= size_) {
+    // Everything currently buffered is discarded; the gap (if any) is
+    // bridged by reading and evicting, so absolute positions stay exact and
+    // any pending copy output still sees every byte.
+    uint64_t skip = new_base - (base_ + size_);
+    uint64_t gap_pos = base_ + size_;
+    size_ = 0;
+    base_ = new_base;
+    while (skip > 0 && !eof_) {
+      size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(skip, buf_.size()));
+      Result<size_t> n = in_->Read(buf_.data(), chunk);
+      if (!n.ok()) {
+        status_ = n.status();
+        eof_ = true;
+        break;
+      }
+      if (*n == 0) {
+        eof_ = true;
+        break;
+      }
+      if (evict_fn_) evict_fn_(gap_pos, std::string_view(buf_.data(), *n));
+      gap_pos += *n;
+      skip -= *n;
+    }
+  } else {
+    std::memmove(buf_.data(), buf_.data() + drop, size_ - drop);
+    size_ -= drop;
+    base_ = new_base;
+  }
+}
+
+size_t SlidingWindow::Ensure(uint64_t pos, size_t len) {
+  uint64_t want_end = pos + len;
+  // Fast path: already resident.
+  if (pos >= base_ && want_end <= base_ + size_) return len;
+  // Grow if the span from the lock (or pos) to want_end cannot fit.
+  uint64_t keep_from = std::min(lock_, pos);
+  if (keep_from < base_) keep_from = base_;  // already evicted; nothing to do
+  if (want_end - keep_from > buf_.size()) {
+    size_t new_cap = buf_.size();
+    while (want_end - keep_from > new_cap) new_cap *= 2;
+    std::vector<char> nbuf(new_cap);
+    std::memcpy(nbuf.data(), buf_.data(), size_);
+    buf_.swap(nbuf);
+    max_capacity_ = std::max(max_capacity_, buf_.size());
+  }
+  if (keep_from > base_) SlideTo(keep_from);
+  if (want_end > base_ + size_) Fill();
+  uint64_t avail_end = base_ + size_;
+  if (pos >= avail_end) return 0;
+  return static_cast<size_t>(std::min<uint64_t>(want_end, avail_end) - pos);
+}
+
+std::string_view SlidingWindow::View(uint64_t pos, size_t len) {
+  size_t got = Ensure(pos, len);
+  if (got == 0) return {};
+  return std::string_view(buf_.data() + (pos - base_),
+                          static_cast<size_t>(base_ + size_ - pos));
+}
+
+bool SlidingWindow::AtEnd(uint64_t pos) {
+  if (pos < base_ + size_) return false;
+  if (!eof_) Ensure(pos, 1);
+  return eof_ && pos >= base_ + size_;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  SMPX_ASSIGN_OR_RETURN(std::unique_ptr<FileInputStream> in,
+                        FileInputStream::Open(path));
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    SMPX_ASSIGN_OR_RETURN(size_t n, in->Read(buf, sizeof(buf)));
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  SMPX_ASSIGN_OR_RETURN(std::unique_ptr<FileSink> sink, FileSink::Open(path));
+  SMPX_RETURN_IF_ERROR(sink->Append(data));
+  return sink->Flush();
+}
+
+}  // namespace smpx

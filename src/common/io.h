@@ -1,0 +1,185 @@
+// Byte-stream abstractions: pull-based input streams, append-only output
+// sinks, and the sliding window the runtime engine scans through.
+
+#ifndef SMPX_COMMON_IO_H_
+#define SMPX_COMMON_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smpx {
+
+/// Abstract pull source of bytes.
+class InputStream {
+ public:
+  virtual ~InputStream() = default;
+
+  /// Reads up to `len` bytes into `buf`. Returns the number of bytes read;
+  /// 0 signals end of stream.
+  virtual Result<size_t> Read(char* buf, size_t len) = 0;
+};
+
+/// Input stream over caller-owned memory (zero copy).
+class MemoryInputStream : public InputStream {
+ public:
+  explicit MemoryInputStream(std::string_view data) : data_(data) {}
+
+  Result<size_t> Read(char* buf, size_t len) override;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Buffered input stream over a stdio FILE. Owns the handle.
+class FileInputStream : public InputStream {
+ public:
+  /// Opens `path` for binary reading.
+  static Result<std::unique_ptr<FileInputStream>> Open(
+      const std::string& path);
+  ~FileInputStream() override;
+
+  Result<size_t> Read(char* buf, size_t len) override;
+
+ private:
+  explicit FileInputStream(std::FILE* f) : file_(f) {}
+  std::FILE* file_;
+};
+
+/// Abstract append-only byte sink.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Total bytes appended so far.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ protected:
+  uint64_t bytes_written_ = 0;
+};
+
+/// Accumulates output into an owned string.
+class StringSink : public OutputSink {
+ public:
+  Status Append(std::string_view data) override {
+    out_.append(data);
+    bytes_written_ += data.size();
+    return Status::Ok();
+  }
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Discards output but counts bytes; used by throughput benchmarks.
+class CountingSink : public OutputSink {
+ public:
+  Status Append(std::string_view data) override {
+    bytes_written_ += data.size();
+    return Status::Ok();
+  }
+};
+
+/// Writes to a stdio FILE. Owns the handle.
+class FileSink : public OutputSink {
+ public:
+  static Result<std::unique_ptr<FileSink>> Open(const std::string& path);
+  ~FileSink() override;
+
+  Status Append(std::string_view data) override;
+  Status Flush();
+
+ private:
+  explicit FileSink(std::FILE* f) : file_(f) {}
+  std::FILE* file_;
+};
+
+/// A sliding window over an InputStream with absolute (whole-stream) byte
+/// positions, mirroring the paper's fixed-size chunked read buffer
+/// (Section V: "a pre-allocated buffer to read the document in fixed-size
+/// chunks, which we set to eight times the system page size").
+///
+/// The engine scans forward through the window and occasionally jumps back a
+/// bounded distance (right-to-left keyword verification, copy-region start
+/// positions). `set_lock()` marks the oldest absolute position that must
+/// stay resident; the window slides past everything older, invoking the
+/// eviction hook so that pending copy output can be flushed incrementally.
+/// The buffer grows only if the locked region itself outgrows the capacity
+/// (e.g. a single element copied as one piece larger than the window).
+class SlidingWindow {
+ public:
+  /// Hook invoked with evicted bytes, in stream order, before discard.
+  using EvictFn = std::function<void(uint64_t begin, std::string_view data)>;
+
+  static constexpr size_t kDefaultCapacity = 8 * 4096;  // 8 pages
+
+  SlidingWindow(InputStream* in, size_t capacity = kDefaultCapacity);
+
+  /// Makes bytes [pos, pos+len) resident, sliding/refilling as needed.
+  /// Returns the number of bytes actually available (< len only at EOF).
+  /// On I/O error the window behaves as at EOF and status() is set.
+  size_t Ensure(uint64_t pos, size_t len);
+
+  /// Returns the resident view starting at `pos`, ensuring at least `len`
+  /// bytes when possible. The view may be longer than `len`.
+  std::string_view View(uint64_t pos, size_t len);
+
+  /// Byte at absolute position `pos`; caller must have Ensure()d it.
+  char At(uint64_t pos) const { return buf_[pos - base_]; }
+
+  /// True once the underlying stream is exhausted *and* `pos` is at or past
+  /// the last byte.
+  bool AtEnd(uint64_t pos);
+
+  /// Oldest absolute position that must remain resident (see class comment).
+  void set_lock(uint64_t pos) { lock_ = pos; }
+  uint64_t lock() const { return lock_; }
+
+  void set_evict_fn(EvictFn fn) { evict_fn_ = std::move(fn); }
+
+  /// First resident absolute position.
+  uint64_t base() const { return base_; }
+  /// One past the last resident absolute position.
+  uint64_t limit() const { return base_ + size_; }
+  /// Total bytes pulled from the stream so far.
+  uint64_t bytes_read() const { return base_ + size_; }
+  /// Current buffer capacity (grows only when the locked span forces it).
+  size_t capacity() const { return buf_.size(); }
+  /// High-water mark of the buffer capacity; proxy for peak memory.
+  size_t max_capacity_used() const { return max_capacity_; }
+
+  const Status& status() const { return status_; }
+
+ private:
+  void SlideTo(uint64_t new_base);
+  void Fill();
+
+  InputStream* in_;
+  std::vector<char> buf_;
+  uint64_t base_ = 0;   // absolute position of buf_[0]
+  size_t size_ = 0;     // valid bytes in buf_
+  uint64_t lock_ = 0;   // bytes >= lock_ must stay resident
+  bool eof_ = false;
+  size_t max_capacity_ = 0;
+  EvictFn evict_fn_;
+  Status status_;
+};
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_IO_H_

@@ -1,0 +1,73 @@
+// Result<T>: a value-or-Status, in the spirit of arrow::Result / absl::StatusOr.
+
+#ifndef SMPX_COMMON_RESULT_H_
+#define SMPX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace smpx {
+
+/// Holds either a successfully produced T or the Status explaining why no
+/// value could be produced. A Result is never both and never neither.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. It is a programming error
+  /// to construct a Result from an OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined if !ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+/// Propagates the error of a Result-returning expression, otherwise assigns
+/// the unwrapped value to `lhs` (which must be a declaration or lvalue).
+#define SMPX_ASSIGN_OR_RETURN(lhs, expr)           \
+  SMPX_ASSIGN_OR_RETURN_IMPL_(                     \
+      SMPX_CONCAT_(_smpx_result_, __LINE__), lhs, expr)
+
+#define SMPX_CONCAT_INNER_(a, b) a##b
+#define SMPX_CONCAT_(a, b) SMPX_CONCAT_INNER_(a, b)
+#define SMPX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_RESULT_H_

@@ -1,0 +1,95 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// LevelDB/RocksDB. Functions that can fail return Status (or Result<T>,
+// see result.h); success is the common, allocation-free case.
+
+#ifndef SMPX_COMMON_STATUS_H_
+#define SMPX_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace smpx {
+
+/// Error categories used across the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed (bad path syntax...)
+  kParseError,        // malformed DTD / XML / query input
+  kUnsupported,       // valid but out of scope (e.g. recursive DTD)
+  kNotFound,          // missing file, unknown element name
+  kResourceExhausted, // memory budget exceeded (mem_engine)
+  kIoError,           // read/write failure
+  kInternal,          // invariant violation; indicates a library bug
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A Status is either OK (empty, no allocation) or carries a code plus a
+/// message. Copyable and cheap to move; the error state is heap-allocated
+/// only when an error actually occurs.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message is empty for OK statuses.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "ParseError: unexpected '<' at offset 12".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// Propagates a non-OK status to the caller. Use inside functions that
+/// themselves return Status.
+#define SMPX_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::smpx::Status _smpx_status = (expr);           \
+    if (!_smpx_status.ok()) return _smpx_status;    \
+  } while (0)
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_STATUS_H_

@@ -1,0 +1,50 @@
+// Small string helpers shared across modules.
+
+#ifndef SMPX_COMMON_STRINGS_H_
+#define SMPX_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smpx {
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// True for XML whitespace characters (space, tab, CR, LF).
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// True for characters that may start an XML name. We accept the practical
+/// ASCII subset (letters, '_', ':').
+inline bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+/// True for characters that may continue an XML name.
+inline bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+/// Renders a byte count as "12.34MB" (binary units).
+std::string HumanBytes(double bytes);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_STRINGS_H_

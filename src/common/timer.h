@@ -1,0 +1,45 @@
+// Wall-clock and CPU timers used by the benchmark harnesses to reproduce the
+// paper's Time / Usr+Sys / CPU% columns.
+
+#ifndef SMPX_COMMON_TIMER_H_
+#define SMPX_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace smpx {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user + system), the paper's "Usr+Sys".
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+  void Reset() { start_ = Now(); }
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+  double start_;
+};
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_TIMER_H_

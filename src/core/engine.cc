@@ -1,0 +1,388 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strings.h"
+
+namespace smpx::core {
+namespace {
+
+/// Mutable run state shared by the helpers below.
+class Engine {
+ public:
+  Engine(const RuntimeTables& tables, InputStream* in, OutputSink* out,
+         RunStats* stats, const EngineOptions& opts)
+      : tables_(tables),
+        win_(in, opts.window_capacity),
+        out_(out),
+        stats_(stats),
+        opts_(opts) {
+    win_.set_evict_fn([this](uint64_t begin, std::string_view data) {
+      OnEvict(begin, data);
+    });
+  }
+
+  Status Run();
+
+ private:
+  // Incremental flush of the active copy region when the window slides.
+  void OnEvict(uint64_t begin, std::string_view data) {
+    if (copy_depth_ == 0) return;
+    uint64_t end = begin + data.size();
+    if (end <= copy_flushed_) return;
+    uint64_t from = std::max(begin, copy_flushed_);
+    Status s = out_->Append(
+        data.substr(static_cast<size_t>(from - begin),
+                    static_cast<size_t>(end - from)));
+    if (!s.ok() && status_.ok()) status_ = s;
+    copy_flushed_ = end;
+  }
+
+  Status Emit(std::string_view data) { return out_->Append(data); }
+
+  /// Emits the still-buffered tail of [copy_flushed_, end).
+  Status EmitCopiedRange(uint64_t end) {
+    if (end <= copy_flushed_) return Status::Ok();
+    uint64_t from = std::max(copy_flushed_, win_.base());
+    std::string_view view = win_.View(from, static_cast<size_t>(end - from));
+    if (view.size() < end - from) {
+      return Status::Internal("copy region not resident");
+    }
+    copy_flushed_ = end;
+    return Emit(view.substr(0, static_cast<size_t>(end - from)));
+  }
+
+  void SkipProlog();
+  Status HandleMatch(uint64_t pos, int* next_unsearched);
+  Status ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
+                     bool closing, bool bachelor);
+
+  const RuntimeTables& tables_;
+  SlidingWindow win_;
+  OutputSink* out_;
+  RunStats* stats_;
+  EngineOptions opts_;
+
+  int q_ = 0;
+  uint64_t cursor_ = 0;        // next position to search from
+  uint64_t nesting_depth_ = 0; // open <t> balance inside an opaque region
+  int copy_depth_ = 0;
+  uint64_t copy_flushed_ = 0;  // everything below this is already emitted
+  Status status_;
+  std::vector<bool> visited_;
+
+  void MarkVisited() {
+    if (!visited_[static_cast<size_t>(q_)]) {
+      visited_[static_cast<size_t>(q_)] = true;
+    }
+  }
+};
+
+void Engine::SkipProlog() {
+  // Only straight-line scanning at the very beginning of the document;
+  // stops at the first '<' that opens an element tag.
+  for (;;) {
+    if (win_.Ensure(cursor_, 2) == 0) return;
+    while (win_.Ensure(cursor_, 1) > 0 && IsXmlWhitespace(win_.At(cursor_))) {
+      ++cursor_;
+    }
+    if (win_.Ensure(cursor_, 2) < 2 || win_.At(cursor_) != '<') return;
+    char next = win_.At(cursor_ + 1);
+    if (next == '?') {
+      // <? ... ?>
+      uint64_t p = cursor_ + 2;
+      while (win_.Ensure(p, 2) >= 2 &&
+             !(win_.At(p) == '?' && win_.At(p + 1) == '>')) {
+        ++p;
+      }
+      cursor_ = p + 2;
+      continue;
+    }
+    if (next == '!') {
+      // Comment or DOCTYPE (with optional [...] internal subset).
+      if (win_.Ensure(cursor_, 4) >= 4 && win_.At(cursor_ + 2) == '-' &&
+          win_.At(cursor_ + 3) == '-') {
+        uint64_t p = cursor_ + 4;
+        while (win_.Ensure(p, 3) >= 3 &&
+               !(win_.At(p) == '-' && win_.At(p + 1) == '-' &&
+                 win_.At(p + 2) == '>')) {
+          ++p;
+        }
+        cursor_ = p + 3;
+        continue;
+      }
+      uint64_t p = cursor_ + 2;
+      int bracket = 0;
+      while (win_.Ensure(p, 1) > 0) {
+        char c = win_.At(p);
+        if (c == '[') ++bracket;
+        if (c == ']') --bracket;
+        if (c == '>' && bracket <= 0) break;
+        ++p;
+      }
+      cursor_ = p + 1;
+      continue;
+    }
+    return;  // an element tag (or EOF)
+  }
+}
+
+Status Engine::ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
+                           bool closing, bool bachelor) {
+  const DfaState& st = tables_.states[static_cast<size_t>(state)];
+  switch (st.action) {
+    case Action::kNop:
+      return Status::Ok();
+    case Action::kCopyTag:
+    case Action::kCopyTagAtts:
+      if (copy_depth_ > 0) return Status::Ok();  // already inside a copy
+      if (closing) return Emit(st.emit_tag);
+      if (st.action == Action::kCopyTagAtts) {
+        std::string_view raw = win_.View(
+            tag_begin, static_cast<size_t>(tag_end + 1 - tag_begin));
+        if (raw.size() < tag_end + 1 - tag_begin) {
+          return Status::Internal("tag bytes not resident for copy");
+        }
+        return Emit(raw.substr(0,
+                               static_cast<size_t>(tag_end + 1 - tag_begin)));
+      }
+      return Emit(bachelor ? st.emit_bachelor : st.emit_tag);
+    case Action::kCopyOn:
+      if (copy_depth_++ == 0) copy_flushed_ = tag_begin;
+      return Status::Ok();
+    case Action::kCopyOff:
+      if (copy_depth_ == 0) {
+        // Defensive: unmatched copy-off (possible only on invalid input);
+        // emit the closing tag so output nesting stays balanced.
+        return Emit(st.emit_tag);
+      }
+      if (--copy_depth_ == 0) {
+        return EmitCopiedRange(tag_end + 1);
+      }
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+/// Returns values for HandleMatch's caller.
+enum HandleResult { kFalseMatch = 0, kAccepted = 1 };
+
+Status Engine::HandleMatch(uint64_t pos, int* result) {
+  *result = kFalseMatch;
+  // The whole scan operates on a view anchored at pos (which is above the
+  // lock, so it stays resident); At() re-acquires the view only when the
+  // scan outruns the currently buffered bytes.
+  std::string_view v = win_.View(pos, 2);
+  auto at = [this, pos, &v](uint64_t abs) -> int {
+    size_t rel = static_cast<size_t>(abs - pos);
+    if (rel < v.size()) return static_cast<unsigned char>(v[rel]);
+    if (win_.Ensure(abs, 1) == 0) return -1;
+    v = win_.View(pos, rel + 1);
+    return static_cast<unsigned char>(v[rel]);
+  };
+
+  // Parse the tag at pos: "<name" or "</name", then scan to '>' / '/>'.
+  uint64_t p = pos + 1;
+  bool closing = false;
+  int c = at(p);
+  if (c < 0) return Status::Ok();
+  if (c == '/') {
+    closing = true;
+    ++p;
+  }
+  uint64_t name_begin = p;
+  while ((c = at(p)) >= 0 && IsNameChar(static_cast<char>(c))) ++p;
+  if (stats_ != nullptr) stats_->scan_chars += p - pos;
+  if (p == name_begin) return Status::Ok();  // "<!", "<?", "< " ...
+  size_t name_len = static_cast<size_t>(p - name_begin);
+  std::string_view name =
+      v.substr(static_cast<size_t>(name_begin - pos), name_len);
+
+  const DfaState& st = tables_.states[static_cast<size_t>(q_)];
+
+  // Recursion support: inside an opaque region, occurrences of the region's
+  // own tag are balanced rather than transitioned on; only the closing tag
+  // that returns the balance to zero leaves the region.
+  bool counted_tag = st.count_nesting && name == st.entry_name &&
+                     (!closing || nesting_depth_ > 0);
+
+  // Look the tagname up in the frontier transition maps; reject prefixes of
+  // longer names and names with no transition (the paper's (¶) check).
+  int next_state = -1;
+  if (!counted_tag) {
+    auto& map = closing ? st.close_next : st.open_next;
+    auto it = map.find(name);
+    if (it == map.end()) return Status::Ok();  // false match
+    next_state = it->second;
+  }
+
+  // Scan to the end of the tag, skipping quoted attribute values.
+  bool bachelor = false;
+  uint64_t scan_start = p;
+  for (;;) {
+    c = at(p);
+    if (c < 0) {
+      return Status::ParseError("unterminated tag at offset " +
+                                std::to_string(pos));
+    }
+    if (c == '>') {
+      bachelor = !closing && at(p - 1) == '/';
+      break;
+    }
+    if (c == '"' || c == '\'') {
+      int quote = c;
+      ++p;
+      while ((c = at(p)) >= 0 && c != quote) ++p;
+      if (c < 0) {
+        return Status::ParseError("unterminated attribute at offset " +
+                                  std::to_string(pos));
+      }
+    }
+    ++p;
+  }
+  if (stats_ != nullptr) stats_->scan_chars += p - scan_start + 1;
+  uint64_t tag_end = p;  // position of '>'
+
+  *result = kAccepted;
+  if (stats_ != nullptr) ++stats_->matches;
+
+  if (counted_tag) {
+    if (!closing) {
+      if (!bachelor) ++nesting_depth_;
+    } else {
+      --nesting_depth_;
+    }
+    cursor_ = tag_end + 1;
+    return Status::Ok();
+  }
+
+  // For bachelor tags, resolve the closing transition now. The tag-end scan
+  // above may have slid or reallocated the window buffer, so `name` must be
+  // re-acquired (its bytes are still resident -- they sit above the lock).
+  int close_state = -1;
+  if (bachelor) {
+    name = win_.View(name_begin, name_len).substr(0, name_len);
+    const DfaState& opened = tables_.states[static_cast<size_t>(next_state)];
+    auto cit = opened.close_next.find(name);
+    if (cit == opened.close_next.end()) {
+      return Status::ParseError("bachelor tag <" + std::string(name) +
+                                "/> has no closing transition; input "
+                                "invalid w.r.t. the DTD");
+    }
+    close_state = cit->second;
+  }
+
+  q_ = next_state;
+  nesting_depth_ = 0;
+  MarkVisited();
+  SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, closing, bachelor));
+  if (bachelor) {
+    // Fire the closing transition too (paper Fig. 4, bachelor case).
+    const DfaState& opened = tables_.states[static_cast<size_t>(q_)];
+    bool was_copy_tag = opened.action == Action::kCopyTag ||
+                        opened.action == Action::kCopyTagAtts;
+    q_ = close_state;
+    nesting_depth_ = 0;
+    MarkVisited();
+    const DfaState& closed = tables_.states[static_cast<size_t>(q_)];
+    if (was_copy_tag && closed.action == Action::kCopyTag &&
+        copy_depth_ == 0) {
+      // The opening action already emitted "<name/>"; suppress the
+      // duplicate "</name>".
+    } else {
+      SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, /*closing=*/true,
+                                       /*bachelor=*/false));
+    }
+  }
+  cursor_ = tag_end + 1;
+  return Status::Ok();
+}
+
+Status Engine::Run() {
+  visited_.assign(tables_.states.size(), false);
+  q_ = tables_.initial;
+  MarkVisited();
+  if (opts_.skip_prolog) SkipProlog();
+
+  while (!tables_.states[static_cast<size_t>(q_)].is_final) {
+    const DfaState& st = tables_.states[static_cast<size_t>(q_)];
+    if (st.matcher == nullptr) {
+      return Status::Internal("stuck in non-final state without vocabulary");
+    }
+    // Initial jump (paper table J).
+    if (st.jump > 0) {
+      cursor_ += st.jump;
+      if (stats_ != nullptr) {
+        ++stats_->initial_jumps;
+        stats_->initial_jump_chars += st.jump;
+      }
+    }
+    if (stats_ != nullptr) {
+      if (st.keywords.size() == 1) {
+        ++stats_->bm_searches;
+      } else {
+        ++stats_->cw_searches;
+      }
+    }
+    // Search for the closest frontier keyword, refilling the window as
+    // needed; the overlap keeps partially-seen keywords matchable.
+    int handled = kFalseMatch;
+    for (;;) {
+      win_.set_lock(cursor_);
+      std::string_view view = win_.View(cursor_, st.max_keyword);
+      if (!view.empty()) {
+        strmatch::Match m = st.matcher->Search(view, 0, &stats_->search);
+        if (m.found()) {
+          uint64_t pos = cursor_ + m.pos;
+          SMPX_RETURN_IF_ERROR(HandleMatch(pos, &handled));
+          if (handled == kAccepted) break;
+          if (stats_ != nullptr) ++stats_->false_matches;
+          cursor_ = pos + 1;
+          continue;
+        }
+      }
+      // No match in the resident view. Advance to the window tail that
+      // could still hold a partially-seen keyword, release the lock up to
+      // there, then probe for more input (slide-only, never grows).
+      uint64_t limit = win_.limit();
+      uint64_t next = limit > st.max_keyword - 1
+                          ? limit - (st.max_keyword - 1)
+                          : cursor_ + 1;
+      cursor_ = std::max(cursor_ + 1, next);
+      win_.set_lock(cursor_);
+      if (win_.AtEnd(cursor_)) {
+        return Status::ParseError(
+            "keyword not found before end of input (document invalid "
+            "w.r.t. the DTD?)");
+      }
+    }
+    SMPX_RETURN_IF_ERROR(status_);  // surfaced from the evict hook
+  }
+
+  if (stats_ != nullptr) {
+    stats_->input_bytes = win_.bytes_read();
+    stats_->output_bytes = out_->bytes_written();
+    stats_->window_peak = win_.max_capacity_used();
+    for (bool v : visited_) {
+      if (v) ++stats_->states_visited;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunEngine(const RuntimeTables& tables, InputStream* in,
+                 OutputSink* out, RunStats* stats,
+                 const EngineOptions& opts) {
+  if (tables.states.empty()) {
+    return Status::InvalidArgument("empty runtime tables");
+  }
+  RunStats local_stats;
+  Engine engine(tables, in, out, stats != nullptr ? stats : &local_stats,
+                opts);
+  return engine.Run();
+}
+
+}  // namespace smpx::core

@@ -1,0 +1,78 @@
+// Step 1 of the runtime-automaton compilation (paper Fig. 6): select the
+// subset S of DTD-automaton states the runtime must visit, and assign each
+// state its action (paper Table T semantics):
+//
+//  (a) states whose document branch is relevant (Definition 5) join S;
+//  (b) a dual pair whose interior states are *all* in S is collapsed -- the
+//      interior leaves S and the pair becomes copy on / copy off
+//      (Example 12: once <c> is matched the whole subtree is copied, so no
+//      descendant tags need to be located);
+//  (c) disambiguation closure: if from some q in S a frontier target p in S
+//      and a shadow state p' not in S carry the same token, the runtime
+//      could confuse them after a skip; p's parents join S (Example 11).
+
+#ifndef SMPX_CORE_SELECTION_H_
+#define SMPX_CORE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_automaton.h"
+#include "paths/relevance.h"
+
+namespace smpx::core {
+
+/// Output action associated with a runtime state (paper table T).
+enum class Action : unsigned char {
+  kNop = 0,
+  kCopyTag,      ///< emit the bare tag
+  kCopyTagAtts,  ///< emit the tag with its attributes
+  kCopyOn,       ///< start copying raw input at this opening tag
+  kCopyOff,      ///< stop copying after this closing tag
+};
+
+std::string_view ActionName(Action a);
+
+/// Merges actions of NFA states collapsed into one DFA state. Higher
+/// priority copies strictly more data, which is the safe direction.
+Action JoinActions(Action a, Action b);
+
+/// The result of Fig. 6 step 1 over a DTD-automaton.
+struct Selection {
+  /// Per automaton state: is the state in S? (q0 always is.)
+  std::vector<bool> in_s;
+  /// Per automaton state: the action the runtime performs when entering it.
+  std::vector<Action> action;
+  /// Per instance: relevance verdict (kept for reports/tests).
+  std::vector<paths::BranchRelevance> relevance;
+  /// Number of states added by the disambiguation closure (step c).
+  size_t stopover_states = 0;
+  /// Number of dual pairs collapsed by step (b).
+  size_t collapsed_pairs = 0;
+};
+
+/// Runs Fig. 6 step 1 for `paths` over `aut`.
+Selection SelectStates(const dtd::DtdAutomaton& aut,
+                       const paths::RelevanceAnalyzer& analyzer);
+
+/// The subgraph automaton D|S (Definition 4), rendered as explicit
+/// transitions: for every state q in S, all (token, p) pairs such that p is
+/// reached from q through non-S states by a final edge reading `token`.
+/// Also computes the final-state flags (q final in D, or a final state of D
+/// reachable through non-S states).
+struct SubgraphAutomaton {
+  struct Edge {
+    int token;
+    int to;
+  };
+  /// Indexed by original automaton state id; empty for states not in S.
+  std::vector<std::vector<Edge>> edges;
+  std::vector<bool> is_final;
+};
+
+SubgraphAutomaton BuildSubgraph(const dtd::DtdAutomaton& aut,
+                                const Selection& sel);
+
+}  // namespace smpx::core
+
+#endif  // SMPX_CORE_SELECTION_H_

@@ -1,0 +1,263 @@
+#include "core/tables.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "dtd/min_serial.h"
+
+namespace smpx::core {
+namespace {
+
+using dtd::DtdAutomaton;
+
+constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+
+/// Computes J[q] for one DFA state: the minimum, over all documents valid
+/// w.r.t. the DTD and all member NFA states, of the number of characters
+/// between the cursor (just past the matched tag) and the first possible
+/// occurrence of any keyword in V[q]. Multi-source Dijkstra over the full
+/// DTD-automaton; skipped elements cost their minimal serialization
+/// (bachelor form when nullable), skipped closing tags cost `</t>`.
+uint64_t ComputeJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
+                     const std::vector<int>& members,
+                     const std::set<int>& vocab_tokens) {
+  std::vector<uint64_t> dist(static_cast<size_t>(aut.num_states()), kInf);
+  using Entry = std::pair<uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (int m : members) {
+    dist[static_cast<size_t>(m)] = 0;
+    pq.push({0, m});
+  }
+  uint64_t best = kInf;
+  while (!pq.empty()) {
+    auto [d, s] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(s)]) continue;
+    if (d >= best) break;  // no shorter candidate can appear
+    for (const DtdAutomaton::Transition& t : aut.Out(s)) {
+      const dtd::TagToken& tok = aut.token(t.token);
+      if (vocab_tokens.count(t.token) != 0) {
+        // A true keyword occurrence can start here, d characters away.
+        best = std::min(best, d);
+        continue;
+      }
+      if (tok.closing) {
+        uint64_t nd = d + ms->CloseTag(tok.name);
+        if (nd < dist[static_cast<size_t>(t.to)]) {
+          dist[static_cast<size_t>(t.to)] = nd;
+          pq.push({nd, t.to});
+        }
+      } else {
+        // Opaque regions can contain any reachable tag; if the vocabulary
+        // intersects that set, an occurrence could start right here.
+        if (DtdAutomaton::IsOpenState(t.to) &&
+            aut.instance(DtdAutomaton::InstanceOf(t.to)).opaque) {
+          bool vocab_inside = false;
+          for (const std::string& name :
+               aut.dtd().ReachableFrom(tok.name)) {
+            for (bool closing : {false, true}) {
+              int vt = aut.FindToken(name, closing);
+              if (vt >= 0 && vocab_tokens.count(vt) != 0) {
+                vocab_inside = true;
+                break;
+              }
+            }
+            if (vocab_inside) break;
+          }
+          if (vocab_inside) {
+            best = std::min(best, d);
+            continue;
+          }
+        }
+        // Skip just the opening tag and continue inside ...
+        uint64_t nd = d + ms->OpenTag(tok.name);
+        if (nd < dist[static_cast<size_t>(t.to)]) {
+          dist[static_cast<size_t>(t.to)] = nd;
+          pq.push({nd, t.to});
+        }
+        // ... or skip the whole element as a bachelor tag <t/>, which is
+        // possible when its content is nullable and contains no keyword
+        // occurrence at all (the closing keyword "</t" does not occur in
+        // the bachelor form; the opening keyword case was handled above).
+        if (aut.GlushkovOf(tok.name).nullable) {
+          int close = DtdAutomaton::Dual(t.to);
+          uint64_t bd = d + ms->BachelorTag(tok.name);
+          if (bd < dist[static_cast<size_t>(close)]) {
+            dist[static_cast<size_t>(close)] = bd;
+            pq.push({bd, close});
+          }
+        }
+      }
+    }
+  }
+  return best == kInf ? 0 : best;
+}
+
+}  // namespace
+
+Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
+                                  const Selection& sel,
+                                  const SubgraphAutomaton& sub,
+                                  const TableOptions& opts) {
+  RuntimeTables tables;
+  tables.stopover_states = sel.stopover_states;
+  tables.collapsed_pairs = sel.collapsed_pairs;
+  for (bool b : sel.in_s) {
+    if (b) ++tables.nfa_states_selected;
+  }
+
+  dtd::MinSerial ms(&aut.dtd());
+
+  // Subset construction over D|S. Subsets are sorted state-id vectors.
+  std::map<std::vector<int>, int> subset_ids;
+  std::vector<std::vector<int>> subsets;
+  auto intern = [&subset_ids, &subsets](std::vector<int> subset) {
+    std::sort(subset.begin(), subset.end());
+    subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    int id = static_cast<int>(subsets.size());
+    subset_ids[subset] = id;
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+
+  int initial = intern({0});
+  tables.initial = initial;
+
+  // BFS over subsets, building transitions per token.
+  for (size_t cur = 0; cur < subsets.size(); ++cur) {
+    std::map<int, std::vector<int>> by_token;  // token -> successor members
+    bool is_final = false;
+    for (int s : subsets[cur]) {
+      if (sub.is_final[static_cast<size_t>(s)]) is_final = true;
+      for (const SubgraphAutomaton::Edge& e :
+           sub.edges[static_cast<size_t>(s)]) {
+        by_token[e.token].push_back(e.to);
+      }
+    }
+    if (tables.states.size() <= cur) {
+      tables.states.resize(subsets.size());
+    }
+    DfaState& state = tables.states[cur];
+    state.is_final = is_final;
+    for (auto& [token, members] : by_token) {
+      int to = intern(std::move(members));
+      if (tables.states.size() < subsets.size()) {
+        tables.states.resize(subsets.size());
+      }
+      const dtd::TagToken& tok = aut.token(token);
+      if (tok.closing) {
+        tables.states[cur].close_next[tok.name] = to;
+      } else {
+        tables.states[cur].open_next[tok.name] = to;
+      }
+      // Record the entry token on the target (unique by homogeneity) and
+      // precompute the emission strings.
+      DfaState& target = tables.states[static_cast<size_t>(to)];
+      if (target.entry_name.empty()) {
+        target.entry_name = tok.name;
+        target.entry_closing = tok.closing;
+        target.emit_tag = (tok.closing ? "</" : "<") + tok.name + ">";
+        if (!tok.closing) target.emit_bachelor = "<" + tok.name + "/>";
+      }
+    }
+  }
+  tables.states.resize(subsets.size());
+
+  // Actions (join over members), vocabularies, jumps, matchers.
+  for (size_t q = 0; q < subsets.size(); ++q) {
+    DfaState& state = tables.states[q];
+
+    Action action = Action::kNop;
+    for (int s : subsets[q]) {
+      action = JoinActions(action, sel.action[static_cast<size_t>(s)]);
+      if (DtdAutomaton::IsOpenState(s) &&
+          aut.instance(DtdAutomaton::InstanceOf(s)).opaque) {
+        state.count_nesting = true;
+      }
+    }
+    state.action = action;
+
+    // Vocabulary: one keyword per outgoing token.
+    std::set<int> vocab_tokens;
+    for (const auto& [name, to] : state.open_next) {
+      state.keywords.push_back("<" + name);
+      vocab_tokens.insert(aut.FindToken(name, false));
+      (void)to;
+    }
+    for (const auto& [name, to] : state.close_next) {
+      state.keywords.push_back("</" + name);
+      vocab_tokens.insert(aut.FindToken(name, true));
+      (void)to;
+    }
+    if (state.count_nesting) {
+      // Inside an opaque region we must also see nested opening tags of the
+      // same name to keep the balance (no transition is attached; the
+      // engine counts them).
+      state.keywords.push_back("<" + state.entry_name);
+    }
+    std::sort(state.keywords.begin(), state.keywords.end());
+    state.keywords.erase(
+        std::unique(state.keywords.begin(), state.keywords.end()),
+        state.keywords.end());
+    for (const std::string& k : state.keywords) {
+      state.max_keyword = std::max(state.max_keyword, k.size());
+    }
+
+    if (!state.keywords.empty()) {
+      state.matcher =
+          strmatch::MakeMatcher(state.keywords, opts.algorithm);
+      if (state.matcher == nullptr) {
+        // The requested algorithm cannot handle this pattern count
+        // (e.g. plain Boyer-Moore on a multi-keyword vocabulary).
+        state.matcher = strmatch::MakeMatcher(state.keywords,
+                                              strmatch::Algorithm::kAuto);
+      }
+      if (state.matcher == nullptr) {
+        return Status::Internal("failed to build matcher for state " +
+                                std::to_string(q));
+      }
+      if (state.keywords.size() == 1) {
+        ++tables.num_bm_states;
+      } else {
+        ++tables.num_cw_states;
+      }
+    } else if (!state.is_final) {
+      return Status::Internal(
+          "non-final runtime state " + std::to_string(q) +
+          " has an empty frontier vocabulary");
+    }
+
+    if (opts.enable_initial_jumps && !state.keywords.empty()) {
+      state.jump = ComputeJump(aut, &ms, subsets[q], vocab_tokens);
+    }
+  }
+  return tables;
+}
+
+std::string RuntimeTables::DebugString() const {
+  std::string out;
+  for (size_t q = 0; q < states.size(); ++q) {
+    const DfaState& s = states[q];
+    out += "q" + std::to_string(q) + (s.is_final ? " [final]" : "") +
+           " action=" + std::string(ActionName(s.action)) +
+           " J=" + std::to_string(s.jump) + " V={";
+    for (size_t i = 0; i < s.keywords.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + s.keywords[i] + "\"";
+    }
+    out += "}\n";
+    for (const auto& [name, to] : s.open_next) {
+      out += "  <" + name + "> -> q" + std::to_string(to) + "\n";
+    }
+    for (const auto& [name, to] : s.close_next) {
+      out += "  </" + name + "> -> q" + std::to_string(to) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace smpx::core

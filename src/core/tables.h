@@ -1,0 +1,88 @@
+// The four statically compiled runtime lookup tables of the paper (Fig. 3):
+//   A -- transition function of the determinized runtime-automaton,
+//   V -- frontier vocabulary (keywords "<t" / "</t") per state,
+//   J -- initial jump offsets per state,
+//   T -- actions per state.
+// Packaged per DFA state together with the precompiled string matcher
+// (Boyer-Moore for unary vocabularies, Commentz-Walter otherwise).
+
+#ifndef SMPX_CORE_TABLES_H_
+#define SMPX_CORE_TABLES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/selection.h"
+#include "dtd/dtd_automaton.h"
+#include "strmatch/matcher.h"
+
+namespace smpx::core {
+
+/// One state of the runtime DFA with everything the engine needs.
+struct DfaState {
+  /// Frontier vocabulary V[q], sorted; keyword i belongs to matcher
+  /// pattern i.
+  std::vector<std::string> keywords;
+  /// Compiled search structure over `keywords` (null iff keywords empty).
+  std::unique_ptr<strmatch::Matcher> matcher;
+  /// A[q, <name>]: next state when an opening tag `name` is matched.
+  std::map<std::string, int, std::less<>> open_next;
+  /// A[q, </name>]: next state when a closing tag `name` is matched.
+  std::map<std::string, int, std::less<>> close_next;
+  /// J[q]: characters safely skippable on entering this state.
+  uint64_t jump = 0;
+  /// T[q]: action performed when *entering* this state.
+  Action action = Action::kNop;
+  bool is_final = false;
+  /// Longest keyword length (window overlap requirement).
+  size_t max_keyword = 0;
+
+  // Entry token (unique by homogeneity; empty for the initial state) and
+  // precomputed emission strings so copy-tag actions are allocation-free.
+  std::string entry_name;
+  bool entry_closing = false;
+  std::string emit_tag;       ///< "<name>" or "</name>"
+  std::string emit_bachelor;  ///< "<name/>" (open-entry states only)
+
+  /// Recursion support: this state is the inside of an opaque recursive
+  /// region; the engine balances <entry_name>/</entry_name> occurrences and
+  /// only takes the closing transition when the balance returns to zero.
+  bool count_nesting = false;
+};
+
+/// The complete set of runtime tables; self-contained (the DTD-automaton
+/// can be discarded after construction).
+struct RuntimeTables {
+  std::vector<DfaState> states;
+  int initial = 0;
+
+  // Report metadata (paper Table I "States (CW + BM)").
+  size_t num_cw_states = 0;   ///< states with |V| > 1
+  size_t num_bm_states = 0;   ///< states with |V| == 1
+  size_t nfa_states_selected = 0;  ///< |S| including q0
+  size_t stopover_states = 0;
+  size_t collapsed_pairs = 0;
+
+  std::string DebugString() const;
+};
+
+struct TableOptions {
+  /// Algorithm for multi-keyword states (ablation hook); single-keyword
+  /// states always honor it too when not kAuto.
+  strmatch::Algorithm algorithm = strmatch::Algorithm::kAuto;
+  /// Disable J (ablation): all jumps become 0.
+  bool enable_initial_jumps = true;
+};
+
+/// Determinizes the subgraph automaton and builds all tables.
+Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
+                                  const Selection& sel,
+                                  const SubgraphAutomaton& sub,
+                                  const TableOptions& opts = {});
+
+}  // namespace smpx::core
+
+#endif  // SMPX_CORE_TABLES_H_

@@ -1,0 +1,287 @@
+#include "dtd/content_model.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace smpx::dtd {
+namespace {
+
+bool ExprNullable(const ContentExpr& e) {
+  switch (e.op) {
+    case ContentExpr::Op::kName:
+      return false;
+    case ContentExpr::Op::kSeq: {
+      for (const ContentExpr& k : e.kids) {
+        if (!ExprNullable(k)) return false;
+      }
+      return true;
+    }
+    case ContentExpr::Op::kChoice: {
+      for (const ContentExpr& k : e.kids) {
+        if (ExprNullable(k)) return true;
+      }
+      return false;
+    }
+    case ContentExpr::Op::kStar:
+    case ContentExpr::Op::kOpt:
+      return true;
+    case ContentExpr::Op::kPlus:
+      return ExprNullable(e.kids[0]);
+  }
+  return false;
+}
+
+void CollectNames(const ContentExpr& e, std::vector<std::string>* out) {
+  if (e.op == ContentExpr::Op::kName) {
+    out->push_back(e.name);
+    return;
+  }
+  for (const ContentExpr& k : e.kids) CollectNames(k, out);
+}
+
+/// Recursive-descent parser over the content-model grammar:
+///   cp      ::= (name | group) ('?' | '*' | '+')?
+///   group   ::= '(' cp ((',' cp)* | ('|' cp)*) ')'
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<ContentExpr> Parse() {
+    SkipWs();
+    SMPX_ASSIGN_OR_RETURN(ContentExpr e, ParseCp());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Err("trailing characters in content model");
+    }
+    return e;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in content model '" + std::string(s_) + "'");
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && IsXmlWhitespace(s_[pos_])) ++pos_;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ContentExpr> ParseCp() {
+    SkipWs();
+    ContentExpr e;
+    if (Consume('(')) {
+      SMPX_ASSIGN_OR_RETURN(e, ParseGroupBody());
+      if (!Consume(')')) return Err("expected ')'");
+    } else {
+      SMPX_ASSIGN_OR_RETURN(e, ParseName());
+    }
+    return ApplyModifier(std::move(e));
+  }
+
+  ContentExpr ApplyModifier(ContentExpr e) {
+    if (pos_ < s_.size()) {
+      char c = s_[pos_];
+      ContentExpr::Op op;
+      if (c == '?') {
+        op = ContentExpr::Op::kOpt;
+      } else if (c == '*') {
+        op = ContentExpr::Op::kStar;
+      } else if (c == '+') {
+        op = ContentExpr::Op::kPlus;
+      } else {
+        return e;
+      }
+      ++pos_;
+      ContentExpr wrap;
+      wrap.op = op;
+      wrap.kids.push_back(std::move(e));
+      return wrap;
+    }
+    return e;
+  }
+
+  Result<ContentExpr> ParseName() {
+    SkipWs();
+    if (pos_ >= s_.size() || !IsNameStartChar(s_[pos_])) {
+      return Err("expected element name");
+    }
+    size_t b = pos_;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) ++pos_;
+    ContentExpr e;
+    e.op = ContentExpr::Op::kName;
+    e.name = std::string(s_.substr(b, pos_ - b));
+    return e;
+  }
+
+  Result<ContentExpr> ParseGroupBody() {
+    SMPX_ASSIGN_OR_RETURN(ContentExpr first, ParseCp());
+    SkipWs();
+    char sep = 0;
+    if (Peek(',')) {
+      sep = ',';
+    } else if (Peek('|')) {
+      sep = '|';
+    } else {
+      return first;  // single-element group
+    }
+    ContentExpr group;
+    group.op = sep == ',' ? ContentExpr::Op::kSeq : ContentExpr::Op::kChoice;
+    group.kids.push_back(std::move(first));
+    while (Consume(sep)) {
+      SMPX_ASSIGN_OR_RETURN(ContentExpr next, ParseCp());
+      group.kids.push_back(std::move(next));
+      SkipWs();
+      if (Peek(',') && sep != ',') return Err("mixed ',' and '|' in group");
+      if (Peek('|') && sep != '|') return Err("mixed ',' and '|' in group");
+    }
+    return group;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ContentExpr::ToString() const {
+  switch (op) {
+    case Op::kName:
+      return name;
+    case Op::kSeq:
+    case Op::kChoice: {
+      std::string out = "(";
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (i) out += op == Op::kSeq ? "," : "|";
+        out += kids[i].ToString();
+      }
+      return out + ")";
+    }
+    case Op::kStar:
+      return kids[0].ToString() + "*";
+    case Op::kPlus:
+      return kids[0].ToString() + "+";
+    case Op::kOpt:
+      return kids[0].ToString() + "?";
+  }
+  return "?";
+}
+
+bool ContentModel::Nullable() const {
+  switch (kind) {
+    case Kind::kEmpty:
+    case Kind::kAny:
+    case Kind::kPcdata:
+    case Kind::kMixed:
+      return true;
+    case Kind::kRegex:
+      return ExprNullable(expr);
+  }
+  return true;
+}
+
+std::vector<std::string> ContentModel::ChildNames() const {
+  std::vector<std::string> out;
+  if (kind == Kind::kMixed) return mixed_names;
+  if (kind == Kind::kRegex) CollectNames(expr, &out);
+  return out;
+}
+
+std::string ContentModel::ToString() const {
+  switch (kind) {
+    case Kind::kEmpty:
+      return "EMPTY";
+    case Kind::kAny:
+      return "ANY";
+    case Kind::kPcdata:
+      return "(#PCDATA)";
+    case Kind::kMixed: {
+      std::string out = "(#PCDATA";
+      for (const std::string& n : mixed_names) out += "|" + n;
+      return out + ")*";
+    }
+    case Kind::kRegex:
+      return expr.op == ContentExpr::Op::kName ? "(" + expr.ToString() + ")"
+                                               : expr.ToString();
+  }
+  return "?";
+}
+
+Result<ContentModel> ParseContentModel(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  ContentModel model;
+  if (s == "EMPTY") {
+    model.kind = ContentModel::Kind::kEmpty;
+    return model;
+  }
+  if (s == "ANY") {
+    model.kind = ContentModel::Kind::kAny;
+    return model;
+  }
+  // Mixed content: ( #PCDATA ) or ( #PCDATA | a | ... )*
+  if (s.find("#PCDATA") != std::string_view::npos) {
+    std::string_view body = s;
+    bool starred = false;
+    if (EndsWith(body, "*")) {
+      starred = true;
+      body.remove_suffix(1);
+      body = StripWhitespace(body);
+    }
+    if (!StartsWith(body, "(") || !EndsWith(body, ")")) {
+      return Status::ParseError("malformed mixed content model '" +
+                                std::string(text) + "'");
+    }
+    body = body.substr(1, body.size() - 2);
+    std::vector<std::string> names;
+    bool first = true;
+    for (std::string_view piece : Split(body, '|')) {
+      piece = StripWhitespace(piece);
+      if (first) {
+        if (piece != "#PCDATA") {
+          return Status::ParseError("mixed content must start with #PCDATA");
+        }
+        first = false;
+        continue;
+      }
+      if (piece.empty()) {
+        return Status::ParseError("empty alternative in mixed content");
+      }
+      names.emplace_back(piece);
+    }
+    if (first) {
+      return Status::ParseError("malformed mixed content model");
+    }
+    if (names.empty() && !starred) {
+      model.kind = ContentModel::Kind::kPcdata;
+      return model;
+    }
+    if (!names.empty() && !starred) {
+      return Status::ParseError(
+          "mixed content with elements must end with ')*'");
+    }
+    model.kind = names.empty() ? ContentModel::Kind::kPcdata
+                               : ContentModel::Kind::kMixed;
+    model.mixed_names = std::move(names);
+    return model;
+  }
+  Parser p(s);
+  SMPX_ASSIGN_OR_RETURN(ContentExpr expr, p.Parse());
+  model.kind = ContentModel::Kind::kRegex;
+  model.expr = std::move(expr);
+  return model;
+}
+
+}  // namespace smpx::dtd

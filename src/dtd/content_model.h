@@ -1,0 +1,72 @@
+// DTD element content models: the regular expressions over child element
+// names found in <!ELEMENT ...> declarations, plus EMPTY / ANY / #PCDATA /
+// mixed content. The static analysis compiles these into Glushkov position
+// automata (see glushkov.h) and minimal serialization lengths (min_serial.h).
+
+#ifndef SMPX_DTD_CONTENT_MODEL_H_
+#define SMPX_DTD_CONTENT_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smpx::dtd {
+
+/// Regex AST over child element names.
+struct ContentExpr {
+  enum class Op : unsigned char {
+    kName,    ///< a child element reference
+    kSeq,     ///< (e1, e2, ...)
+    kChoice,  ///< (e1 | e2 | ...)
+    kStar,    ///< e*
+    kPlus,    ///< e+
+    kOpt,     ///< e?
+  };
+
+  Op op = Op::kName;
+  std::string name;                 ///< kName only
+  std::vector<ContentExpr> kids;    ///< operands
+
+  /// Renders back to DTD syntax (for diagnostics and round-trip tests).
+  std::string ToString() const;
+};
+
+/// A complete content model.
+struct ContentModel {
+  enum class Kind : unsigned char {
+    kEmpty,   ///< EMPTY
+    kAny,     ///< ANY (rejected by the prefilter compiler)
+    kPcdata,  ///< (#PCDATA)
+    kMixed,   ///< (#PCDATA | a | b)*
+    kRegex,   ///< element content
+  };
+
+  Kind kind = Kind::kEmpty;
+  ContentExpr expr;                      ///< kRegex only
+  std::vector<std::string> mixed_names;  ///< kMixed only
+
+  /// True when the model admits element-free content, i.e. the element can
+  /// be serialized as a bachelor tag <t/>.
+  bool Nullable() const;
+
+  /// True when text (PCDATA) may appear directly inside the element.
+  bool AllowsText() const {
+    return kind == Kind::kPcdata || kind == Kind::kMixed || kind == Kind::kAny;
+  }
+
+  /// All child element names referenced by the model.
+  std::vector<std::string> ChildNames() const;
+
+  std::string ToString() const;
+};
+
+/// Parses the content-model part of an <!ELEMENT> declaration, e.g.
+/// "EMPTY", "(#PCDATA)", "(a, (b | c)*, d?)", "(#PCDATA | em)*".
+Result<ContentModel> ParseContentModel(std::string_view text);
+
+}  // namespace smpx::dtd
+
+#endif  // SMPX_DTD_CONTENT_MODEL_H_

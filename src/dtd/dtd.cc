@@ -1,0 +1,372 @@
+#include "dtd/dtd.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace smpx::dtd {
+namespace {
+
+/// Cursor over the DTD text with declaration-level lexing.
+class DeclLexer {
+ public:
+  explicit DeclLexer(std::string_view s) : s_(s) {}
+
+  void SkipWsAndComments() {
+    for (;;) {
+      while (pos_ < s_.size() && IsXmlWhitespace(s_[pos_])) ++pos_;
+      if (pos_ + 3 < s_.size() && s_.substr(pos_, 4) == "<!--") {
+        size_t close = s_.find("-->", pos_ + 4);
+        pos_ = close == std::string_view::npos ? s_.size() : close + 3;
+        continue;
+      }
+      // Parameter-entity uses and PIs are skipped wholesale.
+      if (pos_ < s_.size() && s_[pos_] == '%') {
+        size_t semi = s_.find(';', pos_);
+        pos_ = semi == std::string_view::npos ? s_.size() : semi + 1;
+        continue;
+      }
+      if (pos_ + 1 < s_.size() && s_.substr(pos_, 2) == "<?") {
+        size_t close = s_.find("?>", pos_);
+        pos_ = close == std::string_view::npos ? s_.size() : close + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWsAndComments();
+    return pos_ >= s_.size();
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipWsAndComments();
+    if (StartsWith(s_.substr(pos_), kw)) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadName() {
+    SkipWsAndComments();
+    if (pos_ >= s_.size() || !IsNameStartChar(s_[pos_])) {
+      return Status::ParseError("expected name at offset " +
+                                std::to_string(pos_));
+    }
+    size_t b = pos_;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) ++pos_;
+    return std::string(s_.substr(b, pos_ - b));
+  }
+
+  /// Reads raw text up to (excluding) the next '>', tracking parentheses so
+  /// the '>' inside nothing can confuse us (content models contain no '>').
+  Result<std::string_view> ReadUntilGt() {
+    size_t b = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '>') ++pos_;
+    if (pos_ >= s_.size()) {
+      return Status::ParseError("unterminated declaration");
+    }
+    std::string_view out = s_.substr(b, pos_ - b);
+    ++pos_;  // consume '>'
+    return out;
+  }
+
+  size_t pos() const { return pos_; }
+  std::string_view rest() const { return s_.substr(pos_); }
+  void Advance(size_t n) { pos_ += n; }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<AttributeDecl>> ParseAttlistBody(std::string_view body) {
+  std::vector<AttributeDecl> out;
+  DeclLexer lex(body);
+  while (!lex.AtEnd()) {
+    AttributeDecl attr;
+    SMPX_ASSIGN_OR_RETURN(attr.name, lex.ReadName());
+    lex.SkipWsAndComments();
+    // Type: enumeration "(a|b|c)" or a keyword, possibly NOTATION (...).
+    if (StartsWith(lex.rest(), "(")) {
+      size_t close = lex.rest().find(')');
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated enumeration in ATTLIST");
+      }
+      attr.type = std::string(lex.rest().substr(0, close + 1));
+      lex.Advance(close + 1);
+    } else {
+      SMPX_ASSIGN_OR_RETURN(attr.type, lex.ReadName());
+      if (attr.type == "NOTATION") {
+        lex.SkipWsAndComments();
+        if (StartsWith(lex.rest(), "(")) {
+          size_t close = lex.rest().find(')');
+          if (close == std::string_view::npos) {
+            return Status::ParseError("unterminated NOTATION enumeration");
+          }
+          attr.type += " " + std::string(lex.rest().substr(0, close + 1));
+          lex.Advance(close + 1);
+        }
+      }
+    }
+    lex.SkipWsAndComments();
+    if (lex.ConsumeKeyword("#REQUIRED")) {
+      attr.def = AttributeDecl::Default::kRequired;
+    } else if (lex.ConsumeKeyword("#IMPLIED")) {
+      attr.def = AttributeDecl::Default::kImplied;
+    } else {
+      bool fixed = lex.ConsumeKeyword("#FIXED");
+      attr.def = fixed ? AttributeDecl::Default::kFixed
+                       : AttributeDecl::Default::kDefaulted;
+      lex.SkipWsAndComments();
+      std::string_view r = lex.rest();
+      if (r.empty() || (r[0] != '"' && r[0] != '\'')) {
+        return Status::ParseError("expected default value in ATTLIST");
+      }
+      char quote = r[0];
+      size_t close = r.find(quote, 1);
+      if (close == std::string_view::npos) {
+        return Status::ParseError("unterminated default value in ATTLIST");
+      }
+      attr.default_value = std::string(r.substr(1, close - 1));
+      lex.Advance(close + 1);
+    }
+    out.push_back(std::move(attr));
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t ElementDecl::RequiredAttrChars() const {
+  size_t total = 0;
+  for (const AttributeDecl& a : attrs) {
+    if (a.required()) total += a.name.size() + 4;  // ` name=""`
+  }
+  return total;
+}
+
+Result<Dtd> Dtd::Parse(std::string_view text, std::string root_hint) {
+  Dtd dtd;
+  dtd.root_ = std::move(root_hint);
+
+  std::string_view subset = text;
+  // Peel off an XML prolog and locate a DOCTYPE wrapper if present.
+  size_t doctype = text.find("<!DOCTYPE");
+  if (doctype != std::string_view::npos) {
+    DeclLexer lex(text.substr(doctype + 9));
+    SMPX_ASSIGN_OR_RETURN(std::string root, lex.ReadName());
+    dtd.root_ = std::move(root);
+    size_t open = text.find('[', doctype);
+    if (open == std::string_view::npos) {
+      return Status::ParseError("DOCTYPE without internal subset");
+    }
+    size_t close = text.rfind(']');
+    if (close == std::string_view::npos || close < open) {
+      return Status::ParseError("unterminated DOCTYPE internal subset");
+    }
+    subset = text.substr(open + 1, close - open - 1);
+  }
+
+  DeclLexer lex(subset);
+  while (!lex.AtEnd()) {
+    if (lex.ConsumeKeyword("<!ELEMENT")) {
+      ElementDecl decl;
+      SMPX_ASSIGN_OR_RETURN(decl.name, lex.ReadName());
+      SMPX_ASSIGN_OR_RETURN(std::string_view body, lex.ReadUntilGt());
+      SMPX_ASSIGN_OR_RETURN(decl.model, ParseContentModel(body));
+      dtd.AddElement(std::move(decl));
+      continue;
+    }
+    if (lex.ConsumeKeyword("<!ATTLIST")) {
+      SMPX_ASSIGN_OR_RETURN(std::string elem, lex.ReadName());
+      SMPX_ASSIGN_OR_RETURN(std::string_view body, lex.ReadUntilGt());
+      SMPX_ASSIGN_OR_RETURN(std::vector<AttributeDecl> attrs,
+                            ParseAttlistBody(body));
+      auto it = dtd.index_.find(elem);
+      if (it == dtd.index_.end()) {
+        // ATTLIST before ELEMENT is legal; create a shell declaration.
+        ElementDecl decl;
+        decl.name = elem;
+        decl.model.kind = ContentModel::Kind::kAny;
+        decl.attrs = std::move(attrs);
+        dtd.AddElement(std::move(decl));
+      } else {
+        ElementDecl& decl = dtd.elements_[it->second];
+        decl.attrs.insert(decl.attrs.end(), attrs.begin(), attrs.end());
+      }
+      continue;
+    }
+    if (lex.ConsumeKeyword("<!ENTITY") ||
+        lex.ConsumeKeyword("<!NOTATION")) {
+      SMPX_RETURN_IF_ERROR(lex.ReadUntilGt().status());
+      continue;
+    }
+    return Status::ParseError("unexpected content in DTD at offset " +
+                              std::to_string(lex.pos()));
+  }
+  if (dtd.root_.empty() && !dtd.elements_.empty()) {
+    dtd.root_ = dtd.elements_[0].name;
+  }
+  return dtd;
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &elements_[it->second];
+}
+
+void Dtd::AddElement(ElementDecl decl) {
+  auto it = index_.find(decl.name);
+  if (it != index_.end()) {
+    // Replace a shell created by an early ATTLIST, keeping its attributes.
+    ElementDecl& existing = elements_[it->second];
+    if (existing.model.kind == ContentModel::Kind::kAny &&
+        decl.model.kind != ContentModel::Kind::kAny) {
+      decl.attrs.insert(decl.attrs.end(), existing.attrs.begin(),
+                        existing.attrs.end());
+    }
+    existing = std::move(decl);
+    return;
+  }
+  index_[decl.name] = elements_.size();
+  elements_.push_back(std::move(decl));
+}
+
+bool Dtd::IsRecursive() const {
+  // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::map<std::string, int> color;
+  std::vector<std::pair<const ElementDecl*, size_t>> stack;
+
+  for (const ElementDecl& start : elements_) {
+    if (color[start.name] != 0) continue;
+    color[start.name] = 1;
+    stack.push_back({&start, 0});
+    std::vector<std::vector<std::string>> child_cache;
+    child_cache.push_back(start.model.ChildNames());
+    while (!stack.empty()) {
+      auto& [decl, idx] = stack.back();
+      std::vector<std::string>& kids = child_cache.back();
+      if (idx >= kids.size()) {
+        color[decl->name] = 2;
+        stack.pop_back();
+        child_cache.pop_back();
+        continue;
+      }
+      const std::string& child = kids[idx++];
+      const ElementDecl* cd = Find(child);
+      if (cd == nullptr) continue;  // undeclared children caught by Validate
+      int& c = color[child];
+      if (c == 1) return true;
+      if (c == 0) {
+        c = 1;
+        stack.push_back({cd, 0});
+        child_cache.push_back(cd->model.ChildNames());
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Dtd::RecursiveElements() const {
+  // Tarjan-free SCC detection sized for DTD graphs: an element is recursive
+  // iff it is reachable from one of its own children.
+  std::vector<std::string> out;
+  for (const ElementDecl& decl : elements_) {
+    std::set<std::string> seen;
+    std::vector<std::string> work = decl.model.ChildNames();
+    bool recursive = false;
+    while (!work.empty() && !recursive) {
+      std::string cur = std::move(work.back());
+      work.pop_back();
+      if (!seen.insert(cur).second) continue;
+      if (cur == decl.name) {
+        recursive = true;
+        break;
+      }
+      const ElementDecl* d = Find(cur);
+      if (d == nullptr) continue;
+      for (std::string& child : d->model.ChildNames()) {
+        work.push_back(std::move(child));
+      }
+    }
+    if (recursive) out.push_back(decl.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Dtd::ReachableFrom(std::string_view name) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<std::string> work = {std::string(name)};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    if (!seen.insert(cur).second) continue;
+    out.push_back(cur);
+    const ElementDecl* decl = Find(cur);
+    if (decl == nullptr) continue;
+    for (std::string& child : decl->model.ChildNames()) {
+      work.push_back(std::move(child));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Dtd::ReachableFromRoot() const {
+  return ReachableFrom(root_);
+}
+
+Status Dtd::Validate() const {
+  if (root_.empty()) {
+    return Status::InvalidArgument("DTD has no root element");
+  }
+  if (Find(root_) == nullptr) {
+    return Status::InvalidArgument("root element <" + root_ +
+                                   "> is not declared");
+  }
+  for (const ElementDecl& decl : elements_) {
+    for (const std::string& child : decl.model.ChildNames()) {
+      if (Find(child) == nullptr) {
+        return Status::InvalidArgument("element <" + decl.name +
+                                       "> references undeclared <" + child +
+                                       ">");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Dtd::ToString() const {
+  std::string out = "<!DOCTYPE " + root_ + " [\n";
+  for (const ElementDecl& decl : elements_) {
+    out += "<!ELEMENT " + decl.name + " " + decl.model.ToString() + ">\n";
+    if (!decl.attrs.empty()) {
+      out += "<!ATTLIST " + decl.name;
+      for (const AttributeDecl& a : decl.attrs) {
+        out += "\n  " + a.name + " " + a.type + " ";
+        switch (a.def) {
+          case AttributeDecl::Default::kRequired:
+            out += "#REQUIRED";
+            break;
+          case AttributeDecl::Default::kImplied:
+            out += "#IMPLIED";
+            break;
+          case AttributeDecl::Default::kFixed:
+            out += "#FIXED \"" + a.default_value + "\"";
+            break;
+          case AttributeDecl::Default::kDefaulted:
+            out += "\"" + a.default_value + "\"";
+            break;
+        }
+      }
+      out += ">\n";
+    }
+  }
+  out += "]>";
+  return out;
+}
+
+}  // namespace smpx::dtd

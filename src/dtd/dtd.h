@@ -1,0 +1,101 @@
+// DTD model and parser: element declarations with content models, attribute
+// lists (required attributes matter for the initial-jump offsets), recursion
+// detection (the prefilter requires a nonrecursive schema, Section II).
+
+#ifndef SMPX_DTD_DTD_H_
+#define SMPX_DTD_DTD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dtd/content_model.h"
+
+namespace smpx::dtd {
+
+/// One attribute in an <!ATTLIST> declaration.
+struct AttributeDecl {
+  enum class Default : unsigned char {
+    kRequired,  ///< #REQUIRED -- contributes to minimal tag lengths
+    kImplied,   ///< #IMPLIED
+    kFixed,     ///< #FIXED "value"
+    kDefaulted, ///< "value"
+  };
+
+  std::string name;
+  std::string type;  ///< "CDATA", "ID", "(a|b)", ... kept verbatim
+  Default def = Default::kImplied;
+  std::string default_value;  ///< kFixed / kDefaulted only
+
+  bool required() const { return def == Default::kRequired; }
+};
+
+/// One <!ELEMENT> declaration plus its attributes.
+struct ElementDecl {
+  std::string name;
+  ContentModel model;
+  std::vector<AttributeDecl> attrs;
+
+  /// Minimal serialized length of this element's required attributes:
+  /// each contributes ` name=""` (name length + 4).
+  size_t RequiredAttrChars() const;
+};
+
+/// A parsed DTD. The document root element is the DOCTYPE name when parsed
+/// from a full DOCTYPE declaration, otherwise it must be set explicitly.
+class Dtd {
+ public:
+  /// Parses either a complete `<!DOCTYPE root [ ... ]>` declaration (leading
+  /// XML prolog allowed), or a bare internal subset of `<!ELEMENT>` /
+  /// `<!ATTLIST>` declarations (`root_hint` names the document root then).
+  static Result<Dtd> Parse(std::string_view text,
+                           std::string root_hint = "");
+
+  const std::string& root() const { return root_; }
+  void set_root(std::string root) { root_ = std::move(root); }
+
+  /// Declared element, or nullptr.
+  const ElementDecl* Find(std::string_view name) const;
+
+  /// All declarations in declaration order.
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+  /// True if some element can (transitively) contain itself. The prefilter
+  /// compiler rejects recursive DTDs with kUnsupported unless recursion
+  /// support is enabled (see core::CompileOptions::allow_recursion).
+  bool IsRecursive() const;
+
+  /// Element names that can (transitively) contain themselves: the members
+  /// of cycles in the element reference graph. These become *opaque
+  /// regions* when recursion support is enabled.
+  std::vector<std::string> RecursiveElements() const;
+
+  /// Element names reachable from `name` via content models, including
+  /// `name` itself. The possible tag vocabulary inside such an element.
+  std::vector<std::string> ReachableFrom(std::string_view name) const;
+
+  /// Element names reachable from the root (including the root).
+  std::vector<std::string> ReachableFromRoot() const;
+
+  /// Verifies internal consistency: root declared, every referenced child
+  /// declared. Returns the first problem found.
+  Status Validate() const;
+
+  /// Renders back to a `<!DOCTYPE root [ ... ]>` string.
+  std::string ToString() const;
+
+  /// Adds or replaces a declaration (used by generators and tests).
+  void AddElement(ElementDecl decl);
+
+ private:
+  std::string root_;
+  std::vector<ElementDecl> elements_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace smpx::dtd
+
+#endif  // SMPX_DTD_DTD_H_

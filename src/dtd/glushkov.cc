@@ -1,0 +1,118 @@
+#include "dtd/glushkov.h"
+
+#include <algorithm>
+
+namespace smpx::dtd {
+namespace {
+
+/// Per-subexpression result of the inductive Glushkov construction.
+struct Part {
+  bool nullable = false;
+  std::vector<int> first;
+  std::vector<int> last;
+};
+
+void AddAll(std::vector<int>* dst, const std::vector<int>& src) {
+  for (int p : src) {
+    if (std::find(dst->begin(), dst->end(), p) == dst->end()) {
+      dst->push_back(p);
+    }
+  }
+}
+
+Part BuildExpr(const ContentExpr& e, Glushkov* g) {
+  switch (e.op) {
+    case ContentExpr::Op::kName: {
+      int pos = static_cast<int>(g->labels.size());
+      g->labels.push_back(e.name);
+      g->follow.emplace_back();
+      Part part;
+      part.nullable = false;
+      part.first = {pos};
+      part.last = {pos};
+      return part;
+    }
+    case ContentExpr::Op::kSeq: {
+      Part acc;
+      acc.nullable = true;
+      for (const ContentExpr& kid : e.kids) {
+        Part k = BuildExpr(kid, g);
+        // follow: last(acc) -> first(k)
+        for (int l : acc.last) AddAll(&g->follow[static_cast<size_t>(l)],
+                                      k.first);
+        if (acc.nullable) AddAll(&acc.first, k.first);
+        if (k.nullable) {
+          AddAll(&acc.last, k.last);
+        } else {
+          acc.last = k.last;
+        }
+        acc.nullable = acc.nullable && k.nullable;
+      }
+      return acc;
+    }
+    case ContentExpr::Op::kChoice: {
+      Part acc;
+      acc.nullable = false;
+      for (const ContentExpr& kid : e.kids) {
+        Part k = BuildExpr(kid, g);
+        AddAll(&acc.first, k.first);
+        AddAll(&acc.last, k.last);
+        acc.nullable = acc.nullable || k.nullable;
+      }
+      return acc;
+    }
+    case ContentExpr::Op::kStar:
+    case ContentExpr::Op::kPlus: {
+      Part k = BuildExpr(e.kids[0], g);
+      for (int l : k.last) AddAll(&g->follow[static_cast<size_t>(l)],
+                                  k.first);
+      if (e.op == ContentExpr::Op::kStar) k.nullable = true;
+      return k;
+    }
+    case ContentExpr::Op::kOpt: {
+      Part k = BuildExpr(e.kids[0], g);
+      k.nullable = true;
+      return k;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Glushkov Glushkov::Build(const ContentModel& model) {
+  Glushkov g;
+  switch (model.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kPcdata:
+    case ContentModel::Kind::kAny:
+      g.nullable = true;
+      return g;
+    case ContentModel::Kind::kMixed: {
+      // (#PCDATA | a | b)*: each name is one position; every position can
+      // start, end, and follow every other (including itself).
+      g.nullable = true;
+      size_t n = model.mixed_names.size();
+      std::vector<int> all;
+      for (size_t i = 0; i < n; ++i) {
+        g.labels.push_back(model.mixed_names[i]);
+        all.push_back(static_cast<int>(i));
+      }
+      g.first = all;
+      g.last.assign(n, true);
+      g.follow.assign(n, all);
+      return g;
+    }
+    case ContentModel::Kind::kRegex: {
+      Part root = BuildExpr(model.expr, &g);
+      g.nullable = root.nullable;
+      g.first = std::move(root.first);
+      g.last.assign(g.labels.size(), false);
+      for (int l : root.last) g.last[static_cast<size_t>(l)] = true;
+      return g;
+    }
+  }
+  return g;
+}
+
+}  // namespace smpx::dtd

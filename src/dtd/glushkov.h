@@ -1,0 +1,37 @@
+// Glushkov (position) automata for DTD content models [24]. Every symbol
+// occurrence in the content-model regex becomes one position; the automaton
+// over positions is homogeneous by construction (all transitions into a
+// position read that position's element name), the property the paper's
+// action tables rely on [25].
+
+#ifndef SMPX_DTD_GLUSHKOV_H_
+#define SMPX_DTD_GLUSHKOV_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/content_model.h"
+
+namespace smpx::dtd {
+
+/// The Glushkov construction for one content model. Positions are numbered
+/// 0..n-1 in left-to-right occurrence order.
+struct Glushkov {
+  std::vector<std::string> labels;        ///< element name per position
+  bool nullable = false;                  ///< empty child sequence accepted
+  std::vector<int> first;                 ///< positions that may start a word
+  std::vector<bool> last;                 ///< positions that may end a word
+  std::vector<std::vector<int>> follow;   ///< follow set per position
+
+  size_t num_positions() const { return labels.size(); }
+
+  /// Builds the automaton. kEmpty/kPcdata yield zero positions and
+  /// nullable=true; kMixed yields one position per alternative with full
+  /// cross-follow (the (#PCDATA|a|b)* semantics); kAny is not supported
+  /// here (callers must reject it first) and yields zero positions.
+  static Glushkov Build(const ContentModel& model);
+};
+
+}  // namespace smpx::dtd
+
+#endif  // SMPX_DTD_GLUSHKOV_H_

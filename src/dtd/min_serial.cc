@@ -1,0 +1,93 @@
+#include "dtd/min_serial.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smpx::dtd {
+namespace {
+
+// Large sentinel used for undeclared elements and (defensively) recursion;
+// chosen so that sums cannot overflow uint64.
+constexpr uint64_t kHuge = std::numeric_limits<uint32_t>::max();
+
+uint64_t RequiredAttrs(const Dtd* dtd, std::string_view name) {
+  const ElementDecl* decl = dtd->Find(name);
+  return decl == nullptr ? 0 : decl->RequiredAttrChars();
+}
+
+}  // namespace
+
+uint64_t MinSerial::OpenTag(std::string_view name) const {
+  return name.size() + 2 + RequiredAttrs(dtd_, name);  // <name ...>
+}
+
+uint64_t MinSerial::CloseTag(std::string_view name) const {
+  return name.size() + 3;  // </name>
+}
+
+uint64_t MinSerial::BachelorTag(std::string_view name) const {
+  return name.size() + 3 + RequiredAttrs(dtd_, name);  // <name .../>
+}
+
+uint64_t MinSerial::ExprMin(const ContentExpr& e) {
+  switch (e.op) {
+    case ContentExpr::Op::kName:
+      return Element(e.name);
+    case ContentExpr::Op::kSeq: {
+      uint64_t sum = 0;
+      for (const ContentExpr& k : e.kids) sum += ExprMin(k);
+      return std::min(sum, kHuge);
+    }
+    case ContentExpr::Op::kChoice: {
+      uint64_t best = kHuge;
+      for (const ContentExpr& k : e.kids) best = std::min(best, ExprMin(k));
+      return best;
+    }
+    case ContentExpr::Op::kStar:
+    case ContentExpr::Op::kOpt:
+      return 0;
+    case ContentExpr::Op::kPlus:
+      return ExprMin(e.kids[0]);
+  }
+  return kHuge;
+}
+
+uint64_t MinSerial::Content(std::string_view name) {
+  const ElementDecl* decl = dtd_->Find(name);
+  if (decl == nullptr) return kHuge;
+  switch (decl->model.kind) {
+    case ContentModel::Kind::kEmpty:
+    case ContentModel::Kind::kPcdata:
+    case ContentModel::Kind::kMixed:  // text may be empty, elements optional
+    case ContentModel::Kind::kAny:
+      return 0;
+    case ContentModel::Kind::kRegex:
+      return ExprMin(decl->model.expr);
+  }
+  return kHuge;
+}
+
+uint64_t MinSerial::Element(std::string_view name) {
+  auto memo = element_memo_.find(name);
+  if (memo != element_memo_.end()) return memo->second;
+  const ElementDecl* decl = dtd_->Find(name);
+  if (decl == nullptr) return kHuge;
+  // Defensive recursion guard (the compiler rejects recursive DTDs, but the
+  // calculator must not loop forever if called on one).
+  auto [it, fresh] = in_progress_.try_emplace(std::string(name), true);
+  if (!fresh && it->second) return kHuge;
+  it->second = true;
+
+  uint64_t result;
+  if (decl->model.Nullable()) {
+    result = BachelorTag(name);
+  } else {
+    result = OpenTag(name) + Content(name) + CloseTag(name);
+    result = std::min(result, kHuge);
+  }
+  it->second = false;
+  element_memo_[std::string(name)] = result;
+  return result;
+}
+
+}  // namespace smpx::dtd

@@ -1,0 +1,51 @@
+// Minimal serialization lengths of elements under a DTD: the smallest
+// number of characters a valid occurrence of an element (or its tags) can
+// occupy, with required attributes factored in. These feed the initial jump
+// offsets J[q] (paper Section IV, "required attributes may be factored in").
+
+#ifndef SMPX_DTD_MIN_SERIAL_H_
+#define SMPX_DTD_MIN_SERIAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "dtd/dtd.h"
+
+namespace smpx::dtd {
+
+/// Memoized minimal-length calculator. All lengths are in characters of the
+/// canonical minimal form: tags without whitespace, required attributes as
+/// ` name=""`, optional content omitted, text content empty, and bachelor
+/// form `<t/>` whenever the content model is nullable.
+class MinSerial {
+ public:
+  explicit MinSerial(const Dtd* dtd) : dtd_(dtd) {}
+
+  /// Minimal length of a full element occurrence (tags + content).
+  uint64_t Element(std::string_view name);
+
+  /// Minimal length of the element content between the tags.
+  uint64_t Content(std::string_view name);
+
+  /// `<name` + required attributes + `>`.
+  uint64_t OpenTag(std::string_view name) const;
+
+  /// `</name>`.
+  uint64_t CloseTag(std::string_view name) const;
+
+  /// `<name` + required attributes + `/>`; only valid if nullable.
+  uint64_t BachelorTag(std::string_view name) const;
+
+ private:
+  uint64_t ExprMin(const ContentExpr& e);
+
+  const Dtd* dtd_;
+  std::map<std::string, uint64_t, std::less<>> element_memo_;
+  std::map<std::string, bool, std::less<>> in_progress_;
+};
+
+}  // namespace smpx::dtd
+
+#endif  // SMPX_DTD_MIN_SERIAL_H_

@@ -1,0 +1,118 @@
+#include "paths/projection_path.h"
+
+#include "common/strings.h"
+
+namespace smpx::paths {
+
+Result<ProjectionPath> ProjectionPath::Parse(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty projection path");
+  }
+  ProjectionPath path;
+  // Trailing flags in any order.
+  for (;;) {
+    if (EndsWith(s, "#")) {
+      path.descendants = true;
+      s.remove_suffix(1);
+    } else if (EndsWith(s, "@")) {
+      path.attributes = true;
+      s.remove_suffix(1);
+    } else {
+      break;
+    }
+  }
+  if (s.empty() || s[0] != '/') {
+    return Status::InvalidArgument("projection path must start with '/': '" +
+                                   std::string(text) + "'");
+  }
+  size_t i = 0;
+  while (i < s.size()) {
+    // At a '/': child step, or '//' descendant step.
+    PathStep step;
+    ++i;  // consume '/'
+    if (i < s.size() && s[i] == '/') {
+      step.axis = PathStep::Axis::kDescendant;
+      ++i;
+    }
+    if (i >= s.size()) {
+      if (step.axis == PathStep::Axis::kDescendant || !path.steps.empty() ||
+          i > 1) {
+        // "/a/" or "//" -- dangling step.
+        if (i == 1 && path.steps.empty()) break;  // bare "/"
+        return Status::InvalidArgument("dangling step in projection path '" +
+                                       std::string(text) + "'");
+      }
+      break;  // bare "/"
+    }
+    if (s[i] == '*') {
+      step.wildcard = true;
+      ++i;
+    } else if (IsNameStartChar(s[i])) {
+      size_t b = i;
+      while (i < s.size() && IsNameChar(s[i])) ++i;
+      step.name = std::string(s.substr(b, i - b));
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, s[i]) +
+                                     "' in projection path '" +
+                                     std::string(text) + "'");
+    }
+    path.steps.push_back(std::move(step));
+  }
+  return path;
+}
+
+Result<std::vector<ProjectionPath>> ProjectionPath::ParseList(
+    std::string_view text) {
+  std::vector<ProjectionPath> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || IsXmlWhitespace(text[i])) {
+      std::string_view piece = text.substr(start, i - start);
+      start = i + 1;
+      if (StripWhitespace(piece).empty()) continue;
+      SMPX_ASSIGN_OR_RETURN(ProjectionPath p, Parse(piece));
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::string ProjectionPath::ToString() const {
+  if (steps.empty()) {
+    return std::string("/") + (descendants ? "#" : "") +
+           (attributes ? "@" : "");
+  }
+  std::string out;
+  for (const PathStep& s : steps) {
+    out += s.axis == PathStep::Axis::kDescendant ? "//" : "/";
+    out += s.wildcard ? "*" : s.name;
+  }
+  if (descendants) out += "#";
+  if (attributes) out += "@";
+  return out;
+}
+
+ProjectionPath ProjectionPath::Parent() const {
+  ProjectionPath p;
+  p.steps.assign(steps.begin(), steps.end() - 1);
+  return p;
+}
+
+bool ProjectionPath::operator==(const ProjectionPath& o) const {
+  if (descendants != o.descendants || attributes != o.attributes ||
+      steps.size() != o.steps.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].axis != o.steps[i].axis ||
+        steps[i].wildcard != o.steps[i].wildcard ||
+        steps[i].name != o.steps[i].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace smpx::paths

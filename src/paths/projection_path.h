@@ -1,0 +1,60 @@
+// Projection paths (paper Section III, following Marian & Simeon [5]):
+// sequences of downward XPath steps without predicates, optionally flagged
+// with '#' ("descendants of selected nodes are also required"). We add an
+// '@' flag marking that the selected nodes' attributes are required, which
+// the paper handles implicitly ("possibly also copying the attributes ...
+// depending on the matched projection paths").
+
+#ifndef SMPX_PATHS_PROJECTION_PATH_H_
+#define SMPX_PATHS_PROJECTION_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smpx::paths {
+
+/// One navigation step.
+struct PathStep {
+  enum class Axis : unsigned char {
+    kChild,       ///< /name
+    kDescendant,  ///< //name
+  };
+
+  Axis axis = Axis::kChild;
+  std::string name;     ///< element name; empty when wildcard
+  bool wildcard = false;
+
+  /// True iff this step's node test accepts `label`.
+  bool Accepts(std::string_view label) const {
+    return wildcard || name == label;
+  }
+};
+
+/// A parsed projection path such as "/site//item/description#".
+struct ProjectionPath {
+  std::vector<PathStep> steps;
+  bool descendants = false;  ///< '#': keep whole subtrees of selected nodes
+  bool attributes = false;   ///< '@': keep attributes of selected nodes
+
+  /// Parses "/a/b", "//a", "/a//b#", "/*", "/a/b#@" ... The empty path "/"
+  /// (selecting the document node) has zero steps.
+  static Result<ProjectionPath> Parse(std::string_view text);
+
+  /// Parses a whitespace/newline-separated list of paths.
+  static Result<std::vector<ProjectionPath>> ParseList(std::string_view text);
+
+  std::string ToString() const;
+
+  /// The path with its last step removed (flags dropped). Precondition:
+  /// at least one step.
+  ProjectionPath Parent() const;
+
+  bool operator==(const ProjectionPath& o) const;
+};
+
+}  // namespace smpx::paths
+
+#endif  // SMPX_PATHS_PROJECTION_PATH_H_

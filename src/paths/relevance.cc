@@ -1,0 +1,215 @@
+#include "paths/relevance.h"
+
+#include <algorithm>
+
+namespace smpx::paths {
+
+std::vector<ProjectionPath> PrefixClosure(
+    const std::vector<ProjectionPath>& paths) {
+  std::vector<ProjectionPath> out;
+  auto add = [&out](const ProjectionPath& p) {
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  };
+  for (const ProjectionPath& p : paths) add(p);
+  for (const ProjectionPath& p : paths) {
+    ProjectionPath cur = p;
+    while (!cur.steps.empty()) {
+      cur = cur.Parent();
+      add(cur);
+    }
+  }
+  return out;
+}
+
+RelevanceAnalyzer::RelevanceAnalyzer(std::vector<ProjectionPath> paths,
+                                     std::vector<std::string> alphabet)
+    : paths_(std::move(paths)),
+      closure_(PrefixClosure(paths_)),
+      alphabet_(std::move(alphabet)),
+      evaluator_(&closure_) {
+  is_hash_.reserve(closure_.size());
+  for (const ProjectionPath& p : closure_) {
+    is_hash_.push_back(p.descendants);
+    is_attr_.push_back(p.attributes);
+    bool child = false;
+    bool desc = false;
+    if (!p.steps.empty()) {
+      child = p.steps.back().axis == PathStep::Axis::kChild;
+      desc = p.steps.back().axis == PathStep::Axis::kDescendant;
+    }
+    child_form_.push_back(child);
+    desc_form_.push_back(desc);
+  }
+}
+
+BranchRelevance RelevanceAnalyzer::Analyze(
+    const std::vector<std::string>& branch) const {
+  BranchRelevance out;
+
+  // Walk the branch, tracking C2 (a '#'-path matching any prefix) along the
+  // way, and keep the evaluator state *before* the leaf for C3.
+  PathSetEvaluator::State state = evaluator_.Initial();
+  PathSetEvaluator::State before_leaf = state;
+  for (size_t i = 0; i < branch.size(); ++i) {
+    if (i + 1 == branch.size()) before_leaf = state;
+    evaluator_.Step(branch[i], &state);
+    for (size_t p = 0; p < closure_.size(); ++p) {
+      if (is_hash_[p] && evaluator_.PathAccepts(p, state)) out.c2 = true;
+    }
+  }
+  if (branch.empty()) {
+    // The document node: matched by the empty path "/", always in P+.
+    out.c1 = true;
+    for (size_t p = 0; p < closure_.size(); ++p) {
+      if (closure_[p].steps.empty() && is_hash_[p] &&
+          evaluator_.PathAccepts(p, state)) {
+        out.c2 = true;
+        out.leaf_hash = true;
+      }
+    }
+    return out;
+  }
+
+  // C1 and leaf flags from the full-branch state.
+  for (size_t p = 0; p < closure_.size(); ++p) {
+    if (!evaluator_.PathAccepts(p, state)) continue;
+    out.c1 = true;
+    if (is_hash_[p]) out.leaf_hash = true;
+    if (is_attr_[p]) out.leaf_attrs = true;
+  }
+
+  // C3: substitute each candidate tag t at the leaf; require a child-form
+  // and a descendant-form path to both match.
+  if (!out.c1) {
+    for (const std::string& t : alphabet_) {
+      PathSetEvaluator::State sub = before_leaf;
+      evaluator_.Step(t, &sub);
+      bool child = false;
+      bool desc = false;
+      for (size_t p = 0; p < closure_.size() && !(child && desc); ++p) {
+        if (!evaluator_.PathAccepts(p, sub)) continue;
+        child = child || child_form_[p];
+        desc = desc || desc_form_[p];
+      }
+      if (child && desc) {
+        out.c3 = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DeriveC3Alphabet(
+    const std::vector<ProjectionPath>& paths) {
+  std::vector<std::string> out;
+  bool any_wildcard_last = false;
+  for (const ProjectionPath& p : PrefixClosure(paths)) {
+    if (p.steps.empty()) continue;
+    const PathStep& last = p.steps.back();
+    if (last.wildcard) {
+      any_wildcard_last = true;
+    } else if (std::find(out.begin(), out.end(), last.name) == out.end()) {
+      out.push_back(last.name);
+    }
+  }
+  if (any_wildcard_last) {
+    out.push_back("__smpx_c3_fresh__");  // a tag matched only by wildcards
+  }
+  return out;
+}
+
+IncrementalRelevance::IncrementalRelevance(const RelevanceAnalyzer* analyzer)
+    : analyzer_(analyzer) {
+  states_.push_back(analyzer_->evaluator_.Initial());
+  c2_stack_.push_back(false);
+}
+
+void IncrementalRelevance::Push(std::string_view label) {
+  PathSetEvaluator::State next = states_.back();
+  analyzer_->evaluator_.Step(label, &next);
+  bool c2 = c2_stack_.back();
+  if (!c2) {
+    for (size_t p = 0; p < analyzer_->closure_.size(); ++p) {
+      if (analyzer_->is_hash_[p] &&
+          analyzer_->evaluator_.PathAccepts(p, next)) {
+        c2 = true;
+        break;
+      }
+    }
+  }
+  states_.push_back(std::move(next));
+  c2_stack_.push_back(c2);
+}
+
+void IncrementalRelevance::Pop() {
+  states_.pop_back();
+  c2_stack_.pop_back();
+}
+
+BranchRelevance IncrementalRelevance::Current() const {
+  if (states_.size() == 1) {
+    return analyzer_->Classify(states_.back(), states_.back(),
+                               c2_stack_.back(), /*at_document_node=*/true);
+  }
+  return analyzer_->Classify(states_.back(), states_[states_.size() - 2],
+                             c2_stack_.back(), /*at_document_node=*/false);
+}
+
+bool RelevanceAnalyzer::AnyHashAccepting(
+    const PathSetEvaluator::State& state) const {
+  for (size_t p = 0; p < closure_.size(); ++p) {
+    if (is_hash_[p] && evaluator_.PathAccepts(p, state)) return true;
+  }
+  return false;
+}
+
+BranchRelevance RelevanceAnalyzer::Classify(
+    const PathSetEvaluator::State& state,
+    const PathSetEvaluator::State& parent_state, bool c2_so_far,
+    bool at_document_node) const {
+  BranchRelevance out;
+  out.c2 = c2_so_far;
+  if (at_document_node) {
+    out.c1 = true;  // matched by "/"
+    return out;
+  }
+  for (size_t p = 0; p < closure_.size(); ++p) {
+    if (!evaluator_.PathAccepts(p, state)) continue;
+    out.c1 = true;
+    if (is_hash_[p]) out.leaf_hash = true;
+    if (is_attr_[p]) out.leaf_attrs = true;
+  }
+  if (!out.c1) {
+    for (const std::string& t : alphabet_) {
+      PathSetEvaluator::State sub = parent_state;
+      evaluator_.Step(t, &sub);
+      bool child = false;
+      bool desc = false;
+      for (size_t p = 0; p < closure_.size() && !(child && desc); ++p) {
+        if (!evaluator_.PathAccepts(p, sub)) continue;
+        child = child || child_form_[p];
+        desc = desc || desc_form_[p];
+      }
+      if (child && desc) {
+        out.c3 = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool RelevanceAnalyzer::TextRelevant(
+    const std::vector<std::string>& parent_branch) const {
+  PathSetEvaluator::State state = evaluator_.Initial();
+  for (size_t i = 0; i < parent_branch.size(); ++i) {
+    evaluator_.Step(parent_branch[i], &state);
+    for (size_t p = 0; p < closure_.size(); ++p) {
+      if (is_hash_[p] && evaluator_.PathAccepts(p, state)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace smpx::paths

@@ -1,0 +1,638 @@
+#include "paths/xquery_extract.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace smpx::paths {
+namespace {
+
+/// Paths describing the nodes an expression evaluates to. Boolean/numeric
+/// expressions have none.
+using PathSet = std::vector<ProjectionPath>;
+
+class Extractor {
+ public:
+  explicit Extractor(std::string_view s) : s_(s) {}
+
+  Result<std::vector<ProjectionPath>> Run() {
+    SkipWs();
+    SMPX_ASSIGN_OR_RETURN(PathSet result, ParseExprSequence());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Err("trailing content after query");
+    }
+    // The query's own results are materialized: flag them '#'.
+    EmitValueUse(result);
+    // "/*" is always extracted (Section III).
+    ProjectionPath star;
+    PathStep step;
+    step.wildcard = true;
+    star.steps.push_back(step);
+    Emit(star);
+    // Deduplicate, preserving first-seen order.
+    std::vector<ProjectionPath> unique;
+    for (const ProjectionPath& p : out_) {
+      if (std::find(unique.begin(), unique.end(), p) == unique.end()) {
+        unique.push_back(p);
+      }
+    }
+    return unique;
+  }
+
+ private:
+  // --- lexing helpers ------------------------------------------------------
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in XQuery");
+  }
+
+  void SkipWs() {
+    for (;;) {
+      while (pos_ < s_.size() && IsXmlWhitespace(s_[pos_])) ++pos_;
+      if (StartsWith(s_.substr(pos_), "(:")) {  // XQuery comment
+        size_t close = s_.find(":)", pos_ + 2);
+        pos_ = close == std::string_view::npos ? s_.size() : close + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool Peek(std::string_view kw) {
+    SkipWs();
+    return StartsWith(s_.substr(pos_), kw);
+  }
+
+  /// Matches a keyword followed by a non-name character.
+  bool PeekWord(std::string_view kw) {
+    SkipWs();
+    if (!StartsWith(s_.substr(pos_), kw)) return false;
+    size_t after = pos_ + kw.size();
+    return after >= s_.size() || !IsNameChar(s_[after]);
+  }
+
+  bool Consume(std::string_view kw) {
+    if (!Peek(kw)) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view kw) {
+    if (!PeekWord(kw)) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  Result<std::string> ReadName() {
+    SkipWs();
+    if (pos_ >= s_.size() || !IsNameStartChar(s_[pos_])) {
+      return Err("expected name");
+    }
+    size_t b = pos_;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) ++pos_;
+    return std::string(s_.substr(b, pos_ - b));
+  }
+
+  // --- path emission -------------------------------------------------------
+
+  void Emit(const ProjectionPath& p) { out_.push_back(p); }
+
+  void EmitStructuralUse(const PathSet& set) {
+    for (const ProjectionPath& p : set) Emit(p);
+  }
+
+  void EmitValueUse(const PathSet& set) {
+    for (ProjectionPath p : set) {
+      // An attribute-final path's value is the attribute itself; the
+      // element subtree is not required.
+      if (!p.attributes) p.descendants = true;
+      Emit(p);
+    }
+  }
+
+  // --- grammar -------------------------------------------------------------
+
+  /// expr (',' expr)*
+  Result<PathSet> ParseExprSequence() {
+    SMPX_ASSIGN_OR_RETURN(PathSet acc, ParseOrExpr());
+    while (Consume(",")) {
+      SMPX_ASSIGN_OR_RETURN(PathSet next, ParseOrExpr());
+      acc.insert(acc.end(), next.begin(), next.end());
+    }
+    return acc;
+  }
+
+  Result<PathSet> ParseOrExpr() {
+    SMPX_ASSIGN_OR_RETURN(PathSet acc, ParseAndExpr());
+    while (ConsumeWord("or")) {
+      SMPX_ASSIGN_OR_RETURN(PathSet next, ParseAndExpr());
+      // Boolean context: operands are existence/value uses already emitted.
+      EmitStructuralUse(acc);
+      EmitStructuralUse(next);
+      acc.clear();
+    }
+    return acc;
+  }
+
+  Result<PathSet> ParseAndExpr() {
+    SMPX_ASSIGN_OR_RETURN(PathSet acc, ParseComparison());
+    while (ConsumeWord("and")) {
+      SMPX_ASSIGN_OR_RETURN(PathSet next, ParseComparison());
+      EmitStructuralUse(acc);
+      EmitStructuralUse(next);
+      acc.clear();
+    }
+    return acc;
+  }
+
+  bool ConsumeComparisonOp() {
+    for (const char* op : {"!=", "<=", ">=", "=", "<", ">"}) {
+      if (Consume(op)) return true;
+    }
+    for (const char* op : {"eq", "ne", "lt", "le", "gt", "ge"}) {
+      if (PeekWord(op)) {
+        pos_ += 2;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<PathSet> ParseComparison() {
+    SMPX_ASSIGN_OR_RETURN(PathSet left, ParseAdditive());
+    SkipWs();
+    if (ConsumeComparisonOp()) {
+      SMPX_ASSIGN_OR_RETURN(PathSet right, ParseAdditive());
+      // Comparison consumes the operand values.
+      EmitValueUse(left);
+      EmitValueUse(right);
+      return PathSet{};
+    }
+    return left;
+  }
+
+  Result<PathSet> ParseAdditive() {
+    SMPX_ASSIGN_OR_RETURN(PathSet acc, ParsePrimary());
+    for (;;) {
+      SkipWs();
+      // Arithmetic: '-' only when clearly an operator (avoid name chars);
+      // values of both sides are consumed.
+      if (Consume("+") || ConsumeWord("div") || ConsumeWord("mod") ||
+          ConsumeWord("idiv") || Consume("*") || Consume("-")) {
+        SMPX_ASSIGN_OR_RETURN(PathSet next, ParsePrimary());
+        EmitValueUse(acc);
+        EmitValueUse(next);
+        acc.clear();
+        continue;
+      }
+      return acc;
+    }
+  }
+
+  Result<PathSet> ParsePrimary() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of query");
+
+    if (PeekWord("for") || PeekWord("let") || PeekWord("some") ||
+        PeekWord("every")) {
+      return ParseFlwor();
+    }
+    if (PeekWord("if")) return ParseConditional();
+    if (Peek("<")) return ParseConstructor();
+    if (Consume("(")) {
+      if (Consume(")")) return PathSet{};  // empty sequence
+      SMPX_ASSIGN_OR_RETURN(PathSet inner, ParseExprSequence());
+      if (!Consume(")")) return Err("expected ')'");
+      return inner;
+    }
+    if (Peek("\"") || Peek("'")) {
+      SMPX_RETURN_IF_ERROR(SkipStringLiteral());
+      return PathSet{};
+    }
+    if (pos_ < s_.size() &&
+        (s_[pos_] == '.' || (s_[pos_] >= '0' && s_[pos_] <= '9'))) {
+      while (pos_ < s_.size() &&
+             ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E')) {
+        ++pos_;
+      }
+      return PathSet{};
+    }
+    if (Peek("$") || Peek("/")) return ParsePath();
+
+    // Function call or a bare relative path (not supported at top level).
+    size_t save = pos_;
+    auto name = ReadName();
+    if (!name.ok()) return Err("expected expression");
+    SkipWs();
+    if (Consume("(")) return ParseFunctionArgs(*name);
+    pos_ = save;
+    return Status::Unsupported(
+        "bare relative paths are only supported inside predicates");
+  }
+
+  Status SkipStringLiteral() {
+    SkipWs();
+    char quote = s_[pos_++];
+    while (pos_ < s_.size() && s_[pos_] != quote) ++pos_;
+    if (pos_ >= s_.size()) return Err("unterminated string literal");
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Result<PathSet> ParseConditional() {
+    if (!ConsumeWord("if") || !Consume("(")) return Err("malformed if");
+    SMPX_ASSIGN_OR_RETURN(PathSet cond, ParseExprSequence());
+    EmitStructuralUse(cond);
+    if (!Consume(")")) return Err("expected ')' after if condition");
+    if (!ConsumeWord("then")) return Err("expected 'then'");
+    SMPX_ASSIGN_OR_RETURN(PathSet then_set, ParseOrExpr());
+    PathSet result = then_set;
+    if (ConsumeWord("else")) {
+      SMPX_ASSIGN_OR_RETURN(PathSet else_set, ParseOrExpr());
+      result.insert(result.end(), else_set.begin(), else_set.end());
+    }
+    return result;
+  }
+
+  Result<PathSet> ParseFunctionArgs(const std::string& fn) {
+    std::vector<PathSet> args;
+    SkipWs();
+    if (!Consume(")")) {
+      for (;;) {
+        SMPX_ASSIGN_OR_RETURN(PathSet arg, ParseOrExpr());
+        args.push_back(std::move(arg));
+        if (Consume(")")) break;
+        if (!Consume(",")) return Err("expected ',' in function arguments");
+      }
+    }
+    // Structural functions need the nodes, not their contents.
+    if (fn == "count" || fn == "exists" || fn == "empty" || fn == "not" ||
+        fn == "position" || fn == "last" || fn == "zero-or-one" ||
+        fn == "boolean") {
+      for (const PathSet& a : args) EmitStructuralUse(a);
+      return PathSet{};
+    }
+    // Value-consuming functions.
+    if (fn == "contains" || fn == "string" || fn == "data" || fn == "sum" ||
+        fn == "avg" || fn == "min" || fn == "max" || fn == "number" ||
+        fn == "string-length" || fn == "distinct-values" ||
+        fn == "starts-with" || fn == "substring" || fn == "concat" ||
+        fn == "string-join" || fn == "normalize-space") {
+      for (const PathSet& a : args) EmitValueUse(a);
+      return PathSet{};
+    }
+    return Status::Unsupported("function '" + fn +
+                               "' is outside the supported subset");
+  }
+
+  Result<PathSet> ParseFlwor() {
+    // Bindings are scoped: remember what to restore.
+    std::vector<std::pair<std::string, PathSet>> saved;
+    bool quantified = false;
+
+    for (;;) {
+      if (ConsumeWord("for") || ConsumeWord("let")) {
+        bool is_let = s_[pos_ - 1] == 't';  // crude but unambiguous here
+        do {
+          if (!Consume("$")) return Err("expected variable");
+          SMPX_ASSIGN_OR_RETURN(std::string var, ReadName());
+          PathSet binding;
+          if (is_let) {
+            if (!Consume(":=")) return Err("expected ':=' in let");
+            SMPX_ASSIGN_OR_RETURN(binding, ParseOrExpr());
+          } else {
+            ConsumeWord("at");  // positional variable: '$p in'
+            if (Peek("$") && !PeekWord("in")) {
+              // 'for $x at $p in ...': skip the positional variable.
+              Consume("$");
+              SMPX_RETURN_IF_ERROR(ReadName().status());
+            }
+            if (!ConsumeWord("in")) return Err("expected 'in' in for");
+            SMPX_ASSIGN_OR_RETURN(binding, ParseOrExpr());
+            // Iterating navigates the nodes (structural use).
+            EmitStructuralUse(binding);
+          }
+          saved.push_back({var, env_.count(var) ? env_[var] : PathSet{}});
+          env_[var] = binding;
+        } while (Consume(","));
+        continue;
+      }
+      if (ConsumeWord("some") || ConsumeWord("every")) {
+        quantified = true;
+        do {
+          if (!Consume("$")) return Err("expected variable");
+          SMPX_ASSIGN_OR_RETURN(std::string var, ReadName());
+          if (!ConsumeWord("in")) return Err("expected 'in'");
+          SMPX_ASSIGN_OR_RETURN(PathSet binding, ParseOrExpr());
+          EmitStructuralUse(binding);
+          saved.push_back({var, env_.count(var) ? env_[var] : PathSet{}});
+          env_[var] = binding;
+        } while (Consume(","));
+        continue;
+      }
+      break;
+    }
+
+    PathSet result;
+    if (quantified) {
+      if (!ConsumeWord("satisfies")) return Err("expected 'satisfies'");
+      SMPX_ASSIGN_OR_RETURN(PathSet body, ParseOrExpr());
+      EmitStructuralUse(body);
+    } else {
+      if (ConsumeWord("where")) {
+        SMPX_ASSIGN_OR_RETURN(PathSet cond, ParseExprUntilClause());
+        EmitStructuralUse(cond);
+      }
+      if (ConsumeWord("order")) {
+        if (!ConsumeWord("by")) return Err("expected 'by'");
+        SMPX_ASSIGN_OR_RETURN(PathSet keys, ParseExprSequence());
+        EmitValueUse(keys);  // sorting consumes values
+        ConsumeWord("ascending");
+        ConsumeWord("descending");
+      }
+      if (!ConsumeWord("return")) return Err("expected 'return'");
+      SMPX_ASSIGN_OR_RETURN(result, ParseOrExpr());
+    }
+
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      if (it->second.empty()) {
+        env_.erase(it->first);
+      } else {
+        env_[it->first] = it->second;
+      }
+    }
+    return result;
+  }
+
+  /// A where-clause expression (stops before order/return keywords, which
+  /// ParseOrExpr handles naturally since they are words, not operators).
+  Result<PathSet> ParseExprUntilClause() { return ParseOrExpr(); }
+
+  Result<PathSet> ParseConstructor() {
+    // '<tag attr="..{expr}..." ...> content </tag>' or '<tag .../>'.
+    if (!Consume("<")) return Err("expected '<'");
+    SMPX_ASSIGN_OR_RETURN(std::string tag, ReadName());
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (Consume("/>")) return PathSet{};
+      if (Consume(">")) break;
+      SMPX_RETURN_IF_ERROR(ReadName().status());
+      if (!Consume("=")) return Err("expected '=' in constructor attribute");
+      SkipWs();
+      if (pos_ >= s_.size() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = s_[pos_++];
+      while (pos_ < s_.size() && s_[pos_] != quote) {
+        if (s_[pos_] == '{') {
+          ++pos_;
+          SMPX_ASSIGN_OR_RETURN(PathSet inner, ParseExprSequence());
+          EmitValueUse(inner);
+          if (!Consume("}")) return Err("expected '}' in attribute");
+        } else {
+          ++pos_;
+        }
+      }
+      if (pos_ >= s_.size()) return Err("unterminated attribute value");
+      ++pos_;
+    }
+    // Content: literal text, nested constructors, embedded expressions.
+    std::string close = "</" + tag;
+    for (;;) {
+      if (pos_ >= s_.size()) return Err("unterminated constructor <" + tag);
+      if (StartsWith(s_.substr(pos_), close)) {
+        pos_ += close.size();
+        SkipWs();
+        if (!Consume(">")) return Err("expected '>' in closing tag");
+        return PathSet{};
+      }
+      if (s_[pos_] == '{') {
+        ++pos_;
+        SMPX_ASSIGN_OR_RETURN(PathSet inner, ParseExprSequence());
+        EmitValueUse(inner);
+        if (!Consume("}")) return Err("expected '}'");
+        continue;
+      }
+      if (s_[pos_] == '<' && pos_ + 1 < s_.size() &&
+          IsNameStartChar(s_[pos_ + 1])) {
+        SMPX_RETURN_IF_ERROR(ParseConstructor().status());
+        continue;
+      }
+      ++pos_;  // literal content
+    }
+  }
+
+  /// Rooted or variable-relative path, optionally with predicates, text()
+  /// and @attr steps.
+  Result<PathSet> ParsePath() {
+    PathSet bases;
+    bool rooted = false;
+    if (Consume("$")) {
+      SMPX_ASSIGN_OR_RETURN(std::string var, ReadName());
+      auto it = env_.find(var);
+      if (it == env_.end()) {
+        return Status::Unsupported("unbound variable $" + var);
+      }
+      bases = it->second;
+    } else {
+      rooted = true;
+      bases.push_back(ProjectionPath{});
+    }
+
+    for (;;) {
+      SkipWs();
+      PathStep::Axis axis;
+      if (Consume("//")) {
+        axis = PathStep::Axis::kDescendant;
+      } else if (Consume("/")) {
+        axis = PathStep::Axis::kChild;
+      } else {
+        break;
+      }
+      SkipWs();
+      if (ConsumeWord("text()")) {
+        // text() consumes the parent's character data: '#' on the base.
+        for (ProjectionPath& p : bases) p.descendants = true;
+        return bases;
+      }
+      if (Consume("@")) {
+        SMPX_RETURN_IF_ERROR(ReadName().status());
+        for (ProjectionPath& p : bases) p.attributes = true;
+        return bases;
+      }
+      if (ConsumeWord("descendant-or-self::node()")) {
+        // The expanded form of '//': treat the next '/step' as descendant.
+        if (!Consume("/")) return Err("expected '/' after dos::node()");
+        axis = PathStep::Axis::kDescendant;
+        SkipWs();
+      }
+      PathStep step;
+      step.axis = axis;
+      if (Consume("*")) {
+        step.wildcard = true;
+      } else {
+        SMPX_ASSIGN_OR_RETURN(step.name, ReadName());
+        if (Peek("(")) {
+          return Status::Unsupported("node test '" + step.name +
+                                     "()' is outside the subset");
+        }
+      }
+      for (ProjectionPath& p : bases) p.steps.push_back(step);
+
+      // Predicates: relative paths inside resolve against the path so far.
+      while (Consume("[")) {
+        SMPX_RETURN_IF_ERROR(ParsePredicate(bases));
+        if (!Consume("]")) return Err("expected ']'");
+      }
+    }
+    if (rooted && bases.size() == 1 && bases[0].steps.empty()) {
+      return Err("bare '/' is not a useful projection source");
+    }
+    return bases;
+  }
+
+  /// Inside '[...]': a positional predicate (number, last()), or an
+  /// expression whose relative paths extend `context`.
+  Status ParsePredicate(const PathSet& context) {
+    SkipWs();
+    // Positional predicates need no extra paths.
+    if (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+      return Status::Ok();
+    }
+    if (ConsumeWord("last()")) return Status::Ok();
+    if (ConsumeWord("position()")) {
+      // position() = N
+      if (ConsumeComparisonOp()) {
+        SkipWs();
+        while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+      }
+      return Status::Ok();
+    }
+    // General expression with the context paths bound to a fresh variable:
+    // rewrite-free approach -- temporarily bind "." semantics by extending
+    // the environment under a reserved name used by ParsePredicateExpr.
+    return ParsePredicateExpr(context);
+  }
+
+  /// Conservative predicate handling: relative paths (name, @attr, text())
+  /// extend the context; the predicate consumes their values.
+  Status ParsePredicateExpr(const PathSet& context) {
+    // Parse:  relpath (op literal)? (('and'|'or') ...)*
+    for (;;) {
+      SkipWs();
+      PathSet operand = context;
+      if (Consume("@")) {
+        SMPX_RETURN_IF_ERROR(ReadName().status());
+        for (ProjectionPath& p : operand) p.attributes = true;
+        SkipWs();
+        if (ConsumeComparisonOp()) {
+          SkipWs();
+          if (Peek("\"") || Peek("'")) {
+            SMPX_RETURN_IF_ERROR(SkipStringLiteral());
+          } else {
+            while (pos_ < s_.size() &&
+                   ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.')) {
+              ++pos_;
+            }
+          }
+        }
+        EmitStructuralUse(operand);
+      } else if (PeekWord("contains")) {
+        pos_ += 8;
+        if (!Consume("(")) return Err("expected '(' after contains");
+        SMPX_RETURN_IF_ERROR(ParsePredicateExpr(context));
+        if (!Consume(",")) return Err("expected ',' in contains");
+        SkipWs();
+        SMPX_RETURN_IF_ERROR(SkipStringLiteral());
+        if (!Consume(")")) return Err("expected ')'");
+      } else if (ConsumeWord("not")) {
+        if (!Consume("(")) return Err("expected '(' after not");
+        SMPX_RETURN_IF_ERROR(ParsePredicateExpr(context));
+        if (!Consume(")")) return Err("expected ')'");
+      } else if (ConsumeWord("text()")) {
+        PathSet operand2 = context;
+        SkipWs();
+        if (ConsumeComparisonOp()) {
+          SkipWs();
+          SMPX_RETURN_IF_ERROR(SkipStringLiteral());
+        }
+        EmitValueUse(operand2);
+      } else if (pos_ < s_.size() && IsNameStartChar(s_[pos_])) {
+        // Relative path: step ('/' step)*, maybe ending in text()/@attr.
+        bool value_use = false;
+        for (;;) {
+          if (ConsumeWord("text()")) {
+            value_use = true;
+            break;
+          }
+          if (Consume("@")) {
+            SMPX_RETURN_IF_ERROR(ReadName().status());
+            for (ProjectionPath& p : operand) p.attributes = true;
+            break;
+          }
+          PathStep step;
+          step.axis = PathStep::Axis::kChild;
+          SMPX_ASSIGN_OR_RETURN(step.name, ReadName());
+          for (ProjectionPath& p : operand) p.steps.push_back(step);
+          if (Consume("//")) {
+            // e.g. MedlineJournalInfo//text()
+            if (ConsumeWord("text()")) {
+              value_use = true;
+              break;
+            }
+            return Status::Unsupported(
+                "descendant steps inside predicates are only supported "
+                "before text()");
+          }
+          if (!Consume("/")) break;
+        }
+        SkipWs();
+        if (ConsumeComparisonOp()) {
+          SkipWs();
+          if (Peek("\"") || Peek("'")) {
+            SMPX_RETURN_IF_ERROR(SkipStringLiteral());
+          } else {
+            while (pos_ < s_.size() &&
+                   ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.')) {
+              ++pos_;
+            }
+          }
+          value_use = true;
+        }
+        if (value_use) {
+          EmitValueUse(operand);
+        } else {
+          EmitStructuralUse(operand);
+        }
+      } else {
+        return Err("unsupported predicate form");
+      }
+      SkipWs();
+      if (ConsumeWord("and") || ConsumeWord("or")) continue;
+      return Status::Ok();
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  std::map<std::string, PathSet> env_;
+  std::vector<ProjectionPath> out_;
+};
+
+}  // namespace
+
+Result<std::vector<ProjectionPath>> ExtractProjectionPaths(
+    std::string_view query) {
+  std::string_view q = StripWhitespace(query);
+  // Allow the paper's "<q>{ ... }</q>" wrapper form directly.
+  Extractor extractor(q);
+  return extractor.Run();
+}
+
+}  // namespace smpx::paths

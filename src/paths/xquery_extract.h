@@ -1,0 +1,48 @@
+// Projection-path extraction from XQuery expressions, after Marian &
+// Simeon [5] (the algorithm the paper prescribes in Section III, Example 4:
+// for XMark Q13 it yields /site/regions/australia/item/name#,
+// /site/regions/australia/item/description# and /*).
+//
+// Supported XQuery subset (sufficient for the XMark benchmark queries and
+// typical filter workloads):
+//   - FLWOR: for $x in <path> (, $y in <path>)* / let $v := <expr> /
+//     where <expr> / order by <expr> / return <expr>
+//   - direct element constructors with embedded expressions:
+//     <tag attr="{expr}"> { expr, expr } </tag>
+//   - rooted paths (/a/b, //a, /a//b, *), variable paths ($x/b//c),
+//     step predicates [expr], text() steps and @attr steps
+//   - comparisons (=, !=, <, <=, >, >=, eq, ne, lt, le, gt, ge),
+//     and/or/not, count/exists/empty/contains/sum/avg/string/data/
+//     distinct-values/zero-or-one, numeric and string literals
+//
+// Extraction rules (following [5]):
+//   - paths whose *values or subtrees* are consumed -- returned nodes,
+//     constructor content, comparison operands, contains/string/data
+//     arguments -- are flagged '#' (descendants required); a trailing
+//     /text() step contributes '#' on its parent path;
+//   - paths used purely structurally -- for-bindings, count/exists/empty
+//     arguments, existence predicates -- stay unflagged;
+//   - a trailing @attr step contributes the '@' flag on its parent path;
+//   - "/*" is always added (the top-level node, for well-formed output).
+
+#ifndef SMPX_PATHS_XQUERY_EXTRACT_H_
+#define SMPX_PATHS_XQUERY_EXTRACT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "paths/projection_path.h"
+
+namespace smpx::paths {
+
+/// Extracts the projection paths for `query`. Fails with kParseError on
+/// syntax outside the subset and kUnsupported for constructs whose
+/// projection cannot be derived soundly here (e.g. upward axes).
+Result<std::vector<ProjectionPath>> ExtractProjectionPaths(
+    std::string_view query);
+
+}  // namespace smpx::paths
+
+#endif  // SMPX_PATHS_XQUERY_EXTRACT_H_

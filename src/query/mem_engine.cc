@@ -1,0 +1,23 @@
+#include "query/mem_engine.h"
+
+#include "xml/dom.h"
+
+namespace smpx::query {
+
+Result<MemQueryResult> EvaluateInMemory(std::string_view query,
+                                        std::string_view document,
+                                        const MemEngineOptions& opts) {
+  SMPX_ASSIGN_OR_RETURN(XPath path, XPath::Parse(query));
+  xml::ParseOptions popts;
+  popts.memory_budget = opts.memory_budget;
+  SMPX_ASSIGN_OR_RETURN(xml::Document doc,
+                        xml::ParseDocument(document, popts));
+  std::vector<xml::NodeId> nodes = Evaluate(path, doc);
+  MemQueryResult result;
+  result.result_count = nodes.size();
+  result.output = SerializeResults(nodes, doc);
+  result.dom_bytes = doc.approx_bytes();
+  return result;
+}
+
+}  // namespace smpx::query

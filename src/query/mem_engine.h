@@ -1,0 +1,39 @@
+// In-memory XPath engine over the DOM with an explicit memory budget: the
+// stand-in for the paper's main-memory XQuery processors (QizX/Saxon,
+// Fig. 7a). Loading a document that exceeds the budget fails with
+// kResourceExhausted, reproducing the out-of-memory cliff the paper
+// observes for unprojected gigabyte inputs.
+
+#ifndef SMPX_QUERY_MEM_ENGINE_H_
+#define SMPX_QUERY_MEM_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/xpath.h"
+
+namespace smpx::query {
+
+struct MemEngineOptions {
+  /// Maximum DOM footprint in bytes; 0 = unlimited. The paper caps its Java
+  /// engines at 1 GB of heap.
+  uint64_t memory_budget = 0;
+};
+
+/// Result of one evaluation.
+struct MemQueryResult {
+  std::string output;        ///< serialized result list
+  size_t result_count = 0;   ///< number of result nodes
+  uint64_t dom_bytes = 0;    ///< DOM footprint actually built
+};
+
+/// Parses `document`, evaluates `query`, serializes the result.
+Result<MemQueryResult> EvaluateInMemory(std::string_view query,
+                                        std::string_view document,
+                                        const MemEngineOptions& opts = {});
+
+}  // namespace smpx::query
+
+#endif  // SMPX_QUERY_MEM_ENGINE_H_

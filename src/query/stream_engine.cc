@@ -1,0 +1,160 @@
+#include "query/stream_engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "query/xpath.h"
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/tokenizer.h"
+
+namespace smpx::query {
+
+Status EvaluateStreaming(std::string_view query, std::string_view document,
+                         OutputSink* out, StreamStats* stats) {
+  SMPX_ASSIGN_OR_RETURN(XPath path, XPath::Parse(query));
+
+  xml::Tokenizer tok(document);
+  xml::Token t;
+
+  // Locate the root element, skipping the prolog.
+  std::string root_name;
+  std::vector<xml::DomAttribute> root_attrs;
+  bool root_empty = false;
+  for (;;) {
+    if (!tok.Next(&t)) {
+      SMPX_RETURN_IF_ERROR(tok.status());
+      return Status::ParseError("no root element in input");
+    }
+    if (t.type == xml::TokenType::kStartTag ||
+        t.type == xml::TokenType::kEmptyTag) {
+      root_name = std::string(t.name);
+      for (const xml::Attribute& a : t.attrs) {
+        root_attrs.push_back(
+            xml::DomAttribute{std::string(a.name), xml::Unescape(a.value)});
+      }
+      root_empty = t.type == xml::TokenType::kEmptyTag;
+      break;
+    }
+    if (t.type == xml::TokenType::kText &&
+        !StripWhitespace(t.text).empty()) {
+      return Status::ParseError("character data before the root element");
+    }
+  }
+
+  bool first_record = true;
+  auto process_fragment = [&](xml::Document&& frag) -> Status {
+    if (stats != nullptr) {
+      ++stats->records;
+      stats->peak_record_bytes =
+          std::max<uint64_t>(stats->peak_record_bytes, frag.approx_bytes());
+    }
+    std::vector<xml::NodeId> nodes = Evaluate(path, frag);
+    for (xml::NodeId id : nodes) {
+      // The fragment root (= document root element) repeats across
+      // fragments; report it only once.
+      if (id == frag.root() && !first_record) continue;
+      if (stats != nullptr) ++stats->result_nodes;
+      SMPX_RETURN_IF_ERROR(out->Append(SerializeResults({id}, frag)));
+    }
+    first_record = false;
+    return Status::Ok();
+  };
+
+  auto make_fragment = [&]() {
+    xml::Document frag;
+    xml::DomNode root;
+    root.kind = xml::DomNode::Kind::kElement;
+    root.name = root_name;
+    root.attrs = root_attrs;
+    frag.AddNode(std::move(root));
+    return frag;
+  };
+
+  if (root_empty) {
+    xml::Document frag = make_fragment();
+    Status s = process_fragment(std::move(frag));
+    if (stats != nullptr) stats->input_bytes = document.size();
+    return s;
+  }
+
+  // Stream the root's children one record at a time.
+  xml::Document frag = make_fragment();
+  std::vector<xml::NodeId> stack = {frag.root()};
+  for (;;) {
+    if (!tok.Next(&t)) {
+      SMPX_RETURN_IF_ERROR(tok.status());
+      return Status::ParseError("unexpected end of input inside <" +
+                                root_name + ">");
+    }
+    bool done = false;
+    switch (t.type) {
+      case xml::TokenType::kStartTag:
+      case xml::TokenType::kEmptyTag: {
+        xml::DomNode n;
+        n.kind = xml::DomNode::Kind::kElement;
+        n.name = std::string(t.name);
+        for (const xml::Attribute& a : t.attrs) {
+          n.attrs.push_back(
+              xml::DomAttribute{std::string(a.name), xml::Unescape(a.value)});
+        }
+        n.parent = stack.back();
+        xml::NodeId id = frag.AddNode(std::move(n));
+        frag.node(stack.back()).children.push_back(id);
+        if (t.type == xml::TokenType::kStartTag) stack.push_back(id);
+        break;
+      }
+      case xml::TokenType::kEndTag: {
+        if (stack.size() == 1) {
+          // The root closes: flush the (possibly empty) last fragment.
+          done = true;
+          break;
+        }
+        stack.pop_back();
+        break;
+      }
+      case xml::TokenType::kText: {
+        if (StripWhitespace(t.text).empty()) break;
+        xml::DomNode n;
+        n.kind = xml::DomNode::Kind::kText;
+        n.text = xml::Unescape(t.text);
+        n.parent = stack.back();
+        xml::NodeId id = frag.AddNode(std::move(n));
+        frag.node(stack.back()).children.push_back(id);
+        break;
+      }
+      case xml::TokenType::kCData: {
+        xml::DomNode n;
+        n.kind = xml::DomNode::Kind::kText;
+        n.text = std::string(t.text);
+        n.parent = stack.back();
+        xml::NodeId id = frag.AddNode(std::move(n));
+        frag.node(stack.back()).children.push_back(id);
+        break;
+      }
+      default:
+        break;
+    }
+    if (done) break;
+    // A record is complete when the stack is back at the root and the
+    // root has at least one child.
+    if (stack.size() == 1 && !frag.node(frag.root()).children.empty()) {
+      SMPX_RETURN_IF_ERROR(process_fragment(std::move(frag)));
+      frag = make_fragment();
+      stack = {frag.root()};
+    }
+  }
+  // Flush the trailing fragment only if it carries content, or if nothing
+  // was processed at all (so root-selecting queries still see the root).
+  if (!frag.node(frag.root()).children.empty() || first_record) {
+    SMPX_RETURN_IF_ERROR(process_fragment(std::move(frag)));
+  }
+
+  if (stats != nullptr) {
+    stats->input_bytes = document.size();
+    stats->output_bytes = out->bytes_written();
+  }
+  return Status::Ok();
+}
+
+}  // namespace smpx::query

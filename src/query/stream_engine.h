@@ -1,0 +1,41 @@
+// Record-streaming XPath engine: the stand-in for SPEX [3] in Fig. 7(b).
+//
+// Like SPEX it (a) tokenizes every character of the input and (b) keeps
+// memory bounded by the size of one record rather than the document: the
+// stream is processed one top-level record (child of the root) at a time;
+// each record is materialized as a small DOM fragment, the query is
+// evaluated against it, results are emitted, and the fragment is dropped.
+// SPEX's progressive in-network evaluation is replaced by per-record
+// evaluation; both designs share the properties the paper's experiment
+// measures (full tokenization cost, O(record) memory, streaming pipeline
+// compatibility). See DESIGN.md, substitutions.
+
+#ifndef SMPX_QUERY_STREAM_ENGINE_H_
+#define SMPX_QUERY_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/io.h"
+#include "common/result.h"
+
+namespace smpx::query {
+
+struct StreamStats {
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;
+  uint64_t records = 0;        ///< top-level records processed
+  uint64_t result_nodes = 0;   ///< matched result nodes
+  uint64_t peak_record_bytes = 0;
+};
+
+/// Evaluates `query` over `document`, appending serialized results to
+/// `out`. The query must be absolute; its first steps may address the root
+/// element itself (e.g. "/MedlineCitationSet//..." works).
+Status EvaluateStreaming(std::string_view query, std::string_view document,
+                         OutputSink* out, StreamStats* stats = nullptr);
+
+}  // namespace smpx::query
+
+#endif  // SMPX_QUERY_STREAM_ENGINE_H_

@@ -1,0 +1,388 @@
+#include "query/xpath.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace smpx::query {
+namespace {
+
+/// Recursive-descent XPath parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  Result<XPath> ParsePath(bool stop_at_bracket_close = false);
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_) +
+                              " in XPath '" + std::string(s_) + "'");
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && IsXmlWhitespace(s_[pos_])) ++pos_;
+  }
+
+  bool Peek(std::string_view kw) {
+    SkipWs();
+    return StartsWith(s_.substr(pos_), kw);
+  }
+
+  bool Consume(std::string_view kw) {
+    if (Peek(kw)) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadName() {
+    SkipWs();
+    if (pos_ >= s_.size() || !IsNameStartChar(s_[pos_])) {
+      return Err("expected name");
+    }
+    size_t b = pos_;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) ++pos_;
+    return std::string(s_.substr(b, pos_ - b));
+  }
+
+  Result<std::string> ReadLiteral() {
+    SkipWs();
+    if (pos_ >= s_.size() || (s_[pos_] != '"' && s_[pos_] != '\'')) {
+      return Err("expected string literal");
+    }
+    char quote = s_[pos_++];
+    size_t b = pos_;
+    while (pos_ < s_.size() && s_[pos_] != quote) ++pos_;
+    if (pos_ >= s_.size()) return Err("unterminated literal");
+    std::string out(s_.substr(b, pos_ - b));
+    ++pos_;
+    return out;
+  }
+
+  Result<XPathExpr> ParseExpr();
+  Result<XPathStep> ParseStep();
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+Result<XPathStep> Parser::ParseStep() {
+  XPathStep step;
+  SkipWs();
+  if (Consume("child::")) {
+    step.axis = XPathStep::Axis::kChild;
+  } else if (Consume("descendant::")) {
+    step.axis = XPathStep::Axis::kDescendant;
+  }
+  if (Consume("@")) {
+    step.test = XPathStep::Test::kAttribute;
+    SMPX_ASSIGN_OR_RETURN(step.name, ReadName());
+  } else if (Consume("text()")) {
+    step.test = XPathStep::Test::kText;
+  } else if (Consume("*")) {
+    step.test = XPathStep::Test::kAny;
+  } else {
+    SMPX_ASSIGN_OR_RETURN(step.name, ReadName());
+    if (Consume("()")) {
+      return Err("unsupported node test '" + step.name + "()'");
+    }
+    step.test = XPathStep::Test::kName;
+  }
+  while (Consume("[")) {
+    SMPX_ASSIGN_OR_RETURN(XPathExpr pred, ParseExpr());
+    if (!Consume("]")) return Err("expected ']'");
+    step.predicates.push_back(std::move(pred));
+  }
+  return step;
+}
+
+Result<XPathExpr> Parser::ParseExpr() {
+  XPathExpr expr;
+  SkipWs();
+  if (Consume("not(")) {
+    SMPX_ASSIGN_OR_RETURN(XPathExpr inner, ParseExpr());
+    if (!Consume(")")) return Err("expected ')' after not(...)");
+    expr.kind = XPathExpr::Kind::kNot;
+    expr.inner = std::make_shared<XPathExpr>(std::move(inner));
+    return expr;
+  }
+  if (Consume("contains(")) {
+    SMPX_ASSIGN_OR_RETURN(expr.path, ParsePath(/*stop_at_bracket_close=*/true));
+    if (!Consume(",")) return Err("expected ',' in contains()");
+    SMPX_ASSIGN_OR_RETURN(expr.literal, ReadLiteral());
+    if (!Consume(")")) return Err("expected ')' in contains()");
+    expr.kind = XPathExpr::Kind::kContains;
+    return expr;
+  }
+  SMPX_ASSIGN_OR_RETURN(expr.path, ParsePath(/*stop_at_bracket_close=*/true));
+  SkipWs();
+  if (Consume("=")) {
+    SMPX_ASSIGN_OR_RETURN(expr.literal, ReadLiteral());
+    expr.kind = XPathExpr::Kind::kEquals;
+  } else {
+    expr.kind = XPathExpr::Kind::kExists;
+  }
+  return expr;
+}
+
+Result<XPath> Parser::ParsePath(bool stop_at_bracket_close) {
+  XPath path;
+  SkipWs();
+  path.absolute = false;
+  bool first = true;
+  for (;;) {
+    SkipWs();
+    if (pos_ >= s_.size()) break;
+    XPathStep::Axis axis = XPathStep::Axis::kChild;
+    if (first) {
+      if (Consume("//")) {
+        path.absolute = true;
+        axis = XPathStep::Axis::kDescendant;
+      } else if (Consume("/")) {
+        path.absolute = true;
+      } else if (Consume("./")) {
+        // explicit relative
+      }
+    } else {
+      if (Consume("//")) {
+        axis = XPathStep::Axis::kDescendant;
+      } else if (Consume("/")) {
+        axis = XPathStep::Axis::kChild;
+      } else {
+        break;  // end of path (e.g. before '=' or ',' or ']')
+      }
+    }
+    SkipWs();
+    if (stop_at_bracket_close &&
+        (pos_ >= s_.size() || s_[pos_] == ']' || s_[pos_] == ',' ||
+         s_[pos_] == ')' || s_[pos_] == '=')) {
+      break;
+    }
+    if (pos_ >= s_.size()) {
+      if (first) return Err("empty path");
+      return Err("dangling '/'");
+    }
+    SMPX_ASSIGN_OR_RETURN(XPathStep step, ParseStep());
+    step.axis = axis == XPathStep::Axis::kDescendant
+                    ? XPathStep::Axis::kDescendant
+                    : step.axis;
+    path.steps.push_back(std::move(step));
+    first = false;
+  }
+  if (path.steps.empty() && !path.absolute) {
+    return Err("empty path");
+  }
+  return path;
+}
+
+/// True iff the predicate holds at `node`.
+bool EvalPredicate(const XPathExpr& expr, const xml::Document& doc,
+                   xml::NodeId node);
+
+/// Appends nodes selected by `step` starting from `context`.
+void EvalStep(const XPathStep& step, const xml::Document& doc,
+              xml::NodeId context, std::vector<xml::NodeId>* out) {
+  const xml::DomNode& n = doc.node(context);
+  if (n.kind != xml::DomNode::Kind::kElement) return;
+
+  auto consider = [&](xml::NodeId child) {
+    const xml::DomNode& c = doc.node(child);
+    bool hit = false;
+    switch (step.test) {
+      case XPathStep::Test::kName:
+        hit = c.kind == xml::DomNode::Kind::kElement && c.name == step.name;
+        break;
+      case XPathStep::Test::kAny:
+        hit = c.kind == xml::DomNode::Kind::kElement;
+        break;
+      case XPathStep::Test::kText:
+        hit = c.kind == xml::DomNode::Kind::kText;
+        break;
+      case XPathStep::Test::kAttribute:
+        hit = false;  // handled on the parent, below
+        break;
+    }
+    if (!hit) return;
+    for (const XPathExpr& pred : step.predicates) {
+      if (!EvalPredicate(pred, doc, child)) return;
+    }
+    out->push_back(child);
+  };
+
+  if (step.test == XPathStep::Test::kAttribute) {
+    // '@name' selects the owner element if the attribute is present (we do
+    // not materialize attribute nodes).
+    for (const xml::DomAttribute& a : n.attrs) {
+      if (a.name == step.name) {
+        out->push_back(context);
+        break;
+      }
+    }
+    if (step.axis == XPathStep::Axis::kDescendant) {
+      for (xml::NodeId child : n.children) {
+        EvalStep(step, doc, child, out);
+      }
+    }
+    return;
+  }
+
+  for (xml::NodeId child : n.children) {
+    consider(child);
+    if (step.axis == XPathStep::Axis::kDescendant) {
+      EvalStep(step, doc, child, out);
+    }
+  }
+}
+
+std::vector<xml::NodeId> EvalPath(const XPath& path, const xml::Document& doc,
+                                  xml::NodeId context, bool from_root) {
+  std::vector<xml::NodeId> current;
+  if (from_root) {
+    // The initial context is the *document node*; its only element child is
+    // the root. A descendant first step must consider the root itself too.
+    if (path.steps.empty()) return {doc.root()};
+    const XPathStep& first = path.steps[0];
+    std::vector<xml::NodeId> seed;
+    const xml::DomNode& root = doc.node(doc.root());
+    bool name_ok = first.test == XPathStep::Test::kAny ||
+                   (first.test == XPathStep::Test::kName &&
+                    root.name == first.name);
+    if (name_ok) {
+      bool preds = true;
+      for (const XPathExpr& pred : first.predicates) {
+        preds = preds && EvalPredicate(pred, doc, doc.root());
+      }
+      if (preds) seed.push_back(doc.root());
+    }
+    if (first.axis == XPathStep::Axis::kDescendant) {
+      EvalStep(first, doc, doc.root(), &seed);
+    }
+    current = std::move(seed);
+    // Remaining steps below.
+    for (size_t i = 1; i < path.steps.size(); ++i) {
+      std::vector<xml::NodeId> next;
+      for (xml::NodeId node : current) {
+        EvalStep(path.steps[i], doc, node, &next);
+      }
+      current = std::move(next);
+    }
+  } else {
+    current = {context};
+    for (const XPathStep& step : path.steps) {
+      std::vector<xml::NodeId> next;
+      for (xml::NodeId node : current) {
+        EvalStep(step, doc, node, &next);
+      }
+      current = std::move(next);
+    }
+  }
+  // Document order + dedup (NodeIds are allocated in document order).
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+  return current;
+}
+
+bool EvalPredicate(const XPathExpr& expr, const xml::Document& doc,
+                   xml::NodeId node) {
+  switch (expr.kind) {
+    case XPathExpr::Kind::kNot:
+      return !EvalPredicate(*expr.inner, doc, node);
+    case XPathExpr::Kind::kExists: {
+      // Attribute-final relative paths test attribute presence.
+      return !EvalPath(expr.path, doc, node, /*from_root=*/false).empty();
+    }
+    case XPathExpr::Kind::kEquals:
+    case XPathExpr::Kind::kContains: {
+      std::vector<xml::NodeId> operands =
+          EvalPath(expr.path, doc, node, /*from_root=*/false);
+      for (xml::NodeId op : operands) {
+        std::string value;
+        const xml::DomNode& n = doc.node(op);
+        if (!expr.path.steps.empty() &&
+            expr.path.steps.back().test == XPathStep::Test::kAttribute) {
+          for (const xml::DomAttribute& a : n.attrs) {
+            if (a.name == expr.path.steps.back().name) value = a.value;
+          }
+        } else if (n.kind == xml::DomNode::Kind::kText) {
+          value = n.text;
+        } else {
+          value = doc.TextContent(op);
+        }
+        if (expr.kind == XPathExpr::Kind::kEquals
+                ? value == expr.literal
+                : value.find(expr.literal) != std::string::npos) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<XPath> XPath::Parse(std::string_view text) {
+  Parser p(StripWhitespace(text));
+  SMPX_ASSIGN_OR_RETURN(XPath path, p.ParsePath());
+  if (!path.absolute) {
+    return Status::InvalidArgument("top-level XPath must be absolute: '" +
+                                   std::string(text) + "'");
+  }
+  return path;
+}
+
+std::string XPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const XPathStep& s = steps[i];
+    out += s.axis == XPathStep::Axis::kDescendant ? "//" : "/";
+    switch (s.test) {
+      case XPathStep::Test::kName:
+        out += s.name;
+        break;
+      case XPathStep::Test::kAny:
+        out += "*";
+        break;
+      case XPathStep::Test::kText:
+        out += "text()";
+        break;
+      case XPathStep::Test::kAttribute:
+        out += "@" + s.name;
+        break;
+    }
+    for (size_t k = 0; k < s.predicates.size(); ++k) out += "[...]";
+  }
+  return out.empty() ? "/" : out;
+}
+
+std::vector<xml::NodeId> Evaluate(const XPath& path,
+                                  const xml::Document& doc) {
+  if (doc.empty()) return {};
+  return EvalPath(path, doc, doc.root(), /*from_root=*/true);
+}
+
+std::vector<xml::NodeId> EvaluateFrom(const XPath& path,
+                                      const xml::Document& doc,
+                                      xml::NodeId context) {
+  return EvalPath(path, doc, context, /*from_root=*/false);
+}
+
+std::string SerializeResults(const std::vector<xml::NodeId>& nodes,
+                             const xml::Document& doc) {
+  std::string out;
+  for (xml::NodeId id : nodes) {
+    const xml::DomNode& n = doc.node(id);
+    if (n.kind == xml::DomNode::Kind::kText) {
+      out += n.text;
+    } else {
+      doc.SerializeTo(id, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace smpx::query

@@ -1,0 +1,87 @@
+// A compact XPath subset sufficient for the paper's query workloads
+// (XMark XM1-XM20 shapes, MEDLINE M1-M5):
+//
+//   path      ::= '/'? step ('/' step | '//' step)*
+//   step      ::= ('child::' | 'descendant::')? nodetest predicate*
+//   nodetest  ::= name | '*' | 'text()' | '@' name
+//   predicate ::= '[' expr ']'
+//   expr      ::= relpath
+//               | relpath '=' literal
+//               | '@' name '=' literal
+//               | 'contains(' relpath ',' literal ')'
+//               | 'not(' expr ')'
+//
+// Used by the in-memory engine (QizX substitute), the record-streaming
+// engine (SPEX substitute), and the projection-safety oracle.
+
+#ifndef SMPX_QUERY_XPATH_H_
+#define SMPX_QUERY_XPATH_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace smpx::query {
+
+struct XPathExpr;
+
+/// One navigation step.
+struct XPathStep {
+  enum class Axis : unsigned char { kChild, kDescendant };
+  enum class Test : unsigned char { kName, kAny, kText, kAttribute };
+
+  Axis axis = Axis::kChild;
+  Test test = Test::kName;
+  std::string name;  ///< element or attribute name (kName/kAttribute)
+  std::vector<XPathExpr> predicates;
+};
+
+/// A (possibly relative) location path.
+struct XPath {
+  bool absolute = true;
+  std::vector<XPathStep> steps;
+
+  static Result<XPath> Parse(std::string_view text);
+  std::string ToString() const;
+};
+
+/// Predicate expression.
+struct XPathExpr {
+  enum class Kind : unsigned char {
+    kExists,    ///< [relpath]
+    kEquals,    ///< [relpath = 'lit'] (string-value comparison)
+    kContains,  ///< [contains(relpath, 'lit')]
+    kNot,       ///< [not(expr)]
+  };
+
+  Kind kind = Kind::kExists;
+  XPath path;              ///< relative path operand
+  std::string literal;     ///< kEquals / kContains
+  // kNot wraps one operand (unique_ptr keeps the type sized).
+  std::shared_ptr<XPathExpr> inner;
+};
+
+/// Evaluates an absolute path against a document; returns matched nodes in
+/// document order without duplicates. Attribute-final paths return the
+/// *owner elements* (the caller reads the attribute value separately).
+std::vector<xml::NodeId> Evaluate(const XPath& path,
+                                  const xml::Document& doc);
+
+/// Evaluates relative to `context`.
+std::vector<xml::NodeId> EvaluateFrom(const XPath& path,
+                                      const xml::Document& doc,
+                                      xml::NodeId context);
+
+/// XPath string-value based serialization of a result list: elements are
+/// serialized as markup, text nodes as their text. Mirrors what the paper's
+/// query engines print.
+std::string SerializeResults(const std::vector<xml::NodeId>& nodes,
+                             const xml::Document& doc);
+
+}  // namespace smpx::query
+
+#endif  // SMPX_QUERY_XPATH_H_

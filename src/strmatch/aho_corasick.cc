@@ -1,0 +1,103 @@
+#include "strmatch/aho_corasick.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace smpx::strmatch {
+
+AhoCorasickMatcher::AhoCorasickMatcher(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns)) {
+  assert(!patterns_.empty());
+  nodes_.emplace_back();
+  nodes_[0].go.fill(0);
+  min_len_ = patterns_[0].size();
+  max_len_ = 0;
+
+  // Build the plain trie first (go entries point to 0 meaning "unset";
+  // disambiguated because no edge ever returns to the root in a trie).
+  std::vector<std::array<int, 256>> raw(1);
+  raw[0].fill(-1);
+  for (size_t pi = 0; pi < patterns_.size(); ++pi) {
+    const std::string& p = patterns_[pi];
+    assert(!p.empty());
+    min_len_ = std::min(min_len_, p.size());
+    max_len_ = std::max(max_len_, p.size());
+    int node = 0;
+    for (char ch : p) {
+      unsigned char c = static_cast<unsigned char>(ch);
+      if (raw[static_cast<size_t>(node)][c] < 0) {
+        raw[static_cast<size_t>(node)][c] = static_cast<int>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_.back().go.fill(0);
+        raw.emplace_back();
+        raw.back().fill(-1);
+      }
+      node = raw[static_cast<size_t>(node)][c];
+    }
+    if (nodes_[static_cast<size_t>(node)].pattern < 0 ||
+        nodes_[static_cast<size_t>(node)].pattern_len <
+            static_cast<int>(p.size())) {
+      nodes_[static_cast<size_t>(node)].pattern = static_cast<int>(pi);
+      nodes_[static_cast<size_t>(node)].pattern_len =
+          static_cast<int>(p.size());
+    }
+  }
+
+  // BFS: complete goto into a DFA and fold outputs along failure links.
+  std::vector<int> fail(nodes_.size(), 0);
+  std::queue<int> bfs;
+  for (int c = 0; c < 256; ++c) {
+    int child = raw[0][c];
+    if (child < 0) {
+      nodes_[0].go[static_cast<size_t>(c)] = 0;
+    } else {
+      nodes_[0].go[static_cast<size_t>(c)] = child;
+      bfs.push(child);
+    }
+  }
+  while (!bfs.empty()) {
+    int u = bfs.front();
+    bfs.pop();
+    int fu = fail[static_cast<size_t>(u)];
+    // Prefer reporting the longest pattern ending at u (smallest start).
+    if (nodes_[static_cast<size_t>(fu)].pattern >= 0 &&
+        nodes_[static_cast<size_t>(fu)].pattern_len >
+            nodes_[static_cast<size_t>(u)].pattern_len) {
+      nodes_[static_cast<size_t>(u)].pattern =
+          nodes_[static_cast<size_t>(fu)].pattern;
+      nodes_[static_cast<size_t>(u)].pattern_len =
+          nodes_[static_cast<size_t>(fu)].pattern_len;
+    }
+    for (int c = 0; c < 256; ++c) {
+      int child = raw[static_cast<size_t>(u)][c];
+      if (child < 0) {
+        nodes_[static_cast<size_t>(u)].go[static_cast<size_t>(c)] =
+            nodes_[static_cast<size_t>(fu)].go[static_cast<size_t>(c)];
+      } else {
+        nodes_[static_cast<size_t>(u)].go[static_cast<size_t>(c)] = child;
+        fail[static_cast<size_t>(child)] =
+            nodes_[static_cast<size_t>(fu)].go[static_cast<size_t>(c)];
+        bfs.push(child);
+      }
+    }
+  }
+}
+
+Match AhoCorasickMatcher::Search(std::string_view text, size_t from,
+                                 SearchStats* stats) const {
+  int state = 0;
+  for (size_t i = from; i < text.size(); ++i) {
+    if (stats != nullptr) ++stats->comparisons;
+    state = nodes_[static_cast<size_t>(state)]
+                .go[static_cast<unsigned char>(text[i])];
+    const Node& node = nodes_[static_cast<size_t>(state)];
+    if (node.pattern >= 0) {
+      size_t start = i + 1 - static_cast<size_t>(node.pattern_len);
+      if (start >= from) return {start, node.pattern};
+    }
+  }
+  return {};
+}
+
+}  // namespace smpx::strmatch

@@ -1,0 +1,46 @@
+// Aho-Corasick multi-keyword automaton [12]: inspects every character of the
+// text (no skips). Serves as the related-work baseline (Takeda et al. [21]
+// build XML matching on AC) and as a correctness oracle for the skip-based
+// matchers.
+
+#ifndef SMPX_STRMATCH_AHO_CORASICK_H_
+#define SMPX_STRMATCH_AHO_CORASICK_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "strmatch/matcher.h"
+
+namespace smpx::strmatch {
+
+class AhoCorasickMatcher : public Matcher {
+ public:
+  explicit AhoCorasickMatcher(std::vector<std::string> patterns);
+
+  Match Search(std::string_view text, size_t from,
+               SearchStats* stats) const override;
+
+  size_t min_length() const override { return min_len_; }
+  size_t max_length() const override { return max_len_; }
+  const std::vector<std::string>& patterns() const override {
+    return patterns_;
+  }
+  std::string_view name() const override { return "AC"; }
+
+ private:
+  struct Node {
+    std::array<int, 256> go;  // goto function completed into a DFA
+    int pattern = -1;         // longest pattern ending here (after closure)
+    int pattern_len = 0;
+  };
+
+  std::vector<std::string> patterns_;
+  std::vector<Node> nodes_;
+  size_t min_len_ = 0;
+  size_t max_len_ = 0;
+};
+
+}  // namespace smpx::strmatch
+
+#endif  // SMPX_STRMATCH_AHO_CORASICK_H_

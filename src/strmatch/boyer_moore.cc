@@ -1,0 +1,131 @@
+#include "strmatch/boyer_moore.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smpx::strmatch {
+namespace {
+
+// Computes, for each position i, the length of the longest suffix of the
+// pattern that ends at i (the classical "suffixes" array of the good-suffix
+// preprocessing). Signed arithmetic follows the textbook formulation.
+std::vector<int> ComputeSuffixes(const std::string& p) {
+  const int m = static_cast<int>(p.size());
+  std::vector<int> suf(m, 0);
+  suf[m - 1] = m;
+  int g = m - 1;
+  int f = m - 1;
+  for (int i = m - 2; i >= 0; --i) {
+    if (i > g && suf[i + m - 1 - f] < i - g) {
+      suf[i] = suf[i + m - 1 - f];
+    } else {
+      if (i < g) g = i;
+      f = i;
+      while (g >= 0 && p[g] == p[g + m - 1 - f]) --g;
+      suf[i] = f - g;
+    }
+  }
+  return suf;
+}
+
+}  // namespace
+
+BoyerMooreMatcher::BoyerMooreMatcher(std::string pattern) {
+  assert(!pattern.empty());
+  patterns_.push_back(std::move(pattern));
+  const std::string& p = patterns_[0];
+  const size_t m = p.size();
+
+  bad_char_.fill(-1);
+  for (size_t i = 0; i < m; ++i) {
+    bad_char_[static_cast<unsigned char>(p[i])] = static_cast<int>(i);
+  }
+
+  // Strong good-suffix shift table (textbook preBmGs).
+  const int im = static_cast<int>(m);
+  good_suffix_.assign(m, m);
+  std::vector<int> suf = ComputeSuffixes(p);
+  int j = 0;
+  for (int i = im - 1; i >= 0; --i) {
+    // Case 2: a prefix of p equals the matched suffix.
+    if (suf[i] == i + 1) {
+      for (; j < im - 1 - i; ++j) {
+        if (good_suffix_[j] == m) good_suffix_[j] = im - 1 - i;
+      }
+    }
+  }
+  for (int i = 0; i <= im - 2; ++i) {
+    // Case 1: the matched suffix reoccurs elsewhere in the pattern.
+    good_suffix_[im - 1 - suf[i]] = im - 1 - i;
+  }
+}
+
+Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
+                                SearchStats* stats) const {
+  const std::string& p = patterns_[0];
+  const size_t m = p.size();
+  const size_t n = text.size();
+  if (from > n || n - from < m) return {};
+
+  size_t i = from;  // current alignment: pattern start at text position i
+  while (i + m <= n) {
+    size_t j = m;  // compare right to left; j is 1 + index to compare
+    while (j > 0) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (text[i + j - 1] != p[j - 1]) break;
+      --j;
+    }
+    if (j == 0) return {i, 0};
+    const size_t jm1 = j - 1;
+    int bc = bad_char_[static_cast<unsigned char>(text[i + jm1])];
+    ptrdiff_t bad_shift = static_cast<ptrdiff_t>(jm1) - bc;
+    size_t shift = std::max<ptrdiff_t>(
+        static_cast<ptrdiff_t>(good_suffix_[jm1]), bad_shift);
+    if (shift == 0) shift = 1;  // defensive; strong tables never yield 0
+    if (stats != nullptr) {
+      ++stats->shifts;
+      stats->shift_chars += shift;
+    }
+    i += shift;
+  }
+  return {};
+}
+
+HorspoolMatcher::HorspoolMatcher(std::string pattern) {
+  assert(!pattern.empty());
+  patterns_.push_back(std::move(pattern));
+  const std::string& p = patterns_[0];
+  const size_t m = p.size();
+  shift_.fill(m);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    shift_[static_cast<unsigned char>(p[i])] = m - 1 - i;
+  }
+}
+
+Match HorspoolMatcher::Search(std::string_view text, size_t from,
+                              SearchStats* stats) const {
+  const std::string& p = patterns_[0];
+  const size_t m = p.size();
+  const size_t n = text.size();
+  if (from > n || n - from < m) return {};
+
+  size_t i = from;
+  while (i + m <= n) {
+    size_t j = m;
+    while (j > 0) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (text[i + j - 1] != p[j - 1]) break;
+      --j;
+    }
+    if (j == 0) return {i, 0};
+    size_t shift = shift_[static_cast<unsigned char>(text[i + m - 1])];
+    if (stats != nullptr) {
+      ++stats->shifts;
+      stats->shift_chars += shift;
+    }
+    i += shift;
+  }
+  return {};
+}
+
+}  // namespace smpx::strmatch

@@ -1,0 +1,70 @@
+#include <memory>
+
+#include "strmatch/aho_corasick.h"
+#include "strmatch/boyer_moore.h"
+#include "strmatch/commentz_walter.h"
+#include "strmatch/matcher.h"
+#include "strmatch/naive.h"
+
+namespace smpx::strmatch {
+
+std::unique_ptr<Matcher> MakeMatcher(std::vector<std::string> patterns,
+                                     Algorithm algo) {
+  if (patterns.empty()) return nullptr;
+  for (const std::string& p : patterns) {
+    if (p.empty()) return nullptr;
+  }
+  switch (algo) {
+    case Algorithm::kAuto:
+      if (patterns.size() == 1) {
+        return std::make_unique<BoyerMooreMatcher>(std::move(patterns[0]));
+      }
+      return std::make_unique<CommentzWalterMatcher>(std::move(patterns));
+    case Algorithm::kBoyerMoore:
+      if (patterns.size() != 1) return nullptr;
+      return std::make_unique<BoyerMooreMatcher>(std::move(patterns[0]));
+    case Algorithm::kHorspool:
+      if (patterns.size() != 1) return nullptr;
+      return std::make_unique<HorspoolMatcher>(std::move(patterns[0]));
+    case Algorithm::kCommentzWalter:
+      return std::make_unique<CommentzWalterMatcher>(std::move(patterns));
+    case Algorithm::kSetHorspool:
+      return std::make_unique<SetHorspoolMatcher>(std::move(patterns));
+    case Algorithm::kAhoCorasick:
+      return std::make_unique<AhoCorasickMatcher>(std::move(patterns));
+    case Algorithm::kNaive:
+      return std::make_unique<NaiveMatcher>(std::move(patterns));
+    case Algorithm::kMemchr: {
+      char lead = patterns[0][0];
+      for (const std::string& p : patterns) {
+        if (p[0] != lead) return nullptr;
+      }
+      return std::make_unique<MemchrMatcher>(std::move(patterns));
+    }
+  }
+  return nullptr;
+}
+
+std::string_view AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAuto:
+      return "Auto";
+    case Algorithm::kBoyerMoore:
+      return "BM";
+    case Algorithm::kHorspool:
+      return "Horspool";
+    case Algorithm::kCommentzWalter:
+      return "CW";
+    case Algorithm::kSetHorspool:
+      return "SetHorspool";
+    case Algorithm::kAhoCorasick:
+      return "AC";
+    case Algorithm::kNaive:
+      return "Naive";
+    case Algorithm::kMemchr:
+      return "Memchr";
+  }
+  return "Unknown";
+}
+
+}  // namespace smpx::strmatch

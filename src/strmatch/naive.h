@@ -1,0 +1,61 @@
+// Reference scanners: a position-by-position naive matcher (the oracle used
+// in differential tests) and a memchr('<')-driven scanner that models what a
+// hand-tuned tag seeker without skip tables achieves.
+
+#ifndef SMPX_STRMATCH_NAIVE_H_
+#define SMPX_STRMATCH_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "strmatch/matcher.h"
+
+namespace smpx::strmatch {
+
+class NaiveMatcher : public Matcher {
+ public:
+  explicit NaiveMatcher(std::vector<std::string> patterns);
+
+  Match Search(std::string_view text, size_t from,
+               SearchStats* stats) const override;
+
+  size_t min_length() const override { return min_len_; }
+  size_t max_length() const override { return max_len_; }
+  const std::vector<std::string>& patterns() const override {
+    return patterns_;
+  }
+  std::string_view name() const override { return "Naive"; }
+
+ private:
+  std::vector<std::string> patterns_;
+  size_t min_len_ = 0;
+  size_t max_len_ = 0;
+};
+
+/// Scans with memchr for the first character of each pattern (all prefilter
+/// keywords start with '<'), then verifies candidates. Requires every
+/// pattern to share the same first character.
+class MemchrMatcher : public Matcher {
+ public:
+  explicit MemchrMatcher(std::vector<std::string> patterns);
+
+  Match Search(std::string_view text, size_t from,
+               SearchStats* stats) const override;
+
+  size_t min_length() const override { return min_len_; }
+  size_t max_length() const override { return max_len_; }
+  const std::vector<std::string>& patterns() const override {
+    return patterns_;
+  }
+  std::string_view name() const override { return "Memchr"; }
+
+ private:
+  std::vector<std::string> patterns_;
+  char lead_;
+  size_t min_len_ = 0;
+  size_t max_len_ = 0;
+};
+
+}  // namespace smpx::strmatch
+
+#endif  // SMPX_STRMATCH_NAIVE_H_

@@ -1,0 +1,162 @@
+#include "xml/dom.h"
+
+#include "common/strings.h"
+#include "xml/escape.h"
+#include "xml/tokenizer.h"
+
+namespace smpx::xml {
+namespace {
+
+uint64_t NodeBytes(const DomNode& n) {
+  uint64_t b = sizeof(DomNode);
+  b += n.name.capacity() + n.text.capacity();
+  for (const DomAttribute& a : n.attrs) {
+    b += sizeof(DomAttribute) + a.name.capacity() + a.value.capacity();
+  }
+  b += n.children.capacity() * sizeof(NodeId);
+  return b;
+}
+
+}  // namespace
+
+NodeId Document::AddNode(DomNode node) {
+  approx_bytes_ += NodeBytes(node);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Document::SerializeTo(NodeId id, std::string* out) const {
+  const DomNode& n = nodes_[id];
+  if (n.kind == DomNode::Kind::kText) {
+    out->append(EscapeText(n.text));
+    return;
+  }
+  out->push_back('<');
+  out->append(n.name);
+  for (const DomAttribute& a : n.attrs) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    out->append(EscapeAttribute(a.value));
+    out->push_back('"');
+  }
+  if (n.children.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  for (NodeId c : n.children) SerializeTo(c, out);
+  out->append("</");
+  out->append(n.name);
+  out->push_back('>');
+}
+
+std::string Document::Serialize(NodeId id) const {
+  std::string out;
+  SerializeTo(id, &out);
+  return out;
+}
+
+std::string Document::TextContent(NodeId id) const {
+  std::string out;
+  std::vector<NodeId> stack = {id};
+  // Iterative DFS preserving document order.
+  std::vector<NodeId> order;
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    const DomNode& n = nodes_[cur];
+    if (n.kind == DomNode::Kind::kText) {
+      order.push_back(cur);
+    } else {
+      for (size_t i = n.children.size(); i-- > 0;) {
+        stack.push_back(n.children[i]);
+      }
+    }
+  }
+  for (NodeId t : order) out += nodes_[t].text;
+  return out;
+}
+
+Result<Document> ParseDocument(std::string_view input,
+                               const ParseOptions& opts) {
+  TokenizerOptions topts;
+  topts.check_well_formed = true;
+  Tokenizer tok(input, topts);
+
+  Document doc;
+  std::vector<NodeId> stack;
+  bool have_root = false;
+  Token t;
+  while (tok.Next(&t)) {
+    if (opts.memory_budget != 0 && doc.approx_bytes() > opts.memory_budget) {
+      return Status::ResourceExhausted(
+          "document tree exceeds the memory budget of " +
+          std::to_string(opts.memory_budget) + " bytes");
+    }
+    switch (t.type) {
+      case TokenType::kStartTag:
+      case TokenType::kEmptyTag: {
+        if (stack.empty() && have_root) {
+          return Status::ParseError("multiple root elements");
+        }
+        DomNode n;
+        n.kind = DomNode::Kind::kElement;
+        n.name = std::string(t.name);
+        for (const Attribute& a : t.attrs) {
+          n.attrs.push_back(
+              DomAttribute{std::string(a.name), Unescape(a.value)});
+        }
+        n.parent = stack.empty() ? kInvalidNode : stack.back();
+        NodeId id = doc.AddNode(std::move(n));
+        if (!stack.empty()) {
+          doc.node(stack.back()).children.push_back(id);
+        } else {
+          have_root = true;
+          if (id != doc.root()) {
+            return Status::Internal("root element is not node 0");
+          }
+        }
+        if (t.type == TokenType::kStartTag) stack.push_back(id);
+        break;
+      }
+      case TokenType::kEndTag:
+        // Balance already checked by the tokenizer.
+        stack.pop_back();
+        break;
+      case TokenType::kText: {
+        if (stack.empty()) break;  // prolog whitespace
+        if (opts.skip_whitespace_text &&
+            StripWhitespace(t.text).empty()) {
+          break;
+        }
+        DomNode n;
+        n.kind = DomNode::Kind::kText;
+        n.text = Unescape(t.text);
+        n.parent = stack.back();
+        NodeId id = doc.AddNode(std::move(n));
+        doc.node(stack.back()).children.push_back(id);
+        break;
+      }
+      case TokenType::kCData: {
+        if (stack.empty()) break;
+        DomNode n;
+        n.kind = DomNode::Kind::kText;
+        n.text = std::string(t.text);
+        n.parent = stack.back();
+        NodeId id = doc.AddNode(std::move(n));
+        doc.node(stack.back()).children.push_back(id);
+        break;
+      }
+      case TokenType::kComment:
+      case TokenType::kPi:
+      case TokenType::kDoctype:
+        break;  // not materialized
+    }
+  }
+  SMPX_RETURN_IF_ERROR(tok.status());
+  if (!have_root) return Status::ParseError("no root element");
+  return doc;
+}
+
+}  // namespace smpx::xml

@@ -1,0 +1,87 @@
+// Arena-based in-memory XML tree with an explicit allocation budget. The
+// budget reproduces the paper's Fig. 7(a) setup, where the in-memory query
+// engine (QizX, capped at 1 GB heap) fails on large unprojected documents
+// but succeeds after prefiltering.
+
+#ifndef SMPX_XML_DOM_H_
+#define SMPX_XML_DOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smpx::xml {
+
+/// Node index into Document::nodes; 0 is always the root element.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct DomAttribute {
+  std::string name;
+  std::string value;  ///< entity-expanded
+};
+
+struct DomNode {
+  enum class Kind : unsigned char { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  std::string name;               ///< element name (elements only)
+  std::string text;               ///< character data (text nodes only)
+  std::vector<DomAttribute> attrs;
+  std::vector<NodeId> children;
+  NodeId parent = kInvalidNode;
+};
+
+/// A parsed document. Move-only (the node arena can be large).
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  const DomNode& node(NodeId id) const { return nodes_[id]; }
+  DomNode& node(NodeId id) { return nodes_[id]; }
+  NodeId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Approximate heap footprint of the tree, the unit the memory budget is
+  /// accounted in.
+  uint64_t approx_bytes() const { return approx_bytes_; }
+
+  /// Appends a node; used by the parser and by tests building trees by hand.
+  NodeId AddNode(DomNode node);
+
+  /// Serializes the subtree at `id` (whole document for root()).
+  std::string Serialize(NodeId id) const;
+  void SerializeTo(NodeId id, std::string* out) const;
+
+  /// Concatenated text content of the subtree (XPath string-value).
+  std::string TextContent(NodeId id) const;
+
+ private:
+  std::vector<DomNode> nodes_;
+  uint64_t approx_bytes_ = 0;
+};
+
+struct ParseOptions {
+  /// Maximum approx_bytes() the tree may reach; 0 = unlimited. Exceeding it
+  /// yields ResourceExhausted -- the "out of main memory" outcome of
+  /// Fig. 7(a).
+  uint64_t memory_budget = 0;
+  /// Drop whitespace-only text nodes.
+  bool skip_whitespace_text = true;
+};
+
+/// Parses a document (prolog/DOCTYPE/comments allowed and skipped).
+Result<Document> ParseDocument(std::string_view input,
+                               const ParseOptions& opts = {});
+
+}  // namespace smpx::xml
+
+#endif  // SMPX_XML_DOM_H_

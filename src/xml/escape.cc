@@ -1,0 +1,92 @@
+#include "xml/escape.h"
+
+#include <cstdlib>
+
+namespace smpx::xml {
+namespace {
+
+std::string EscapeImpl(std::string_view raw, bool attr) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (attr) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view raw) { return EscapeImpl(raw, false); }
+
+std::string EscapeAttribute(std::string_view raw) {
+  return EscapeImpl(raw, true);
+}
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out += s[i++];
+      continue;
+    }
+    size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out += s[i++];
+      continue;
+    }
+    std::string_view ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "amp") {
+      out += '&';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      } else {
+        // Preserve non-ASCII references verbatim; we operate byte-wise.
+        out.append(s.substr(i, semi - i + 1));
+      }
+    } else {
+      out.append(s.substr(i, semi - i + 1));
+      i = semi + 1;
+      continue;
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace smpx::xml

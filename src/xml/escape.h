@@ -1,0 +1,23 @@
+// XML entity escaping/unescaping for text and attribute values.
+
+#ifndef SMPX_XML_ESCAPE_H_
+#define SMPX_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace smpx::xml {
+
+/// Escapes '&', '<', '>' for element content.
+std::string EscapeText(std::string_view raw);
+
+/// Escapes '&', '<', '>', '"' for double-quoted attribute values.
+std::string EscapeAttribute(std::string_view raw);
+
+/// Expands the five predefined entities and decimal/hex character
+/// references. Unknown entities are preserved verbatim.
+std::string Unescape(std::string_view escaped);
+
+}  // namespace smpx::xml
+
+#endif  // SMPX_XML_ESCAPE_H_

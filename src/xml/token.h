@@ -1,0 +1,50 @@
+// XML token model produced by the SAX-style tokenizer. This is the
+// "tokenize everything" representation the paper's baselines rely on and
+// that the SMP prefilter deliberately avoids.
+
+#ifndef SMPX_XML_TOKEN_H_
+#define SMPX_XML_TOKEN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace smpx::xml {
+
+enum class TokenType : unsigned char {
+  kStartTag,   ///< <a ...>
+  kEndTag,     ///< </a>
+  kEmptyTag,   ///< <a ...
+               ///< (bachelor tag in the paper's terminology)
+  kText,       ///< character data
+  kComment,    ///< <!-- ... -->
+  kPi,         ///< <? ... ?>
+  kDoctype,    ///< <!DOCTYPE ...> (with optional internal subset)
+  kCData,      ///< <![CDATA[ ... ]]>
+};
+
+/// One attribute; views point into the tokenizer's input buffer.
+struct Attribute {
+  std::string_view name;
+  std::string_view value;  ///< raw value, entities not expanded
+};
+
+/// A single token; all views point into the tokenizer's input buffer and
+/// stay valid as long as that buffer lives.
+struct Token {
+  TokenType type = TokenType::kText;
+  std::string_view name;        ///< tag name for tag tokens
+  std::string_view text;        ///< character data / comment body
+  std::vector<Attribute> attrs; ///< start/empty tags only
+  uint64_t begin = 0;           ///< byte offset of the token's first char
+  uint64_t end = 0;             ///< one past the token's last char
+
+  bool IsTag() const {
+    return type == TokenType::kStartTag || type == TokenType::kEndTag ||
+           type == TokenType::kEmptyTag;
+  }
+};
+
+}  // namespace smpx::xml
+
+#endif  // SMPX_XML_TOKEN_H_

@@ -1,0 +1,324 @@
+#include "xml/tokenizer.h"
+
+#include "common/strings.h"
+
+namespace smpx::xml {
+
+Tokenizer::Tokenizer(std::string_view input, TokenizerOptions opts)
+    : input_(input), opts_(opts) {}
+
+void Tokenizer::Fail(const std::string& msg) {
+  if (status_.ok()) {
+    status_ = Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+  pos_ = input_.size();  // stop iteration
+}
+
+bool Tokenizer::Next(Token* token) {
+  if (!status_.ok() || pos_ >= input_.size()) {
+    if (status_.ok() && opts_.check_well_formed && !open_tags_.empty()) {
+      status_ = Status::ParseError("unclosed element <" +
+                                   std::string(open_tags_.back()) +
+                                   "> at end of input");
+      open_tags_.clear();
+    }
+    return false;
+  }
+  if (input_[pos_] == '<') {
+    if (pos_ + 1 < input_.size() &&
+        (input_[pos_ + 1] == '!' || input_[pos_ + 1] == '?')) {
+      return LexMarkupDeclaration(token);
+    }
+    return LexTag(token);
+  }
+  return LexText(token);
+}
+
+bool Tokenizer::LexText(Token* token) {
+  // Conforming SAX behaviour: character data is examined character by
+  // character -- every byte must be checked for markup ('<'), entity
+  // references ('&' must start a well-formed reference), and character
+  // validity. This is the cost the paper's prefilter avoids by skipping.
+  uint64_t begin = pos_;
+  uint64_t p = pos_;
+  while (p < input_.size()) {
+    char c = input_[p];
+    if (c == '<') break;
+    if (c == '&') {
+      uint64_t q = p + 1;
+      if (q < input_.size() && input_[q] == '#') {
+        ++q;
+        if (q < input_.size() && (input_[q] == 'x' || input_[q] == 'X')) ++q;
+        while (q < input_.size() &&
+               ((input_[q] >= '0' && input_[q] <= '9') ||
+                (input_[q] >= 'a' && input_[q] <= 'f') ||
+                (input_[q] >= 'A' && input_[q] <= 'F'))) {
+          ++q;
+        }
+      } else {
+        while (q < input_.size() && IsNameChar(input_[q])) ++q;
+      }
+      if (q <= p + 1 || q >= input_.size() || input_[q] != ';') {
+        pos_ = p;
+        Fail("bare '&' in character data");
+        return false;
+      }
+      p = q + 1;
+      continue;
+    }
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\t' && c != '\n' &&
+        c != '\r') {
+      pos_ = p;
+      Fail("invalid control character in character data");
+      return false;
+    }
+    ++p;
+  }
+  uint64_t end = p;
+  pos_ = end;
+  std::string_view text = input_.substr(begin, end - begin);
+  if (!opts_.report_whitespace_text &&
+      StripWhitespace(text).empty()) {
+    return Next(token);
+  }
+  token->type = TokenType::kText;
+  token->name = {};
+  token->text = text;
+  token->attrs.clear();
+  token->begin = begin;
+  token->end = end;
+  return true;
+}
+
+bool Tokenizer::LexMarkupDeclaration(Token* token) {
+  uint64_t begin = pos_;
+  if (input_[pos_ + 1] == '?') {
+    size_t close = input_.find("?>", pos_ + 2);
+    if (close == std::string_view::npos) {
+      Fail("unterminated processing instruction");
+      return false;
+    }
+    token->type = TokenType::kPi;
+    token->text = input_.substr(pos_ + 2, close - pos_ - 2);
+    token->name = {};
+    token->attrs.clear();
+    token->begin = begin;
+    token->end = close + 2;
+    pos_ = close + 2;
+    return true;
+  }
+  // '<!': comment, CDATA, or DOCTYPE.
+  if (StartsWith(input_.substr(pos_), "<!--")) {
+    size_t close = input_.find("-->", pos_ + 4);
+    if (close == std::string_view::npos) {
+      Fail("unterminated comment");
+      return false;
+    }
+    token->type = TokenType::kComment;
+    token->text = input_.substr(pos_ + 4, close - pos_ - 4);
+    token->name = {};
+    token->attrs.clear();
+    token->begin = begin;
+    token->end = close + 3;
+    pos_ = close + 3;
+    return true;
+  }
+  if (StartsWith(input_.substr(pos_), "<![CDATA[")) {
+    size_t close = input_.find("]]>", pos_ + 9);
+    if (close == std::string_view::npos) {
+      Fail("unterminated CDATA section");
+      return false;
+    }
+    token->type = TokenType::kCData;
+    token->text = input_.substr(pos_ + 9, close - pos_ - 9);
+    token->name = {};
+    token->attrs.clear();
+    token->begin = begin;
+    token->end = close + 3;
+    pos_ = close + 3;
+    return true;
+  }
+  if (StartsWith(input_.substr(pos_), "<!DOCTYPE")) {
+    // Scan to the matching '>' respecting one level of '[...]' subset.
+    uint64_t p = pos_ + 9;
+    int bracket = 0;
+    while (p < input_.size()) {
+      char c = input_[p];
+      if (c == '[') ++bracket;
+      if (c == ']') --bracket;
+      if (c == '>' && bracket <= 0) break;
+      ++p;
+    }
+    if (p >= input_.size()) {
+      Fail("unterminated DOCTYPE");
+      return false;
+    }
+    token->type = TokenType::kDoctype;
+    token->text = input_.substr(pos_, p + 1 - pos_);
+    token->name = {};
+    token->attrs.clear();
+    token->begin = begin;
+    token->end = p + 1;
+    pos_ = p + 1;
+    return true;
+  }
+  Fail("unrecognized markup declaration");
+  return false;
+}
+
+bool Tokenizer::LexTag(Token* token) {
+  uint64_t begin = pos_;
+  uint64_t p = pos_ + 1;
+  bool closing = false;
+  if (p < input_.size() && input_[p] == '/') {
+    closing = true;
+    ++p;
+  }
+  if (p >= input_.size() || !IsNameStartChar(input_[p])) {
+    Fail("expected tag name after '<'");
+    return false;
+  }
+  uint64_t name_begin = p;
+  while (p < input_.size() && IsNameChar(input_[p])) ++p;
+  std::string_view name = input_.substr(name_begin, p - name_begin);
+
+  token->attrs.clear();
+  // Attributes (start tags only; closing tags allow trailing whitespace).
+  for (;;) {
+    while (p < input_.size() && IsXmlWhitespace(input_[p])) ++p;
+    if (p >= input_.size()) {
+      Fail("unterminated tag");
+      return false;
+    }
+    char c = input_[p];
+    if (c == '>') {
+      ++p;
+      break;
+    }
+    if (c == '/') {
+      if (closing || p + 1 >= input_.size() || input_[p + 1] != '>') {
+        Fail("malformed tag end");
+        return false;
+      }
+      p += 2;
+      token->type = TokenType::kEmptyTag;
+      token->name = name;
+      token->text = {};
+      token->begin = begin;
+      token->end = p;
+      pos_ = p;
+      return true;
+    }
+    if (closing) {
+      Fail("unexpected character in closing tag");
+      return false;
+    }
+    if (!IsNameStartChar(c)) {
+      Fail("expected attribute name");
+      return false;
+    }
+    uint64_t an = p;
+    while (p < input_.size() && IsNameChar(input_[p])) ++p;
+    std::string_view aname = input_.substr(an, p - an);
+    while (p < input_.size() && IsXmlWhitespace(input_[p])) ++p;
+    if (p >= input_.size() || input_[p] != '=') {
+      Fail("expected '=' after attribute name");
+      return false;
+    }
+    ++p;
+    while (p < input_.size() && IsXmlWhitespace(input_[p])) ++p;
+    if (p >= input_.size() || (input_[p] != '"' && input_[p] != '\'')) {
+      Fail("expected quoted attribute value");
+      return false;
+    }
+    char quote = input_[p];
+    ++p;
+    uint64_t vb = p;
+    while (p < input_.size() && input_[p] != quote) {
+      if (input_[p] == '<') {
+        Fail("'<' not allowed in attribute value");
+        return false;
+      }
+      ++p;
+    }
+    if (p >= input_.size()) {
+      Fail("unterminated attribute value");
+      return false;
+    }
+    token->attrs.push_back(Attribute{aname, input_.substr(vb, p - vb)});
+    ++p;
+  }
+
+  token->type = closing ? TokenType::kEndTag : TokenType::kStartTag;
+  token->name = name;
+  token->text = {};
+  token->begin = begin;
+  token->end = p;
+  pos_ = p;
+
+  if (opts_.check_well_formed) {
+    if (closing) {
+      if (open_tags_.empty() || open_tags_.back() != name) {
+        pos_ = begin;  // report at the offending tag
+        Fail("mismatched closing tag </" + std::string(name) + ">");
+        return false;
+      }
+      open_tags_.pop_back();
+    } else {
+      open_tags_.push_back(name);
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> TokenizeAll(std::string_view input,
+                                       TokenizerOptions opts) {
+  Tokenizer tok(input, opts);
+  std::vector<Token> out;
+  Token t;
+  while (tok.Next(&t)) out.push_back(t);
+  if (!tok.status().ok()) return tok.status();
+  return out;
+}
+
+Status CheckWellFormed(std::string_view input) {
+  TokenizerOptions opts;
+  opts.check_well_formed = true;
+  Tokenizer tok(input, opts);
+  Token t;
+  int depth = 0;
+  int roots = 0;
+  bool seen_any = false;
+  while (tok.Next(&t)) {
+    seen_any = true;
+    switch (t.type) {
+      case TokenType::kStartTag:
+        if (depth == 0) ++roots;
+        ++depth;
+        break;
+      case TokenType::kEndTag:
+        --depth;
+        break;
+      case TokenType::kEmptyTag:
+        if (depth == 0) ++roots;
+        break;
+      case TokenType::kText:
+        if (depth == 0 && !StripWhitespace(t.text).empty()) {
+          return Status::ParseError("character data outside the root element");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  SMPX_RETURN_IF_ERROR(tok.status());
+  if (!seen_any || roots == 0) {
+    return Status::ParseError("no root element");
+  }
+  if (roots > 1) {
+    return Status::ParseError("multiple root elements");
+  }
+  return Status::Ok();
+}
+
+}  // namespace smpx::xml

@@ -1,0 +1,72 @@
+// Pull-based SAX-style XML tokenizer over a contiguous buffer. This is the
+// substrate for every "tokenize the whole input" system in the evaluation:
+// the Xerces throughput stand-in (Fig. 7c), the TBP-style projector
+// (Table III), the streaming XPath engine (Fig. 7b), and the DOM builder.
+//
+// It deliberately processes *every* character -- the contrast to the
+// skip-based prefilter is the paper's central claim.
+
+#ifndef SMPX_XML_TOKENIZER_H_
+#define SMPX_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "xml/token.h"
+
+namespace smpx::xml {
+
+/// Tokenizer options; the two presets model the SAX1/SAX2 gap in Fig. 7(c).
+struct TokenizerOptions {
+  /// Verify tag nesting (open/close balance); "SAX2-like" mode.
+  bool check_well_formed = false;
+  /// Deliver whitespace-only text tokens (they are always scanned either way).
+  bool report_whitespace_text = true;
+};
+
+class Tokenizer {
+ public:
+  /// `input` must outlive the tokenizer; token views point into it.
+  explicit Tokenizer(std::string_view input, TokenizerOptions opts = {});
+
+  /// Fetches the next token into `*token`. Returns true when a token was
+  /// produced, false at end of input. Errors are reported via status().
+  bool Next(Token* token);
+
+  /// First error encountered, if any.
+  const Status& status() const { return status_; }
+
+  /// Byte offset of the next unconsumed character.
+  uint64_t position() const { return pos_; }
+
+  /// True once the input is exhausted without a pending error.
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+ private:
+  bool LexTag(Token* token);
+  bool LexText(Token* token);
+  bool LexMarkupDeclaration(Token* token);  // comments, doctype, CDATA
+  void Fail(const std::string& msg);
+
+  std::string_view input_;
+  TokenizerOptions opts_;
+  uint64_t pos_ = 0;
+  Status status_;
+  std::vector<std::string_view> open_tags_;  // only when check_well_formed
+};
+
+/// Convenience: tokenizes the whole input, returning all tokens or the
+/// first error.
+Result<std::vector<Token>> TokenizeAll(std::string_view input,
+                                       TokenizerOptions opts = {});
+
+/// Checks that `input` is a well-formed element tree (single root, balanced
+/// tags). Used by tests on projector output.
+Status CheckWellFormed(std::string_view input);
+
+}  // namespace smpx::xml
+
+#endif  // SMPX_XML_TOKENIZER_H_

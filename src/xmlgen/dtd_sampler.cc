@@ -1,0 +1,251 @@
+#include "xmlgen/dtd_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dtd/glushkov.h"
+
+namespace smpx::xmlgen {
+namespace {
+
+using dtd::ContentExpr;
+using dtd::ContentModel;
+
+/// Builds a random content expression over child names `pool` (all with
+/// index greater than the owner, passed in by the caller).
+ContentExpr RandomExpr(Rng* rng, const std::vector<std::string>& pool,
+                       int budget, int depth) {
+  if (budget <= 1 || depth >= 3 || pool.size() == 1) {
+    ContentExpr name;
+    name.op = ContentExpr::Op::kName;
+    name.name = pool[static_cast<size_t>(
+        Uniform(rng, 0, static_cast<int64_t>(pool.size()) - 1))];
+    // Random modifier.
+    double roll = Uniform(rng, 0, 99) / 100.0;
+    if (roll < 0.2) {
+      ContentExpr wrap;
+      wrap.op = roll < 0.07   ? ContentExpr::Op::kStar
+                : roll < 0.14 ? ContentExpr::Op::kPlus
+                              : ContentExpr::Op::kOpt;
+      wrap.kids.push_back(std::move(name));
+      return wrap;
+    }
+    return name;
+  }
+  ContentExpr group;
+  group.op = Chance(rng, 0.5) ? ContentExpr::Op::kSeq
+                              : ContentExpr::Op::kChoice;
+  int kids = static_cast<int>(Uniform(rng, 2, std::min(budget, 4)));
+  for (int i = 0; i < kids; ++i) {
+    group.kids.push_back(RandomExpr(rng, pool, budget / kids, depth + 1));
+  }
+  if (Chance(rng, 0.3)) {
+    ContentExpr wrap;
+    double roll = Uniform(rng, 0, 99) / 100.0;
+    wrap.op = roll < 0.4   ? ContentExpr::Op::kStar
+              : roll < 0.7 ? ContentExpr::Op::kPlus
+                           : ContentExpr::Op::kOpt;
+    wrap.kids.push_back(std::move(group));
+    return wrap;
+  }
+  return group;
+}
+
+}  // namespace
+
+dtd::Dtd RandomDtd(Rng* rng, const RandomDtdOptions& opts) {
+  dtd::Dtd out;
+  std::vector<std::string> names;
+  for (int i = 0; i < opts.num_elements; ++i) {
+    names.push_back("e" + std::to_string(i));
+  }
+  out.set_root(names[0]);
+  for (int i = 0; i < opts.num_elements; ++i) {
+    dtd::ElementDecl decl;
+    decl.name = names[static_cast<size_t>(i)];
+    std::vector<std::string> pool(names.begin() + i + 1, names.end());
+    bool leaf = pool.empty() || Chance(rng, opts.pcdata_ratio);
+    if (leaf) {
+      decl.model.kind = Chance(rng, 0.7) ? ContentModel::Kind::kPcdata
+                                         : ContentModel::Kind::kEmpty;
+    } else if (Chance(rng, 0.15)) {
+      // Mixed content over a small subset.
+      decl.model.kind = ContentModel::Kind::kMixed;
+      int picks = static_cast<int>(Uniform(
+          rng, 1, std::min<int64_t>(2, static_cast<int64_t>(pool.size()))));
+      for (int k = 0; k < picks; ++k) {
+        decl.model.mixed_names.push_back(pool[static_cast<size_t>(
+            Uniform(rng, 0, static_cast<int64_t>(pool.size()) - 1))]);
+      }
+      std::sort(decl.model.mixed_names.begin(), decl.model.mixed_names.end());
+      decl.model.mixed_names.erase(
+          std::unique(decl.model.mixed_names.begin(),
+                      decl.model.mixed_names.end()),
+          decl.model.mixed_names.end());
+    } else {
+      decl.model.kind = ContentModel::Kind::kRegex;
+      decl.model.expr = RandomExpr(rng, pool, opts.max_children, 0);
+    }
+    if (Chance(rng, opts.attr_ratio)) {
+      dtd::AttributeDecl attr;
+      attr.name = "a" + std::to_string(i);
+      attr.type = "CDATA";
+      attr.def = Chance(rng, 0.5) ? dtd::AttributeDecl::Default::kRequired
+                                  : dtd::AttributeDecl::Default::kImplied;
+      decl.attrs.push_back(std::move(attr));
+    }
+    out.AddElement(std::move(decl));
+  }
+  assert(!out.IsRecursive());
+  return out;
+}
+
+namespace {
+
+struct DocBuilder {
+  const dtd::Dtd* dtd;
+  Rng* rng;
+  const RandomDocumentOptions* opts;
+  std::string out;
+
+  void Attrs(const dtd::ElementDecl& decl) {
+    for (const dtd::AttributeDecl& a : decl.attrs) {
+      if (a.required() || Chance(rng, 0.3)) {
+        out += " " + a.name + "=\"v" +
+               std::to_string(Uniform(rng, 0, 9)) + "\"";
+      }
+    }
+  }
+
+  void Text() {
+    if (Chance(rng, opts->text_present)) {
+      AppendWords(rng, static_cast<int>(Uniform(rng, 1, 4)), &out);
+    }
+  }
+
+  void Expr(const ContentExpr& e, int depth) {
+    switch (e.op) {
+      case ContentExpr::Op::kName:
+        Element(e.name, depth);
+        return;
+      case ContentExpr::Op::kSeq:
+        for (const ContentExpr& k : e.kids) Expr(k, depth);
+        return;
+      case ContentExpr::Op::kChoice: {
+        size_t pick = static_cast<size_t>(Uniform(
+            rng, 0, static_cast<int64_t>(e.kids.size()) - 1));
+        Expr(e.kids[pick], depth);
+        return;
+      }
+      case ContentExpr::Op::kOpt:
+        if (Chance(rng, opts->opt_present)) Expr(e.kids[0], depth);
+        return;
+      case ContentExpr::Op::kStar: {
+        int n = 0;
+        while (n < opts->max_repeat && Chance(rng, opts->repeat_continue)) {
+          Expr(e.kids[0], depth);
+          ++n;
+        }
+        return;
+      }
+      case ContentExpr::Op::kPlus: {
+        Expr(e.kids[0], depth);
+        int n = 1;
+        while (n < opts->max_repeat && Chance(rng, opts->repeat_continue)) {
+          Expr(e.kids[0], depth);
+          ++n;
+        }
+        return;
+      }
+    }
+  }
+
+  void Element(const std::string& name, int depth) {
+    const dtd::ElementDecl* decl = dtd->Find(name);
+    assert(decl != nullptr);
+    const ContentModel& model = decl->model;
+    bool force_minimal = depth >= opts->max_depth;
+
+    bool empty_content =
+        model.kind == ContentModel::Kind::kEmpty ||
+        (model.Nullable() && (force_minimal || Chance(rng, 0.25)));
+    if (empty_content && Chance(rng, opts->bachelor_ratio)) {
+      out += "<" + name;
+      Attrs(*decl);
+      out += "/>";
+      return;
+    }
+    out += "<" + name;
+    Attrs(*decl);
+    out += ">";
+    if (!empty_content) {
+      switch (model.kind) {
+        case ContentModel::Kind::kEmpty:
+          break;
+        case ContentModel::Kind::kPcdata:
+          Text();
+          break;
+        case ContentModel::Kind::kAny:
+          Text();
+          break;
+        case ContentModel::Kind::kMixed: {
+          int pieces = static_cast<int>(Uniform(rng, 0, 4));
+          for (int i = 0; i < pieces; ++i) {
+            if (Chance(rng, 0.5)) {
+              Text();
+            } else {
+              size_t pick = static_cast<size_t>(Uniform(
+                  rng, 0,
+                  static_cast<int64_t>(model.mixed_names.size()) - 1));
+              Element(model.mixed_names[pick], depth + 1);
+            }
+          }
+          break;
+        }
+        case ContentModel::Kind::kRegex:
+          Expr(model.expr, depth + 1);
+          break;
+      }
+    }
+    out += "</" + name + ">";
+  }
+};
+
+}  // namespace
+
+std::string RandomDocument(const dtd::Dtd& dtd, Rng* rng,
+                           const RandomDocumentOptions& opts) {
+  DocBuilder b{&dtd, rng, &opts, {}};
+  b.Element(dtd.root(), 0);
+  return std::move(b.out);
+}
+
+std::vector<paths::ProjectionPath> RandomPaths(
+    const dtd::Dtd& dtd, Rng* rng, const RandomPathsOptions& opts) {
+  std::vector<std::string> names;
+  for (const dtd::ElementDecl& d : dtd.elements()) names.push_back(d.name);
+  std::vector<paths::ProjectionPath> out;
+  for (int i = 0; i < opts.num_paths; ++i) {
+    paths::ProjectionPath p;
+    int steps = static_cast<int>(Uniform(rng, 1, opts.max_steps));
+    for (int s = 0; s < steps; ++s) {
+      paths::PathStep step;
+      step.axis = Chance(rng, opts.descendant_ratio)
+                      ? paths::PathStep::Axis::kDescendant
+                      : paths::PathStep::Axis::kChild;
+      if (Chance(rng, opts.wildcard_ratio)) {
+        step.wildcard = true;
+      } else {
+        step.name = names[static_cast<size_t>(
+            Uniform(rng, 0, static_cast<int64_t>(names.size()) - 1))];
+      }
+      p.steps.push_back(std::move(step));
+    }
+    p.descendants = Chance(rng, opts.hash_ratio);
+    p.attributes = Chance(rng, opts.attr_flag_ratio);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace smpx::xmlgen

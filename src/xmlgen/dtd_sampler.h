@@ -1,0 +1,59 @@
+// Property-test substrate: (a) sample random *nonrecursive* DTDs, (b)
+// sample random documents valid w.r.t. a DTD, and (c) sample random
+// projection-path sets over a DTD's element names. Together these drive
+// the projection-safety property tests: for any (DTD, document, paths),
+// the prefilter output must be well-formed and projection-safe.
+
+#ifndef SMPX_XMLGEN_DTD_SAMPLER_H_
+#define SMPX_XMLGEN_DTD_SAMPLER_H_
+
+#include <string>
+#include <vector>
+
+#include "dtd/dtd.h"
+#include "paths/projection_path.h"
+#include "xmlgen/text_gen.h"
+
+namespace smpx::xmlgen {
+
+struct RandomDtdOptions {
+  int num_elements = 8;       ///< including the root
+  int max_children = 4;       ///< per content-model group
+  double pcdata_ratio = 0.4;  ///< fraction of leaf-ish elements
+  double attr_ratio = 0.3;    ///< elements with an attribute list
+};
+
+/// Generates a random nonrecursive DTD: element i only references elements
+/// j > i, so the reference graph is a DAG by construction.
+dtd::Dtd RandomDtd(Rng* rng, const RandomDtdOptions& opts = {});
+
+struct RandomDocumentOptions {
+  double repeat_continue = 0.55;  ///< geometric continue for * and +
+  double opt_present = 0.5;       ///< probability a ? / nullable part appears
+  int max_repeat = 5;             ///< cap on * / + repetitions
+  int max_depth = 64;             ///< hard recursion guard
+  double text_present = 0.7;      ///< PCDATA emitted with this probability
+  double bachelor_ratio = 0.5;    ///< nullable elements as <t/> vs <t></t>
+};
+
+/// Generates a random document valid w.r.t. `dtd` (without prolog).
+std::string RandomDocument(const dtd::Dtd& dtd, Rng* rng,
+                           const RandomDocumentOptions& opts = {});
+
+struct RandomPathsOptions {
+  int num_paths = 3;
+  int max_steps = 3;
+  double descendant_ratio = 0.4;  ///< '//' steps
+  double wildcard_ratio = 0.15;
+  double hash_ratio = 0.5;        ///< '#' flag
+  double attr_flag_ratio = 0.2;   ///< '@' flag
+};
+
+/// Samples projection paths over the DTD's element names. Paths are
+/// syntactically valid but need not be satisfiable.
+std::vector<paths::ProjectionPath> RandomPaths(
+    const dtd::Dtd& dtd, Rng* rng, const RandomPathsOptions& opts = {});
+
+}  // namespace smpx::xmlgen
+
+#endif  // SMPX_XMLGEN_DTD_SAMPLER_H_

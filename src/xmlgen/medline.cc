@@ -1,0 +1,260 @@
+#include "xmlgen/medline.h"
+
+#include <cassert>
+
+#include "xmlgen/text_gen.h"
+
+namespace smpx::xmlgen {
+namespace {
+
+constexpr char kMedlineDtd[] = R"(<!DOCTYPE MedlineCitationSet [
+<!ELEMENT MedlineCitationSet (MedlineCitation*)>
+<!ELEMENT MedlineCitation (PMID, DateCreated, DateCompleted?, Article, MedlineJournalInfo, CitationSubset*, PersonalNameSubjectList?, GeneralNote*)>
+<!ATTLIST MedlineCitation Owner CDATA #REQUIRED Status CDATA #REQUIRED>
+<!ELEMENT PMID (#PCDATA)>
+<!ELEMENT DateCreated (Year, Month, Day)>
+<!ELEMENT DateCompleted (Year, Month, Day)>
+<!ELEMENT Year (#PCDATA)>
+<!ELEMENT Month (#PCDATA)>
+<!ELEMENT Day (#PCDATA)>
+<!ELEMENT Article (Journal, ArticleTitle, Pagination?, Abstract?, Affiliation?, AuthorList?, Language, CollectionTitle?, DataBankList?, GrantList?, PublicationTypeList)>
+<!ELEMENT Journal (ISSN?, JournalIssue, Title, ISOAbbreviation?)>
+<!ELEMENT ISSN (#PCDATA)>
+<!ELEMENT JournalIssue (Volume?, Issue?, PubDate)>
+<!ELEMENT Volume (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ELEMENT PubDate (Year, Month?, Day?)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT ISOAbbreviation (#PCDATA)>
+<!ELEMENT ArticleTitle (#PCDATA)>
+<!ELEMENT Pagination (MedlinePgn)>
+<!ELEMENT MedlinePgn (#PCDATA)>
+<!ELEMENT Abstract (AbstractText+, CopyrightInformation?)>
+<!ELEMENT AbstractText (#PCDATA)>
+<!ELEMENT CopyrightInformation (#PCDATA)>
+<!ELEMENT Affiliation (#PCDATA)>
+<!ELEMENT AuthorList (Author+)>
+<!ELEMENT Author (LastName, ForeName?, Initials?)>
+<!ELEMENT LastName (#PCDATA)>
+<!ELEMENT ForeName (#PCDATA)>
+<!ELEMENT Initials (#PCDATA)>
+<!ELEMENT Language (#PCDATA)>
+<!ELEMENT CollectionTitle (#PCDATA)>
+<!ELEMENT DataBankList (DataBank+)>
+<!ELEMENT DataBank (DataBankName, AccessionNumberList?)>
+<!ELEMENT DataBankName (#PCDATA)>
+<!ELEMENT AccessionNumberList (AccessionNumber+)>
+<!ELEMENT AccessionNumber (#PCDATA)>
+<!ELEMENT GrantList (Grant+)>
+<!ELEMENT Grant (GrantID?, Agency?, Country)>
+<!ELEMENT GrantID (#PCDATA)>
+<!ELEMENT Agency (#PCDATA)>
+<!ELEMENT Country (#PCDATA)>
+<!ELEMENT PublicationTypeList (PublicationType+)>
+<!ELEMENT PublicationType (#PCDATA)>
+<!ELEMENT MedlineJournalInfo (Country?, MedlineTA, NlmUniqueID?)>
+<!ELEMENT MedlineTA (#PCDATA)>
+<!ELEMENT NlmUniqueID (#PCDATA)>
+<!ELEMENT CitationSubset (#PCDATA)>
+<!ELEMENT PersonalNameSubjectList (PersonalNameSubject+)>
+<!ELEMENT PersonalNameSubject (LastName, ForeName?, DatesAssociatedWithName?, TitleAssociatedWithName?)>
+<!ELEMENT DatesAssociatedWithName (#PCDATA)>
+<!ELEMENT TitleAssociatedWithName (#PCDATA)>
+<!ELEMENT GeneralNote (#PCDATA)>
+]>)";
+
+class Builder {
+ public:
+  explicit Builder(const MedlineOptions& opts) : rng_(opts.seed) {
+    target_ = opts.target_bytes;
+    out_.reserve(static_cast<size_t>(target_ + (1 << 20)));
+  }
+
+  std::string Build() {
+    out_ += "<?xml version=\"1.0\"?>\n<MedlineCitationSet>";
+    uint64_t pmid = 10000000;
+    while (out_.size() < target_) Citation(pmid++);
+    out_ += "</MedlineCitationSet>\n";
+    return std::move(out_);
+  }
+
+ private:
+  void Text(const char* tag, const std::string& value) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    out_ += value;
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Words(const char* tag, int lo, int hi) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    AppendWords(&rng_, static_cast<int>(Uniform(&rng_, lo, hi)), &out_);
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void DateElem(const char* tag) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    Text("Year", std::to_string(Uniform(&rng_, 1990, 2006)));
+    Text("Month", std::to_string(Uniform(&rng_, 1, 12)));
+    Text("Day", std::to_string(Uniform(&rng_, 1, 28)));
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Citation(uint64_t pmid) {
+    out_ += "<MedlineCitation Owner=\"NLM\" Status=\"" +
+            std::string(Chance(&rng_, 0.8) ? "MEDLINE" : "In-Process") +
+            "\">";
+    Text("PMID", std::to_string(pmid));
+    DateElem("DateCreated");
+    if (Chance(&rng_, 0.7)) DateElem("DateCompleted");
+
+    out_ += "<Article>";
+    out_ += "<Journal>";
+    if (Chance(&rng_, 0.8)) {
+      Text("ISSN", std::to_string(Uniform(&rng_, 1000, 9999)) + "-" +
+                       std::to_string(Uniform(&rng_, 1000, 9999)));
+    }
+    out_ += "<JournalIssue>";
+    if (Chance(&rng_, 0.9)) Text("Volume", std::to_string(Uniform(&rng_, 1, 99)));
+    if (Chance(&rng_, 0.7)) Text("Issue", std::to_string(Uniform(&rng_, 1, 12)));
+    out_ += "<PubDate>";
+    Text("Year", std::to_string(Uniform(&rng_, 1990, 2006)));
+    if (Chance(&rng_, 0.8)) Text("Month", std::to_string(Uniform(&rng_, 1, 12)));
+    out_ += "</PubDate></JournalIssue>";
+    // ~0.4% of titles mention the M5 predicate keyword.
+    if (Chance(&rng_, 0.004)) {
+      Text("Title", "Journal of Instrument Sterilization Research");
+    } else {
+      Words("Title", 3, 7);
+    }
+    if (Chance(&rng_, 0.5)) Words("ISOAbbreviation", 1, 3);
+    out_ += "</Journal>";
+    Words("ArticleTitle", 6, 16);
+    if (Chance(&rng_, 0.6)) {
+      out_ += "<Pagination>";
+      Text("MedlinePgn", std::to_string(Uniform(&rng_, 1, 900)) + "-" +
+                             std::to_string(Uniform(&rng_, 901, 1800)));
+      out_ += "</Pagination>";
+    }
+    if (Chance(&rng_, 0.65)) {
+      out_ += "<Abstract>";
+      int texts = static_cast<int>(Uniform(&rng_, 1, 3));
+      for (int i = 0; i < texts; ++i) Words("AbstractText", 40, 160);
+      if (Chance(&rng_, 0.2)) {
+        // A small share mentions NASA (query M4's predicate).
+        if (Chance(&rng_, 0.03)) {
+          Text("CopyrightInformation",
+               "Copyright 2001 NASA and licensors.");
+        } else {
+          Words("CopyrightInformation", 4, 10);
+        }
+      }
+      out_ += "</Abstract>";
+    }
+    if (Chance(&rng_, 0.4)) Words("Affiliation", 6, 14);
+    if (Chance(&rng_, 0.85)) {
+      out_ += "<AuthorList>";
+      int authors = static_cast<int>(Uniform(&rng_, 1, 6));
+      for (int i = 0; i < authors; ++i) {
+        out_ += "<Author>";
+        Text("LastName", PersonName(&rng_));
+        if (Chance(&rng_, 0.8)) Words("ForeName", 1, 1);
+        if (Chance(&rng_, 0.8)) Text("Initials", "AB");
+        out_ += "</Author>";
+      }
+      out_ += "</AuthorList>";
+    }
+    Text("Language", "eng");
+    // CollectionTitle is deliberately never emitted (query M1).
+    if (Chance(&rng_, 0.08)) {
+      out_ += "<DataBankList>";
+      out_ += "<DataBank>";
+      // About a third of data banks are "PDB" (query M2's predicate).
+      Text("DataBankName", Chance(&rng_, 0.33) ? "PDB" : "GENBANK");
+      if (Chance(&rng_, 0.8)) {
+        out_ += "<AccessionNumberList>";
+        int n = static_cast<int>(Uniform(&rng_, 1, 4));
+        for (int i = 0; i < n; ++i) {
+          Text("AccessionNumber",
+               "A" + std::to_string(Uniform(&rng_, 100000, 999999)));
+        }
+        out_ += "</AccessionNumberList>";
+      }
+      out_ += "</DataBank>";
+      out_ += "</DataBankList>";
+    }
+    if (Chance(&rng_, 0.15)) {
+      out_ += "<GrantList><Grant>";
+      if (Chance(&rng_, 0.7)) {
+        Text("GrantID", "G" + std::to_string(Uniform(&rng_, 10000, 99999)));
+      }
+      if (Chance(&rng_, 0.7)) Words("Agency", 1, 3);
+      Text("Country", "United States");
+      out_ += "</Grant></GrantList>";
+    }
+    out_ += "<PublicationTypeList>";
+    Text("PublicationType", "Journal Article");
+    out_ += "</PublicationTypeList>";
+    out_ += "</Article>";
+
+    out_ += "<MedlineJournalInfo>";
+    if (Chance(&rng_, 0.8)) Text("Country", "ENGLAND");
+    // ~0.4% of journal abbreviations carry the M5 predicate keyword.
+    if (Chance(&rng_, 0.004)) {
+      Text("MedlineTA", "J Instrum Sterilization Res");
+    } else {
+      Words("MedlineTA", 1, 4);
+    }
+    if (Chance(&rng_, 0.8)) {
+      Text("NlmUniqueID", std::to_string(Uniform(&rng_, 1000000, 9999999)));
+    }
+    out_ += "</MedlineJournalInfo>";
+
+    if (Chance(&rng_, 0.5)) Text("CitationSubset", "IM");
+    if (Chance(&rng_, 0.03)) {
+      out_ += "<PersonalNameSubjectList><PersonalNameSubject>";
+      // The M3 predicate targets.
+      Text("LastName",
+           Chance(&rng_, 0.15) ? "Hippocrates" : PersonName(&rng_));
+      if (Chance(&rng_, 0.5)) Text("DatesAssociatedWithName", "Oct2006");
+      if (Chance(&rng_, 0.8)) Words("TitleAssociatedWithName", 3, 8);
+      out_ += "</PersonalNameSubject></PersonalNameSubjectList>";
+    }
+    if (Chance(&rng_, 0.1)) Words("GeneralNote", 4, 12);
+    out_ += "</MedlineCitation>";
+  }
+
+  Rng rng_;
+  uint64_t target_ = 0;
+  std::string out_;
+};
+
+}  // namespace
+
+const std::string& MedlineDtdText() {
+  static const std::string* text = new std::string(kMedlineDtd);
+  return *text;
+}
+
+dtd::Dtd MedlineDtd() {
+  auto r = dtd::Dtd::Parse(MedlineDtdText());
+  assert(r.ok());
+  return std::move(*r);
+}
+
+std::string GenerateMedline(const MedlineOptions& opts) {
+  return Builder(opts).Build();
+}
+
+}  // namespace smpx::xmlgen

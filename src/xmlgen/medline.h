@@ -1,0 +1,37 @@
+// MEDLINE-like citation data generator [23]. The real corpus is licensed;
+// this synthetic equivalent keeps the properties the paper's evaluation
+// exercises (Table II):
+//  - long tagnames -> large Boyer-Moore shifts (paper: ~12 chars),
+//  - the Abstract / AbstractText prefix pair (the (P) tagname check),
+//  - CollectionTitle: declared by the DTD but never generated (query M1
+//    projects to 0 bytes),
+//  - mostly *optional* content models, so initial jumps rarely apply
+//    (M1-M4 show 0.00%), with a required DateCreated run enabling them
+//    for queries below MedlineCitation (M5-style),
+//  - occasional "PDB" data banks, "NASA" copyright notes, Hippocrates
+//    personal-name subjects and "Sterilization" journal titles as
+//    predicate targets for M2-M5.
+
+#ifndef SMPX_XMLGEN_MEDLINE_H_
+#define SMPX_XMLGEN_MEDLINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dtd/dtd.h"
+
+namespace smpx::xmlgen {
+
+const std::string& MedlineDtdText();
+dtd::Dtd MedlineDtd();
+
+struct MedlineOptions {
+  uint64_t target_bytes = 8ull << 20;
+  uint64_t seed = 23;
+};
+
+std::string GenerateMedline(const MedlineOptions& opts = {});
+
+}  // namespace smpx::xmlgen
+
+#endif  // SMPX_XMLGEN_MEDLINE_H_

@@ -1,0 +1,159 @@
+#include "xmlgen/protein.h"
+
+#include <cassert>
+
+#include "xmlgen/text_gen.h"
+
+namespace smpx::xmlgen {
+namespace {
+
+constexpr char kProteinDtd[] = R"(<!DOCTYPE ProteinDatabase [
+<!ELEMENT ProteinDatabase (ProteinEntry*)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+, summary, sequence)>
+<!ATTLIST ProteinEntry id ID #REQUIRED>
+<!ELEMENT header (uid, accession+)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT protein (name, classification?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT classification (superfamily+)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT organism (source, common?, formal?)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo?)>
+<!ELEMENT refinfo (authors, citation, volume?, year)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT accinfo (mol-type?, seq-spec?)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+]>)";
+
+constexpr char kAminoAcids[] = "ACDEFGHIKLMNPQRSTVWY";
+
+class Builder {
+ public:
+  explicit Builder(const ProteinOptions& opts) : rng_(opts.seed) {
+    target_ = opts.target_bytes;
+    out_.reserve(static_cast<size_t>(target_ + (1 << 20)));
+  }
+
+  std::string Build() {
+    out_ += "<?xml version=\"1.0\"?>\n<ProteinDatabase>";
+    uint64_t uid = 0;
+    while (out_.size() < target_) Entry(uid++);
+    out_ += "</ProteinDatabase>\n";
+    return std::move(out_);
+  }
+
+ private:
+  void Text(const char* tag, const std::string& value) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    out_ += value;
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Words(const char* tag, int lo, int hi) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    AppendWords(&rng_, static_cast<int>(Uniform(&rng_, lo, hi)), &out_);
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Entry(uint64_t uid) {
+    out_ += "<ProteinEntry id=\"PE" + std::to_string(uid) + "\">";
+    out_ += "<header>";
+    Text("uid", "U" + std::to_string(uid));
+    int accessions = static_cast<int>(Uniform(&rng_, 1, 3));
+    for (int i = 0; i < accessions; ++i) {
+      Text("accession", "P" + std::to_string(Uniform(&rng_, 10000, 99999)));
+    }
+    out_ += "</header>";
+    out_ += "<protein>";
+    Words("name", 2, 6);
+    if (Chance(&rng_, 0.6)) {
+      out_ += "<classification>";
+      Words("superfamily", 2, 4);
+      out_ += "</classification>";
+    }
+    out_ += "</protein>";
+    out_ += "<organism>";
+    Words("source", 2, 4);
+    if (Chance(&rng_, 0.5)) Words("common", 1, 2);
+    if (Chance(&rng_, 0.3)) Words("formal", 2, 3);
+    out_ += "</organism>";
+    int refs = static_cast<int>(Uniform(&rng_, 1, 4));
+    for (int r = 0; r < refs; ++r) {
+      out_ += "<reference><refinfo><authors>";
+      int authors = static_cast<int>(Uniform(&rng_, 1, 5));
+      for (int a = 0; a < authors; ++a) Text("author", PersonName(&rng_));
+      out_ += "</authors>";
+      Words("citation", 4, 10);
+      if (Chance(&rng_, 0.6)) {
+        Text("volume", std::to_string(Uniform(&rng_, 1, 400)));
+      }
+      Text("year", std::to_string(Uniform(&rng_, 1975, 2006)));
+      out_ += "</refinfo>";
+      if (Chance(&rng_, 0.4)) {
+        out_ += "<accinfo>";
+        if (Chance(&rng_, 0.7)) Text("mol-type", "protein");
+        if (Chance(&rng_, 0.5)) {
+          Text("seq-spec", std::to_string(Uniform(&rng_, 1, 80)) + "-" +
+                               std::to_string(Uniform(&rng_, 81, 500)));
+        }
+        out_ += "</accinfo>";
+      }
+      out_ += "</reference>";
+    }
+    int64_t seq_len = Uniform(&rng_, 120, 900);
+    out_ += "<summary>";
+    Text("length", std::to_string(seq_len));
+    Text("type", "complete");
+    out_ += "</summary>";
+    out_ += "<sequence>";
+    for (int64_t i = 0; i < seq_len; ++i) {
+      out_ += kAminoAcids[static_cast<size_t>(Uniform(&rng_, 0, 19))];
+    }
+    out_ += "</sequence>";
+    out_ += "</ProteinEntry>";
+  }
+
+  Rng rng_;
+  uint64_t target_ = 0;
+  std::string out_;
+};
+
+}  // namespace
+
+const std::string& ProteinDtdText() {
+  static const std::string* text = new std::string(kProteinDtd);
+  return *text;
+}
+
+dtd::Dtd ProteinDtd() {
+  auto r = dtd::Dtd::Parse(ProteinDtdText());
+  assert(r.ok());
+  return std::move(*r);
+}
+
+std::string GenerateProtein(const ProteinOptions& opts) {
+  return Builder(opts).Build();
+}
+
+}  // namespace smpx::xmlgen

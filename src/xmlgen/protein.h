@@ -1,0 +1,28 @@
+// Protein Sequence Database-like generator [26]: the third dataset of the
+// paper's evaluation (results referenced to the companion website [27]).
+// Shape: a flat list of deeply-structured protein entries with long
+// sequences -- markup-light, text-heavy, the opposite mix of XMark.
+
+#ifndef SMPX_XMLGEN_PROTEIN_H_
+#define SMPX_XMLGEN_PROTEIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dtd/dtd.h"
+
+namespace smpx::xmlgen {
+
+const std::string& ProteinDtdText();
+dtd::Dtd ProteinDtd();
+
+struct ProteinOptions {
+  uint64_t target_bytes = 8ull << 20;
+  uint64_t seed = 26;
+};
+
+std::string GenerateProtein(const ProteinOptions& opts = {});
+
+}  // namespace smpx::xmlgen
+
+#endif  // SMPX_XMLGEN_PROTEIN_H_

@@ -1,0 +1,104 @@
+#include "xmlgen/text_gen.h"
+
+#include <array>
+#include <cstdio>
+
+namespace smpx::xmlgen {
+namespace {
+
+// A compact Shakespeare-flavoured vocabulary, in the spirit of the XMark
+// generator's word list.
+constexpr std::array<const char*, 96> kWords = {
+    "gold",     "fellow",   "murder",  "prove",    "beauty",   "sovereign",
+    "odds",     "keen",     "hour",    "speak",    "thunder",  "unhappy",
+    "daughter", "forest",   "fortune", "whisper",  "crown",    "gentle",
+    "honest",   "duke",     "banish",  "summer",   "winter",   "letter",
+    "promise",  "shadow",   "silver",  "mirror",   "garden",   "castle",
+    "soldier",  "justice",  "mercy",   "wisdom",   "folly",    "danger",
+    "journey",  "harbor",   "vessel",  "anchor",   "tempest",  "island",
+    "voyage",   "merchant", "market",  "bargain",  "ransom",   "treasure",
+    "scholar",  "volume",   "chapter", "sentence", "quarrel",  "peace",
+    "battle",   "victory",  "defeat",  "retreat",  "courage",  "coward",
+    "noble",    "humble",   "mighty",  "feeble",   "ancient",  "modern",
+    "secret",   "public",   "silent",  "loud",     "bright",   "gloomy",
+    "swift",    "slow",     "bitter",  "sweet",    "honour",   "shame",
+    "glory",    "ruin",     "palace",  "cottage",  "river",    "mountain",
+    "valley",   "meadow",   "falcon",  "sparrow",  "serpent",  "lion",
+    "kingdom",  "empire",   "council", "herald",   "messenger", "stranger",
+};
+
+constexpr std::array<const char*, 40> kSurnames = {
+    "Vries",    "Takano",    "Omar",     "Novak",   "Ibarra",  "Castillo",
+    "Keller",   "Lindqvist", "Okafor",   "Petrov",  "Haddad",  "Morel",
+    "Svensson", "Tanaka",    "Ferreira", "Kovacs",  "Ahmadi",  "Berger",
+    "Costa",    "Dubois",    "Egede",    "Fischer", "Gamboa",  "Horvat",
+    "Ivanov",   "Jensen",    "Kimura",   "Lopez",   "Moreau",  "Nilsen",
+    "Oliveira", "Popescu",   "Quispe",   "Rossi",   "Santos",  "Tahir",
+    "Ueda",     "Varga",     "Weber",    "Zhang",
+};
+
+}  // namespace
+
+int64_t Uniform(Rng* rng, int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(*rng);
+}
+
+bool Chance(Rng* rng, double p) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(*rng) < p;
+}
+
+void AppendWords(Rng* rng, int words, std::string* out) {
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(kWords[static_cast<size_t>(
+        Uniform(rng, 0, static_cast<int64_t>(kWords.size()) - 1))]);
+  }
+}
+
+std::string PersonName(Rng* rng) {
+  std::string out(kSurnames[static_cast<size_t>(
+      Uniform(rng, 0, static_cast<int64_t>(kSurnames.size()) - 1))]);
+  out += ' ';
+  out += kSurnames[static_cast<size_t>(
+      Uniform(rng, 0, static_cast<int64_t>(kSurnames.size()) - 1))];
+  return out;
+}
+
+std::string Street(Rng* rng) {
+  std::string out = std::to_string(Uniform(rng, 1, 99));
+  out += ' ';
+  out += kWords[static_cast<size_t>(
+      Uniform(rng, 0, static_cast<int64_t>(kWords.size()) - 1))];
+  out += " St";
+  return out;
+}
+
+std::string Date(Rng* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d",
+                static_cast<int>(Uniform(rng, 1, 12)),
+                static_cast<int>(Uniform(rng, 1, 28)),
+                static_cast<int>(Uniform(rng, 1998, 2001)));
+  return buf;
+}
+
+std::string Time(Rng* rng) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d",
+                static_cast<int>(Uniform(rng, 0, 23)),
+                static_cast<int>(Uniform(rng, 0, 59)),
+                static_cast<int>(Uniform(rng, 0, 59)));
+  return buf;
+}
+
+std::string Money(Rng* rng) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%d.%02d",
+                static_cast<int>(Uniform(rng, 1, 4999)),
+                static_cast<int>(Uniform(rng, 0, 99)));
+  return buf;
+}
+
+}  // namespace smpx::xmlgen

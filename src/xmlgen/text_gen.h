@@ -1,0 +1,44 @@
+// Deterministic filler-text generation shared by the dataset generators.
+// Mirrors the XMark xmlgen approach of sampling from a fixed vocabulary so
+// documents have realistic text/markup byte ratios.
+
+#ifndef SMPX_XMLGEN_TEXT_GEN_H_
+#define SMPX_XMLGEN_TEXT_GEN_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace smpx::xmlgen {
+
+/// Seeded generator handed through all dataset builders; documents are
+/// reproducible given (generator kind, scale, seed).
+using Rng = std::mt19937_64;
+
+/// Appends `words` vocabulary words separated by spaces.
+void AppendWords(Rng* rng, int words, std::string* out);
+
+/// A capitalized personal name like "Takano Vries".
+std::string PersonName(Rng* rng);
+
+/// "streetno word Street".
+std::string Street(Rng* rng);
+
+/// A date "MM/DD/YYYY" within 1998..2001 (the XMark convention).
+std::string Date(Rng* rng);
+
+/// A time "HH:MM:SS".
+std::string Time(Rng* rng);
+
+/// A decimal amount like "34.07".
+std::string Money(Rng* rng);
+
+/// Uniform integer in [lo, hi].
+int64_t Uniform(Rng* rng, int64_t lo, int64_t hi);
+
+/// True with probability p.
+bool Chance(Rng* rng, double p);
+
+}  // namespace smpx::xmlgen
+
+#endif  // SMPX_XMLGEN_TEXT_GEN_H_

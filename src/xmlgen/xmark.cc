@@ -1,0 +1,424 @@
+#include "xmlgen/xmark.h"
+
+#include <cassert>
+
+#include "xmlgen/text_gen.h"
+
+namespace smpx::xmlgen {
+namespace {
+
+constexpr char kXmarkDtd[] = R"(<!DOCTYPE site [
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox?)>
+<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT emph (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category IDREF #REQUIRED>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, description)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ATTLIST category id ID #REQUIRED>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ATTLIST edge from IDREF #REQUIRED to IDREF #REQUIRED>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ATTLIST person id ID #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ATTLIST profile income CDATA #REQUIRED>
+<!ELEMENT interest EMPTY>
+<!ATTLIST interest category IDREF #REQUIRED>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ATTLIST watch open_auction IDREF #REQUIRED>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation?, quantity, type, interval)>
+<!ATTLIST open_auction id ID #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT personref EMPTY>
+<!ATTLIST personref person IDREF #REQUIRED>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item IDREF #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person IDREF #REQUIRED>
+<!ELEMENT annotation (author, description, happiness)>
+<!ELEMENT author EMPTY>
+<!ATTLIST author person IDREF #REQUIRED>
+<!ELEMENT happiness (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person IDREF #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+]>)";
+
+/// Entity counts per 1 MB of target size, tuned to land near the target
+/// with the text generator below (calibrated empirically, see xmlgen_test).
+struct Scale {
+  uint64_t items;
+  uint64_t persons;
+  uint64_t open_auctions;
+  uint64_t closed_auctions;
+  uint64_t categories;
+};
+
+Scale ScaleFor(uint64_t target_bytes) {
+  double mb = static_cast<double>(target_bytes) / (1 << 20);
+  auto n = [mb](double per_mb) {
+    uint64_t v = static_cast<uint64_t>(per_mb * mb);
+    return v < 1 ? uint64_t{1} : v;
+  };
+  // XMark sf=1 keeps the entity *ratios* 21750 : 25500 : 12000 : 9750 :
+  // 1000 (items : persons : open : closed : categories); the per-MB rates
+  // are calibrated so generated size lands near the target with our
+  // flattened descriptions (xmlgen_test checks the bounds).
+  return Scale{n(560), n(657), n(309), n(251), n(26)};
+}
+
+class Builder {
+ public:
+  Builder(const XmarkOptions& opts) : rng_(opts.seed) {
+    scale_ = ScaleFor(opts.target_bytes);
+    out_.reserve(static_cast<size_t>(opts.target_bytes + (1 << 20)));
+  }
+
+  std::string Build() {
+    out_ += "<?xml version=\"1.0\" standalone=\"yes\"?>\n";
+    out_ += "<site>";
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>\n";
+    return std::move(out_);
+  }
+
+ private:
+  void Text(const char* tag, const std::string& value) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    out_ += value;
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Words(const char* tag, int lo, int hi) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    AppendWords(&rng_, static_cast<int>(Uniform(&rng_, lo, hi)), &out_);
+    out_ += "</";
+    out_ += tag;
+    out_ += '>';
+  }
+
+  void Description() {
+    // Flat mixed content replacing the recursive parlist.
+    out_ += "<description>";
+    int pieces = static_cast<int>(Uniform(&rng_, 2, 6));
+    for (int i = 0; i < pieces; ++i) {
+      if (Chance(&rng_, 0.35)) {
+        const char* tag = Chance(&rng_, 0.5)   ? "bold"
+                          : Chance(&rng_, 0.5) ? "keyword"
+                                               : "emph";
+        out_ += '<';
+        out_ += tag;
+        out_ += '>';
+        AppendWords(&rng_, static_cast<int>(Uniform(&rng_, 1, 4)), &out_);
+        out_ += "</";
+        out_ += tag;
+        out_ += '>';
+      } else {
+        AppendWords(&rng_, static_cast<int>(Uniform(&rng_, 6, 24)), &out_);
+      }
+    }
+    out_ += "</description>";
+  }
+
+  void Item(uint64_t id) {
+    out_ += "<item id=\"item" + std::to_string(id) + "\"";
+    if (Chance(&rng_, 0.1)) out_ += " featured=\"yes\"";
+    out_ += '>';
+    Text("location", Chance(&rng_, 0.4) ? "United States"
+                                        : PersonName(&rng_) + " Republic");
+    Text("quantity", std::to_string(Uniform(&rng_, 1, 10)));
+    Words("name", 2, 4);
+    Text("payment", Chance(&rng_, 0.5) ? "Creditcard" : "Money order");
+    Description();
+    Words("shipping", 3, 8);
+    int cats = static_cast<int>(Uniform(&rng_, 1, 3));
+    for (int c = 0; c < cats; ++c) {
+      out_ += "<incategory category=\"category" +
+              std::to_string(Uniform(
+                  &rng_, 0, static_cast<int64_t>(scale_.categories) - 1)) +
+              "\"/>";
+    }
+    if (Chance(&rng_, 0.3)) {
+      out_ += "<mailbox>";
+      int mails = static_cast<int>(Uniform(&rng_, 0, 2));
+      for (int m = 0; m < mails; ++m) {
+        out_ += "<mail>";
+        Text("from", PersonName(&rng_));
+        Text("to", PersonName(&rng_));
+        Text("date", Date(&rng_));
+        Description();
+        out_ += "</mail>";
+      }
+      out_ += "</mailbox>";
+    }
+    out_ += "</item>";
+  }
+
+  void Regions() {
+    static const char* kRegions[] = {"africa",   "asia",     "australia",
+                                     "europe",   "namerica", "samerica"};
+    // Region shares follow the original generator (namerica/europe-heavy).
+    static const double kShare[] = {0.055, 0.10, 0.055, 0.30, 0.44, 0.05};
+    out_ += "<regions>";
+    uint64_t id = 0;
+    for (int r = 0; r < 6; ++r) {
+      out_ += "<";
+      out_ += kRegions[r];
+      out_ += ">";
+      uint64_t count = static_cast<uint64_t>(
+          kShare[r] * static_cast<double>(scale_.items));
+      for (uint64_t i = 0; i < count; ++i) Item(id++);
+      out_ += "</";
+      out_ += kRegions[r];
+      out_ += ">";
+    }
+    out_ += "</regions>";
+  }
+
+  void Categories() {
+    out_ += "<categories>";
+    for (uint64_t c = 0; c < scale_.categories; ++c) {
+      out_ += "<category id=\"category" + std::to_string(c) + "\">";
+      Words("name", 1, 3);
+      Description();
+      out_ += "</category>";
+    }
+    out_ += "</categories>";
+  }
+
+  void Catgraph() {
+    out_ += "<catgraph>";
+    for (uint64_t e = 0; e < scale_.categories; ++e) {
+      out_ += "<edge from=\"category" +
+              std::to_string(Uniform(
+                  &rng_, 0, static_cast<int64_t>(scale_.categories) - 1)) +
+              "\" to=\"category" +
+              std::to_string(Uniform(
+                  &rng_, 0, static_cast<int64_t>(scale_.categories) - 1)) +
+              "\"/>";
+    }
+    out_ += "</catgraph>";
+  }
+
+  void People() {
+    out_ += "<people>";
+    for (uint64_t p = 0; p < scale_.persons; ++p) {
+      out_ += "<person id=\"person" + std::to_string(p) + "\">";
+      Text("name", PersonName(&rng_));
+      Text("emailaddress",
+           "mailto:person" + std::to_string(p) + "@smpx.example");
+      if (Chance(&rng_, 0.4)) {
+        Text("phone", "+" + std::to_string(Uniform(&rng_, 1, 99)) + " (" +
+                          std::to_string(Uniform(&rng_, 100, 999)) + ") " +
+                          std::to_string(Uniform(&rng_, 1000000, 9999999)));
+      }
+      if (Chance(&rng_, 0.5)) {
+        out_ += "<address>";
+        Text("street", Street(&rng_));
+        Words("city", 1, 2);
+        Text("country", Chance(&rng_, 0.5) ? "United States" : "Malaysia");
+        if (Chance(&rng_, 0.3)) Words("province", 1, 1);
+        Text("zipcode", std::to_string(Uniform(&rng_, 10000, 99999)));
+        out_ += "</address>";
+      }
+      if (Chance(&rng_, 0.3)) {
+        Text("homepage",
+             "http://www.smpx.example/~person" + std::to_string(p));
+      }
+      if (Chance(&rng_, 0.4)) {
+        Text("creditcard", std::to_string(Uniform(&rng_, 1000, 9999)) + " " +
+                               std::to_string(Uniform(&rng_, 1000, 9999)));
+      }
+      if (Chance(&rng_, 0.7)) {
+        out_ += "<profile income=\"" + Money(&rng_) + "\">";
+        int interests = static_cast<int>(Uniform(&rng_, 0, 4));
+        for (int i = 0; i < interests; ++i) {
+          out_ += "<interest category=\"category" +
+                  std::to_string(Uniform(
+                      &rng_, 0,
+                      static_cast<int64_t>(scale_.categories) - 1)) +
+                  "\"/>";
+        }
+        if (Chance(&rng_, 0.5)) Words("education", 1, 2);
+        if (Chance(&rng_, 0.7)) {
+          Text("gender", Chance(&rng_, 0.5) ? "male" : "female");
+        }
+        Text("business", Chance(&rng_, 0.5) ? "Yes" : "No");
+        if (Chance(&rng_, 0.6)) {
+          Text("age", std::to_string(Uniform(&rng_, 18, 90)));
+        }
+        out_ += "</profile>";
+      }
+      if (Chance(&rng_, 0.4)) {
+        out_ += "<watches>";
+        int watches = static_cast<int>(Uniform(&rng_, 0, 3));
+        for (int w = 0; w < watches; ++w) {
+          out_ += "<watch open_auction=\"open_auction" +
+                  std::to_string(Uniform(
+                      &rng_, 0,
+                      static_cast<int64_t>(scale_.open_auctions) - 1)) +
+                  "\"/>";
+        }
+        out_ += "</watches>";
+      }
+      out_ += "</person>";
+    }
+    out_ += "</people>";
+  }
+
+  void PersonRef(const char* tag) {
+    out_ += "<";
+    out_ += tag;
+    out_ += " person=\"person" +
+            std::to_string(Uniform(
+                &rng_, 0, static_cast<int64_t>(scale_.persons) - 1)) +
+            "\"/>";
+  }
+
+  void Annotation() {
+    out_ += "<annotation>";
+    PersonRef("author");
+    Description();
+    Words("happiness", 1, 1);
+    out_ += "</annotation>";
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>";
+    for (uint64_t a = 0; a < scale_.open_auctions; ++a) {
+      out_ += "<open_auction id=\"open_auction" + std::to_string(a) + "\">";
+      Text("initial", Money(&rng_));
+      if (Chance(&rng_, 0.4)) Text("reserve", Money(&rng_));
+      int bidders = static_cast<int>(Uniform(&rng_, 0, 5));
+      for (int b = 0; b < bidders; ++b) {
+        out_ += "<bidder>";
+        Text("date", Date(&rng_));
+        Text("time", Time(&rng_));
+        PersonRef("personref");
+        Text("increase", Money(&rng_));
+        out_ += "</bidder>";
+      }
+      Text("current", Money(&rng_));
+      if (Chance(&rng_, 0.3)) Text("privacy", "Yes");
+      out_ += "<itemref item=\"item" +
+              std::to_string(Uniform(
+                  &rng_, 0, static_cast<int64_t>(scale_.items) - 1)) +
+              "\"/>";
+      PersonRef("seller");
+      if (Chance(&rng_, 0.6)) Annotation();
+      Text("quantity", std::to_string(Uniform(&rng_, 1, 10)));
+      Text("type", Chance(&rng_, 0.5) ? "Regular" : "Featured");
+      out_ += "<interval>";
+      Text("start", Date(&rng_));
+      Text("end", Date(&rng_));
+      out_ += "</interval>";
+      out_ += "</open_auction>";
+    }
+    out_ += "</open_auctions>";
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>";
+    for (uint64_t a = 0; a < scale_.closed_auctions; ++a) {
+      out_ += "<closed_auction>";
+      PersonRef("seller");
+      PersonRef("buyer");
+      out_ += "<itemref item=\"item" +
+              std::to_string(Uniform(
+                  &rng_, 0, static_cast<int64_t>(scale_.items) - 1)) +
+              "\"/>";
+      Text("price", Money(&rng_));
+      Text("date", Date(&rng_));
+      Text("quantity", std::to_string(Uniform(&rng_, 1, 10)));
+      Text("type", Chance(&rng_, 0.5) ? "Regular" : "Featured");
+      if (Chance(&rng_, 0.6)) Annotation();
+      out_ += "</closed_auction>";
+    }
+    out_ += "</closed_auctions>";
+  }
+
+  Rng rng_;
+  Scale scale_;
+  std::string out_;
+};
+
+}  // namespace
+
+const std::string& XmarkDtdText() {
+  static const std::string* text = new std::string(kXmarkDtd);
+  return *text;
+}
+
+dtd::Dtd XmarkDtd() {
+  auto r = dtd::Dtd::Parse(XmarkDtdText());
+  assert(r.ok());
+  return std::move(*r);
+}
+
+std::string GenerateXmark(const XmarkOptions& opts) {
+  return Builder(opts).Build();
+}
+
+}  // namespace smpx::xmlgen

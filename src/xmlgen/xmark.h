@@ -1,0 +1,37 @@
+// XMark-like auction data generator [17] against a *non-recursive* variant
+// of the XMark DTD (the paper likewise modified the DTD: "the XMark DTD
+// allows recursive lists within item descriptions; we modified the DTD
+// accordingly"). Descriptions here are flat mixed content (text with
+// bold/keyword/emph), everything else follows the original structure:
+// regions/items, people/profiles, open and closed auctions, categories and
+// the category graph.
+
+#ifndef SMPX_XMLGEN_XMARK_H_
+#define SMPX_XMLGEN_XMARK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dtd/dtd.h"
+
+namespace smpx::xmlgen {
+
+/// The non-recursive XMark DTD source text (DOCTYPE form).
+const std::string& XmarkDtdText();
+
+/// Parsed form of XmarkDtdText(); aborts on internal inconsistency.
+dtd::Dtd XmarkDtd();
+
+struct XmarkOptions {
+  /// Approximate target size in bytes; entity counts scale linearly, as in
+  /// the original generator. 64 MB roughly matches XMark sf = 0.55.
+  uint64_t target_bytes = 8ull << 20;
+  uint64_t seed = 20080407;  // ICDE'08 (month/day arbitrary but fixed)
+};
+
+/// Generates one document. Deterministic in (options).
+std::string GenerateXmark(const XmarkOptions& opts = {});
+
+}  // namespace smpx::xmlgen
+
+#endif  // SMPX_XMLGEN_XMARK_H_

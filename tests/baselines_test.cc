@@ -1,0 +1,121 @@
+// Tests for the tokenizing baselines: the SAX projector (TBP substitute)
+// must implement the same projection semantics as the prefilter, and the
+// SAX parse baseline must count tokens faithfully.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sax_baseline.h"
+#include "baselines/sax_projector.h"
+#include "common/io.h"
+#include "paths/projection_path.h"
+
+namespace smpx::baselines {
+namespace {
+
+std::vector<paths::ProjectionPath> P(std::string_view list) {
+  auto r = paths::ProjectionPath::ParseList(list);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+std::string Project(std::string_view paths, std::string_view doc) {
+  SaxProjector projector(P(paths));
+  StringSink sink;
+  Status s = projector.Project(doc, &sink);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return sink.str();
+}
+
+TEST(SaxProjectorTest, PaperExample2Semantics) {
+  EXPECT_EQ(Project("/a/b#", "<a><b>one</b><c><b>shielded</b></c>"
+                             "<b>two</b></a>"),
+            "<a><b>one</b><b>two</b></a>");
+}
+
+TEST(SaxProjectorTest, PaperExample1Document) {
+  std::string doc =
+      "<site><regions><africa><item><location>US</location>"
+      "<description>flat panel</description></item></africa>"
+      "<australia><item><description>Palm Zire 71</description></item>"
+      "</australia></regions></site>";
+  EXPECT_EQ(Project("//australia//description#", doc),
+            "<site><australia><description>Palm Zire 71</description>"
+            "</australia></site>");
+}
+
+TEST(SaxProjectorTest, C3KeepsShieldingTags) {
+  // Example 6: both /a/b# and //b# present; the c tags must survive.
+  EXPECT_EQ(Project("/a/b# //b#", "<a><c><b>T</b></c></a>"),
+            "<a><c><b>T</b></c></a>");
+}
+
+TEST(SaxProjectorTest, AttributesFollowFlags) {
+  EXPECT_EQ(Project("/a@ /a/b", "<a id=\"1\"><b x=\"2\">t</b></a>"),
+            "<a id=\"1\"><b></b></a>");
+  EXPECT_EQ(Project("/a /a/b@", "<a id=\"1\"><b x=\"2\">t</b></a>"),
+            "<a><b x=\"2\"></b></a>");
+}
+
+TEST(SaxProjectorTest, BachelorTags) {
+  EXPECT_EQ(Project("/a/b", "<a><b/><c/></a>"), "<a><b/></a>");
+  EXPECT_EQ(Project("/a/b#", "<a><b/></a>"), "<a><b/></a>");
+}
+
+TEST(SaxProjectorTest, TextOnlyUnderHash) {
+  EXPECT_EQ(Project("/a/b", "<a>noise<b>kept?</b></a>"), "<a><b></b></a>");
+  EXPECT_EQ(Project("/a/b#", "<a>noise<b>kept!</b></a>"),
+            "<a><b>kept!</b></a>");
+}
+
+TEST(SaxProjectorTest, StatsAreFilled) {
+  SaxProjector projector(P("/a/b"));
+  StringSink sink;
+  SaxProjectStats stats;
+  ASSERT_TRUE(
+      projector.Project("<a><b>x</b><c>y</c></a>", &sink, &stats).ok());
+  EXPECT_GT(stats.tokens, 0u);
+  EXPECT_EQ(stats.elements_kept, 2u);   // a and b
+  EXPECT_EQ(stats.elements_dropped, 1u);  // c
+  EXPECT_EQ(stats.input_bytes, std::string("<a><b>x</b><c>y</c></a>").size());
+  EXPECT_EQ(stats.output_bytes, sink.str().size());
+}
+
+TEST(SaxProjectorTest, MalformedInputFails) {
+  SaxProjector projector(P("/a"));
+  StringSink sink;
+  EXPECT_FALSE(projector.Project("<a><b></a>", &sink).ok());
+}
+
+TEST(SaxProjectorTest, ModesProduceIdenticalOutput) {
+  // The memoized-DFA fast path must be a pure optimization.
+  std::string doc =
+      "<a><b>one</b><c><b>x</b><b>y</b></c><b>two</b><c><b>z</b></c></a>";
+  for (const char* paths : {"/a/b#", "/a/b# //b#", "//c#", "/a@ /a/c/b"}) {
+    SaxProjector dfa(P(paths), SaxProjector::Mode::kMemoizedDfa);
+    SaxProjector nfa(P(paths), SaxProjector::Mode::kNfaPerNode);
+    StringSink out1;
+    StringSink out2;
+    ASSERT_TRUE(dfa.Project(doc, &out1).ok()) << paths;
+    ASSERT_TRUE(nfa.Project(doc, &out2).ok()) << paths;
+    EXPECT_EQ(out1.str(), out2.str()) << paths;
+  }
+}
+
+TEST(SaxParseTest, CountsTokens) {
+  auto r = SaxParse("<a x=\"1\"><b>text</b><c/></a>", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->elements, 3u);
+  EXPECT_EQ(r->attributes, 1u);
+  EXPECT_EQ(r->text_bytes, 4u);
+}
+
+TEST(SaxParseTest, Sax2ModeChecksWellFormedness) {
+  EXPECT_TRUE(SaxParse("<a><b></a></b>", false).ok())
+      << "SAX1-like mode does not match tags";
+  EXPECT_FALSE(SaxParse("<a><b></a></b>", true).ok());
+}
+
+}  // namespace
+}  // namespace smpx::baselines

@@ -1,0 +1,225 @@
+// Tests for the common substrate: Status/Result, string helpers, streams,
+// and the sliding window (including eviction callbacks and growth).
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace smpx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token at offset 12");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token at offset 12");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token at offset 12");
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "x");
+}
+
+Status FailingHelper() { return Status::IoError("disk on fire"); }
+
+Status Propagates() {
+  SMPX_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIoError);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  SMPX_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+
+  Result<int> err = ParsePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("<description", "<desc"));
+  EXPECT_FALSE(StartsWith("<d", "<desc"));
+  EXPECT_TRUE(EndsWith("foo.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, Split) {
+  auto parts = Split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, NameCharClasses) {
+  EXPECT_TRUE(IsNameStartChar('a'));
+  EXPECT_TRUE(IsNameStartChar('_'));
+  EXPECT_FALSE(IsNameStartChar('1'));
+  EXPECT_TRUE(IsNameChar('1'));
+  EXPECT_TRUE(IsNameChar('-'));
+  EXPECT_FALSE(IsNameChar('>'));
+  EXPECT_FALSE(IsNameChar('/'));
+  EXPECT_FALSE(IsNameChar(' '));
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00B");
+  EXPECT_EQ(HumanBytes(2.5 * 1024 * 1024), "2.50MB");
+}
+
+TEST(MemoryInputStreamTest, ReadsInChunks) {
+  MemoryInputStream in("hello world");
+  char buf[4];
+  auto r = in.Read(buf, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 4u);
+  EXPECT_EQ(std::string(buf, 4), "hell");
+  r = in.Read(buf, 100);
+  EXPECT_EQ(*r, 7u);
+  r = in.Read(buf, 4);
+  EXPECT_EQ(*r, 0u) << "EOF reached";
+}
+
+TEST(FileRoundTripTest, WriteThenRead) {
+  std::string path = testing::TempDir() + "/smpx_io_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "round trip \0 data").ok());
+  auto r = ReadFileToString(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "round trip \0 data");
+  std::remove(path.c_str());
+}
+
+TEST(FileRoundTripTest, MissingFileIsIoError) {
+  auto r = ReadFileToString("/nonexistent/smpx/file.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SlidingWindowTest, ReadsWholeStreamThroughSmallWindow) {
+  std::string data(1000, '\0');
+  std::iota(data.begin(), data.end(), 0);
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+  for (uint64_t pos = 0; pos < data.size(); ++pos) {
+    win.set_lock(pos);
+    ASSERT_EQ(win.Ensure(pos, 1), 1u) << pos;
+    EXPECT_EQ(win.At(pos), data[static_cast<size_t>(pos)]);
+  }
+  EXPECT_TRUE(win.AtEnd(data.size()));
+  EXPECT_FALSE(win.AtEnd(0));
+}
+
+TEST(SlidingWindowTest, EvictionSeesEveryByteInOrder) {
+  std::string data;
+  for (int i = 0; i < 500; ++i) data += static_cast<char>('a' + i % 26);
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+  std::string evicted;
+  uint64_t expected_next = 0;
+  win.set_evict_fn([&](uint64_t begin, std::string_view bytes) {
+    EXPECT_EQ(begin, expected_next);
+    expected_next = begin + bytes.size();
+    evicted.append(bytes);
+  });
+  for (uint64_t pos = 0; pos < data.size(); pos += 10) {
+    win.set_lock(pos);
+    win.Ensure(pos, 10);
+  }
+  win.set_lock(data.size());
+  win.Ensure(data.size(), 1);
+  EXPECT_EQ(evicted, data);
+}
+
+TEST(SlidingWindowTest, GrowsWhenLockedSpanExceedsCapacity) {
+  std::string data(4096, 'q');
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+  win.set_lock(0);  // nothing may be evicted
+  ASSERT_EQ(win.Ensure(0, 2000), 2000u);
+  EXPECT_GE(win.capacity(), 2000u);
+  EXPECT_GE(win.max_capacity_used(), 2000u);
+  std::string_view v = win.View(0, 2000);
+  EXPECT_EQ(v.substr(0, 5), "qqqqq");
+}
+
+TEST(SlidingWindowTest, ViewAcrossRefillKeepsAbsolutePositions) {
+  std::string data;
+  for (int i = 0; i < 300; ++i) data += std::to_string(i % 10);
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+  win.set_lock(250);
+  std::string_view v = win.View(250, 20);
+  ASSERT_GE(v.size(), 20u);
+  EXPECT_EQ(v.substr(0, 3), data.substr(250, 3));
+}
+
+TEST(SlidingWindowTest, JumpFarBeyondBufferBridgesGap) {
+  std::string data(10000, 'x');
+  data[9000] = 'Y';
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+  std::string evicted;
+  win.set_evict_fn([&](uint64_t, std::string_view bytes) {
+    evicted.append(bytes);
+  });
+  win.set_lock(9000);
+  ASSERT_GE(win.Ensure(9000, 1), 1u);
+  EXPECT_EQ(win.At(9000), 'Y');
+  EXPECT_EQ(evicted.size(), 9000u) << "every skipped byte passed the hook";
+}
+
+TEST(SlidingWindowTest, EnsurePastEofReturnsShortCount) {
+  MemoryInputStream in("abc");
+  SlidingWindow win(&in, 64);
+  EXPECT_EQ(win.Ensure(0, 10), 3u);
+  EXPECT_EQ(win.Ensure(3, 1), 0u);
+  EXPECT_TRUE(win.AtEnd(3));
+}
+
+}  // namespace
+}  // namespace smpx

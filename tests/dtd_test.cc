@@ -1,0 +1,443 @@
+// Tests for the DTD substrate: content-model parsing, DTD parsing,
+// recursion detection, Glushkov construction, the document-level
+// DTD-automaton (checked against the paper's Fig. 5 / Examples 7-9), and
+// minimal serialization lengths (Example 1's 25-character jump).
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dtd/content_model.h"
+#include "dtd/dtd.h"
+#include "dtd/dtd_automaton.h"
+#include "dtd/glushkov.h"
+#include "dtd/min_serial.h"
+
+namespace smpx::dtd {
+namespace {
+
+// The paper's running example (Example 2):
+//   <!ELEMENT a (b|c)*> <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)>
+constexpr char kPaperDtd[] =
+    "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+    " <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>";
+
+// The XMark excerpt from Fig. 1 (site/regions/africa..australia/item).
+constexpr char kXmarkExcerpt[] = R"(<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (africa, asia, australia)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (location,name,payment,description,shipping,incategory+)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ATTLIST incategory category ID #REQUIRED>
+]>)";
+
+Dtd MustParse(std::string_view text, std::string root = "") {
+  auto r = Dtd::Parse(text, std::move(root));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(*r) : Dtd();
+}
+
+TEST(ContentModelTest, ParsesKeywordForms) {
+  EXPECT_EQ(ParseContentModel("EMPTY")->kind, ContentModel::Kind::kEmpty);
+  EXPECT_EQ(ParseContentModel("ANY")->kind, ContentModel::Kind::kAny);
+  EXPECT_EQ(ParseContentModel("(#PCDATA)")->kind,
+            ContentModel::Kind::kPcdata);
+  auto mixed = ParseContentModel("(#PCDATA | em | bold)*");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->kind, ContentModel::Kind::kMixed);
+  EXPECT_EQ(mixed->mixed_names.size(), 2u);
+}
+
+TEST(ContentModelTest, ParsesRegexForms) {
+  auto m = ParseContentModel("(location, name?, (b | c)*, incategory+)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->kind, ContentModel::Kind::kRegex);
+  EXPECT_EQ(m->expr.op, ContentExpr::Op::kSeq);
+  ASSERT_EQ(m->expr.kids.size(), 4u);
+  EXPECT_EQ(m->expr.kids[0].name, "location");
+  EXPECT_EQ(m->expr.kids[1].op, ContentExpr::Op::kOpt);
+  EXPECT_EQ(m->expr.kids[2].op, ContentExpr::Op::kStar);
+  EXPECT_EQ(m->expr.kids[2].kids[0].op, ContentExpr::Op::kChoice);
+  EXPECT_EQ(m->expr.kids[3].op, ContentExpr::Op::kPlus);
+}
+
+TEST(ContentModelTest, Nullability) {
+  EXPECT_TRUE(ParseContentModel("EMPTY")->Nullable());
+  EXPECT_TRUE(ParseContentModel("(#PCDATA)")->Nullable());
+  EXPECT_TRUE(ParseContentModel("(a*)")->Nullable());
+  EXPECT_TRUE(ParseContentModel("(a?, b*)")->Nullable());
+  EXPECT_FALSE(ParseContentModel("(a, b?)")->Nullable());
+  EXPECT_FALSE(ParseContentModel("(a+)")->Nullable());
+  EXPECT_TRUE(ParseContentModel("(a | b*)")->Nullable());
+}
+
+TEST(ContentModelTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseContentModel("(a, b | c)").ok());
+  EXPECT_FALSE(ParseContentModel("(a,,b)").ok());
+  EXPECT_FALSE(ParseContentModel("(a").ok());
+  EXPECT_FALSE(ParseContentModel("a)").ok());
+  EXPECT_FALSE(ParseContentModel("(PCDATA #)").ok());
+  EXPECT_FALSE(ParseContentModel("(#PCDATA | a)").ok());
+}
+
+TEST(ContentModelTest, ToStringRoundTrips) {
+  for (const char* text :
+       {"EMPTY", "(#PCDATA)", "(a,b?,c*)", "((a|b)+,c)", "(#PCDATA|em)*"}) {
+    auto m = ParseContentModel(text);
+    ASSERT_TRUE(m.ok()) << text;
+    auto again = ParseContentModel(m->ToString());
+    ASSERT_TRUE(again.ok()) << m->ToString();
+    EXPECT_EQ(m->ToString(), again->ToString());
+  }
+}
+
+TEST(DtdTest, ParsesPaperDtd) {
+  Dtd dtd = MustParse(kPaperDtd);
+  EXPECT_EQ(dtd.root(), "a");
+  ASSERT_NE(dtd.Find("a"), nullptr);
+  ASSERT_NE(dtd.Find("c"), nullptr);
+  EXPECT_EQ(dtd.Find("c")->model.ToString(), "(b,b?)");
+  EXPECT_TRUE(dtd.Validate().ok());
+  EXPECT_FALSE(dtd.IsRecursive());
+}
+
+TEST(DtdTest, ParsesAttlists) {
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  const ElementDecl* inc = dtd.Find("incategory");
+  ASSERT_NE(inc, nullptr);
+  ASSERT_EQ(inc->attrs.size(), 1u);
+  EXPECT_EQ(inc->attrs[0].name, "category");
+  EXPECT_TRUE(inc->attrs[0].required());
+  EXPECT_EQ(inc->RequiredAttrChars(), std::string(" category=\"\"").size());
+}
+
+TEST(DtdTest, AttlistVariants) {
+  Dtd dtd = MustParse(
+      "<!ELEMENT e EMPTY>"
+      "<!ATTLIST e a CDATA #REQUIRED b (x|y) \"x\" c NMTOKEN #IMPLIED"
+      " d CDATA #FIXED \"v\">",
+      "e");
+  const ElementDecl* e = dtd.Find("e");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->attrs.size(), 4u);
+  EXPECT_TRUE(e->attrs[0].required());
+  EXPECT_EQ(e->attrs[1].def, AttributeDecl::Default::kDefaulted);
+  EXPECT_EQ(e->attrs[1].default_value, "x");
+  EXPECT_EQ(e->attrs[3].def, AttributeDecl::Default::kFixed);
+  EXPECT_EQ(e->RequiredAttrChars(), 5u);  // just ` a=""`
+}
+
+TEST(DtdTest, AttlistBeforeElementIsMerged) {
+  Dtd dtd = MustParse(
+      "<!ATTLIST e id ID #REQUIRED><!ELEMENT e (#PCDATA)>", "e");
+  const ElementDecl* e = dtd.Find("e");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->model.kind, ContentModel::Kind::kPcdata);
+  ASSERT_EQ(e->attrs.size(), 1u);
+  EXPECT_TRUE(e->attrs[0].required());
+}
+
+TEST(DtdTest, DetectsRecursion) {
+  Dtd direct = MustParse("<!ELEMENT a (a?)>", "a");
+  EXPECT_TRUE(direct.IsRecursive());
+  Dtd mutual = MustParse(
+      "<!ELEMENT a (b?)><!ELEMENT b (c?)><!ELEMENT c (a?)>", "a");
+  EXPECT_TRUE(mutual.IsRecursive());
+  Dtd dag = MustParse(
+      "<!ELEMENT a (b,c)><!ELEMENT b (d?)><!ELEMENT c (d?)>"
+      "<!ELEMENT d (#PCDATA)>",
+      "a");
+  EXPECT_FALSE(dag.IsRecursive());
+}
+
+TEST(DtdTest, ValidateCatchesUndeclaredChildren) {
+  Dtd dtd = MustParse("<!ELEMENT a (ghost?)>", "a");
+  EXPECT_FALSE(dtd.Validate().ok());
+}
+
+TEST(DtdTest, SkipsEntitiesCommentsAndPEs) {
+  Dtd dtd = MustParse(
+      "<!-- header --><!ENTITY amp2 \"&\">\n"
+      "<!ELEMENT a EMPTY> %param; <!NOTATION n SYSTEM \"x\">",
+      "a");
+  EXPECT_NE(dtd.Find("a"), nullptr);
+}
+
+TEST(DtdTest, ToStringRoundTrips) {
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  Dtd again = MustParse(dtd.ToString());
+  EXPECT_EQ(again.root(), "site");
+  EXPECT_EQ(again.elements().size(), dtd.elements().size());
+  EXPECT_EQ(again.Find("item")->model.ToString(),
+            dtd.Find("item")->model.ToString());
+}
+
+TEST(GlushkovTest, PositionsAndFollowForSeq) {
+  Glushkov g = Glushkov::Build(*ParseContentModel("(a,b,c)"));
+  ASSERT_EQ(g.num_positions(), 3u);
+  EXPECT_FALSE(g.nullable);
+  EXPECT_EQ(g.first, (std::vector<int>{0}));
+  EXPECT_TRUE(g.last[2]);
+  EXPECT_FALSE(g.last[0]);
+  EXPECT_EQ(g.follow[0], (std::vector<int>{1}));
+  EXPECT_EQ(g.follow[1], (std::vector<int>{2}));
+  EXPECT_TRUE(g.follow[2].empty());
+}
+
+TEST(GlushkovTest, ChoiceAndStar) {
+  // (b|c)* -- the paper's element a.
+  Glushkov g = Glushkov::Build(*ParseContentModel("(b|c)*"));
+  ASSERT_EQ(g.num_positions(), 2u);
+  EXPECT_TRUE(g.nullable);
+  EXPECT_EQ(g.first.size(), 2u);
+  EXPECT_TRUE(g.last[0]);
+  EXPECT_TRUE(g.last[1]);
+  // Both positions follow both positions.
+  EXPECT_EQ(g.follow[0].size(), 2u);
+  EXPECT_EQ(g.follow[1].size(), 2u);
+}
+
+TEST(GlushkovTest, OptionalTail) {
+  // (b,b?) -- the paper's element c.
+  Glushkov g = Glushkov::Build(*ParseContentModel("(b,b?)"));
+  ASSERT_EQ(g.num_positions(), 2u);
+  EXPECT_FALSE(g.nullable);
+  EXPECT_EQ(g.first, (std::vector<int>{0}));
+  EXPECT_TRUE(g.last[0]) << "b? may be absent";
+  EXPECT_TRUE(g.last[1]);
+  EXPECT_EQ(g.follow[0], (std::vector<int>{1}));
+}
+
+TEST(GlushkovTest, NullableSeqPropagatesFirst) {
+  Glushkov g = Glushkov::Build(*ParseContentModel("(a?,b)"));
+  ASSERT_EQ(g.num_positions(), 2u);
+  EXPECT_EQ(g.first.size(), 2u) << "b can start when a? is skipped";
+  EXPECT_FALSE(g.nullable);
+}
+
+TEST(GlushkovTest, MixedContent) {
+  Glushkov g = Glushkov::Build(*ParseContentModel("(#PCDATA|em|b)*"));
+  ASSERT_EQ(g.num_positions(), 2u);
+  EXPECT_TRUE(g.nullable);
+  EXPECT_EQ(g.follow[0].size(), 2u);
+  EXPECT_EQ(g.follow[1].size(), 2u);
+}
+
+TEST(GlushkovTest, PlusIsNotNullable) {
+  Glushkov g = Glushkov::Build(*ParseContentModel("(a+)"));
+  EXPECT_FALSE(g.nullable);
+  EXPECT_EQ(g.follow[0], (std::vector<int>{0}));
+}
+
+// --- DTD-automaton: the paper's Fig. 5 -----------------------------------
+
+class PaperAutomatonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dtd_ = MustParse(kPaperDtd);
+    auto a = DtdAutomaton::Build(dtd_);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    aut_ = std::make_unique<DtdAutomaton>(std::move(*a));
+  }
+
+  /// Follows the unique transition with `token` from `state`.
+  int Step(int state, const std::string& name, bool closing) {
+    int token = aut_->FindToken(name, closing);
+    EXPECT_GE(token, 0) << (closing ? "</" : "<") << name << ">";
+    for (const auto& t : aut_->Out(state)) {
+      if (t.token == token) return t.to;
+    }
+    ADD_FAILURE() << "no transition on " << (closing ? "</" : "<") << name
+                  << "> from state " << state;
+    return -1;
+  }
+
+  Dtd dtd_;
+  std::unique_ptr<DtdAutomaton> aut_;
+};
+
+TEST_F(PaperAutomatonTest, HasElevenStatesLikeFig5) {
+  // Fig. 5: q0 plus dual pairs for a, b-under-a, c-under-a, b1-under-c,
+  // b2-under-c = 1 + 2*5 = 11.
+  EXPECT_EQ(aut_->num_states(), 11);
+  EXPECT_EQ(aut_->instances().size(), 5u);
+}
+
+TEST_F(PaperAutomatonTest, AcceptsValidTokenSequences) {
+  // <a><c><b></b><b></b></c><b></b></a>
+  int s = 0;
+  s = Step(s, "a", false);
+  s = Step(s, "c", false);
+  s = Step(s, "b", false);
+  s = Step(s, "b", true);
+  s = Step(s, "b", false);
+  s = Step(s, "b", true);
+  s = Step(s, "c", true);
+  s = Step(s, "b", false);
+  s = Step(s, "b", true);
+  s = Step(s, "a", true);
+  EXPECT_EQ(s, aut_->final_state());
+}
+
+TEST_F(PaperAutomatonTest, RejectsInvalidContinuations) {
+  int q1 = Step(0, "a", false);
+  // From <a>, reading </b> or <a> is impossible.
+  EXPECT_EQ(aut_->FindToken("a", false), 0);
+  for (const auto& t : aut_->Out(q1)) {
+    EXPECT_NE(aut_->token(t.token), (TagToken{"a", false}));
+    EXPECT_NE(aut_->token(t.token), (TagToken{"b", true}));
+  }
+  // From inside c after one b, a second b or </c> are the options.
+  int qc = Step(q1, "c", false);
+  int qb1 = Step(qc, "b", false);
+  int qb1c = Step(qb1, "b", true);
+  std::set<std::string> tokens;
+  for (const auto& t : aut_->Out(qb1c)) {
+    tokens.insert(aut_->token(t.token).ToString());
+  }
+  EXPECT_EQ(tokens, (std::set<std::string>{"<b>", "</c>"}));
+}
+
+TEST_F(PaperAutomatonTest, HomogeneityHolds) {
+  // Every state is entered by exactly one token.
+  std::vector<std::set<int>> incoming(
+      static_cast<size_t>(aut_->num_states()));
+  for (int s = 0; s < aut_->num_states(); ++s) {
+    for (const auto& t : aut_->Out(s)) {
+      incoming[static_cast<size_t>(t.to)].insert(t.token);
+    }
+  }
+  for (int s = 1; s < aut_->num_states(); ++s) {
+    EXPECT_LE(incoming[static_cast<size_t>(s)].size(), 1u) << "state " << s;
+  }
+}
+
+TEST_F(PaperAutomatonTest, ParentStatesMatchExample8) {
+  // q0 is the parent of a's states; a's open state is the parent of the
+  // b-under-a and c-under-a states.
+  int q1 = Step(0, "a", false);
+  int q2 = Step(q1, "b", false);
+  int q3 = Step(q1, "c", false);
+  EXPECT_EQ(aut_->ParentState(q1), 0);
+  EXPECT_EQ(aut_->ParentState(q2), q1);
+  EXPECT_EQ(aut_->ParentState(q3), q1);
+  EXPECT_EQ(aut_->ParentState(DtdAutomaton::Dual(q2)), q1);
+  int q4 = Step(q3, "b", false);
+  EXPECT_EQ(aut_->ParentState(q4), q3);
+}
+
+TEST_F(PaperAutomatonTest, DocumentBranchesMatchExample9) {
+  int q1 = Step(0, "a", false);
+  int q2 = Step(q1, "b", false);
+  int q3 = Step(q1, "c", false);
+  int q4 = Step(q3, "b", false);
+  EXPECT_TRUE(aut_->BranchLabels(0).empty());
+  EXPECT_EQ(aut_->BranchLabels(q1), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(aut_->BranchLabels(q2), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(aut_->BranchLabels(DtdAutomaton::Dual(q2)),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(aut_->BranchLabels(q4), (std::vector<std::string>{"a", "c", "b"}));
+}
+
+TEST_F(PaperAutomatonTest, DualStatePairing) {
+  int q1 = Step(0, "a", false);
+  EXPECT_EQ(DtdAutomaton::Dual(DtdAutomaton::Dual(q1)), q1);
+  EXPECT_TRUE(DtdAutomaton::IsOpenState(q1));
+  EXPECT_TRUE(DtdAutomaton::IsCloseState(DtdAutomaton::Dual(q1)));
+  EXPECT_EQ(DtdAutomaton::Dual(0), 0);
+}
+
+TEST(DtdAutomatonTest, RejectsRecursiveDtd) {
+  Dtd dtd = MustParse("<!ELEMENT a (a?)>", "a");
+  auto a = DtdAutomaton::Build(dtd);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DtdAutomatonTest, RejectsAnyContent) {
+  Dtd dtd = MustParse("<!ELEMENT a ANY>", "a");
+  auto a = DtdAutomaton::Build(dtd);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DtdAutomatonTest, XmarkExcerptShape) {
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  auto a = DtdAutomaton::Build(dtd);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  // site + regions + 3 regions + 3*(item + 6 children) = 26 instances.
+  EXPECT_EQ(a->instances().size(), 26u);
+  // Every instance has a branch starting with "site".
+  for (size_t i = 0; i < a->instances().size(); ++i) {
+    auto branch = a->BranchLabels(DtdAutomaton::OpenState(static_cast<int>(i)));
+    ASSERT_FALSE(branch.empty());
+    EXPECT_EQ(branch.front(), "site");
+  }
+}
+
+TEST(MinSerialTest, TagLengths) {
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  MinSerial ms(&dtd);
+  EXPECT_EQ(ms.OpenTag("site"), 6u);        // <site>
+  EXPECT_EQ(ms.CloseTag("site"), 7u);       // </site>
+  EXPECT_EQ(ms.BachelorTag("asia"), 7u);    // <asia/>
+  // <incategory category=""/> : (10+3) + (8+4) = 25
+  EXPECT_EQ(ms.BachelorTag("incategory"), 25u);
+}
+
+TEST(MinSerialTest, Example1JumpIs25) {
+  // "<regions><africa/><asia/>" has length 25: the minimum string preceding
+  // <australia> after <site> (Example 1).
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  MinSerial ms(&dtd);
+  uint64_t skip = ms.OpenTag("regions") + ms.Element("africa") +
+                  ms.Element("asia");
+  EXPECT_EQ(ms.Element("africa"), 9u);  // <africa/>
+  EXPECT_EQ(ms.Element("asia"), 7u);    // <asia/>
+  EXPECT_EQ(skip, 25u);
+}
+
+TEST(MinSerialTest, NonNullableUsesPairedForm) {
+  Dtd dtd = MustParse(kXmarkExcerpt);
+  MinSerial ms(&dtd);
+  // item requires location..incategory content; its minimum is the paired
+  // form around the children's minimal forms.
+  uint64_t content = ms.Element("location") + ms.Element("name") +
+                     ms.Element("payment") + ms.Element("description") +
+                     ms.Element("shipping") + ms.Element("incategory");
+  EXPECT_EQ(ms.Content("item"), content);
+  EXPECT_EQ(ms.Element("item"), 6u + content + 7u);
+  // regions is not nullable either.
+  EXPECT_EQ(ms.Element("regions"),
+            9u + ms.Element("africa") + ms.Element("asia") +
+                ms.Element("australia") + 10u);
+}
+
+TEST(MinSerialTest, ChoiceTakesCheapestBranch) {
+  Dtd dtd = MustParse(
+      "<!ELEMENT a (long_element_name | b)><!ELEMENT long_element_name EMPTY>"
+      "<!ELEMENT b EMPTY>",
+      "a");
+  MinSerial ms(&dtd);
+  EXPECT_EQ(ms.Content("a"), 4u);  // <b/>
+  EXPECT_EQ(ms.Element("a"), 3u + 4u + 4u);
+}
+
+TEST(MinSerialTest, UndeclaredElementIsHuge) {
+  Dtd dtd = MustParse("<!ELEMENT a EMPTY>", "a");
+  MinSerial ms(&dtd);
+  EXPECT_GT(ms.Element("ghost"), 1u << 30);
+}
+
+}  // namespace
+}  // namespace smpx::dtd

@@ -1,0 +1,267 @@
+// Cross-module integration and property tests -- the heart of the
+// correctness argument:
+//
+//  1. Property (Theorem 1 / Lemma 1): for random nonrecursive DTDs, random
+//     valid documents and random projection paths, the prefilter output is
+//     well-formed and *projection-safe* (Definition 2): every path
+//     evaluates top-level-equal on input and output.
+//  2. Differential: the prefilter and the tokenizing SAX projector --
+//     independent implementations of the same semantics -- produce
+//     identical bytes on the paper's workloads.
+//  3. The generated datasets flow end-to-end through compile + run.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sax_projector.h"
+#include "common/io.h"
+#include "core/prefilter.h"
+#include "query/equivalence.h"
+#include "xml/tokenizer.h"
+#include "xmlgen/dtd_sampler.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/text_gen.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx {
+namespace {
+
+std::vector<paths::ProjectionPath> P(std::string_view list) {
+  auto r = paths::ProjectionPath::ParseList(list);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+// --- Property tests over random instances ---------------------------------
+
+struct PropertyCase {
+  uint64_t seed;
+  int num_elements;
+  int num_paths;
+};
+
+class ProjectionSafetyProperty
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ProjectionSafetyProperty, PrefilterOutputIsSafeAndWellFormed) {
+  const PropertyCase& param = GetParam();
+  xmlgen::Rng rng(param.seed);
+  int compiled = 0;
+  for (int round = 0; round < 40; ++round) {
+    xmlgen::RandomDtdOptions dopts;
+    dopts.num_elements = param.num_elements;
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng, dopts);
+
+    xmlgen::RandomPathsOptions popts;
+    popts.num_paths = param.num_paths;
+    std::vector<paths::ProjectionPath> paths =
+        xmlgen::RandomPaths(dtd, &rng, popts);
+
+    auto pf = core::Prefilter::Compile(dtd, paths);
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString() << "\n" << dtd.ToString();
+    ++compiled;
+
+    for (int doc_round = 0; doc_round < 5; ++doc_round) {
+      std::string doc = xmlgen::RandomDocument(dtd, &rng);
+      core::RunStats stats;
+      auto out = pf->RunOnBuffer(doc, &stats);
+      ASSERT_TRUE(out.ok()) << out.status().ToString() << "\ndtd: "
+                            << dtd.ToString() << "\ndoc: " << doc;
+
+      // (a) Well-formed output.
+      ASSERT_TRUE(xml::CheckWellFormed(*out).ok())
+          << "output not well-formed\npaths: "
+          << paths::ProjectionPath::ParseList("/x").status().ToString()
+          << "\ndtd: " << dtd.ToString() << "\ndoc: " << doc
+          << "\nout: " << *out;
+
+      // (b) Projection safety (Definition 2) for the *effective* path set
+      // (including the implicit /*).
+      auto report = query::CheckProjectionSafety(doc, *out, pf->paths());
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      ASSERT_TRUE(report->safe)
+          << report->first_violation << "\ndtd: " << dtd.ToString()
+          << "\ndoc: " << doc << "\nout: " << *out;
+
+      // (c) The engine never produces more bytes than it consumed.
+      ASSERT_LE(out->size(), doc.size());
+    }
+  }
+  EXPECT_GT(compiled, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProjectionSafetyProperty,
+    ::testing::Values(PropertyCase{101, 5, 2}, PropertyCase{202, 8, 3},
+                      PropertyCase{303, 12, 4}, PropertyCase{404, 8, 1},
+                      PropertyCase{505, 15, 5}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(ProjectionSafetyProperty, SaxProjectorIsSafeToo) {
+  xmlgen::Rng rng(777);
+  for (int round = 0; round < 30; ++round) {
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::vector<paths::ProjectionPath> paths = xmlgen::RandomPaths(dtd, &rng);
+    baselines::SaxProjector projector(paths);
+    for (int doc_round = 0; doc_round < 3; ++doc_round) {
+      std::string doc = xmlgen::RandomDocument(dtd, &rng);
+      StringSink sink;
+      ASSERT_TRUE(projector.Project(doc, &sink).ok());
+      ASSERT_TRUE(xml::CheckWellFormed(sink.str()).ok()) << sink.str();
+      auto report =
+          query::CheckProjectionSafety(doc, sink.str(), projector.paths());
+      ASSERT_TRUE(report.ok());
+      ASSERT_TRUE(report->safe)
+          << report->first_violation << "\ndtd: " << dtd.ToString()
+          << "\ndoc: " << doc << "\nout: " << sink.str();
+    }
+  }
+}
+
+// --- Differential tests on the paper's workloads ---------------------------
+
+struct WorkloadCase {
+  const char* name;
+  const char* paths;
+};
+
+class XmarkDifferential : public ::testing::TestWithParam<WorkloadCase> {
+ protected:
+  static std::string doc_;
+  static void SetUpTestSuite() {
+    xmlgen::XmarkOptions opts;
+    opts.target_bytes = 1 << 20;
+    doc_ = xmlgen::GenerateXmark(opts);
+  }
+  static void TearDownTestSuite() { doc_.clear(); }
+};
+std::string XmarkDifferential::doc_;
+
+TEST_P(XmarkDifferential, PrefilterMatchesSaxProjector) {
+  const WorkloadCase& wc = GetParam();
+  auto pf = core::Prefilter::Compile(xmlgen::XmarkDtd(), P(wc.paths));
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  core::RunStats stats;
+  auto smp_out = pf->RunOnBuffer(doc_, &stats);
+  ASSERT_TRUE(smp_out.ok()) << smp_out.status().ToString();
+
+  baselines::SaxProjector projector(P(wc.paths));
+  StringSink sax_out;
+  ASSERT_TRUE(projector.Project(doc_, &sax_out).ok());
+
+  ASSERT_EQ(*smp_out, sax_out.str()) << "differential mismatch";
+  EXPECT_TRUE(xml::CheckWellFormed(*smp_out).ok());
+  // And the prefilter must actually skip input.
+  EXPECT_LT(stats.CharCompPct(), 60.0);
+
+  auto report = query::CheckProjectionSafety(doc_, *smp_out, pf->paths());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe) << report->first_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    XmarkWorkloads, XmarkDifferential,
+    ::testing::Values(
+        WorkloadCase{"XM1", "/site/people/person@ /site/people/person/name#"},
+        WorkloadCase{"XM2",
+                     "/site/open_auctions/open_auction/bidder/increase#"},
+        WorkloadCase{"XM5",
+                     "/site/closed_auctions/closed_auction/price#"},
+        WorkloadCase{"XM6", "/site/regions//item@"},
+        WorkloadCase{"XM13",
+                     "/site/regions/australia/item/name# "
+                     "/site/regions/australia/item/description#"},
+        WorkloadCase{"XM14", "/site//item/name# /site//item/description#"},
+        WorkloadCase{"XM17",
+                     "/site/people/person/name# "
+                     "/site/people/person/homepage"},
+        WorkloadCase{"XM19",
+                     "/site/regions//item/location# "
+                     "/site/regions//item/name#"},
+        WorkloadCase{"Desc", "//australia//description#"},
+        WorkloadCase{"Star", "/*"}),
+    [](const ::testing::TestParamInfo<WorkloadCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MedlineDifferential, AllFiveQueries) {
+  xmlgen::MedlineOptions opts;
+  opts.target_bytes = 1 << 20;
+  std::string doc = xmlgen::GenerateMedline(opts);
+  const char* workloads[] = {
+      "/MedlineCitationSet//CollectionTitle#",
+      "/MedlineCitationSet//DataBank/DataBankName# "
+      "/MedlineCitationSet//DataBank/AccessionNumberList#",
+      "/MedlineCitationSet//PersonalNameSubjectList/PersonalNameSubject#",
+      "/MedlineCitationSet//CopyrightInformation#",
+      "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo# "
+      "/MedlineCitationSet/MedlineCitation/DateCompleted#",
+  };
+  for (const char* w : workloads) {
+    auto pf = core::Prefilter::Compile(xmlgen::MedlineDtd(), P(w));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString() << " " << w;
+    auto smp_out = pf->RunOnBuffer(doc);
+    ASSERT_TRUE(smp_out.ok()) << smp_out.status().ToString() << " " << w;
+    baselines::SaxProjector projector(P(w));
+    StringSink sax_out;
+    ASSERT_TRUE(projector.Project(doc, &sax_out).ok());
+    ASSERT_EQ(*smp_out, sax_out.str()) << w;
+  }
+}
+
+TEST(MedlineIntegration, AbsentElementProjectsToRootOnly) {
+  // Query M1: CollectionTitle is declared but never generated; projecting
+  // for it must keep just the root (paper: Proj. Size 0 MB).
+  xmlgen::MedlineOptions opts;
+  opts.target_bytes = 512 << 10;
+  std::string doc = xmlgen::GenerateMedline(opts);
+  auto pf = core::Prefilter::Compile(
+      xmlgen::MedlineDtd(), P("/MedlineCitationSet//CollectionTitle#"));
+  ASSERT_TRUE(pf.ok());
+  core::RunStats stats;
+  auto out = pf->RunOnBuffer(doc, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "<MedlineCitationSet></MedlineCitationSet>");
+  EXPECT_LT(stats.CharCompPct(), 30.0);
+}
+
+TEST(XmarkIntegration, StreamingRunMatchesBufferRun) {
+  xmlgen::XmarkOptions opts;
+  opts.target_bytes = 512 << 10;
+  std::string doc = xmlgen::GenerateXmark(opts);
+  auto pf = core::Prefilter::Compile(
+      xmlgen::XmarkDtd(), P("/site/regions/australia/item/name#"));
+  ASSERT_TRUE(pf.ok());
+  auto big = pf->RunOnBuffer(doc);
+  ASSERT_TRUE(big.ok());
+  core::EngineOptions small_window;
+  small_window.window_capacity = 512;
+  core::RunStats stats;
+  auto small = pf->RunOnBuffer(doc, &stats, small_window);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(*small, *big);
+  EXPECT_LE(stats.window_peak, 16u << 10);
+}
+
+TEST(XmarkIntegration, CharCompStaysPaperLike) {
+  // Table I reports 10-23% inspected characters across XMark queries.
+  xmlgen::XmarkOptions opts;
+  opts.target_bytes = 2 << 20;
+  std::string doc = xmlgen::GenerateXmark(opts);
+  auto pf = core::Prefilter::Compile(
+      xmlgen::XmarkDtd(),
+      P("/site/closed_auctions/closed_auction/price#"));
+  ASSERT_TRUE(pf.ok());
+  core::RunStats stats;
+  ASSERT_TRUE(pf->RunOnBuffer(doc, &stats).ok());
+  EXPECT_GT(stats.CharCompPct(), 2.0);
+  EXPECT_LT(stats.CharCompPct(), 45.0);
+  EXPECT_GT(stats.AvgShift(), 3.0);
+}
+
+}  // namespace
+}  // namespace smpx

@@ -1,0 +1,246 @@
+// Tests for projection paths: parsing, branch matching, prefix closure,
+// and Definition 3 relevance (C1/C2/C3), including the paper's Example 6.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "paths/path_nfa.h"
+#include "paths/projection_path.h"
+#include "paths/relevance.h"
+
+namespace smpx::paths {
+namespace {
+
+ProjectionPath P(std::string_view text) {
+  auto r = ProjectionPath::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : ProjectionPath();
+}
+
+std::vector<std::string> B(std::initializer_list<const char*> labels) {
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+TEST(ProjectionPathTest, ParsesBasicForms) {
+  ProjectionPath p = P("/site/regions/australia");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].name, "site");
+  EXPECT_EQ(p.steps[0].axis, PathStep::Axis::kChild);
+  EXPECT_FALSE(p.descendants);
+
+  p = P("//australia//description#");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, PathStep::Axis::kDescendant);
+  EXPECT_EQ(p.steps[1].axis, PathStep::Axis::kDescendant);
+  EXPECT_TRUE(p.descendants);
+
+  p = P("/*");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_TRUE(p.steps[0].wildcard);
+
+  p = P("/");
+  EXPECT_TRUE(p.steps.empty());
+
+  p = P("/a/b#@");
+  EXPECT_TRUE(p.descendants);
+  EXPECT_TRUE(p.attributes);
+}
+
+TEST(ProjectionPathTest, RejectsMalformed) {
+  EXPECT_FALSE(ProjectionPath::Parse("").ok());
+  EXPECT_FALSE(ProjectionPath::Parse("a/b").ok());
+  EXPECT_FALSE(ProjectionPath::Parse("/a/").ok());
+  EXPECT_FALSE(ProjectionPath::Parse("//").ok());
+  EXPECT_FALSE(ProjectionPath::Parse("/a[1]").ok());
+}
+
+TEST(ProjectionPathTest, ToStringRoundTrips) {
+  for (const char* text : {"/", "/*", "/a/b", "//a//b#", "/a//b", "/x#@",
+                           "//item/name"}) {
+    ProjectionPath p = P(text);
+    EXPECT_EQ(P(p.ToString()).ToString(), p.ToString()) << text;
+  }
+}
+
+TEST(ProjectionPathTest, ParseList) {
+  auto r = ProjectionPath::ParseList("/a/b#\n  //c \n\n/* ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(PathNfaTest, ChildSteps) {
+  ProjectionPath p = P("/a/b");
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "b"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"a"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"a", "b", "c"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"a", "c"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"x", "b"})));
+}
+
+TEST(PathNfaTest, DescendantSteps) {
+  ProjectionPath p = P("//b");
+  EXPECT_TRUE(PathMatchesBranch(p, B({"b"})));
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "b"})));
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "c", "b"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"b", "c"})));
+
+  p = P("/a//d");
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "d"})));
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "x", "y", "d"})));
+  EXPECT_FALSE(PathMatchesBranch(p, B({"b", "x", "d"})));
+}
+
+TEST(PathNfaTest, WildcardSteps) {
+  EXPECT_TRUE(PathMatchesBranch(P("/*"), B({"anything"})));
+  EXPECT_FALSE(PathMatchesBranch(P("/*"), B({"a", "b"})));
+  EXPECT_TRUE(PathMatchesBranch(P("/a/*/c"), B({"a", "b", "c"})));
+  EXPECT_TRUE(PathMatchesBranch(P("//*"), B({"a", "b", "c"})));
+}
+
+TEST(PathNfaTest, EmptyPathMatchesDocumentNodeOnly) {
+  EXPECT_TRUE(PathMatchesBranch(P("/"), {}));
+  EXPECT_FALSE(PathMatchesBranch(P("/"), B({"a"})));
+}
+
+TEST(PathNfaTest, RepeatedLabelsWithDescendant) {
+  ProjectionPath p = P("//a//a");
+  EXPECT_FALSE(PathMatchesBranch(p, B({"a"})));
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "a"})));
+  EXPECT_TRUE(PathMatchesBranch(p, B({"a", "x", "a"})));
+}
+
+TEST(PrefixClosureTest, AddsAllStepPrefixes) {
+  // Example 6: P = {/*, /a/b#, //b#} yields
+  // P+ = {/, /a, /*, /a/b#, //b#}.
+  std::vector<ProjectionPath> paths = {P("/*"), P("/a/b#"), P("//b#")};
+  std::vector<ProjectionPath> closure = PrefixClosure(paths);
+  std::vector<std::string> rendered;
+  for (const ProjectionPath& p : closure) rendered.push_back(p.ToString());
+  EXPECT_EQ(closure.size(), 5u);
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(), "/"), rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(), "/a"),
+            rendered.end());
+  EXPECT_NE(std::find(rendered.begin(), rendered.end(), "/a/b#"),
+            rendered.end());
+}
+
+TEST(PrefixClosureTest, PrefixesDropFlags) {
+  std::vector<ProjectionPath> closure = PrefixClosure({P("/a/b#@")});
+  for (const ProjectionPath& p : closure) {
+    if (p.steps.size() < 2) {
+      EXPECT_FALSE(p.descendants) << p.ToString();
+      EXPECT_FALSE(p.attributes) << p.ToString();
+    }
+  }
+}
+
+// --- Relevance: the paper's Example 6 -------------------------------------
+// Query <x>{/a/b,//b}</x>, P = {/*, /a/b#, //b#}, document
+// <a><c><b>T</b></c></a>: ALL tokens are relevant; in particular the c-tags
+// are relevant only via C3.
+
+class Example6Test : public ::testing::Test {
+ protected:
+  Example6Test()
+      : analyzer_({P("/*"), P("/a/b#"), P("//b#")}, {"a", "b", "c"}) {}
+  RelevanceAnalyzer analyzer_;
+};
+
+TEST_F(Example6Test, ATagsRelevantViaC1) {
+  BranchRelevance r = analyzer_.Analyze(B({"a"}));
+  EXPECT_TRUE(r.c1) << "branch <a/> matched by prefix path /a and by /*";
+  EXPECT_TRUE(r.relevant());
+}
+
+TEST_F(Example6Test, BTagsRelevantViaC1WithHash) {
+  BranchRelevance r = analyzer_.Analyze(B({"a", "c", "b"}));
+  EXPECT_TRUE(r.c1) << "matched by //b#";
+  EXPECT_TRUE(r.leaf_hash) << "//b# is #-flagged";
+}
+
+TEST_F(Example6Test, TextRelevantViaC2) {
+  EXPECT_TRUE(analyzer_.TextRelevant(B({"a", "c", "b"})))
+      << "text under b is covered by //b#";
+  EXPECT_FALSE(analyzer_.TextRelevant(B({"a", "c"})))
+      << "text directly under c is not covered";
+}
+
+TEST_F(Example6Test, CTagsRelevantViaC3) {
+  BranchRelevance r = analyzer_.Analyze(B({"a", "c"}));
+  EXPECT_FALSE(r.c1);
+  EXPECT_FALSE(r.c2);
+  EXPECT_TRUE(r.c3) << "substituting t=b, /a/b (child form) and //b# "
+                       "(descendant form) both match <a><b/></a>";
+  EXPECT_TRUE(r.relevant());
+}
+
+TEST_F(Example6Test, DescendantsOfBKeptViaC2) {
+  BranchRelevance r = analyzer_.Analyze(B({"a", "c", "b", "x"}));
+  EXPECT_TRUE(r.c2) << "descendants of b are kept by //b#";
+  EXPECT_FALSE(r.c1) << "nothing in P+ matches the x leaf itself";
+}
+
+TEST_F(Example6Test, WildcardRootMatchesAnyLabel) {
+  // "/*" is in P, so any root label is C1-relevant.
+  BranchRelevance r = analyzer_.Analyze(B({"x"}));
+  EXPECT_TRUE(r.c1);
+}
+
+TEST_F(Example6Test, SiblingOfBRelevantViaC3Shielding) {
+  // An x-child of a could shield a b; C3 keeps it (same reasoning as for c).
+  BranchRelevance r = analyzer_.Analyze(B({"a", "x"}));
+  EXPECT_FALSE(r.c1);
+  EXPECT_FALSE(r.c2);
+  EXPECT_TRUE(r.c3);
+}
+
+TEST(RelevanceTest, WithoutDescendantFormNoC3) {
+  // P = {/*, /a/b#}: no descendant-form path, so c is NOT relevant (matches
+  // the paper's Example 11 where only a- and b-states are selected).
+  RelevanceAnalyzer analyzer({P("/*"), P("/a/b#")}, {"a", "b", "c"});
+  BranchRelevance r = analyzer.Analyze(B({"a", "c"}));
+  EXPECT_FALSE(r.relevant());
+}
+
+TEST(RelevanceTest, DocumentNodeAlwaysRelevant) {
+  RelevanceAnalyzer analyzer({P("/a/b")}, {"a", "b"});
+  EXPECT_TRUE(analyzer.Analyze({}).relevant());
+}
+
+TEST(RelevanceTest, HashOnAncestorCoversDescendants) {
+  RelevanceAnalyzer analyzer({P("//c#")}, {"a", "b", "c"});
+  BranchRelevance r = analyzer.Analyze(B({"a", "c", "b"}));
+  EXPECT_TRUE(r.c2);
+  EXPECT_TRUE(r.relevant());
+  EXPECT_FALSE(r.leaf_hash) << "b itself is not matched by //c#";
+}
+
+TEST(RelevanceTest, AttrFlagSurfacesOnLeaf) {
+  RelevanceAnalyzer analyzer({P("/a/b@")}, {"a", "b"});
+  EXPECT_TRUE(analyzer.Analyze(B({"a", "b"})).leaf_attrs);
+  EXPECT_FALSE(analyzer.Analyze(B({"a"})).leaf_attrs);
+}
+
+TEST(RelevanceTest, C3RequiresBothForms) {
+  // Only a child-form path: /a/b alone cannot trigger C3 on <a><x/></a>.
+  RelevanceAnalyzer child_only({P("/a/b")}, {"a", "b", "x"});
+  BranchRelevance r = child_only.Analyze(B({"a", "x"}));
+  EXPECT_FALSE(r.c1);
+  EXPECT_FALSE(r.c3);
+
+  // Only a descendant-form path: //b alone cannot either.
+  RelevanceAnalyzer desc_only({P("//b")}, {"a", "b", "x"});
+  r = desc_only.Analyze(B({"a", "x"}));
+  EXPECT_FALSE(r.c1);
+  EXPECT_FALSE(r.c3);
+
+  // Both forms together do.
+  RelevanceAnalyzer with_desc({P("/a/b"), P("//b")}, {"a", "b", "x"});
+  r = with_desc.Analyze(B({"a", "x"}));
+  EXPECT_TRUE(r.c3);
+}
+
+}  // namespace
+}  // namespace smpx::paths

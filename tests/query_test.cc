@@ -1,0 +1,231 @@
+// Tests for the XPath subset, the memory-budgeted engine (QizX substitute),
+// the record-streaming engine (SPEX substitute), and the top-level
+// equality / projection-safety oracle.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "query/equivalence.h"
+#include "query/mem_engine.h"
+#include "query/stream_engine.h"
+#include "query/xpath.h"
+#include "xml/dom.h"
+
+namespace smpx::query {
+namespace {
+
+constexpr char kDoc[] =
+    "<site><people>"
+    "<person id=\"p0\"><name>Ada</name><age>36</age></person>"
+    "<person id=\"p1\"><name>Bob</name></person>"
+    "</people><regions><asia><item id=\"i0\"><name>lamp</name>"
+    "<description>old <bold>brass</bold> lamp</description></item></asia>"
+    "</regions></site>";
+
+std::vector<std::string> Names(const xml::Document& doc,
+                               const std::vector<xml::NodeId>& ids) {
+  std::vector<std::string> out;
+  for (xml::NodeId id : ids) {
+    const xml::DomNode& n = doc.node(id);
+    out.push_back(n.kind == xml::DomNode::Kind::kText ? "#text" : n.name);
+  }
+  return out;
+}
+
+std::vector<xml::NodeId> Eval(std::string_view q, const xml::Document& doc) {
+  auto p = XPath::Parse(q);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return Evaluate(*p, doc);
+}
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = xml::ParseDocument(kDoc);
+    ASSERT_TRUE(d.ok());
+    doc_ = std::move(*d);
+  }
+  xml::Document doc_;
+};
+
+TEST_F(XPathTest, ChildPaths) {
+  EXPECT_EQ(Eval("/site/people/person", doc_).size(), 2u);
+  EXPECT_EQ(Eval("/site/people", doc_).size(), 1u);
+  EXPECT_EQ(Eval("/wrong/people", doc_).size(), 0u);
+  EXPECT_EQ(Eval("/site", doc_).size(), 1u);
+}
+
+TEST_F(XPathTest, DescendantPaths) {
+  EXPECT_EQ(Eval("//name", doc_).size(), 3u);
+  EXPECT_EQ(Eval("//person/name", doc_).size(), 2u);
+  EXPECT_EQ(Eval("/site//item//bold", doc_).size(), 1u);
+  EXPECT_EQ(Eval("//site", doc_).size(), 1u) << "root is a descendant-or-self";
+}
+
+TEST_F(XPathTest, Wildcards) {
+  EXPECT_EQ(Eval("/site/*", doc_).size(), 2u);
+  EXPECT_EQ(Eval("/*", doc_).size(), 1u);
+  EXPECT_EQ(Eval("/site/people/person/*", doc_).size(), 3u);
+}
+
+TEST_F(XPathTest, TextNodes) {
+  auto r = Eval("/site/people/person/name/text()", doc_);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(doc_.node(r[0]).text, "Ada");
+  EXPECT_EQ(doc_.node(r[1]).text, "Bob");
+}
+
+TEST_F(XPathTest, AttributeSelection) {
+  // '@id' selects owner elements having the attribute.
+  EXPECT_EQ(Names(doc_, Eval("/site/people/person/@id", doc_)),
+            (std::vector<std::string>{"person", "person"}));
+  EXPECT_EQ(Eval("//item/@id", doc_).size(), 1u);
+  EXPECT_EQ(Eval("//item/@missing", doc_).size(), 0u);
+}
+
+TEST_F(XPathTest, ExistencePredicates) {
+  EXPECT_EQ(Eval("/site/people/person[age]", doc_).size(), 1u);
+  EXPECT_EQ(Eval("/site/people/person[@id]", doc_).size(), 2u);
+  EXPECT_EQ(Eval("/site/people/person[not(age)]", doc_).size(), 1u);
+}
+
+TEST_F(XPathTest, ValuePredicates) {
+  EXPECT_EQ(Eval("/site/people/person[name = 'Ada']", doc_).size(), 1u);
+  EXPECT_EQ(Eval("/site/people/person[name = 'Eve']", doc_).size(), 0u);
+  EXPECT_EQ(Eval("/site/people/person[@id = 'p1']", doc_).size(), 1u);
+  EXPECT_EQ(Eval("//item[contains(description, 'brass')]", doc_).size(), 1u);
+  EXPECT_EQ(Eval("//item[contains(description, 'copper')]", doc_).size(), 0u);
+  EXPECT_EQ(Eval("//person[name/text() = 'Bob']", doc_).size(), 1u);
+}
+
+TEST_F(XPathTest, DocumentOrderAndDedup) {
+  auto r = Eval("//person", doc_);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_LT(r[0], r[1]);
+}
+
+TEST_F(XPathTest, ParserRejectsMalformed) {
+  EXPECT_FALSE(XPath::Parse("").ok());
+  EXPECT_FALSE(XPath::Parse("site/name").ok());  // relative at top level
+  EXPECT_FALSE(XPath::Parse("/a[").ok());
+  EXPECT_FALSE(XPath::Parse("/a[b=]").ok());
+  EXPECT_FALSE(XPath::Parse("/a/position()").ok());
+}
+
+TEST(MemEngineTest, EvaluatesAndSerializes) {
+  auto r = EvaluateInMemory("/site/people/person/name", kDoc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result_count, 2u);
+  EXPECT_EQ(r->output, "<name>Ada</name><name>Bob</name>");
+}
+
+TEST(MemEngineTest, BudgetExhaustionFails) {
+  MemEngineOptions opts;
+  opts.memory_budget = 64;
+  auto r = EvaluateInMemory("/site//name", kDoc, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StreamEngineTest, MatchesMemEngineOnRecords) {
+  for (const char* q :
+       {"/site/people/person/name", "//name", "/site/regions//item",
+        "/site/people/person[name = 'Ada']/age"}) {
+    auto mem = EvaluateInMemory(q, kDoc);
+    ASSERT_TRUE(mem.ok()) << q;
+    StringSink sink;
+    StreamStats stats;
+    ASSERT_TRUE(EvaluateStreaming(q, kDoc, &sink, &stats).ok()) << q;
+    EXPECT_EQ(sink.str(), mem->output) << q;
+    EXPECT_EQ(stats.records, 2u) << "two children of <site>";
+  }
+}
+
+TEST(StreamEngineTest, MemoryBoundedByRecord) {
+  // 50 records; peak record footprint must be far below total input.
+  std::string doc = "<root>";
+  for (int i = 0; i < 50; ++i) {
+    doc += "<rec><val>" + std::to_string(i) + "</val>" +
+           std::string(200, 'x') + "</rec>";
+  }
+  doc += "</root>";
+  StringSink sink;
+  StreamStats stats;
+  ASSERT_TRUE(EvaluateStreaming("/root/rec/val", doc, &sink, &stats).ok());
+  EXPECT_EQ(stats.records, 50u);
+  EXPECT_LT(stats.peak_record_bytes, doc.size() / 10);
+}
+
+TEST(StreamEngineTest, EmptyRootAndErrors) {
+  StringSink sink;
+  EXPECT_TRUE(EvaluateStreaming("/a/b", "<a/>", &sink).ok());
+  EXPECT_TRUE(sink.str().empty());
+  EXPECT_FALSE(EvaluateStreaming("/a/b", "<a><b>", &sink).ok());
+  EXPECT_FALSE(EvaluateStreaming("/a/b", "no xml", &sink).ok());
+}
+
+// --- Definition 1 / 2 oracle ----------------------------------------------
+
+paths::ProjectionPath PP(std::string_view s) {
+  auto r = paths::ProjectionPath::Parse(s);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(TopLevelEqualTest, Definition1Examples) {
+  // Example 5: [<a>b</a>, s], [<a>c</a>, s], [<a></a>, s] pairwise equal.
+  auto doc1 = xml::ParseDocument("<a>b</a>");
+  auto doc2 = xml::ParseDocument("<a>c</a>");
+  auto doc3 = xml::ParseDocument("<a></a>");
+  ASSERT_TRUE(doc1.ok() && doc2.ok() && doc3.ok());
+  auto items1 = EvaluateForEquality(PP("/a"), *doc1);
+  auto items2 = EvaluateForEquality(PP("/a"), *doc2);
+  auto items3 = EvaluateForEquality(PP("/a"), *doc3);
+  EXPECT_TRUE(TopLevelEqual(items1, items2));
+  EXPECT_TRUE(TopLevelEqual(items1, items3));
+  EXPECT_TRUE(TopLevelEqual(items2, items3));
+}
+
+TEST(TopLevelEqualTest, DiffersOnLengthLabelAndText) {
+  auto doc1 = xml::ParseDocument("<a><b>t</b><b>t</b></a>");
+  auto doc2 = xml::ParseDocument("<a><b>t</b></a>");
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  EXPECT_FALSE(TopLevelEqual(EvaluateForEquality(PP("/a/b"), *doc1),
+                             EvaluateForEquality(PP("/a/b"), *doc2)));
+  // '#' makes text differences visible.
+  auto doc3 = xml::ParseDocument("<a><b>t</b></a>");
+  auto doc4 = xml::ParseDocument("<a><b>u</b></a>");
+  ASSERT_TRUE(doc3.ok() && doc4.ok());
+  EXPECT_TRUE(TopLevelEqual(EvaluateForEquality(PP("/a/b"), *doc3),
+                            EvaluateForEquality(PP("/a/b"), *doc4)));
+  EXPECT_FALSE(TopLevelEqual(EvaluateForEquality(PP("/a/b#"), *doc3),
+                             EvaluateForEquality(PP("/a/b#"), *doc4)));
+}
+
+TEST(ProjectionSafetyTest, DetectsSafeAndUnsafeProjections) {
+  std::string original = "<a><c><b>T</b></c><d>x</d></a>";
+  // Keeping c and b: safe for {/a, //b#}.
+  auto r1 = CheckProjectionSafety(original, "<a><c><b>T</b></c></a>",
+                                  {PP("/a"), PP("//b#")});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->safe) << r1->first_violation;
+  // Dropping c while keeping b changes /a/c/b matches: unsafe for /a/c/b.
+  auto r2 = CheckProjectionSafety(original, "<a><b>T</b></a>",
+                                  {PP("/a/c/b")});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->safe);
+  // Dropping b's text: unsafe under '#', safe without.
+  auto r3 = CheckProjectionSafety(original, "<a><c><b/></c></a>",
+                                  {PP("//b#")});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_FALSE(r3->safe);
+  auto r4 = CheckProjectionSafety(original, "<a><c><b/></c></a>",
+                                  {PP("//b")});
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(r4->safe);
+}
+
+}  // namespace
+}  // namespace smpx::query

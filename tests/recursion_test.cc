@@ -1,0 +1,174 @@
+// Tests for the recursive-DTD extension (the paper notes "all techniques
+// can be extended to handle recursiveness"; here recursion becomes opaque
+// regions that the runtime tunnels over by tag balancing). The flagship
+// scenario is the *unmodified* XMark DTD, whose item descriptions contain
+// recursive parlists -- the very structure the paper had to strip.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/prefilter.h"
+#include "query/equivalence.h"
+#include "xml/tokenizer.h"
+
+namespace smpx {
+namespace {
+
+// The real (recursive) XMark description structure.
+constexpr char kRecursiveXmark[] = R"(<!DOCTYPE site [
+<!ELEMENT site (regions)>
+<!ELEMENT regions (australia)>
+<!ELEMENT australia (item*)>
+<!ELEMENT item (name, description, shipping)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA)>
+<!ELEMENT parlist (listitem*)>
+<!ELEMENT listitem (text | parlist)>
+<!ELEMENT shipping (#PCDATA)>
+]>)";
+
+constexpr char kRecursiveDoc[] =
+    "<site><regions><australia>"
+    "<item><name>alpha</name><description><parlist>"
+    "<listitem><text>a1</text></listitem>"
+    "<listitem><parlist><listitem><text>deep</text></listitem></parlist>"
+    "</listitem></parlist></description><shipping>fast</shipping></item>"
+    "<item><name>beta</name><description><text>flat</text></description>"
+    "<shipping>slow</shipping></item>"
+    "</australia></regions></site>";
+
+core::Prefilter CompileRec(std::string_view dtd_text,
+                           std::string_view paths) {
+  auto dtd = dtd::Dtd::Parse(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  auto parsed = paths::ProjectionPath::ParseList(paths);
+  EXPECT_TRUE(parsed.ok());
+  core::CompileOptions opts;
+  opts.allow_recursion = true;
+  auto pf = core::Prefilter::Compile(std::move(*dtd), std::move(*parsed),
+                                     opts);
+  EXPECT_TRUE(pf.ok()) << pf.status().ToString();
+  return std::move(*pf);
+}
+
+TEST(RecursionTest, RejectedByDefault) {
+  auto dtd = dtd::Dtd::Parse(kRecursiveXmark);
+  ASSERT_TRUE(dtd.ok());
+  auto paths = paths::ProjectionPath::ParseList("//name#");
+  auto pf = core::Prefilter::Compile(std::move(*dtd), *paths);
+  ASSERT_FALSE(pf.ok());
+  EXPECT_EQ(pf.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RecursionTest, CopiedRecursiveSubtreesSurviveWhole) {
+  // //description#: the recursive parlists live inside a wholly-copied
+  // subtree; tag balancing must find the *matching* close.
+  core::Prefilter pf = CompileRec(kRecursiveXmark, "//description#");
+  auto out = pf.RunOnBuffer(kRecursiveDoc);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("<text>deep</text>"), std::string::npos)
+      << "nested parlist content must be inside the copied region";
+  EXPECT_TRUE(xml::CheckWellFormed(*out).ok()) << *out;
+  EXPECT_EQ(out->find("<shipping>"), std::string::npos);
+}
+
+TEST(RecursionTest, SkippedRecursiveRegions) {
+  // //shipping#: descriptions (with their recursive parlists) are skipped.
+  core::Prefilter pf = CompileRec(kRecursiveXmark, "//shipping#");
+  core::RunStats stats;
+  auto out = pf.RunOnBuffer(kRecursiveDoc, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out,
+            "<site><shipping>fast</shipping><shipping>slow</shipping>"
+            "</site>");
+}
+
+TEST(RecursionTest, BalancingStopsAtTheMatchingClose) {
+  // Direct recursion with same-name nesting: projecting the sibling after
+  // a recursive region requires the balance counter (a plain search for
+  // </r> would stop at the inner one).
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (r, keep)> <!ELEMENT r (r?, x?)>"
+      " <!ELEMENT x (#PCDATA)> <!ELEMENT keep (#PCDATA)> ]>";
+  core::Prefilter pf = CompileRec(dtd, "/a/keep#");
+  auto out = pf.RunOnBuffer(
+      "<a><r><r><r><x>deep</x></r></r><x>mid</x></r><keep>yes</keep></a>");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "<a><keep>yes</keep></a>");
+}
+
+TEST(RecursionTest, BachelorRecursiveTags) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (r, keep)> <!ELEMENT r (r*)>"
+      " <!ELEMENT keep (#PCDATA)> ]>";
+  core::Prefilter pf = CompileRec(dtd, "/a/keep#");
+  for (const char* doc :
+       {"<a><r/><keep>k</keep></a>", "<a><r><r/><r/></r><keep>k</keep></a>",
+        "<a><r><r><r/></r></r><keep>k</keep></a>"}) {
+    auto out = pf.RunOnBuffer(doc);
+    ASSERT_TRUE(out.ok()) << doc << ": " << out.status().ToString();
+    EXPECT_EQ(*out, "<a><keep>k</keep></a>") << doc;
+  }
+}
+
+TEST(RecursionTest, PathsIntoRecursionAreRejected) {
+  // //text# selects nodes strictly inside the recursive region without
+  // covering the region itself: unsound to skip, must be rejected.
+  auto dtd = dtd::Dtd::Parse(kRecursiveXmark);
+  ASSERT_TRUE(dtd.ok());
+  auto paths = paths::ProjectionPath::ParseList("//listitem//text#");
+  core::CompileOptions opts;
+  opts.allow_recursion = true;
+  auto pf = core::Prefilter::Compile(std::move(*dtd), *paths, opts);
+  ASSERT_FALSE(pf.ok());
+  EXPECT_EQ(pf.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(RecursionTest, PathsIntoCopiedRecursionAreFine) {
+  // //description# covers the recursion (C2), so //description//text# style
+  // nesting inside is acceptable as part of the wholesale copy.
+  core::Prefilter pf =
+      CompileRec(kRecursiveXmark, "//description# //description//text#");
+  auto out = pf.RunOnBuffer(kRecursiveDoc);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("deep"), std::string::npos);
+}
+
+TEST(RecursionTest, ProjectionSafetyHolds) {
+  core::Prefilter pf = CompileRec(kRecursiveXmark, "//description#");
+  auto out = pf.RunOnBuffer(kRecursiveDoc);
+  ASSERT_TRUE(out.ok());
+  auto report =
+      query::CheckProjectionSafety(kRecursiveDoc, *out, pf.paths());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->safe) << report->first_violation;
+}
+
+TEST(RecursionTest, MutualRecursionViaTwoElements) {
+  const char dtd[] =
+      "<!DOCTYPE top [ <!ELEMENT top (even?, keep)>"
+      " <!ELEMENT even (odd?)> <!ELEMENT odd (even?)>"
+      " <!ELEMENT keep (#PCDATA)> ]>";
+  core::Prefilter pf = CompileRec(dtd, "/top/keep#");
+  auto out = pf.RunOnBuffer(
+      "<top><even><odd><even><odd/></even></odd></even>"
+      "<keep>payload</keep></top>");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "<top><keep>payload</keep></top>");
+}
+
+TEST(RecursionTest, StreamingSmallWindow) {
+  core::Prefilter pf = CompileRec(kRecursiveXmark, "//description#");
+  core::EngineOptions opts;
+  opts.window_capacity = 64;
+  auto small = pf.RunOnBuffer(kRecursiveDoc, nullptr, opts);
+  auto big = pf.RunOnBuffer(kRecursiveDoc);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*small, *big);
+}
+
+}  // namespace
+}  // namespace smpx

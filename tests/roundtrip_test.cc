@@ -1,0 +1,89 @@
+// Round-trip properties across the XML stack: serialize(parse(doc)) is a
+// fixpoint, random valid documents tokenize losslessly (offsets tile the
+// input), and DTD text round-trips through parse/print/parse.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd.h"
+#include "xml/dom.h"
+#include "xml/tokenizer.h"
+#include "xmlgen/dtd_sampler.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx {
+namespace {
+
+TEST(RoundTripTest, SerializeParseIsAFixpointOnRandomDocuments) {
+  xmlgen::Rng rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::string doc = xmlgen::RandomDocument(dtd, &rng);
+    auto parsed = xml::ParseDocument(doc);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << doc;
+    std::string once = parsed->Serialize(parsed->root());
+    auto reparsed = xml::ParseDocument(once);
+    ASSERT_TRUE(reparsed.ok()) << once;
+    EXPECT_EQ(reparsed->Serialize(reparsed->root()), once)
+        << "serialize/parse must reach a fixpoint after one iteration";
+  }
+}
+
+TEST(RoundTripTest, TokenOffsetsTileTheDocument) {
+  // Tag and markup tokens must cover the input without gaps or overlaps
+  // (text fills the rest) -- the property the raw-copy engine relies on.
+  xmlgen::XmarkOptions opts;
+  opts.target_bytes = 64 << 10;
+  std::string doc = xmlgen::GenerateXmark(opts);
+  auto tokens = xml::TokenizeAll(doc);
+  ASSERT_TRUE(tokens.ok());
+  uint64_t pos = 0;
+  for (const xml::Token& t : *tokens) {
+    ASSERT_EQ(t.begin, pos) << "gap or overlap before token at " << t.begin;
+    ASSERT_GT(t.end, t.begin);
+    pos = t.end;
+    // Raw slice of a tag token must start with '<' and end with '>'.
+    if (t.IsTag()) {
+      EXPECT_EQ(doc[static_cast<size_t>(t.begin)], '<');
+      EXPECT_EQ(doc[static_cast<size_t>(t.end) - 1], '>');
+    }
+  }
+  EXPECT_EQ(pos, doc.size());
+}
+
+TEST(RoundTripTest, DtdParsePrintParse) {
+  xmlgen::Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    auto again = dtd::Dtd::Parse(dtd.ToString());
+    ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n"
+                            << dtd.ToString();
+    EXPECT_EQ(again->ToString(), dtd.ToString());
+    EXPECT_EQ(again->root(), dtd.root());
+    EXPECT_EQ(again->elements().size(), dtd.elements().size());
+  }
+  // And the shipped dataset DTDs.
+  for (const dtd::Dtd& d : {xmlgen::XmarkDtd(), xmlgen::MedlineDtd()}) {
+    auto again = dtd::Dtd::Parse(d.ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->ToString(), d.ToString());
+  }
+}
+
+TEST(RoundTripTest, EntityRoundTripThroughDom) {
+  std::string doc = "<a x=\"1 &amp; 2\">3 &lt; 4 &gt; 2 &amp; done</a>";
+  auto parsed = xml::ParseDocument(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->node(parsed->root()).attrs[0].value, "1 & 2");
+  EXPECT_EQ(parsed->TextContent(parsed->root()), "3 < 4 > 2 & done");
+  // Re-serialization escapes again.
+  std::string out = parsed->Serialize(parsed->root());
+  auto reparsed = xml::ParseDocument(out);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->TextContent(reparsed->root()), "3 < 4 > 2 & done");
+}
+
+}  // namespace
+}  // namespace smpx

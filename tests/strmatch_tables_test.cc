@@ -1,0 +1,142 @@
+// White-box tests of the skip-table preprocessing: known Boyer-Moore
+// good-suffix values and Commentz-Walter shift behaviour on classical
+// textbook cases, plus invariants checked over random pattern sets
+// (shifts are always in [1, bound] and never skip a match).
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "strmatch/boyer_moore.h"
+#include "strmatch/commentz_walter.h"
+#include "strmatch/naive.h"
+
+namespace smpx::strmatch {
+namespace {
+
+// Collects all match positions by repeated search.
+std::vector<size_t> AllMatches(const Matcher& m, std::string_view text) {
+  std::vector<size_t> out;
+  size_t from = 0;
+  for (;;) {
+    Match r = m.Search(text, from, nullptr);
+    if (!r.found()) return out;
+    out.push_back(r.pos);
+    from = r.pos + 1;
+  }
+}
+
+TEST(BmTablesTest, TextbookGcagagag) {
+  // The classical example: searching GCAGAGAG in GCATCGCAGAGAGTATACAGTACG.
+  BoyerMooreMatcher m("GCAGAGAG");
+  Match r = m.Search("GCATCGCAGAGAGTATACAGTACG", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.pos, 5u);
+}
+
+TEST(BmTablesTest, GoodSuffixBeatsBadCharOnRepeats) {
+  // With pattern "abab" in text "abacabab", the bad-character rule alone
+  // would crawl; the search must still find the match and stay sublinear
+  // in comparisons on mismatch-heavy text.
+  BoyerMooreMatcher m("abab");
+  EXPECT_EQ(m.Search("abacabab", 0, nullptr).pos, 4u);
+  SearchStats stats;
+  std::string text(4096, 'a');
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  EXPECT_LT(stats.comparisons, 2 * text.size())
+      << "BM must not degrade to quadratic on periodic text";
+}
+
+TEST(BmTablesTest, AllOccurrencesViaRestart) {
+  BoyerMooreMatcher m("ana");
+  EXPECT_EQ(AllMatches(m, "banana"), (std::vector<size_t>{1, 3}));
+}
+
+TEST(CwTablesTest, NeverSkipsAnOccurrence) {
+  // Exhaustive cross-check on small alphabets: CW must find exactly the
+  // occurrence set the naive scan finds, across every 'from' offset.
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::uniform_int_distribution<int> ch(0, 2);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::string> patterns;
+    int n = 1 + round % 4;
+    for (int i = 0; i < n; ++i) {
+      std::string p;
+      int l = len(rng);
+      for (int k = 0; k < l; ++k) p += static_cast<char>('a' + ch(rng));
+      patterns.push_back(p);
+    }
+    std::string text;
+    int tl = 40 + round;
+    for (int k = 0; k < tl; ++k) text += static_cast<char>('a' + ch(rng));
+
+    CommentzWalterMatcher cw(patterns);
+    NaiveMatcher naive(patterns);
+    for (size_t from = 0; from < text.size(); from += 3) {
+      Match expected = naive.Search(text, from, nullptr);
+      Match actual = cw.Search(text, from, nullptr);
+      ASSERT_EQ(actual.found(), expected.found())
+          << "from=" << from << " text=" << text;
+      if (expected.found()) {
+        ASSERT_EQ(actual.pos, expected.pos) << "from=" << from;
+      }
+    }
+  }
+}
+
+TEST(CwTablesTest, ShiftsAreBoundedByWmin) {
+  // No single forward shift may exceed wmin (the shift2 cap), otherwise a
+  // short pattern's occurrence could be stepped over.
+  CommentzWalterMatcher m({"abcdef", "xy"});
+  SearchStats stats;
+  std::string text(10000, 'q');
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  EXPECT_GT(stats.shifts, 0u);
+  EXPECT_LE(stats.shift_chars, stats.shifts * 2)
+      << "wmin = 2 bounds each shift";
+}
+
+TEST(CwTablesTest, LongSharedSuffixes) {
+  // Patterns sharing suffixes exercise shift1 via the failure chains.
+  CommentzWalterMatcher m({"ending", "bending", "ding"});
+  EXPECT_EQ(AllMatches(m, "the bending was ending with ding"),
+            (std::vector<size_t>{4, 5, 7, 16, 18, 28}));
+}
+
+TEST(CwTablesTest, SingletonEqualsBoyerMoorePositions) {
+  std::string text = "lorem ipsum dolor sit amet consectetur";
+  for (const char* pat : {"dolor", "or", "t"}) {
+    BoyerMooreMatcher bm(pat);
+    CommentzWalterMatcher cw({pat});
+    EXPECT_EQ(AllMatches(bm, text), AllMatches(cw, text)) << pat;
+  }
+}
+
+TEST(SetHorspoolTablesTest, AgreesWithCwOnOccurrences) {
+  std::vector<std::string> patterns = {"<name", "<date", "</name"};
+  std::string text =
+      "<person><name>x</name><date>1/1</date><name>y</name></person>";
+  CommentzWalterMatcher cw(patterns);
+  SetHorspoolMatcher sh(patterns);
+  EXPECT_EQ(AllMatches(cw, text), AllMatches(sh, text));
+}
+
+TEST(ShiftAccountingTest, AvgShiftConsistency) {
+  BoyerMooreMatcher m("<incategory");
+  SearchStats stats;
+  std::string text(50000, 'z');
+  m.Search(text, 0, &stats);
+  EXPECT_NEAR(stats.AvgShift(),
+              static_cast<double>(stats.shift_chars) /
+                  static_cast<double>(stats.shifts),
+              1e-9);
+  // On pattern-free text every shift is the full pattern length.
+  EXPECT_NEAR(stats.AvgShift(), 11.0, 0.2);
+}
+
+}  // namespace
+}  // namespace smpx::strmatch

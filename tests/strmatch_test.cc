@@ -1,0 +1,293 @@
+// Unit and property tests for the string matching substrate: every skip
+// algorithm must agree with the naive oracle on occurrence positions, and
+// the skip algorithms must actually skip (fewer comparisons than text size
+// on representative inputs).
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "strmatch/aho_corasick.h"
+#include "strmatch/boyer_moore.h"
+#include "strmatch/commentz_walter.h"
+#include "strmatch/matcher.h"
+#include "strmatch/naive.h"
+
+namespace smpx::strmatch {
+namespace {
+
+
+
+TEST(BoyerMooreTest, FindsSingleOccurrence) {
+  BoyerMooreMatcher m("ICDE");
+  Match r = m.Search("we will meet at ICDE in Cancun", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.pos, 16u);
+  EXPECT_EQ(r.pattern, 0);
+}
+
+TEST(BoyerMooreTest, RespectsFromOffset) {
+  BoyerMooreMatcher m("ab");
+  EXPECT_EQ(m.Search("ab..ab", 0, nullptr).pos, 0u);
+  EXPECT_EQ(m.Search("ab..ab", 1, nullptr).pos, 4u);
+  EXPECT_EQ(m.Search("ab..ab", 4, nullptr).pos, 4u);
+  EXPECT_FALSE(m.Search("ab..ab", 5, nullptr).found());
+}
+
+TEST(BoyerMooreTest, NoMatchReturnsNpos) {
+  BoyerMooreMatcher m("xyz");
+  EXPECT_FALSE(m.Search("aaaaaaaaaa", 0, nullptr).found());
+  EXPECT_FALSE(m.Search("", 0, nullptr).found());
+  EXPECT_FALSE(m.Search("xy", 0, nullptr).found());
+}
+
+TEST(BoyerMooreTest, MatchAtTextStartAndEnd) {
+  BoyerMooreMatcher m("abc");
+  EXPECT_EQ(m.Search("abc", 0, nullptr).pos, 0u);
+  EXPECT_EQ(m.Search("zzabc", 0, nullptr).pos, 2u);
+}
+
+TEST(BoyerMooreTest, PeriodicPattern) {
+  BoyerMooreMatcher m("aaa");
+  EXPECT_EQ(m.Search("baaaa", 0, nullptr).pos, 1u);
+  EXPECT_EQ(m.Search("aabaa", 0, nullptr).found(), false);
+}
+
+TEST(BoyerMooreTest, SkipsCharactersOnRandomText) {
+  // On text without pattern characters, BM inspects roughly n/m characters.
+  std::string text(10000, 'x');
+  BoyerMooreMatcher m("<description");
+  SearchStats stats;
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  EXPECT_LT(stats.comparisons, text.size() / 4);
+  EXPECT_GT(stats.AvgShift(), 4.0);
+}
+
+TEST(BoyerMooreTest, CountsComparisons) {
+  BoyerMooreMatcher m("ab");
+  SearchStats stats;
+  m.Search("ab", 0, &stats);
+  EXPECT_EQ(stats.comparisons, 2u);  // matched 'b' then 'a'
+}
+
+TEST(HorspoolTest, AgreesWithBoyerMooreOnPositions) {
+  std::string text = "abracadabra abracadabra";
+  BoyerMooreMatcher bm("cadab");
+  HorspoolMatcher hp("cadab");
+  EXPECT_EQ(bm.Search(text, 0, nullptr).pos, hp.Search(text, 0, nullptr).pos);
+}
+
+TEST(CommentzWalterTest, FindsClosestOfMultipleKeywords) {
+  CommentzWalterMatcher m({"<b", "<c", "</a"});
+  std::string text = "<a>text<c><b/></c></a>";
+  Match r = m.Search(text, 0, nullptr);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.pos, 7u);
+  EXPECT_EQ(m.patterns()[static_cast<size_t>(r.pattern)], "<c");
+}
+
+TEST(CommentzWalterTest, SingleKeywordDegeneratesGracefully) {
+  CommentzWalterMatcher m({"needle"});
+  EXPECT_EQ(m.Search("hay needle hay", 0, nullptr).pos, 4u);
+}
+
+TEST(CommentzWalterTest, PrefixPatternsReportLongestAtSameStart) {
+  // "<Abstract" and "<AbstractText" both occur at position 0; the contract
+  // requires reporting by minimal end, so the shorter keyword wins here.
+  CommentzWalterMatcher m({"<Abstract", "<AbstractText"});
+  Match r = m.Search("<AbstractText>", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.pos, 0u);
+  EXPECT_EQ(m.patterns()[static_cast<size_t>(r.pattern)], "<Abstract");
+}
+
+TEST(CommentzWalterTest, OverlappingAlphabetKeywords) {
+  CommentzWalterMatcher m({"abcde", "cde", "e"});
+  Match r = m.Search("xxabcdexx", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  // First end position with a match is 6 ('e' of abcde); longest pattern
+  // ending there that starts >= 0 is "abcde" at position 2.
+  EXPECT_EQ(r.pos, 2u);
+  EXPECT_EQ(m.patterns()[static_cast<size_t>(r.pattern)], "abcde");
+}
+
+TEST(CommentzWalterTest, SkipsOnLongKeywords) {
+  std::string text(20000, '.');
+  CommentzWalterMatcher m({"<description", "<annotation", "<emailaddress"});
+  SearchStats stats;
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  // wmin = 11, so at most ~n/11 inspections plus slack.
+  EXPECT_LT(stats.comparisons, text.size() / 5);
+}
+
+TEST(AhoCorasickTest, FindsFirstOfMultipleKeywords) {
+  AhoCorasickMatcher m({"he", "she", "his", "hers"});
+  Match r = m.Search("xxhersxx", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.pos, 2u);
+  EXPECT_EQ(m.patterns()[static_cast<size_t>(r.pattern)], "he");
+}
+
+TEST(AhoCorasickTest, ReportsLongestAtSameEnd) {
+  AhoCorasickMatcher m({"she", "he"});
+  Match r = m.Search("ushers", 0, nullptr);
+  ASSERT_TRUE(r.found());
+  // "she" and "he" both end at index 4; longest ("she", start 1) wins.
+  EXPECT_EQ(r.pos, 1u);
+  EXPECT_EQ(m.patterns()[static_cast<size_t>(r.pattern)], "she");
+}
+
+TEST(AhoCorasickTest, InspectsEveryCharacter) {
+  std::string text(1000, 'z');
+  AhoCorasickMatcher m({"<a", "<b"});
+  SearchStats stats;
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  EXPECT_EQ(stats.comparisons, text.size());
+}
+
+TEST(MemchrTest, RequiresSharedLeadCharacter) {
+  EXPECT_EQ(MakeMatcher({"<a", "b"}, Algorithm::kMemchr), nullptr);
+  EXPECT_NE(MakeMatcher({"<a", "<b"}, Algorithm::kMemchr), nullptr);
+}
+
+TEST(FactoryTest, AutoSelectsBmForSingleAndCwForMulti) {
+  EXPECT_EQ(MakeMatcher({"<site"})->name(), "BM");
+  EXPECT_EQ(MakeMatcher({"<a", "<b"})->name(), "CW");
+}
+
+TEST(FactoryTest, RejectsEmptyInput) {
+  EXPECT_EQ(MakeMatcher({}), nullptr);
+  EXPECT_EQ(MakeMatcher({""}), nullptr);
+  EXPECT_EQ(MakeMatcher({"ok", ""}), nullptr);
+}
+
+TEST(FactoryTest, BmRejectsMultiplePatterns) {
+  EXPECT_EQ(MakeMatcher({"a", "b"}, Algorithm::kBoyerMoore), nullptr);
+  EXPECT_EQ(MakeMatcher({"a", "b"}, Algorithm::kHorspool), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: every algorithm agrees with the naive oracle on random
+// texts and random pattern sets.
+// ---------------------------------------------------------------------------
+
+struct DifferentialCase {
+  Algorithm algo;
+  int alphabet;  // alphabet size for text and patterns
+  bool tag_style;  // patterns shaped like XML tag prefixes
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DifferentialCase> {};
+
+std::string RandomString(std::mt19937* rng, int alphabet, size_t min_len,
+                         size_t max_len) {
+  std::uniform_int_distribution<size_t> len_dist(min_len, max_len);
+  std::uniform_int_distribution<int> char_dist(0, alphabet - 1);
+  std::string s(len_dist(*rng), '\0');
+  for (char& c : s) c = static_cast<char>('a' + char_dist(*rng));
+  return s;
+}
+
+TEST_P(DifferentialTest, AgreesWithNaiveOracle) {
+  const DifferentialCase& param = GetParam();
+  std::mt19937 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    std::uniform_int_distribution<int> npat_dist(1, 5);
+    int npat = param.algo == Algorithm::kBoyerMoore ||
+                       param.algo == Algorithm::kHorspool
+                   ? 1
+                   : npat_dist(rng);
+    std::vector<std::string> patterns;
+    for (int i = 0; i < npat; ++i) {
+      std::string p = RandomString(&rng, param.alphabet, 1, 8);
+      if (param.tag_style) p = "<" + p;
+      patterns.push_back(p);
+    }
+    std::string text = RandomString(&rng, param.alphabet, 0, 300);
+    if (param.tag_style) {
+      // Sprinkle tag-like openings so matches actually occur.
+      for (size_t i = 0; i < text.size(); i += 13) text[i] = '<';
+    }
+
+    std::unique_ptr<Matcher> subject = MakeMatcher(patterns, param.algo);
+    ASSERT_NE(subject, nullptr);
+    NaiveMatcher oracle(patterns);
+
+    Match expected = oracle.Search(text, 0, nullptr);
+    Match actual = subject->Search(text, 0, nullptr);
+    ASSERT_EQ(actual.found(), expected.found())
+        << subject->name() << " round " << round << " text=" << text;
+    if (expected.found()) {
+      ASSERT_EQ(actual.pos, expected.pos)
+          << subject->name() << " round " << round << " text=" << text;
+      ASSERT_EQ(patterns[static_cast<size_t>(actual.pattern)],
+                patterns[static_cast<size_t>(expected.pattern)])
+          << subject->name() << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DifferentialTest,
+    ::testing::Values(
+        DifferentialCase{Algorithm::kBoyerMoore, 2, false},
+        DifferentialCase{Algorithm::kBoyerMoore, 4, false},
+        DifferentialCase{Algorithm::kBoyerMoore, 26, false},
+        DifferentialCase{Algorithm::kHorspool, 2, false},
+        DifferentialCase{Algorithm::kHorspool, 26, false},
+        DifferentialCase{Algorithm::kCommentzWalter, 2, false},
+        DifferentialCase{Algorithm::kCommentzWalter, 4, false},
+        DifferentialCase{Algorithm::kCommentzWalter, 26, false},
+        DifferentialCase{Algorithm::kCommentzWalter, 4, true},
+        DifferentialCase{Algorithm::kSetHorspool, 2, false},
+        DifferentialCase{Algorithm::kSetHorspool, 26, false},
+        DifferentialCase{Algorithm::kSetHorspool, 4, true},
+        DifferentialCase{Algorithm::kAhoCorasick, 2, false},
+        DifferentialCase{Algorithm::kAhoCorasick, 26, false},
+        DifferentialCase{Algorithm::kMemchr, 4, true}),
+    [](const ::testing::TestParamInfo<DifferentialCase>& info) {
+      std::string name(AlgorithmName(info.param.algo));
+      name += "_a" + std::to_string(info.param.alphabet);
+      if (info.param.tag_style) name += "_tags";
+      return name;
+    });
+
+// Exhaustive sweep over all alignments: the match must be found wherever it
+// is planted, including at text boundaries.
+class PlantedMatchTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(PlantedMatchTest, FindsPlantedOccurrenceAtEveryOffset) {
+  std::vector<std::string> patterns = {"<item", "<name", "</item"};
+  if (GetParam() == Algorithm::kBoyerMoore ||
+      GetParam() == Algorithm::kHorspool) {
+    patterns = {"<item"};
+  }
+  std::unique_ptr<Matcher> m = MakeMatcher(patterns, GetParam());
+  ASSERT_NE(m, nullptr);
+  for (size_t offset = 0; offset < 64; ++offset) {
+    std::string text(offset, 'x');
+    text += "<item";
+    text += std::string(17, 'y');
+    Match r = m->Search(text, 0, nullptr);
+    ASSERT_TRUE(r.found()) << "offset " << offset;
+    EXPECT_EQ(r.pos, offset);
+    // And it must be invisible when the search starts past it.
+    EXPECT_FALSE(m->Search(text, offset + 1, nullptr).found());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PlantedMatchTest,
+    ::testing::Values(Algorithm::kBoyerMoore, Algorithm::kHorspool,
+                      Algorithm::kCommentzWalter, Algorithm::kSetHorspool,
+                      Algorithm::kAhoCorasick, Algorithm::kMemchr,
+                      Algorithm::kNaive),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      return std::string(AlgorithmName(info.param));
+    });
+
+}  // namespace
+}  // namespace smpx::strmatch

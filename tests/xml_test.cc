@@ -1,0 +1,181 @@
+// Tests for the XML substrate: tokenizer, escaping, DOM parsing with memory
+// budget, serialization round trips.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/token.h"
+#include "xml/tokenizer.h"
+
+namespace smpx::xml {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view input,
+                                TokenizerOptions opts = {}) {
+  auto r = TokenizeAll(input, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(EscapeTest, TextRoundTrip) {
+  std::string raw = "a < b & c > d \"quoted\"";
+  EXPECT_EQ(Unescape(EscapeText(raw)), raw);
+  EXPECT_EQ(EscapeText("<&>"), "&lt;&amp;&gt;");
+}
+
+TEST(EscapeTest, AttributeEscapesQuotes) {
+  EXPECT_EQ(EscapeAttribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(EscapeText("a\"b"), "a\"b");
+}
+
+TEST(EscapeTest, CharacterReferences) {
+  EXPECT_EQ(Unescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(Unescape("&apos;"), "'");
+  EXPECT_EQ(Unescape("&unknown;"), "&unknown;");
+  EXPECT_EQ(Unescape("& alone"), "& alone");
+}
+
+TEST(TokenizerTest, SimpleDocument) {
+  auto tokens = MustTokenize("<a><b x=\"1\">hi</b><c/></a>");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "a");
+  EXPECT_EQ(tokens[1].type, TokenType::kStartTag);
+  ASSERT_EQ(tokens[1].attrs.size(), 1u);
+  EXPECT_EQ(tokens[1].attrs[0].name, "x");
+  EXPECT_EQ(tokens[1].attrs[0].value, "1");
+  EXPECT_EQ(tokens[2].type, TokenType::kText);
+  EXPECT_EQ(tokens[2].text, "hi");
+  EXPECT_EQ(tokens[3].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[4].type, TokenType::kEmptyTag);
+  EXPECT_EQ(tokens[4].name, "c");
+  EXPECT_EQ(tokens[5].type, TokenType::kEndTag);
+}
+
+TEST(TokenizerTest, OffsetsAreExact) {
+  std::string doc = "<a>xy</a>";
+  auto tokens = MustTokenize(doc);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 3u);
+  EXPECT_EQ(tokens[1].begin, 3u);
+  EXPECT_EQ(tokens[1].end, 5u);
+  EXPECT_EQ(tokens[2].begin, 5u);
+  EXPECT_EQ(tokens[2].end, 9u);
+}
+
+TEST(TokenizerTest, WhitespaceAndAttributesInTags) {
+  auto tokens = MustTokenize("<item  \n id = '7'   class=\"x y\" ></item >");
+  ASSERT_EQ(tokens.size(), 2u);
+  ASSERT_EQ(tokens[0].attrs.size(), 2u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "id");
+  EXPECT_EQ(tokens[0].attrs[0].value, "7");
+  EXPECT_EQ(tokens[0].attrs[1].value, "x y");
+  EXPECT_EQ(tokens[1].type, TokenType::kEndTag);
+}
+
+TEST(TokenizerTest, GtInsideAttributeValue) {
+  auto tokens = MustTokenize("<a href='x>y'/>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEmptyTag);
+  EXPECT_EQ(tokens[0].attrs[0].value, "x>y");
+}
+
+TEST(TokenizerTest, CommentsPisDoctypeCdata) {
+  auto tokens = MustTokenize(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>"
+      "<a><!-- note --><![CDATA[1<2]]></a>");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].type, TokenType::kPi);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoctype);
+  EXPECT_EQ(tokens[3].type, TokenType::kComment);
+  EXPECT_EQ(tokens[3].text, " note ");
+  EXPECT_EQ(tokens[4].type, TokenType::kCData);
+  EXPECT_EQ(tokens[4].text, "1<2");
+}
+
+TEST(TokenizerTest, MalformedInputs) {
+  EXPECT_FALSE(TokenizeAll("<a").ok());
+  EXPECT_FALSE(TokenizeAll("< a>").ok());
+  EXPECT_FALSE(TokenizeAll("<a x></a>").ok());
+  EXPECT_FALSE(TokenizeAll("<a x=1></a>").ok());
+  EXPECT_FALSE(TokenizeAll("<a x='1</a>").ok());
+  EXPECT_FALSE(TokenizeAll("<a b='<'/>").ok());
+  EXPECT_FALSE(TokenizeAll("<!-- unterminated").ok());
+}
+
+TEST(TokenizerTest, WellFormednessMode) {
+  TokenizerOptions opts;
+  opts.check_well_formed = true;
+  EXPECT_FALSE(TokenizeAll("<a><b></a></b>", opts).ok());
+  EXPECT_FALSE(TokenizeAll("<a><b></b>", opts).ok());
+  EXPECT_TRUE(TokenizeAll("<a><b></b></a>", opts).ok());
+}
+
+TEST(CheckWellFormedTest, AcceptsAndRejects) {
+  EXPECT_TRUE(CheckWellFormed("<a><b/></a>").ok());
+  EXPECT_TRUE(CheckWellFormed("  <a/>  ").ok());
+  EXPECT_FALSE(CheckWellFormed("").ok());
+  EXPECT_FALSE(CheckWellFormed("text only").ok());
+  EXPECT_FALSE(CheckWellFormed("<a/><b/>").ok());
+  EXPECT_FALSE(CheckWellFormed("<a></b>").ok());
+}
+
+TEST(DomTest, ParseAndNavigate) {
+  auto doc = ParseDocument("<site><item id=\"1\">T&amp;V</item><x/></site>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const DomNode& root = doc->node(doc->root());
+  EXPECT_EQ(root.name, "site");
+  ASSERT_EQ(root.children.size(), 2u);
+  const DomNode& item = doc->node(root.children[0]);
+  EXPECT_EQ(item.name, "item");
+  ASSERT_EQ(item.attrs.size(), 1u);
+  EXPECT_EQ(item.attrs[0].value, "1");
+  EXPECT_EQ(doc->TextContent(root.children[0]), "T&V");
+  EXPECT_EQ(doc->node(root.children[1]).children.size(), 0u);
+}
+
+TEST(DomTest, SerializeRoundTrip) {
+  std::string input = "<a x=\"1\"><b>t</b><c/></a>";
+  auto doc = ParseDocument(input);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(doc->root()), input);
+}
+
+TEST(DomTest, SkipsPrologAndWhitespace) {
+  auto doc = ParseDocument(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<a>\n  <b/>\n</a>\n");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->node(doc->root()).children.size(), 1u);
+}
+
+TEST(DomTest, MemoryBudgetExceeded) {
+  std::string big = "<r>";
+  for (int i = 0; i < 1000; ++i) big += "<x>some text content here</x>";
+  big += "</r>";
+  ParseOptions opts;
+  opts.memory_budget = 4096;
+  auto doc = ParseDocument(big, opts);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+  // And without a budget it parses fine.
+  EXPECT_TRUE(ParseDocument(big).ok());
+}
+
+TEST(DomTest, ApproxBytesGrowsWithDocument) {
+  auto small = ParseDocument("<a/>");
+  auto large = ParseDocument("<a><b>xxxxxxxxxxxxxxxxxxxxxx</b><c/><d/></a>");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->approx_bytes(), small->approx_bytes());
+}
+
+TEST(DomTest, RejectsMultipleRoots) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+}
+
+}  // namespace
+}  // namespace smpx::xml

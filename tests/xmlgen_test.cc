@@ -1,0 +1,204 @@
+// Tests for the dataset generators: documents must be well-formed, valid
+// w.r.t. their DTDs (checked via the DTD-automaton accepting the token
+// stream), deterministic in the seed, and roughly sized to target.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_automaton.h"
+#include "xml/tokenizer.h"
+#include "xmlgen/dtd_sampler.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/protein.h"
+#include "xmlgen/text_gen.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx::xmlgen {
+namespace {
+
+/// Validates `doc` against `dtd` by running its tag tokens through the
+/// DTD-automaton (a full validity check, not just well-formedness).
+::testing::AssertionResult ValidWrt(const dtd::Dtd& dtd,
+                                    std::string_view doc) {
+  auto aut = dtd::DtdAutomaton::Build(dtd);
+  if (!aut.ok()) {
+    return ::testing::AssertionFailure()
+           << "automaton: " << aut.status().ToString();
+  }
+  auto tokens = xml::TokenizeAll(doc);
+  if (!tokens.ok()) {
+    return ::testing::AssertionFailure()
+           << "tokenize: " << tokens.status().ToString();
+  }
+  // Set-of-states simulation: content models need not be 1-unambiguous, so
+  // the Glushkov automaton may be nondeterministic.
+  std::set<int> states = {0};
+  for (const xml::Token& t : *tokens) {
+    if (!t.IsTag()) continue;
+    std::vector<std::pair<std::string, bool>> events;
+    if (t.type == xml::TokenType::kEmptyTag) {
+      events = {{std::string(t.name), false}, {std::string(t.name), true}};
+    } else {
+      events = {{std::string(t.name), t.type == xml::TokenType::kEndTag}};
+    }
+    for (const auto& [name, closing] : events) {
+      int token = aut->FindToken(name, closing);
+      if (token < 0) {
+        return ::testing::AssertionFailure()
+               << "unknown token " << (closing ? "</" : "<") << name << ">";
+      }
+      std::set<int> next;
+      for (int s : states) {
+        for (const auto& tr : aut->Out(s)) {
+          if (tr.token == token) next.insert(tr.to);
+        }
+      }
+      if (next.empty()) {
+        return ::testing::AssertionFailure()
+               << "no transition on " << (closing ? "</" : "<") << name
+               << "> at offset " << t.begin;
+      }
+      states = std::move(next);
+    }
+  }
+  if (states.count(aut->final_state()) == 0) {
+    return ::testing::AssertionFailure() << "did not reach the final state";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(XmarkGenTest, WellFormedAndValid) {
+  XmarkOptions opts;
+  opts.target_bytes = 200 << 10;
+  std::string doc = GenerateXmark(opts);
+  EXPECT_TRUE(xml::CheckWellFormed(doc).ok());
+  EXPECT_TRUE(ValidWrt(XmarkDtd(), doc));
+}
+
+TEST(XmarkGenTest, SizeTracksTarget) {
+  for (uint64_t target : {256ull << 10, 1ull << 20, 4ull << 20}) {
+    XmarkOptions opts;
+    opts.target_bytes = target;
+    std::string doc = GenerateXmark(opts);
+    EXPECT_GT(doc.size(), target / 4) << target;
+    EXPECT_LT(doc.size(), target * 3) << target;
+  }
+}
+
+TEST(XmarkGenTest, DeterministicInSeed) {
+  XmarkOptions opts;
+  opts.target_bytes = 64 << 10;
+  std::string a = GenerateXmark(opts);
+  std::string b = GenerateXmark(opts);
+  EXPECT_EQ(a, b);
+  opts.seed += 1;
+  EXPECT_NE(GenerateXmark(opts), a);
+}
+
+TEST(XmarkGenTest, ContainsExpectedStructure) {
+  XmarkOptions opts;
+  opts.target_bytes = 512 << 10;
+  std::string doc = GenerateXmark(opts);
+  EXPECT_NE(doc.find("<australia>"), std::string::npos);
+  EXPECT_NE(doc.find("<open_auction id="), std::string::npos);
+  EXPECT_NE(doc.find("<closed_auctions>"), std::string::npos);
+  EXPECT_NE(doc.find("<profile income="), std::string::npos);
+  EXPECT_NE(doc.find("<incategory category="), std::string::npos);
+}
+
+TEST(MedlineGenTest, WellFormedAndValid) {
+  MedlineOptions opts;
+  opts.target_bytes = 200 << 10;
+  std::string doc = GenerateMedline(opts);
+  EXPECT_TRUE(xml::CheckWellFormed(doc).ok());
+  EXPECT_TRUE(ValidWrt(MedlineDtd(), doc));
+}
+
+TEST(MedlineGenTest, CollectionTitleDeclaredButAbsent) {
+  dtd::Dtd dtd = MedlineDtd();
+  EXPECT_NE(dtd.Find("CollectionTitle"), nullptr);
+  MedlineOptions opts;
+  opts.target_bytes = 1 << 20;
+  std::string doc = GenerateMedline(opts);
+  EXPECT_EQ(doc.find("<CollectionTitle>"), std::string::npos)
+      << "query M1 must project to zero bytes";
+}
+
+TEST(MedlineGenTest, PredicateTargetsPresent) {
+  MedlineOptions opts;
+  opts.target_bytes = 4 << 20;
+  std::string doc = GenerateMedline(opts);
+  EXPECT_NE(doc.find(">PDB<"), std::string::npos) << "M2 target";
+  EXPECT_NE(doc.find("<AbstractText>"), std::string::npos);
+  EXPECT_NE(doc.find("NASA"), std::string::npos) << "M4 target";
+  EXPECT_NE(doc.find("Sterilization"), std::string::npos) << "M5 target";
+}
+
+TEST(MedlineGenTest, AbstractPrefixPairExists) {
+  // The DTD must contain both Abstract and AbstractText (the paper's
+  // prefix-tagname case).
+  dtd::Dtd dtd = MedlineDtd();
+  EXPECT_NE(dtd.Find("Abstract"), nullptr);
+  EXPECT_NE(dtd.Find("AbstractText"), nullptr);
+}
+
+TEST(ProteinGenTest, WellFormedValidAndTextHeavy) {
+  ProteinOptions opts;
+  opts.target_bytes = 200 << 10;
+  std::string doc = GenerateProtein(opts);
+  EXPECT_TRUE(xml::CheckWellFormed(doc).ok());
+  EXPECT_TRUE(ValidWrt(ProteinDtd(), doc));
+  EXPECT_NE(doc.find("<sequence>"), std::string::npos);
+}
+
+TEST(RandomDtdTest, AlwaysNonRecursiveAndValid) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    dtd::Dtd dtd = RandomDtd(&rng);
+    EXPECT_FALSE(dtd.IsRecursive());
+    EXPECT_TRUE(dtd.Validate().ok()) << dtd.ToString();
+    auto aut = dtd::DtdAutomaton::Build(dtd);
+    EXPECT_TRUE(aut.ok()) << aut.status().ToString() << "\n" << dtd.ToString();
+  }
+}
+
+TEST(RandomDocumentTest, ValidWrtItsDtd) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    dtd::Dtd dtd = RandomDtd(&rng);
+    std::string doc = RandomDocument(dtd, &rng);
+    EXPECT_TRUE(xml::CheckWellFormed(doc).ok()) << doc;
+    EXPECT_TRUE(ValidWrt(dtd, doc)) << dtd.ToString() << "\n" << doc;
+  }
+}
+
+TEST(RandomPathsTest, ParseRoundTrip) {
+  Rng rng(13);
+  dtd::Dtd dtd = RandomDtd(&rng);
+  for (int round = 0; round < 20; ++round) {
+    for (const paths::ProjectionPath& p : RandomPaths(dtd, &rng)) {
+      auto again = paths::ProjectionPath::Parse(p.ToString());
+      ASSERT_TRUE(again.ok()) << p.ToString();
+      EXPECT_EQ(again->ToString(), p.ToString());
+    }
+  }
+}
+
+TEST(TextGenTest, Helpers) {
+  Rng rng(3);
+  std::string words;
+  AppendWords(&rng, 5, &words);
+  EXPECT_EQ(std::count(words.begin(), words.end(), ' '), 4);
+  EXPECT_EQ(Date(&rng).size(), 10u);
+  EXPECT_EQ(Time(&rng).size(), 8u);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = Uniform(&rng, 3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace smpx::xmlgen

@@ -1,0 +1,160 @@
+// Tests for XQuery projection-path extraction (paper Example 4 and the
+// XMark query shapes).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "paths/xquery_extract.h"
+
+namespace smpx::paths {
+namespace {
+
+std::vector<std::string> Extract(std::string_view query) {
+  auto r = ExtractProjectionPaths(query);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << query;
+  std::vector<std::string> out;
+  if (r.ok()) {
+    for (const ProjectionPath& p : *r) out.push_back(p.ToString());
+  }
+  return out;
+}
+
+bool Has(const std::vector<std::string>& set, const std::string& p) {
+  return std::find(set.begin(), set.end(), p) != set.end();
+}
+
+TEST(XQueryExtractTest, Example4SimpleQuery) {
+  // <q>{//australia//description}</q> extracts //australia//description#
+  // and /* (paper Example 4).
+  auto paths = Extract("<q>{ //australia//description }</q>");
+  EXPECT_TRUE(Has(paths, "//australia//description#")) << paths.size();
+  EXPECT_TRUE(Has(paths, "/*"));
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(XQueryExtractTest, Example4Q13) {
+  // XMark Q13 (paper Example 4): extracts
+  // /site/regions/australia/item/name#,
+  // /site/regions/australia/item/description#, and /*.
+  auto paths = Extract(
+      "for $i in /site/regions/australia/item\n"
+      "return <item name=\"{$i/name/text()}\">{$i/description}</item>");
+  EXPECT_TRUE(Has(paths, "/site/regions/australia/item/name#"));
+  EXPECT_TRUE(Has(paths, "/site/regions/australia/item/description#"));
+  EXPECT_TRUE(Has(paths, "/*"));
+  EXPECT_TRUE(Has(paths, "/site/regions/australia/item"))
+      << "the for-binding itself is navigated";
+}
+
+TEST(XQueryExtractTest, BarePathQueryGetsHash) {
+  auto paths = Extract("/site/people/person/name");
+  EXPECT_TRUE(Has(paths, "/site/people/person/name#"));
+  EXPECT_TRUE(Has(paths, "/*"));
+}
+
+TEST(XQueryExtractTest, TextStepFlagsParent) {
+  auto paths = Extract(
+      "for $p in /site/people/person return $p/emailaddress/text()");
+  EXPECT_TRUE(Has(paths, "/site/people/person/emailaddress#"));
+}
+
+TEST(XQueryExtractTest, AttributeStepFlagsParent) {
+  auto paths = Extract(
+      "for $p in /site/people/person return $p/profile/@income");
+  EXPECT_TRUE(Has(paths, "/site/people/person/profile@"));
+}
+
+TEST(XQueryExtractTest, CountIsStructural) {
+  auto paths = Extract("count(/site/regions//item)");
+  EXPECT_TRUE(Has(paths, "/site/regions//item"))
+      << "count() needs nodes, not subtrees";
+  EXPECT_FALSE(Has(paths, "/site/regions//item#"));
+}
+
+TEST(XQueryExtractTest, WhereComparisonConsumesValues) {
+  auto paths = Extract(
+      "for $p in /site/people/person where $p/name = 'Ada' "
+      "return $p/emailaddress");
+  EXPECT_TRUE(Has(paths, "/site/people/person/name#"));
+  EXPECT_TRUE(Has(paths, "/site/people/person/emailaddress#"));
+}
+
+TEST(XQueryExtractTest, LetBindingFlowsToUse) {
+  auto paths = Extract(
+      "for $a in /site/open_auctions/open_auction "
+      "let $b := $a/bidder return $b/increase");
+  EXPECT_TRUE(Has(paths, "/site/open_auctions/open_auction/bidder/increase#"));
+}
+
+TEST(XQueryExtractTest, NestedFlworAndJoin) {
+  auto paths = Extract(
+      "for $p in /site/people/person "
+      "for $c in /site/closed_auctions/closed_auction "
+      "where $c/buyer/@person = $p/@id "
+      "return <r>{$p/name}</r>");
+  EXPECT_TRUE(Has(paths, "/site/people/person/name#"));
+  EXPECT_TRUE(Has(paths, "/site/closed_auctions/closed_auction/buyer@"));
+  EXPECT_TRUE(Has(paths, "/site/people/person@"));
+}
+
+TEST(XQueryExtractTest, PositionalPredicatesAreDropped) {
+  auto paths = Extract(
+      "for $a in /site/open_auctions/open_auction "
+      "return $a/bidder[1]/increase");
+  EXPECT_TRUE(Has(paths, "/site/open_auctions/open_auction/bidder/increase#"));
+}
+
+TEST(XQueryExtractTest, ValuePredicateInsidePath) {
+  auto paths = Extract("//DataBank[DataBankName = 'PDB']/AccessionNumberList");
+  EXPECT_TRUE(Has(paths, "//DataBank/DataBankName#"));
+  EXPECT_TRUE(Has(paths, "//DataBank/AccessionNumberList#"));
+}
+
+TEST(XQueryExtractTest, ContainsPredicate) {
+  auto paths = Extract(
+      "/MedlineCitationSet/MedlineCitation"
+      "[contains(MedlineJournalInfo//text(), 'X')]/DateCompleted");
+  EXPECT_TRUE(Has(paths,
+                  "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo#"));
+  EXPECT_TRUE(Has(paths,
+                  "/MedlineCitationSet/MedlineCitation/DateCompleted#"));
+}
+
+TEST(XQueryExtractTest, QuantifiedExpression) {
+  auto paths = Extract(
+      "for $a in /site/open_auctions/open_auction "
+      "where some $pr in $a/bidder/personref satisfies $pr/@person = 'p1' "
+      "return $a/reserve");
+  EXPECT_TRUE(Has(paths, "/site/open_auctions/open_auction/bidder/personref@"));
+  EXPECT_TRUE(Has(paths, "/site/open_auctions/open_auction/reserve#"));
+}
+
+TEST(XQueryExtractTest, OrderByConsumesKeys) {
+  auto paths = Extract(
+      "for $i in /site/regions//item order by $i/name return $i/location");
+  EXPECT_TRUE(Has(paths, "/site/regions//item/name#"));
+  EXPECT_TRUE(Has(paths, "/site/regions//item/location#"));
+}
+
+TEST(XQueryExtractTest, CommentsAreSkipped) {
+  auto paths = Extract("(: XM18 :) /site/open_auctions/open_auction/initial");
+  EXPECT_TRUE(Has(paths, "/site/open_auctions/open_auction/initial#"));
+}
+
+TEST(XQueryExtractTest, RejectsUnsupported) {
+  EXPECT_FALSE(ExtractProjectionPaths("unknown-fn(/a)").ok());
+  EXPECT_FALSE(ExtractProjectionPaths("for $x in /a return $y/b").ok());
+  EXPECT_FALSE(ExtractProjectionPaths("").ok());
+}
+
+TEST(XQueryExtractTest, StarAlwaysPresent) {
+  for (const char* q : {"count(//item)", "/a/b", "<r>{/x/y}</r>"}) {
+    EXPECT_TRUE(Has(Extract(q), "/*")) << q;
+  }
+}
+
+}  // namespace
+}  // namespace smpx::paths
