@@ -141,6 +141,36 @@ bool CsvEnabled() {
   return env != nullptr && env[0] == '1';
 }
 
+std::string JsonOutputDir() {
+  const char* env = std::getenv("SMPX_JSON");
+  if (env == nullptr || env[0] == '\0') return "";
+  if (env[0] == '0' && env[1] == '\0') return "";  // SMPX_JSON=0 disables
+  if (env[0] == '1' && env[1] == '\0') return ".";
+  return env;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 const std::string& Dataset(const std::string& kind, uint64_t bytes) {
   static std::map<std::string, std::string>* cache =
       new std::map<std::string, std::string>();
@@ -227,6 +257,30 @@ void TablePrinter::Print(const std::string& csv_tag) const {
       std::printf("CSV,%s", csv_tag.c_str());
       for (const auto& cell : row) std::printf(",%s", cell.c_str());
       std::printf("\n");
+    }
+  }
+  std::string json_dir = JsonOutputDir();
+  if (!json_dir.empty()) {
+    // Machine-readable mirror of the table: one object per row keyed by
+    // the header, so CI can diff BENCH_*.json across commits.
+    std::string json = "{\n  \"bench\": \"" + JsonEscape(csv_tag) +
+                       "\",\n  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      json += "    {";
+      for (size_t c = 0; c < rows_[r].size() && c < header_.size(); ++c) {
+        if (c != 0) json += ", ";
+        json += "\"" + JsonEscape(header_[c]) + "\": \"" +
+                JsonEscape(rows_[r][c]) + "\"";
+      }
+      json += r + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    json += "  ]\n}\n";
+    std::string path = json_dir + "/BENCH_" + csv_tag + ".json";
+    Status s = WriteStringToFile(path, json);
+    if (s.ok()) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
     }
   }
 }

@@ -8,6 +8,9 @@
 //                  656 MB -- all reported ratios are scale-free and the
 //                  paper itself measured deviations < 1% across sizes)
 //   SMPX_CSV=1     additionally emit machine-readable CSV rows
+//   SMPX_JSON=1    additionally write BENCH_<tag>.json (header + rows) to
+//                  the working directory, or to $SMPX_JSON when it names a
+//                  directory -- lets CI track the perf trajectory
 
 #ifndef SMPX_BENCH_BENCH_UTIL_H_
 #define SMPX_BENCH_BENCH_UTIL_H_
@@ -51,6 +54,10 @@ uint64_t ScaleBytes();
 
 /// True when SMPX_CSV=1.
 bool CsvEnabled();
+
+/// Non-empty when SMPX_JSON is set: the directory BENCH_*.json files go to
+/// ("." when SMPX_JSON=1).
+std::string JsonOutputDir();
 
 /// Generates (and memoizes on disk under build dir) a dataset:
 /// kind is "xmark", "medline", or "protein".

@@ -133,6 +133,20 @@ class SlidingWindow {
   /// bytes when possible. The view may be longer than `len`.
   std::string_view View(uint64_t pos, size_t len);
 
+  /// Maximal resident view starting at `pos` WITHOUT touching the stream;
+  /// empty when `pos` is not resident. The bulk-scanning fast paths run
+  /// pointer loops (memchr) over this span and only fall back to RefillAt
+  /// at span boundaries.
+  std::string_view Span(uint64_t pos) const {
+    if (pos < base_ || pos >= base_ + size_) return {};
+    return std::string_view(buf_.data() + (pos - base_),
+                            static_cast<size_t>(base_ + size_ - pos));
+  }
+
+  /// Slides/refills so at least one byte at `pos` is resident (respecting
+  /// the lock) and returns the maximal resident view there; empty at EOF.
+  std::string_view RefillAt(uint64_t pos) { return View(pos, 1); }
+
   /// Byte at absolute position `pos`; caller must have Ensure()d it.
   char At(uint64_t pos) const { return buf_[pos - base_]; }
 

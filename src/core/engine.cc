@@ -1,12 +1,16 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/strings.h"
 
 namespace smpx::core {
 namespace {
+
+/// Returns values for HandleMatch's caller.
+enum HandleResult { kFalseMatch = 0, kAccepted = 1 };
 
 /// Mutable run state shared by the helpers below.
 class Engine {
@@ -17,7 +21,8 @@ class Engine {
         win_(in, opts.window_capacity),
         out_(out),
         stats_(stats),
-        opts_(opts) {
+        opts_(opts),
+        interned_(tables.interned_dispatch) {
     win_.set_evict_fn([this](uint64_t begin, std::string_view data) {
       OnEvict(begin, data);
     });
@@ -54,7 +59,12 @@ class Engine {
   }
 
   void SkipProlog();
+  uint64_t SkipPast(uint64_t from, std::string_view term);
   Status HandleMatch(uint64_t pos, int* next_unsearched);
+  Status HandleMatchLegacy(uint64_t pos, int* next_unsearched);
+  Status FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
+                     bool bachelor, bool counted_tag, int next_state,
+                     int close_state);
   Status ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
                      bool closing, bool bachelor);
 
@@ -63,6 +73,7 @@ class Engine {
   OutputSink* out_;
   RunStats* stats_;
   EngineOptions opts_;
+  const bool interned_;
 
   int q_ = 0;
   uint64_t cursor_ = 0;        // next position to search from
@@ -79,47 +90,76 @@ class Engine {
   }
 };
 
+/// Scans past the next occurrence of `term` (2-3 bytes) starting at `from`,
+/// memchr-ing for its first byte over whole resident spans. Returns the
+/// position one past the terminator; past end-of-input when unterminated.
+uint64_t Engine::SkipPast(uint64_t from, std::string_view term) {
+  const size_t tn = term.size();
+  uint64_t p = from;
+  for (;;) {
+    win_.set_lock(p);
+    std::string_view span = win_.View(p, tn);
+    if (span.size() < tn) return win_.limit() + tn;  // unterminated
+    size_t r = 0;
+    while (r + tn <= span.size()) {
+      const char* hit = static_cast<const char*>(
+          std::memchr(span.data() + r, term[0], span.size() - r - (tn - 1)));
+      if (hit == nullptr) break;
+      r = static_cast<size_t>(hit - span.data());
+      if (std::memcmp(hit, term.data(), tn) == 0) return p + r + tn;
+      ++r;
+    }
+    // Keep tn-1 tail bytes resident so a straddling terminator is seen
+    // (span.size() >= tn here -- shorter spans returned above).
+    p += span.size() - (tn - 1);
+  }
+}
+
 void Engine::SkipProlog() {
   // Only straight-line scanning at the very beginning of the document;
-  // stops at the first '<' that opens an element tag.
+  // stops at the first '<' that opens an element tag. All scans run over
+  // whole resident spans; the lock advances so the window never grows.
   for (;;) {
-    if (win_.Ensure(cursor_, 2) == 0) return;
-    while (win_.Ensure(cursor_, 1) > 0 && IsXmlWhitespace(win_.At(cursor_))) {
-      ++cursor_;
+    for (;;) {  // inter-construct whitespace
+      win_.set_lock(cursor_);
+      std::string_view span = win_.RefillAt(cursor_);
+      if (span.empty()) return;
+      size_t i = 0;
+      while (i < span.size() && IsXmlWhitespace(span[i])) ++i;
+      cursor_ += i;
+      if (i < span.size()) break;
     }
     if (win_.Ensure(cursor_, 2) < 2 || win_.At(cursor_) != '<') return;
     char next = win_.At(cursor_ + 1);
     if (next == '?') {
-      // <? ... ?>
-      uint64_t p = cursor_ + 2;
-      while (win_.Ensure(p, 2) >= 2 &&
-             !(win_.At(p) == '?' && win_.At(p + 1) == '>')) {
-        ++p;
-      }
-      cursor_ = p + 2;
+      cursor_ = SkipPast(cursor_ + 2, "?>");
       continue;
     }
     if (next == '!') {
       // Comment or DOCTYPE (with optional [...] internal subset).
       if (win_.Ensure(cursor_, 4) >= 4 && win_.At(cursor_ + 2) == '-' &&
           win_.At(cursor_ + 3) == '-') {
-        uint64_t p = cursor_ + 4;
-        while (win_.Ensure(p, 3) >= 3 &&
-               !(win_.At(p) == '-' && win_.At(p + 1) == '-' &&
-                 win_.At(p + 2) == '>')) {
-          ++p;
-        }
-        cursor_ = p + 3;
+        cursor_ = SkipPast(cursor_ + 4, "-->");
         continue;
       }
       uint64_t p = cursor_ + 2;
       int bracket = 0;
-      while (win_.Ensure(p, 1) > 0) {
-        char c = win_.At(p);
-        if (c == '[') ++bracket;
-        if (c == ']') --bracket;
-        if (c == '>' && bracket <= 0) break;
-        ++p;
+      bool done = false;
+      while (!done) {
+        win_.set_lock(p);
+        std::string_view span = win_.RefillAt(p);
+        if (span.empty()) break;  // EOF inside the DOCTYPE
+        size_t i = 0;
+        for (; i < span.size(); ++i) {
+          char c = span[i];
+          if (c == '[') ++bracket;
+          if (c == ']') --bracket;
+          if (c == '>' && bracket <= 0) {
+            done = true;
+            break;
+          }
+        }
+        p += i;
       }
       cursor_ = p + 1;
       continue;
@@ -165,10 +205,188 @@ Status Engine::ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
   return Status::Ok();
 }
 
-/// Returns values for HandleMatch's caller.
-enum HandleResult { kFalseMatch = 0, kAccepted = 1 };
+/// Common tail of both match handlers: performs the state transition(s) and
+/// copy actions for an accepted tag.
+Status Engine::FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
+                           bool bachelor, bool counted_tag, int next_state,
+                           int close_state) {
+  if (stats_ != nullptr) ++stats_->matches;
 
+  if (counted_tag) {
+    if (!closing) {
+      if (!bachelor) ++nesting_depth_;
+    } else {
+      --nesting_depth_;
+    }
+    cursor_ = tag_end + 1;
+    return Status::Ok();
+  }
+
+  q_ = next_state;
+  nesting_depth_ = 0;
+  MarkVisited();
+  SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, closing, bachelor));
+  if (bachelor) {
+    // Fire the closing transition too (paper Fig. 4, bachelor case).
+    const DfaState& opened = tables_.states[static_cast<size_t>(q_)];
+    bool was_copy_tag = opened.action == Action::kCopyTag ||
+                        opened.action == Action::kCopyTagAtts;
+    q_ = close_state;
+    nesting_depth_ = 0;
+    MarkVisited();
+    const DfaState& closed = tables_.states[static_cast<size_t>(q_)];
+    if (was_copy_tag && closed.action == Action::kCopyTag &&
+        copy_depth_ == 0) {
+      // The opening action already emitted "<name/>"; suppress the
+      // duplicate "</name>".
+    } else {
+      SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, /*closing=*/true,
+                                       /*bachelor=*/false));
+    }
+  }
+  cursor_ = tag_end + 1;
+  return Status::Ok();
+}
+
+/// Interned fast path: the tag name/attribute scan runs pointer loops over
+/// whole resident spans (memchr for '>' and quote terminators), and the
+/// transition resolves via one hash + one flat array load.
 Status Engine::HandleMatch(uint64_t pos, int* result) {
+  *result = kFalseMatch;
+  // Growing view anchored at pos. pos is at or above the lock, so bytes at
+  // and after pos stay resident across refills; refills may slide or
+  // reallocate the buffer, which is why `span` is re-acquired from the
+  // window instead of caching raw pointers.
+  std::string_view span = win_.Span(pos);
+  auto extend = [this, pos, &span](size_t rel) -> bool {
+    if (rel < span.size()) return true;
+    span = win_.View(pos, rel + 1);
+    return rel < span.size();
+  };
+
+  // Parse the tag at pos: "<name" or "</name".
+  size_t r = 1;
+  if (!extend(r)) return Status::Ok();
+  bool closing = false;
+  if (span[r] == '/') {
+    closing = true;
+    ++r;
+  }
+  const size_t name_rel = r;
+  for (;;) {
+    while (r < span.size() && IsNameChar(span[r])) ++r;
+    if (r < span.size() || !extend(r)) break;
+  }
+  if (stats_ != nullptr) stats_->scan_chars += r;
+  if (r == name_rel) return Status::Ok();  // "<!", "<?", "< " ...
+  const size_t name_len = r - name_rel;
+  std::string_view name = span.substr(name_rel, name_len);
+
+  const DfaState& st = tables_.states[static_cast<size_t>(q_)];
+
+  // Resolve the interned id now: the id survives later refills, the view
+  // does not. Unknown tags (¶-check rejects, names outside the vocabulary)
+  // come back as -1.
+  const int32_t id = tables_.interner.Find(name);
+
+  // Recursion support: inside an opaque region, occurrences of the region's
+  // own tag are balanced rather than transitioned on; only the closing tag
+  // that returns the balance to zero leaves the region.
+  const bool counted_tag = st.count_nesting && id >= 0 &&
+                           id == st.entry_tag_id &&
+                           (!closing || nesting_depth_ > 0);
+
+  int next_state = -1;
+  if (!counted_tag) {
+    if (id < 0) return Status::Ok();  // false match
+    next_state = closing ? st.close_next_id[static_cast<size_t>(id)]
+                         : st.open_next_id[static_cast<size_t>(id)];
+    if (next_state < 0) return Status::Ok();  // false match
+  }
+
+  // Scan to the end of the tag, skipping quoted attribute values: memchr
+  // for '>' over the resident span; a quote before it diverts into a
+  // memchr-for-the-matching-quote skip. The overwhelmingly common
+  // attribute-free tag ("<name>") short-circuits the machinery.
+  const size_t scan_start = r;
+  if (r < span.size() && span[r] == '>') {
+    // '>' directly after the name: never a bachelor (the '/' of "<t/>"
+    // terminates the name scan first), no attributes to skip.
+    if (stats_ != nullptr) ++stats_->scan_chars;
+    *result = kAccepted;
+    return FinishMatch(pos, pos + r, closing, /*bachelor=*/false,
+                       counted_tag, next_state, /*close_state=*/-1);
+  }
+  for (;;) {
+    if (r >= span.size() && !extend(r)) {
+      return Status::ParseError("unterminated tag at offset " +
+                                std::to_string(pos));
+    }
+    const char* base = span.data();
+    const char* gt = static_cast<const char*>(
+        std::memchr(base + r, '>', span.size() - r));
+    const size_t seg_end =
+        gt != nullptr ? static_cast<size_t>(gt - base) : span.size();
+    const char* dq = static_cast<const char*>(
+        std::memchr(base + r, '"', seg_end - r));
+    const char* sq = static_cast<const char*>(
+        std::memchr(base + r, '\'', seg_end - r));
+    const char* quote = dq == nullptr   ? sq
+                        : sq == nullptr ? dq
+                                        : std::min(dq, sq);
+    if (quote == nullptr) {
+      if (gt != nullptr) {
+        r = seg_end;
+        break;  // position of '>'
+      }
+      r = span.size();
+      continue;
+    }
+    const char qc = *quote;
+    r = static_cast<size_t>(quote - base) + 1;
+    for (;;) {
+      if (r >= span.size() && !extend(r)) {
+        return Status::ParseError("unterminated attribute at offset " +
+                                  std::to_string(pos));
+      }
+      const char* end = static_cast<const char*>(
+          std::memchr(span.data() + r, qc, span.size() - r));
+      if (end != nullptr) {
+        r = static_cast<size_t>(end - span.data()) + 1;
+        break;
+      }
+      r = span.size();
+    }
+  }
+  const bool bachelor = !closing && span[r - 1] == '/';
+  if (stats_ != nullptr) stats_->scan_chars += r - scan_start + 1;
+  const uint64_t tag_end = pos + r;  // position of '>'
+
+  *result = kAccepted;
+
+  // For bachelor tags, resolve the closing transition now; the interned id
+  // makes this a single array load even after window refills.
+  int close_state = -1;
+  if (!counted_tag && bachelor) {
+    const DfaState& opened =
+        tables_.states[static_cast<size_t>(next_state)];
+    close_state = opened.close_next_id[static_cast<size_t>(id)];
+    if (close_state < 0) {
+      std::string_view nm =
+          win_.View(pos + name_rel, name_len).substr(0, name_len);
+      return Status::ParseError("bachelor tag <" + std::string(nm) +
+                                "/> has no closing transition; input "
+                                "invalid w.r.t. the DTD");
+    }
+  }
+  return FinishMatch(pos, tag_end, closing, bachelor, counted_tag,
+                     next_state, close_state);
+}
+
+/// Legacy path (TableOptions::use_map_dispatch): per-byte window access and
+/// std::map tag dispatch; kept verbatim as the differential-testing and
+/// benchmarking baseline.
+Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
   *result = kFalseMatch;
   // The whole scan operates on a view anchored at pos (which is above the
   // lock, so it stays resident); At() re-acquires the view only when the
@@ -201,9 +419,6 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
 
   const DfaState& st = tables_.states[static_cast<size_t>(q_)];
 
-  // Recursion support: inside an opaque region, occurrences of the region's
-  // own tag are balanced rather than transitioned on; only the closing tag
-  // that returns the balance to zero leaves the region.
   bool counted_tag = st.count_nesting && name == st.entry_name &&
                      (!closing || nesting_depth_ > 0);
 
@@ -245,23 +460,12 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
   uint64_t tag_end = p;  // position of '>'
 
   *result = kAccepted;
-  if (stats_ != nullptr) ++stats_->matches;
-
-  if (counted_tag) {
-    if (!closing) {
-      if (!bachelor) ++nesting_depth_;
-    } else {
-      --nesting_depth_;
-    }
-    cursor_ = tag_end + 1;
-    return Status::Ok();
-  }
 
   // For bachelor tags, resolve the closing transition now. The tag-end scan
   // above may have slid or reallocated the window buffer, so `name` must be
   // re-acquired (its bytes are still resident -- they sit above the lock).
   int close_state = -1;
-  if (bachelor) {
+  if (!counted_tag && bachelor) {
     name = win_.View(name_begin, name_len).substr(0, name_len);
     const DfaState& opened = tables_.states[static_cast<size_t>(next_state)];
     auto cit = opened.close_next.find(name);
@@ -272,31 +476,8 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
     }
     close_state = cit->second;
   }
-
-  q_ = next_state;
-  nesting_depth_ = 0;
-  MarkVisited();
-  SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, closing, bachelor));
-  if (bachelor) {
-    // Fire the closing transition too (paper Fig. 4, bachelor case).
-    const DfaState& opened = tables_.states[static_cast<size_t>(q_)];
-    bool was_copy_tag = opened.action == Action::kCopyTag ||
-                        opened.action == Action::kCopyTagAtts;
-    q_ = close_state;
-    nesting_depth_ = 0;
-    MarkVisited();
-    const DfaState& closed = tables_.states[static_cast<size_t>(q_)];
-    if (was_copy_tag && closed.action == Action::kCopyTag &&
-        copy_depth_ == 0) {
-      // The opening action already emitted "<name/>"; suppress the
-      // duplicate "</name>".
-    } else {
-      SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, /*closing=*/true,
-                                       /*bachelor=*/false));
-    }
-  }
-  cursor_ = tag_end + 1;
-  return Status::Ok();
+  return FinishMatch(pos, tag_end, closing, bachelor, counted_tag,
+                     next_state, close_state);
 }
 
 Status Engine::Run() {
@@ -318,13 +499,6 @@ Status Engine::Run() {
         stats_->initial_jump_chars += st.jump;
       }
     }
-    if (stats_ != nullptr) {
-      if (st.keywords.size() == 1) {
-        ++stats_->bm_searches;
-      } else {
-        ++stats_->cw_searches;
-      }
-    }
     // Search for the closest frontier keyword, refilling the window as
     // needed; the overlap keeps partially-seen keywords matchable.
     int handled = kFalseMatch;
@@ -332,10 +506,20 @@ Status Engine::Run() {
       win_.set_lock(cursor_);
       std::string_view view = win_.View(cursor_, st.max_keyword);
       if (!view.empty()) {
+        // Counted per Search call, inside the retry loop: false-match
+        // retries and window refills each run a fresh search.
+        if (stats_ != nullptr) {
+          if (st.keywords.size() == 1) {
+            ++stats_->bm_searches;
+          } else {
+            ++stats_->cw_searches;
+          }
+        }
         strmatch::Match m = st.matcher->Search(view, 0, &stats_->search);
         if (m.found()) {
           uint64_t pos = cursor_ + m.pos;
-          SMPX_RETURN_IF_ERROR(HandleMatch(pos, &handled));
+          SMPX_RETURN_IF_ERROR(interned_ ? HandleMatch(pos, &handled)
+                                         : HandleMatchLegacy(pos, &handled));
           if (handled == kAccepted) break;
           if (stats_ != nullptr) ++stats_->false_matches;
           cursor_ = pos + 1;

@@ -4,6 +4,13 @@
 // prefix-tagname check, e.g. Abstract vs AbstractText), performs initial
 // jumps, and executes copy actions -- all through a fixed-size sliding
 // window over the input stream.
+//
+// Matched tags resolve through the interned fast path by default: the tag
+// name is scanned with pointer loops over whole resident window spans
+// (memchr for '>' and quote terminators), interned to a dense id
+// (RuntimeTables::interner), and dispatched via one flat array load. The
+// legacy std::map dispatch + per-byte scanner survives behind
+// TableOptions::use_map_dispatch as the differential-testing baseline.
 
 #ifndef SMPX_CORE_ENGINE_H_
 #define SMPX_CORE_ENGINE_H_
@@ -29,6 +36,8 @@ struct RunStats {
   uint64_t matches = 0;           ///< accepted keyword matches
   uint64_t false_matches = 0;     ///< rejected candidates (prefix tags etc.)
   uint64_t states_visited = 0;    ///< distinct runtime states entered
+  // Counted per Search invocation (false-match retries and window refills
+  // each run a fresh search, so these can exceed the state-entry count).
   uint64_t bm_searches = 0;       ///< searches ran with a unary vocabulary
   uint64_t cw_searches = 0;       ///< searches ran with a multi vocabulary
   size_t window_peak = 0;         ///< high-water mark of the window buffer

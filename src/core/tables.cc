@@ -97,6 +97,29 @@ uint64_t ComputeJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
 
 }  // namespace
 
+TagInterner::TagInterner(const std::vector<std::string>& names) {
+  for (const std::string& n : names) {
+    if (Find(n) >= 0) continue;
+    names_.push_back(n);
+    // Rebuild at load factor > 1/2 (also covers the initial empty table).
+    if (slots_.empty() || names_.size() * 2 > slots_.size()) {
+      size_t cap = 8;
+      while (cap < names_.size() * 4) cap *= 2;
+      slots_.assign(cap, -1);
+      mask_ = cap - 1;
+      for (size_t id = 0; id < names_.size(); ++id) {
+        size_t h = Hash(names_[id]) & mask_;
+        while (slots_[h] >= 0) h = (h + 1) & mask_;
+        slots_[h] = static_cast<int32_t>(id);
+      }
+    } else {
+      size_t h = Hash(names_.back()) & mask_;
+      while (slots_[h] >= 0) h = (h + 1) & mask_;
+      slots_[h] = static_cast<int32_t>(names_.size() - 1);
+    }
+  }
+}
+
 Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
                                   const Selection& sel,
                                   const SubgraphAutomaton& sub,
@@ -220,6 +243,9 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
         return Status::Internal("failed to build matcher for state " +
                                 std::to_string(q));
       }
+      if (opts.disable_matcher_skip_loops) {
+        state.matcher->set_skip_loops(false);
+      }
       if (state.keywords.size() == 1) {
         ++tables.num_bm_states;
       } else {
@@ -234,6 +260,41 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     if (opts.enable_initial_jumps && !state.keywords.empty()) {
       state.jump = ComputeJump(aut, &ms, subsets[q], vocab_tokens);
     }
+  }
+
+  // Interned dispatch: collapse every transition tag name into a dense id
+  // and mirror the tree maps as flat arrays (-1 = no transition), so the
+  // engine resolves a matched tag with one hash + one array load.
+  if (!opts.use_map_dispatch) {
+    std::vector<std::string> names;
+    for (const DfaState& state : tables.states) {
+      for (const auto& [name, to] : state.open_next) {
+        names.push_back(name);
+        (void)to;
+      }
+      for (const auto& [name, to] : state.close_next) {
+        names.push_back(name);
+        (void)to;
+      }
+    }
+    tables.interner = TagInterner(names);
+    const size_t vocab = static_cast<size_t>(tables.interner.size());
+    for (DfaState& state : tables.states) {
+      state.open_next_id.assign(vocab, -1);
+      state.close_next_id.assign(vocab, -1);
+      for (const auto& [name, to] : state.open_next) {
+        state.open_next_id[static_cast<size_t>(
+            tables.interner.Find(name))] = to;
+      }
+      for (const auto& [name, to] : state.close_next) {
+        state.close_next_id[static_cast<size_t>(
+            tables.interner.Find(name))] = to;
+      }
+      if (!state.entry_name.empty()) {
+        state.entry_tag_id = tables.interner.Find(state.entry_name);
+      }
+    }
+    tables.interned_dispatch = true;
   }
   return tables;
 }

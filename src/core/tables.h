@@ -9,9 +9,11 @@
 #ifndef SMPX_CORE_TABLES_H_
 #define SMPX_CORE_TABLES_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -20,6 +22,51 @@
 #include "strmatch/matcher.h"
 
 namespace smpx::core {
+
+/// Maps the tag names of the runtime vocabulary to dense ids via a flat
+/// open-addressing hash over string_view (no allocation, no tree walk on
+/// lookup). Built once in BuildTables; the engine resolves every matched
+/// tag name with one hash and at most a few contiguous probes.
+class TagInterner {
+ public:
+  TagInterner() = default;
+  /// Builds the table from `names` (duplicates collapse; insertion order
+  /// defines the dense ids).
+  explicit TagInterner(const std::vector<std::string>& names);
+
+  /// Dense id of `name`, or -1 if the tag was never interned.
+  int32_t Find(std::string_view name) const {
+    if (slots_.empty()) return -1;
+    size_t h = Hash(name) & mask_;
+    for (;;) {
+      int32_t s = slots_[h];
+      if (s < 0 || names_[static_cast<size_t>(s)] == name) return s;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+  bool empty() const { return names_.empty(); }
+  const std::string& name(int32_t id) const {
+    return names_[static_cast<size_t>(id)];
+  }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// FNV-1a; short tag names hash in a handful of cycles.
+  static size_t Hash(std::string_view s) {
+    uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int32_t> slots_;  // index into names_, -1 when empty
+  size_t mask_ = 0;             // slots_.size() - 1 (power of two)
+};
 
 /// One state of the runtime DFA with everything the engine needs.
 struct DfaState {
@@ -32,6 +79,11 @@ struct DfaState {
   std::map<std::string, int, std::less<>> open_next;
   /// A[q, </name>]: next state when a closing tag `name` is matched.
   std::map<std::string, int, std::less<>> close_next;
+  /// Interned-dispatch mirrors of open_next/close_next: indexed by the tag
+  /// id from RuntimeTables::interner, -1 = no transition. Sized to the full
+  /// interner vocabulary (empty when map dispatch was requested).
+  std::vector<int32_t> open_next_id;
+  std::vector<int32_t> close_next_id;
   /// J[q]: characters safely skippable on entering this state.
   uint64_t jump = 0;
   /// T[q]: action performed when *entering* this state.
@@ -43,6 +95,8 @@ struct DfaState {
   // Entry token (unique by homogeneity; empty for the initial state) and
   // precomputed emission strings so copy-tag actions are allocation-free.
   std::string entry_name;
+  /// Interned id of entry_name (-1 for the initial state / map dispatch).
+  int32_t entry_tag_id = -1;
   bool entry_closing = false;
   std::string emit_tag;       ///< "<name>" or "</name>"
   std::string emit_bachelor;  ///< "<name/>" (open-entry states only)
@@ -58,6 +112,13 @@ struct DfaState {
 struct RuntimeTables {
   std::vector<DfaState> states;
   int initial = 0;
+
+  /// Tag-name -> dense-id table backing the flat per-state transition
+  /// arrays. Empty (and interned_dispatch false) under map dispatch.
+  TagInterner interner;
+  /// True when the engine should dispatch through interner +
+  /// open_next_id/close_next_id instead of the tree maps.
+  bool interned_dispatch = false;
 
   // Report metadata (paper Table I "States (CW + BM)").
   size_t num_cw_states = 0;   ///< states with |V| > 1
@@ -75,6 +136,15 @@ struct TableOptions {
   strmatch::Algorithm algorithm = strmatch::Algorithm::kAuto;
   /// Disable J (ablation): all jumps become 0.
   bool enable_initial_jumps = true;
+  /// Keep the legacy std::map tag dispatch (and the engine's per-byte tag
+  /// scanner) instead of the interned fast path; differential-testing and
+  /// benchmarking baseline.
+  bool use_map_dispatch = false;
+  /// Disable the matchers' memchr skip loops (classical textbook BM/CW
+  /// scan loops); together with use_map_dispatch this restores the seed's
+  /// matching + tag-resolution hot path (prolog skipping is span-based in
+  /// both modes).
+  bool disable_matcher_skip_loops = false;
 };
 
 /// Determinizes the subgraph automaton and builds all tables.

@@ -34,6 +34,7 @@ struct TagToken {
   bool operator==(const TagToken& o) const {
     return closing == o.closing && name == o.name;
   }
+  bool operator!=(const TagToken& o) const { return !(*this == o); }
   /// "<a>" or "</a>".
   std::string ToString() const {
     return (closing ? "</" : "<") + name + ">";

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "strmatch/byte_scan.h"
 
 namespace smpx::strmatch {
 namespace {
@@ -26,6 +29,68 @@ std::vector<int> ComputeSuffixes(const std::string& p) {
     }
   }
   return suf;
+}
+
+/// Rough rarity ranking of bytes in XML-shaped text (markup + English
+/// prose); smaller = rarer. Used to pick the memchr probe byte: probing the
+/// rarest pattern byte minimizes candidate verifications. For the
+/// prefilter's "<t"/"</t" keywords this always selects '<'.
+int XmlByteRarity(unsigned char c) {
+  switch (c) {
+    case '<':
+      return 0;
+    case '>':
+      return 10;
+    case '/':
+      return 15;
+    case '=':
+    case '"':
+    case '\'':
+      return 25;
+    default:
+      break;
+  }
+  if (c >= 'A' && c <= 'Z') return 30;
+  if (c >= '0' && c <= '9') return 40;
+  switch (c) {
+    case 'j':
+    case 'k':
+    case 'q':
+    case 'x':
+    case 'z':
+      return 45;
+    case 'b':
+    case 'g':
+    case 'v':
+    case 'w':
+      return 55;
+    case 'c':
+    case 'd':
+    case 'f':
+    case 'h':
+    case 'l':
+    case 'm':
+    case 'p':
+    case 'u':
+    case 'y':
+      return 65;
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'n':
+    case 'o':
+    case 'r':
+    case 's':
+    case 't':
+      return 80;
+    case ' ':
+    case '\t':
+    case '\n':
+    case '\r':
+      return 90;
+    default:
+      return 35;  // other punctuation / non-ASCII
+  }
 }
 
 }  // namespace
@@ -58,6 +123,15 @@ BoyerMooreMatcher::BoyerMooreMatcher(std::string pattern) {
     // Case 1: the matched suffix reoccurs elsewhere in the pattern.
     good_suffix_[im - 1 - suf[i]] = im - 1 - i;
   }
+
+  // Probe byte for the memchr skip loop: the rarest byte of the pattern
+  // (ties go to the rightmost occurrence).
+  for (size_t i = 1; i < m; ++i) {
+    if (XmlByteRarity(static_cast<unsigned char>(p[i])) <=
+        XmlByteRarity(static_cast<unsigned char>(p[probe_pos_]))) {
+      probe_pos_ = i;
+    }
+  }
 }
 
 Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
@@ -66,6 +140,7 @@ Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
   const size_t m = p.size();
   const size_t n = text.size();
   if (from > n || n - from < m) return {};
+  if (skip_loops_) return SearchMemchr(text, from, stats);
 
   size_t i = from;  // current alignment: pattern start at text position i
   while (i + m <= n) {
@@ -87,6 +162,77 @@ Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
       stats->shift_chars += shift;
     }
     i += shift;
+  }
+  return {};
+}
+
+Match BoyerMooreMatcher::SearchMemchr(std::string_view text, size_t from,
+                                      SearchStats* stats) const {
+  const std::string& p = patterns_[0];
+  const size_t m = p.size();
+  const size_t n = text.size();
+  const char* d = text.data();
+
+  // Skip loop: no occurrence can align unless its probe byte (the rarest
+  // pattern byte, '<' for tag keywords) matches, so only probe-byte hits
+  // become candidate alignments. The hits are popped word-at-a-time (see
+  // byte_scan.h); candidates below the BM-shift frontier `i` are dropped
+  // without a verify.
+  const size_t kp = probe_pos_;
+  const unsigned char probe = static_cast<unsigned char>(p[kp]);
+  size_t i = from;  // minimal admissible alignment (the shift frontier)
+
+  // Right-to-left verify at alignment `a`; advances `i` past `a` via the
+  // classical bad-character/good-suffix shift on mismatch.
+  auto verify = [&](size_t a) -> bool {
+    if (stats != nullptr && a > i) {
+      ++stats->shifts;
+      stats->shift_chars += a - i;
+    }
+    i = a;
+    size_t j = m;  // compare right to left; j is 1 + index to compare
+    while (j > 0) {
+      if (stats != nullptr) ++stats->comparisons;
+      if (d[a + j - 1] != p[j - 1]) break;
+      --j;
+    }
+    if (j == 0) return true;
+    const size_t jm1 = j - 1;
+    int bc = bad_char_[static_cast<unsigned char>(d[a + jm1])];
+    ptrdiff_t bad_shift = static_cast<ptrdiff_t>(jm1) - bc;
+    size_t shift = std::max<ptrdiff_t>(
+        static_cast<ptrdiff_t>(good_suffix_[jm1]), bad_shift);
+    if (shift == 0) shift = 1;  // defensive; strong tables never yield 0
+    if (stats != nullptr) {
+      ++stats->shifts;
+      stats->shift_chars += shift;
+    }
+    i += shift;
+    return false;
+  };
+
+  // Scan probe positions s in [from + kp, n - m + kp]; alignment a = s - kp.
+  const size_t scan_end = n - m + kp + 1;
+  size_t k = from + kp;
+  for (; k + 8 <= scan_end; k += 8) {
+    uint64_t hits = detail::ByteEqMask(detail::LoadWord(d + k), probe);
+    while (hits != 0) {
+      size_t a = k + detail::LowestHitByte(hits) - kp;
+      hits = detail::ClearLowestHit(hits);
+      if (a < i) continue;  // below the shift frontier
+      if (verify(a)) return {a, 0};
+    }
+  }
+  for (; k < scan_end; ++k) {
+    if (static_cast<unsigned char>(d[k]) == probe) {
+      size_t a = k - kp;
+      if (a < i) continue;
+      if (verify(a)) return {a, 0};
+    }
+  }
+  if (stats != nullptr && n - m + 1 > i) {
+    ++stats->shifts;
+    stats->shift_chars += n - m + 1 - i;
   }
   return {};
 }

@@ -27,11 +27,17 @@ class BoyerMooreMatcher : public Matcher {
     return patterns_;
   }
   std::string_view name() const override { return "BM"; }
+  void set_skip_loops(bool enabled) override { skip_loops_ = enabled; }
 
  private:
+  Match SearchMemchr(std::string_view text, size_t from,
+                     SearchStats* stats) const;
+
   std::vector<std::string> patterns_;       // exactly one element
   std::array<int, 256> bad_char_;           // last occurrence index, -1 if none
   std::vector<size_t> good_suffix_;         // shift for mismatch at index j
+  bool skip_loops_ = true;                  // memchr rare-byte skip loop
+  size_t probe_pos_ = 0;                    // offset of the rarest byte
 };
 
 /// Horspool simplification (bad-character rule keyed on the window's last

@@ -1,0 +1,62 @@
+// Word-at-a-time (SWAR) byte scanning primitives for the matcher skip
+// loops. libc memchr wins on long strides, but the prefilter's candidate
+// bytes ('<') recur every ~15 bytes in tag-dense XML, where the per-call
+// overhead of memchr dominates; an inlined 8-bytes-per-iteration scan that
+// pops all hits out of each word amortizes to a few ops per byte with no
+// per-candidate call cost.
+
+#ifndef SMPX_STRMATCH_BYTE_SCAN_H_
+#define SMPX_STRMATCH_BYTE_SCAN_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace smpx::strmatch::detail {
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHighs = 0x8080808080808080ull;
+
+/// Returns a word with bit 7 set in every byte of `w` equal to `c`. Uses
+/// the exact (carry-free) zero-byte detector: the cheaper
+/// `(x - ones) & ~x & highs` variant has false positives in bytes above a
+/// true hit, which would inflate the candidate stream.
+inline uint64_t ByteEqMask(uint64_t w, unsigned char c) {
+  uint64_t x = w ^ (kOnes * c);
+  // High bit of each byte is 0 iff the byte is zero.
+  uint64_t nonzero = ((x & ~kHighs) + ~kHighs) | x;
+  return ~nonzero & kHighs;
+}
+
+/// Loads 8 bytes unaligned, normalized so that the byte at `p` is the
+/// least significant one (text order == bit order for the hit-popping
+/// helpers below regardless of host endianness).
+inline uint64_t LoadWord(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  w = __builtin_bswap64(w);
+#endif
+  return w;
+}
+
+/// Byte offset (0-7) of the lowest set mask bit.
+inline unsigned LowestHitByte(uint64_t mask) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_ctzll(mask)) >> 3;
+#else
+  unsigned off = 0;
+  while ((mask & 0xff) == 0) {
+    mask >>= 8;
+    ++off;
+  }
+  return off;
+#endif
+}
+
+/// Clears the lowest set mask bit (advance to the next hit in the word).
+inline uint64_t ClearLowestHit(uint64_t mask) { return mask & (mask - 1); }
+
+}  // namespace smpx::strmatch::detail
+
+#endif  // SMPX_STRMATCH_BYTE_SCAN_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <queue>
+
+#include "strmatch/byte_scan.h"
 
 namespace smpx::strmatch {
 
@@ -113,6 +116,93 @@ CommentzWalterMatcher::CommentzWalterMatcher(
     shift2_[u] = std::min(shift2_[u],
                           shift2_[static_cast<size_t>(trie_.nodes[u].parent)]);
   }
+
+  // memchr fast path precomputation (see header).
+  lead_ = patterns_[0][0];
+  fast_path_ = true;
+  for (const std::string& p : patterns_) {
+    if (p[0] != lead_ ||
+        p.find(lead_, 1) != std::string::npos) {
+      fast_path_ = false;
+      break;
+    }
+  }
+  if (fast_path_) {
+    // Forward trie over the patterns (lead byte included as the root
+    // edge). Earlier pattern indices win on duplicates, matching the
+    // naive oracle's tie-breaking.
+    fwd_.emplace_back();
+    for (size_t pi = 0; pi < patterns_.size(); ++pi) {
+      int32_t node = 0;
+      for (char c : patterns_[pi]) {
+        int32_t& slot = fwd_[static_cast<size_t>(node)]
+                            .next[static_cast<unsigned char>(c)];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(fwd_.size());
+          fwd_.emplace_back();
+        }
+        node = slot;
+      }
+      if (fwd_[static_cast<size_t>(node)].pattern < 0) {
+        fwd_[static_cast<size_t>(node)].pattern = static_cast<int32_t>(pi);
+      }
+    }
+  }
+}
+
+Match CommentzWalterMatcher::SearchFast(std::string_view text, size_t from,
+                                        SearchStats* stats) const {
+  const size_t n = text.size();
+  const char* d = text.data();
+  const unsigned char lead = static_cast<unsigned char>(lead_);
+
+  // Anchored verification: walk the forward trie; the first terminal is
+  // the shortest match at the anchor, i.e. (occurrences cannot overlap)
+  // the minimal-end occurrence.
+  size_t prev = from;  // one past the previous candidate (shift stats)
+  auto verify = [&](size_t s) -> Match {
+    if (stats != nullptr) {
+      if (s > prev) {
+        ++stats->shifts;
+        stats->shift_chars += s - prev;
+      }
+      prev = s + 1;
+    }
+    int32_t node = 0;
+    for (size_t k = s; k < n; ++k) {
+      if (stats != nullptr) ++stats->comparisons;
+      node = fwd_[static_cast<size_t>(node)]
+                 .next[static_cast<unsigned char>(d[k])];
+      if (node < 0) return {};
+      int32_t pat = fwd_[static_cast<size_t>(node)].pattern;
+      if (pat >= 0) return {s, pat};
+    }
+    return {};
+  };
+
+  // Word-at-a-time candidate scan: pop every lead-byte hit out of each
+  // 8-byte word (see byte_scan.h for why this beats per-candidate memchr).
+  size_t k = from;
+  for (; k + 8 <= n; k += 8) {
+    uint64_t hits = detail::ByteEqMask(detail::LoadWord(d + k), lead);
+    while (hits != 0) {
+      size_t s = k + detail::LowestHitByte(hits);
+      Match m = verify(s);
+      if (m.found()) return m;
+      hits = detail::ClearLowestHit(hits);
+    }
+  }
+  for (; k < n; ++k) {
+    if (static_cast<unsigned char>(d[k]) == lead) {
+      Match m = verify(k);
+      if (m.found()) return m;
+    }
+  }
+  if (stats != nullptr && n > prev) {
+    ++stats->shifts;
+    stats->shift_chars += n - prev;
+  }
+  return {};
 }
 
 Match CommentzWalterMatcher::Search(std::string_view text, size_t from,
@@ -120,6 +210,7 @@ Match CommentzWalterMatcher::Search(std::string_view text, size_t from,
   const size_t n = text.size();
   const size_t wmin = trie_.wmin;
   if (wmin == 0 || from > n || n - from < wmin) return {};
+  if (fast_path_ && skip_loops_) return SearchFast(text, from, stats);
 
   size_t i = from + wmin - 1;  // window end position in text
   while (i < n) {

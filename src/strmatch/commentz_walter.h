@@ -57,13 +57,37 @@ class CommentzWalterMatcher : public Matcher {
     return patterns_;
   }
   std::string_view name() const override { return "CW"; }
+  void set_skip_loops(bool enabled) override { skip_loops_ = enabled; }
 
  private:
+  Match SearchFast(std::string_view text, size_t from,
+                   SearchStats* stats) const;
+
   std::vector<std::string> patterns_;
   detail::ReverseTrie trie_;
   std::array<size_t, 256> char_shift_;  // min end-distance of c, else wmin+1
   std::vector<size_t> shift1_;          // per trie node
   std::vector<size_t> shift2_;          // per trie node
+
+  // memchr fast path: usable when every pattern starts with the same byte
+  // and that byte never recurs inside any pattern (always true for the
+  // prefilter's "<t"/"</t" vocabularies). Occurrences then cannot overlap,
+  // so a memchr-for-the-lead candidate scan with anchored verification is
+  // exact under the minimal-end contract. Verification walks a *forward*
+  // trie over the patterns (one node lookup per text byte, regardless of
+  // the vocabulary size); the first terminal reached is the shortest match
+  // at the anchor, i.e. the minimal-end occurrence.
+  struct ForwardTrieNode {
+    std::array<int32_t, 256> next;  // -1 when absent
+    int32_t pattern = -1;           // pattern ending exactly here
+
+    ForwardTrieNode() { next.fill(-1); }
+  };
+
+  bool fast_path_ = false;
+  bool skip_loops_ = true;  // fast path may be toggled off (ablation)
+  char lead_ = 0;
+  std::vector<ForwardTrieNode> fwd_;  // rooted at fwd_[0]'s lead child
 };
 
 /// Set-Horspool: same reversed trie, but shifts only by the bad-character

@@ -71,6 +71,11 @@ class Matcher {
 
   /// Algorithm name for reports ("BM", "CW", ...).
   virtual std::string_view name() const = 0;
+
+  /// Enables/disables the memchr skip-loop fast paths (BM, CW). Default on;
+  /// turning them off restores the classical textbook scan loops (ablation
+  /// and differential-testing baseline). No-op for algorithms without one.
+  virtual void set_skip_loops(bool enabled) { (void)enabled; }
 };
 
 /// Algorithm selector for MakeMatcher.

@@ -198,6 +198,41 @@ TEST(SlidingWindowTest, ViewAcrossRefillKeepsAbsolutePositions) {
   EXPECT_EQ(v.substr(0, 3), data.substr(250, 3));
 }
 
+TEST(SlidingWindowTest, SpanAndRefillAtReturnMaximalResidentViews) {
+  std::string data;
+  for (int i = 0; i < 300; ++i) data += static_cast<char>('a' + i % 26);
+  MemoryInputStream in(data);
+  SlidingWindow win(&in, 64);
+
+  // Nothing resident yet: Span must not touch the stream.
+  EXPECT_TRUE(win.Span(0).empty());
+
+  std::string_view first = win.RefillAt(0);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, win.Span(0));
+  EXPECT_EQ(first.substr(0, 3), data.substr(0, 3));
+  // The span is maximal: it runs to the window limit.
+  EXPECT_EQ(first.size(), static_cast<size_t>(win.limit()));
+
+  // A mid-span position returns the resident suffix.
+  std::string_view mid = win.Span(10);
+  EXPECT_EQ(mid.size(), first.size() - 10);
+  EXPECT_EQ(mid.substr(0, 3), data.substr(10, 3));
+
+  // Past the resident limit Span is empty until RefillAt slides forward.
+  uint64_t beyond = win.limit() + 5;
+  EXPECT_TRUE(win.Span(beyond).empty());
+  win.set_lock(beyond);
+  std::string_view later = win.RefillAt(beyond);
+  ASSERT_FALSE(later.empty());
+  EXPECT_EQ(later.substr(0, 3),
+            data.substr(static_cast<size_t>(beyond), 3));
+
+  // At end of stream RefillAt returns empty.
+  win.set_lock(data.size());
+  EXPECT_TRUE(win.RefillAt(data.size()).empty());
+}
+
 TEST(SlidingWindowTest, JumpFarBeyondBufferBridgesGap) {
   std::string data(10000, 'x');
   data[9000] = 'Y';

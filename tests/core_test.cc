@@ -346,6 +346,86 @@ TEST(EngineTest, InitialJumpsCanBeDisabled) {
   EXPECT_GE(s_with.initial_jump_chars, s_without.initial_jump_chars);
 }
 
+TEST(EngineTest, SearchCountsIncludeFalseMatchRetries) {
+  // Vocabulary keyword "<a" false-matches the undeclared tag <abc; every
+  // retry must run (and count) a fresh search, so the per-algorithm search
+  // counters can exceed the number of state entries. (Regression: the
+  // counters were once incremented outside the retry loop.)
+  // The irrelevant sibling type c keeps <r> from collapsing into a
+  // wholesale subtree copy, so the engine really dispatches per tag.
+  const char dtd[] =
+      "<!DOCTYPE r [ <!ELEMENT r (a|c)*> <!ELEMENT a (#PCDATA)>"
+      " <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/r/a#");
+  RunStats stats;
+  std::string out =
+      Filter(pf, "<r><abc>x</abc><abc>y</abc><a>k</a></r>", &stats);
+  EXPECT_EQ(out, "<r><a>k</a></r>");
+  EXPECT_GE(stats.false_matches, 2u);
+  EXPECT_GE(stats.bm_searches + stats.cw_searches,
+            stats.matches + stats.false_matches)
+      << "each accepted or rejected candidate consumes one search";
+}
+
+TEST(TagInternerTest, DenseIdsInInsertionOrder) {
+  TagInterner interner({"site", "item", "name", "site"});
+  EXPECT_EQ(interner.size(), 3);
+  EXPECT_EQ(interner.Find("site"), 0);
+  EXPECT_EQ(interner.Find("item"), 1);
+  EXPECT_EQ(interner.Find("name"), 2);
+  EXPECT_EQ(interner.Find("nam"), -1);
+  EXPECT_EQ(interner.Find("names"), -1);
+  EXPECT_EQ(interner.Find(""), -1);
+  EXPECT_EQ(interner.name(1), "item");
+}
+
+TEST(TagInternerTest, SurvivesRehashGrowth) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 500; ++i) names.push_back("tag" + std::to_string(i));
+  TagInterner interner(names);
+  EXPECT_EQ(interner.size(), 500);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(interner.Find("tag" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(interner.Find("tag500"), -1);
+}
+
+TEST_F(Fig3Tables, InternedDispatchMirrorsMaps) {
+  const RuntimeTables& t = pf_->tables();
+  ASSERT_TRUE(t.interned_dispatch);
+  EXPECT_GT(t.interner.size(), 0);
+  for (const DfaState& s : t.states) {
+    int flat_open = 0;
+    int flat_close = 0;
+    for (int32_t v : s.open_next_id) flat_open += v >= 0 ? 1 : 0;
+    for (int32_t v : s.close_next_id) flat_close += v >= 0 ? 1 : 0;
+    EXPECT_EQ(flat_open, static_cast<int>(s.open_next.size()));
+    EXPECT_EQ(flat_close, static_cast<int>(s.close_next.size()));
+    for (const auto& [name, to] : s.open_next) {
+      EXPECT_EQ(s.open_next_id[static_cast<size_t>(t.interner.Find(name))],
+                to);
+    }
+    for (const auto& [name, to] : s.close_next) {
+      EXPECT_EQ(s.close_next_id[static_cast<size_t>(t.interner.Find(name))],
+                to);
+    }
+    if (!s.entry_name.empty()) {
+      EXPECT_EQ(s.entry_tag_id, t.interner.Find(s.entry_name));
+    }
+  }
+}
+
+TEST(EngineTest, MapDispatchFlagDisablesInterner) {
+  CompileOptions opts;
+  opts.tables.use_map_dispatch = true;
+  Prefilter pf = Compile(kPaperDtd, "/a/b#", opts);
+  EXPECT_FALSE(pf.tables().interned_dispatch);
+  EXPECT_TRUE(pf.tables().interner.empty());
+  std::string out =
+      Filter(pf, "<a><b>one</b><c><b>shielded</b></c><b>two</b></a>");
+  EXPECT_EQ(out, "<a><b>one</b><b>two</b></a>");
+}
+
 TEST(EngineTest, AlternativeFrontierAlgorithms) {
   for (strmatch::Algorithm algo :
        {strmatch::Algorithm::kAhoCorasick, strmatch::Algorithm::kSetHorspool,

@@ -134,8 +134,25 @@ TEST(ShiftAccountingTest, AvgShiftConsistency) {
               static_cast<double>(stats.shift_chars) /
                   static_cast<double>(stats.shifts),
               1e-9);
-  // On pattern-free text every shift is the full pattern length.
-  EXPECT_NEAR(stats.AvgShift(), 11.0, 0.2);
+  // The pattern's last byte never occurs, so the memchr skip loop discards
+  // the whole text as a single shift without inspecting any character in
+  // the comparison loop.
+  EXPECT_EQ(stats.shifts, 1u);
+  EXPECT_EQ(stats.shift_chars, text.size() - (m.min_length() - 1));
+  EXPECT_EQ(stats.comparisons, 0u);
+}
+
+TEST(ShiftAccountingTest, MemchrSkipStillCountsVerifyComparisons) {
+  // The probe byte ('<') occurs but the pattern never does: every memchr
+  // hit pays a right-to-left verify, so comparisons stay positive while
+  // shifts cover the gaps between candidates.
+  BoyerMooreMatcher m("<ab");
+  SearchStats stats;
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "zz<xb";
+  EXPECT_FALSE(m.Search(text, 0, &stats).found());
+  EXPECT_GT(stats.comparisons, 100u);  // >= 2 per '<' candidate
+  EXPECT_GT(stats.AvgShift(), 1.0);
 }
 
 }  // namespace
