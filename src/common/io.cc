@@ -5,11 +5,99 @@
 #include <cstring>
 #include <memory>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SMPX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace smpx {
 
 Result<size_t> MemoryInputStream::Read(char* buf, size_t len) {
   size_t n = std::min(len, data_.size() - pos_);
   std::memcpy(buf, data_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+Result<size_t> MemorySource::ReadAt(uint64_t offset, char* buf,
+                                    size_t len) const {
+  if (offset >= data_.size()) return static_cast<size_t>(0);
+  size_t n = std::min<uint64_t>(len, data_.size() - offset);
+  std::memcpy(buf, data_.data() + offset, n);
+  return n;
+}
+
+Result<std::unique_ptr<MmapSource>> MmapSource::Open(
+    const std::string& path) {
+#ifdef SMPX_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError("fstat '" + path + "': " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Only regular files are mappable (and only for them does st_size mean
+  // anything): FIFOs, process substitutions, and /proc-style files go
+  // through the streaming fallback below.
+  if (S_ISREG(st.st_mode)) {
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::unique_ptr<MmapSource>(
+          new MmapSource(std::string_view(), nullptr, std::string()));
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);  // the mapping keeps the pages alive
+      // The prefilter scans strictly forward; tell the kernel so
+      // readahead stays aggressive and cold files stream instead of
+      // faulting randomly.
+      ::madvise(map, size, MADV_SEQUENTIAL);
+      ::madvise(map, size, MADV_WILLNEED);
+      return std::unique_ptr<MmapSource>(new MmapSource(
+          std::string_view(static_cast<const char*>(map), size), map,
+          std::string()));
+    }
+  }
+  ::close(fd);
+#endif
+  // No mmap (or it failed, e.g. on a pipe): fall back to owned memory.
+  SMPX_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  auto src = std::unique_ptr<MmapSource>(
+      new MmapSource(std::string_view(), nullptr, std::move(content)));
+  src->view_ = src->fallback_;
+  return src;
+}
+
+MmapSource::~MmapSource() {
+#ifdef SMPX_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, view_.size());
+  }
+#endif
+}
+
+Result<size_t> MmapSource::ReadAt(uint64_t offset, char* buf,
+                                  size_t len) const {
+  if (offset >= view_.size()) return static_cast<size_t>(0);
+  size_t n = std::min<uint64_t>(len, view_.size() - offset);
+  std::memcpy(buf, view_.data() + offset, n);
+  return n;
+}
+
+Result<size_t> SourceStream::Read(char* buf, size_t len) {
+  if (pos_ >= end_) return static_cast<size_t>(0);
+  size_t want = static_cast<size_t>(std::min<uint64_t>(len, end_ - pos_));
+  SMPX_ASSIGN_OR_RETURN(size_t n, source_->ReadAt(pos_, buf, want));
   pos_ += n;
   return n;
 }
@@ -68,8 +156,13 @@ Status FileSink::Flush() {
   return Status::Ok();
 }
 
-SlidingWindow::SlidingWindow(InputStream* in, size_t capacity)
-    : in_(in), buf_(std::max<size_t>(capacity, 64)) {
+SlidingWindow::SlidingWindow(InputStream* in, size_t capacity,
+                             uint64_t origin)
+    : in_(in),
+      buf_(std::max<size_t>(capacity, 64)),
+      origin_(origin),
+      base_(origin),
+      lock_(origin) {
   max_capacity_ = buf_.size();
 }
 
@@ -100,11 +193,13 @@ void SlidingWindow::SlideTo(uint64_t new_base) {
   if (drop >= size_) {
     // Everything currently buffered is discarded; the gap (if any) is
     // bridged by reading and evicting, so absolute positions stay exact and
-    // any pending copy output still sees every byte.
+    // any pending copy output still sees every byte. If the stream ends
+    // (or a chunk feed drains) inside the gap, base_ only advances as far
+    // as bytes were actually delivered -- later arrivals must land at
+    // their true absolute positions.
     uint64_t skip = new_base - (base_ + size_);
     uint64_t gap_pos = base_ + size_;
     size_ = 0;
-    base_ = new_base;
     while (skip > 0 && !eof_) {
       size_t chunk = static_cast<size_t>(
           std::min<uint64_t>(skip, buf_.size()));
@@ -122,6 +217,7 @@ void SlidingWindow::SlideTo(uint64_t new_base) {
       gap_pos += *n;
       skip -= *n;
     }
+    base_ = gap_pos;
   } else {
     std::memmove(buf_.data(), buf_.data() + drop, size_ - drop);
     size_ -= drop;

@@ -1,5 +1,6 @@
-// Byte-stream abstractions: pull-based input streams, append-only output
-// sinks, and the sliding window the runtime engine scans through.
+// Byte-stream abstractions: random-access input sources, pull-based input
+// streams, append-only output sinks, and the sliding window the runtime
+// engine scans through.
 
 #ifndef SMPX_COMMON_IO_H_
 #define SMPX_COMMON_IO_H_
@@ -7,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +26,89 @@ class InputStream {
   /// Reads up to `len` bytes into `buf`. Returns the number of bytes read;
   /// 0 signals end of stream.
   virtual Result<size_t> Read(char* buf, size_t len) = 0;
+};
+
+/// Random-access view of a whole input of known size. Unlike InputStream,
+/// an InputSource is stateless per read: concurrent ReadAt calls from
+/// multiple threads are safe, which is what the parallel sharding and batch
+/// layers build on. Implementations are backed by caller memory (zero copy)
+/// or by mmap'ed files.
+class InputSource {
+ public:
+  virtual ~InputSource() = default;
+
+  /// Total number of bytes in the input.
+  virtual uint64_t size() const = 0;
+
+  /// Reads up to `len` bytes starting at absolute `offset` into `buf`.
+  /// Returns the number of bytes read (short only at end of input).
+  /// Thread-safe.
+  virtual Result<size_t> ReadAt(uint64_t offset, char* buf,
+                                size_t len) const = 0;
+
+  /// Zero-copy view of the whole input when the backing storage is
+  /// contiguous in memory (MemorySource, MmapSource); empty otherwise.
+  /// The view stays valid for the lifetime of the source.
+  virtual std::string_view Contiguous() const { return {}; }
+};
+
+/// InputSource over caller-owned memory (zero copy).
+class MemorySource : public InputSource {
+ public:
+  explicit MemorySource(std::string_view data) : data_(data) {}
+
+  uint64_t size() const override { return data_.size(); }
+  Result<size_t> ReadAt(uint64_t offset, char* buf,
+                        size_t len) const override;
+  std::string_view Contiguous() const override { return data_; }
+
+ private:
+  std::string_view data_;
+};
+
+/// InputSource over an mmap'ed file (POSIX; falls back to reading the file
+/// into memory elsewhere). The mapping is advised for sequential access so
+/// cold files stream through the page cache instead of faulting randomly.
+class MmapSource : public InputSource {
+ public:
+  static Result<std::unique_ptr<MmapSource>> Open(const std::string& path);
+  ~MmapSource() override;
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+
+  uint64_t size() const override { return view_.size(); }
+  Result<size_t> ReadAt(uint64_t offset, char* buf,
+                        size_t len) const override;
+  std::string_view Contiguous() const override { return view_; }
+
+ private:
+  MmapSource(std::string_view view, void* map_base, std::string fallback)
+      : view_(view), map_base_(map_base), fallback_(std::move(fallback)) {}
+
+  std::string_view view_;
+  void* map_base_;        // non-null iff backed by an actual mapping
+  std::string fallback_;  // owns the bytes when mmap was unavailable
+};
+
+/// Adapter: pull-based InputStream over a byte range of an InputSource.
+/// Keeps the existing streaming consumers (SlidingWindow, RunEngine)
+/// working against random-access sources.
+class SourceStream : public InputStream {
+ public:
+  /// Streams [begin, end) of `source`; end == 0 means source->size().
+  explicit SourceStream(const InputSource* source, uint64_t begin = 0,
+                        uint64_t end = 0)
+      : source_(source),
+        pos_(begin),
+        end_(end == 0 ? source->size() : end) {}
+
+  Result<size_t> Read(char* buf, size_t len) override;
+
+ private:
+  const InputSource* source_;
+  uint64_t pos_;
+  uint64_t end_;
 };
 
 /// Input stream over caller-owned memory (zero copy).
@@ -122,7 +207,11 @@ class SlidingWindow {
 
   static constexpr size_t kDefaultCapacity = 8 * 4096;  // 8 pages
 
-  SlidingWindow(InputStream* in, size_t capacity = kDefaultCapacity);
+  /// `origin` is the absolute stream position of the first byte `in` will
+  /// deliver; window positions are absolute, so a session resuming at byte
+  /// offset k of a document passes origin = k.
+  SlidingWindow(InputStream* in, size_t capacity = kDefaultCapacity,
+                uint64_t origin = 0);
 
   /// Makes bytes [pos, pos+len) resident, sliding/refilling as needed.
   /// Returns the number of bytes actually available (< len only at EOF).
@@ -170,6 +259,15 @@ class SlidingWindow {
   size_t capacity() const { return buf_.size(); }
   /// High-water mark of the buffer capacity; proxy for peak memory.
   size_t max_capacity_used() const { return max_capacity_; }
+  /// Absolute position of the first byte the stream delivered.
+  uint64_t origin() const { return origin_; }
+
+  /// Forgets a previously observed end-of-stream so the next Ensure probes
+  /// the stream again. Used by resumable sessions whose backing stream is a
+  /// chunk feed: a drained feed looks like EOF until the next chunk arrives.
+  void ClearEof() { eof_ = false; }
+  /// True once the stream reported end-of-input (or an error).
+  bool eof_seen() const { return eof_; }
 
   const Status& status() const { return status_; }
 
@@ -179,6 +277,7 @@ class SlidingWindow {
 
   InputStream* in_;
   std::vector<char> buf_;
+  uint64_t origin_ = 0; // absolute position of the stream's first byte
   uint64_t base_ = 0;   // absolute position of buf_[0]
   size_t size_ = 0;     // valid bytes in buf_
   uint64_t lock_ = 0;   // bytes >= lock_ must stay resident

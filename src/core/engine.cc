@@ -10,27 +10,211 @@ namespace smpx::core {
 namespace {
 
 /// Returns values for HandleMatch's caller.
-enum HandleResult { kFalseMatch = 0, kAccepted = 1 };
+enum HandleResult {
+  kFalseMatch = 0,  ///< candidate rejected; retry past it
+  kAccepted = 1,    ///< transition performed
+  kNeedInput = 2    ///< scan hit the end of a non-final chunk; suspend
+};
 
-/// Mutable run state shared by the helpers below.
-class Engine {
+/// Serves the session's current chunk to the sliding window in push mode.
+/// Reading past the chunk looks like EOF until the next SetChunk +
+/// SlidingWindow::ClearEof.
+class FeedStream : public InputStream {
  public:
-  Engine(const RuntimeTables& tables, InputStream* in, OutputSink* out,
-         RunStats* stats, const EngineOptions& opts)
+  void SetChunk(std::string_view chunk) { chunk_ = chunk; }
+
+  Result<size_t> Read(char* buf, size_t len) override {
+    size_t n = std::min(len, chunk_.size());
+    std::memcpy(buf, chunk_.data(), n);
+    chunk_.remove_prefix(n);
+    return n;
+  }
+
+ private:
+  std::string_view chunk_;
+};
+
+}  // namespace
+
+/// The engine proper: mutable run state shared by the helpers below. One
+/// instance backs both the serial pull-mode RunEngine (suspension disabled;
+/// behavior byte-identical to the historical one-shot engine) and the
+/// resumable push-mode PrefilterSession (suspension via snapshot/restore at
+/// the per-candidate safe points).
+class PrefilterSession::Impl {
+ public:
+  enum class Step { kDone, kNeedMore, kError };
+
+  /// `in` == nullptr selects push mode (chunks via Resume); otherwise the
+  /// engine pulls from `in` to completion and never suspends.
+  Impl(const RuntimeTables& tables, InputStream* in, OutputSink* out,
+       RunStats* stats, const EngineOptions& opts,
+       const SessionCheckpoint* start)
       : tables_(tables),
-        win_(in, opts.window_capacity),
+        win_(in != nullptr ? in : &feed_, opts.window_capacity,
+             start != nullptr ? start->cursor : 0),
         out_(out),
-        stats_(stats),
+        stats_(stats != nullptr ? stats : &local_stats_),
         opts_(opts),
-        interned_(tables.interned_dispatch) {
+        interned_(tables.interned_dispatch),
+        suspendable_(in == nullptr),
+        final_input_(in != nullptr) {
     win_.set_evict_fn([this](uint64_t begin, std::string_view data) {
       OnEvict(begin, data);
     });
+    // Invalid construction makes the session inert: Resume/Finish surface
+    // status_, finished() reports false, nothing ever indexes the tables.
+    if (tables_.states.empty()) {
+      status_ = Status::InvalidArgument("empty runtime tables");
+      visited_.assign(1, false);
+      prolog_done_ = true;
+      return;
+    }
+    if (start != nullptr &&
+        (start->state < 0 ||
+         static_cast<size_t>(start->state) >= tables_.states.size())) {
+      status_ = Status::InvalidArgument("checkpoint state out of range");
+      visited_.assign(tables_.states.size(), false);
+      prolog_done_ = true;
+      return;
+    }
+    visited_.assign(tables_.states.size(), false);
+    if (start != nullptr) {
+      q_ = start->state;
+      cursor_ = start->cursor;
+      nesting_depth_ = start->nesting_depth;
+      copy_depth_ = start->copy_depth;
+      copy_flushed_ = start->copy_flushed;
+      // The checkpoint says whether a prolog construct is still pending
+      // and whether the current state's initial jump was already applied
+      // (re-applying a consumed jump would skip live bytes).
+      prolog_done_ = start->prolog_done;
+      jump_pending_ = start->jump_pending;
+    } else {
+      q_ = tables_.initial;
+      prolog_done_ = !opts_.skip_prolog;
+    }
+    MarkVisited();
+    lock_floor_ = cursor_;
   }
 
-  Status Run();
+  Status Resume(std::string_view chunk) {
+    if (!status_.ok()) return status_;
+    if (finished()) return Status::Ok();  // trailing bytes are ignored
+    feed_.SetChunk(chunk);
+    win_.ClearEof();
+    Step s = Drive();
+    if (s == Step::kError) return status_;
+    if (s == Step::kNeedMore && copy_depth_ > 0) {
+      // Hand-off invariant: everything below checkpoint().cursor has been
+      // emitted, so a successor session never needs our buffered bytes.
+      Status flush = EmitCopiedRange(cursor_);
+      if (!flush.ok()) {
+        status_ = flush;
+        return status_;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Finish() {
+    final_input_ = true;
+    if (status_.ok() && !finished()) {
+      Step s = Drive();
+      (void)s;  // kError left its status in status_; kNeedMore impossible
+    }
+    FinalizeStats();
+    return status_;
+  }
+
+  /// Pull-mode entry point (serial RunEngine).
+  Status Run() {
+    Step s = Drive();
+    (void)s;
+    if (status_.ok()) FinalizeStats();
+    return status_;
+  }
+
+  bool finished() const {
+    return status_.ok() &&
+           tables_.states[static_cast<size_t>(q_)].is_final;
+  }
+
+  SessionCheckpoint checkpoint() const {
+    SessionCheckpoint cp;
+    cp.state = q_;
+    cp.cursor = cursor_;
+    cp.nesting_depth = nesting_depth_;
+    cp.copy_depth = copy_depth_;
+    cp.copy_flushed = copy_flushed_;
+    cp.prolog_done = prolog_done_;
+    cp.jump_pending = jump_pending_;
+    return cp;
+  }
+
+  bool drained_cleanly() const { return drained_cleanly_; }
+
+  void FinalizeStats() {
+    stats_->input_bytes = win_.bytes_read() - win_.origin();
+    stats_->output_bytes = out_->bytes_written();
+    stats_->window_peak = win_.max_capacity_used();
+    stats_->states_visited = 0;
+    for (bool v : visited_) {
+      if (v) ++stats_->states_visited;
+    }
+  }
+
+  const std::vector<bool>& visited() const { return visited_; }
 
  private:
+  /// Everything a suspension must roll back to re-run a truncated candidate
+  /// scan after more input arrives. Output is never part of a snapshot:
+  /// suspension happens strictly before any emitting step.
+  struct Snapshot {
+    int q;
+    uint64_t cursor;
+    uint64_t nesting_depth;
+    int copy_depth;
+    uint64_t copy_flushed;
+    bool jump_pending;
+    RunStats stats;
+  };
+
+  /// True when running in push mode and more chunks may still arrive --
+  /// i.e. an exhausted scan means "suspend", not "the document ends here".
+  bool MayResume() const { return suspendable_ && !final_input_; }
+
+  /// set_lock with a floor: in push mode the bytes from the last safe point
+  /// onward must stay resident so a restored attempt can re-scan them.
+  void Lock(uint64_t pos) {
+    win_.set_lock(suspendable_ ? std::min(pos, lock_floor_) : pos);
+  }
+
+  /// Marks the current position as a safe point: suspension at or after it
+  /// resumes from here. Also the lock floor (see Lock).
+  void MarkSafePoint() {
+    lock_floor_ = cursor_;
+    if (suspendable_) {
+      snap_.q = q_;
+      snap_.cursor = cursor_;
+      snap_.nesting_depth = nesting_depth_;
+      snap_.copy_depth = copy_depth_;
+      snap_.copy_flushed = copy_flushed_;
+      snap_.jump_pending = jump_pending_;
+      snap_.stats = *stats_;
+    }
+  }
+
+  void RestoreSafePoint() {
+    q_ = snap_.q;
+    cursor_ = snap_.cursor;
+    nesting_depth_ = snap_.nesting_depth;
+    copy_depth_ = snap_.copy_depth;
+    copy_flushed_ = snap_.copy_flushed;
+    jump_pending_ = snap_.jump_pending;
+    *stats_ = snap_.stats;
+  }
+
   // Incremental flush of the active copy region when the window slides.
   void OnEvict(uint64_t begin, std::string_view data) {
     if (copy_depth_ == 0) return;
@@ -58,8 +242,10 @@ class Engine {
     return Emit(view.substr(0, static_cast<size_t>(end - from)));
   }
 
-  void SkipProlog();
+  Step Drive();
+  bool SkipProlog();
   uint64_t SkipPast(uint64_t from, std::string_view term);
+  uint64_t SkipDoctype(uint64_t from);
   Status HandleMatch(uint64_t pos, int* next_unsearched);
   Status HandleMatchLegacy(uint64_t pos, int* next_unsearched);
   Status FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
@@ -68,18 +254,36 @@ class Engine {
   Status ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
                      bool closing, bool bachelor);
 
+  /// Common tail of the false-match returns: a scan that ran into the end
+  /// of a non-final chunk may just be truncated, so suspend instead of
+  /// rejecting (the re-run sees the full construct).
+  Status Reject(int* result) {
+    if (MayResume() && scan_hit_end_) *result = kNeedInput;
+    return Status::Ok();
+  }
+
   const RuntimeTables& tables_;
+  FeedStream feed_;
   SlidingWindow win_;
   OutputSink* out_;
   RunStats* stats_;
+  RunStats local_stats_;
   EngineOptions opts_;
   const bool interned_;
+  const bool suspendable_;
+  bool final_input_;
 
   int q_ = 0;
   uint64_t cursor_ = 0;        // next position to search from
   uint64_t nesting_depth_ = 0; // open <t> balance inside an opaque region
   int copy_depth_ = 0;
   uint64_t copy_flushed_ = 0;  // everything below this is already emitted
+  bool prolog_done_ = false;
+  bool jump_pending_ = true;   // J[q] not yet applied for this state entry
+  bool scan_hit_end_ = false;  // a tag scan ran past the resident input
+  bool drained_cleanly_ = true;
+  uint64_t lock_floor_ = 0;
+  Snapshot snap_;
   Status status_;
   std::vector<bool> visited_;
 
@@ -93,11 +297,12 @@ class Engine {
 /// Scans past the next occurrence of `term` (2-3 bytes) starting at `from`,
 /// memchr-ing for its first byte over whole resident spans. Returns the
 /// position one past the terminator; past end-of-input when unterminated.
-uint64_t Engine::SkipPast(uint64_t from, std::string_view term) {
+uint64_t PrefilterSession::Impl::SkipPast(uint64_t from,
+                                          std::string_view term) {
   const size_t tn = term.size();
   uint64_t p = from;
   for (;;) {
-    win_.set_lock(p);
+    Lock(p);
     std::string_view span = win_.View(p, tn);
     if (span.size() < tn) return win_.limit() + tn;  // unterminated
     size_t r = 0;
@@ -115,61 +320,143 @@ uint64_t Engine::SkipPast(uint64_t from, std::string_view term) {
   }
 }
 
-void Engine::SkipProlog() {
+/// Scans past the '>' that closes the DOCTYPE starting at `from` (the
+/// position just after "<!"), honoring [...] internal subsets and quoted
+/// literals (entity/system ids can contain '>'). Memchr-driven: the scan
+/// hops between the structural bytes instead of stepping per character, so
+/// pathological multi-megabyte internal subsets cost a few memchr sweeps.
+/// Returns a position past the window limit when unterminated.
+uint64_t PrefilterSession::Impl::SkipDoctype(uint64_t from) {
+  static constexpr char kTargets[] = {'[', ']', '>', '"', '\''};
+  static constexpr int kNumTargets = 5;
+  uint64_t p = from;
+  int bracket = 0;
+  for (;;) {
+    Lock(p);
+    std::string_view span = win_.RefillAt(p);
+    if (span.empty()) return win_.limit() + 1;  // unterminated
+    size_t r = 0;
+    bool restarted = false;
+    // Per-target next-hit offsets into `span`, recomputed lazily only once
+    // the scan passes them (span.size() = no further occurrence). This
+    // keeps quote-dense subsets linear: a target absent from the span is
+    // memchr'ed once, not once per structural step.
+    size_t next_hit[kNumTargets] = {0, 0, 0, 0, 0};
+    bool stale = true;
+    while (r < span.size()) {
+      size_t hit = span.size();
+      char hc = 0;
+      for (int i = 0; i < kNumTargets; ++i) {
+        if (stale || next_hit[i] < r) {
+          const char* h = static_cast<const char*>(
+              std::memchr(span.data() + r, kTargets[i], span.size() - r));
+          next_hit[i] =
+              h != nullptr ? static_cast<size_t>(h - span.data())
+                           : span.size();
+        }
+        if (next_hit[i] < hit) {
+          hit = next_hit[i];
+          hc = kTargets[i];
+        }
+      }
+      stale = false;
+      if (hit == span.size()) break;  // nothing structural in this span
+      if (hc == '[') {
+        ++bracket;
+        r = hit + 1;
+      } else if (hc == ']') {
+        --bracket;
+        r = hit + 1;
+      } else if (hc == '>') {
+        if (bracket <= 0) return p + hit + 1;
+        r = hit + 1;
+      } else {
+        // Quoted literal: skip to the matching quote, across spans. The
+        // refills may slide or reallocate the buffer, so `span` is
+        // re-acquired afterwards; when the literal ends inside it the
+        // structural scan continues in place, otherwise it restarts past
+        // the literal.
+        uint64_t q = p + hit + 1;
+        for (;;) {
+          Lock(p);  // keep the whole construct resident in push mode
+          std::string_view qs = win_.RefillAt(q);
+          if (qs.empty()) return win_.limit() + 1;  // unterminated literal
+          const char* e = static_cast<const char*>(
+              std::memchr(qs.data(), hc, qs.size()));
+          if (e != nullptr) {
+            q += static_cast<size_t>(e - qs.data()) + 1;
+            break;
+          }
+          q += qs.size();
+        }
+        std::string_view nspan = win_.Span(p);
+        if (nspan.data() != span.data() || nspan.size() != span.size()) {
+          span = nspan;
+          stale = true;  // offsets refer to the old span contents
+        }
+        if (!span.empty() && q - p < span.size()) {
+          r = static_cast<size_t>(q - p);
+        } else {
+          p = q;
+          restarted = true;
+          break;
+        }
+      }
+    }
+    if (!restarted) p += span.size();
+  }
+}
+
+/// Returns true when prolog scanning is complete (cursor_ rests on the
+/// first element tag, on definitive non-prolog content, or at true EOF);
+/// false when a non-final chunk ended mid-construct (cursor_ stays at the
+/// construct start so the next chunk re-scans it).
+bool PrefilterSession::Impl::SkipProlog() {
   // Only straight-line scanning at the very beginning of the document;
   // stops at the first '<' that opens an element tag. All scans run over
-  // whole resident spans; the lock advances so the window never grows.
+  // whole resident spans; the lock advances so the window never grows
+  // (beyond one construct in push mode).
   for (;;) {
     for (;;) {  // inter-construct whitespace
-      win_.set_lock(cursor_);
+      lock_floor_ = cursor_;
+      Lock(cursor_);
       std::string_view span = win_.RefillAt(cursor_);
-      if (span.empty()) return;
+      if (span.empty()) return !MayResume();
       size_t i = 0;
       while (i < span.size() && IsXmlWhitespace(span[i])) ++i;
       cursor_ += i;
       if (i < span.size()) break;
     }
-    if (win_.Ensure(cursor_, 2) < 2 || win_.At(cursor_) != '<') return;
-    char next = win_.At(cursor_ + 1);
-    if (next == '?') {
-      cursor_ = SkipPast(cursor_ + 2, "?>");
-      continue;
+    lock_floor_ = cursor_;  // construct start: the restart point
+    if (win_.Ensure(cursor_, 2) < 2) {
+      // One trailing byte. In push mode it may grow into "<?xml..."; in a
+      // final run the keyword search deals with it (historical behavior).
+      return !MayResume();
     }
-    if (next == '!') {
+    if (win_.At(cursor_) != '<') return true;
+    char next = win_.At(cursor_ + 1);
+    uint64_t end = 0;
+    if (next == '?') {
+      end = SkipPast(cursor_ + 2, "?>");
+    } else if (next == '!') {
       // Comment or DOCTYPE (with optional [...] internal subset).
       if (win_.Ensure(cursor_, 4) >= 4 && win_.At(cursor_ + 2) == '-' &&
           win_.At(cursor_ + 3) == '-') {
-        cursor_ = SkipPast(cursor_ + 4, "-->");
-        continue;
+        end = SkipPast(cursor_ + 4, "-->");
+      } else {
+        end = SkipDoctype(cursor_ + 2);
       }
-      uint64_t p = cursor_ + 2;
-      int bracket = 0;
-      bool done = false;
-      while (!done) {
-        win_.set_lock(p);
-        std::string_view span = win_.RefillAt(p);
-        if (span.empty()) break;  // EOF inside the DOCTYPE
-        size_t i = 0;
-        for (; i < span.size(); ++i) {
-          char c = span[i];
-          if (c == '[') ++bracket;
-          if (c == ']') --bracket;
-          if (c == '>' && bracket <= 0) {
-            done = true;
-            break;
-          }
-        }
-        p += i;
-      }
-      cursor_ = p + 1;
-      continue;
+    } else {
+      return true;  // an element tag
     }
-    return;  // an element tag (or EOF)
+    if (end > win_.limit() && MayResume()) return false;  // truncated
+    cursor_ = end;
   }
 }
 
-Status Engine::ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
-                           bool closing, bool bachelor) {
+Status PrefilterSession::Impl::ApplyAction(int state, uint64_t tag_begin,
+                                           uint64_t tag_end, bool closing,
+                                           bool bachelor) {
   const DfaState& st = tables_.states[static_cast<size_t>(state)];
   switch (st.action) {
     case Action::kNop:
@@ -207,10 +494,11 @@ Status Engine::ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
 
 /// Common tail of both match handlers: performs the state transition(s) and
 /// copy actions for an accepted tag.
-Status Engine::FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
-                           bool bachelor, bool counted_tag, int next_state,
-                           int close_state) {
-  if (stats_ != nullptr) ++stats_->matches;
+Status PrefilterSession::Impl::FinishMatch(uint64_t pos, uint64_t tag_end,
+                                           bool closing, bool bachelor,
+                                           bool counted_tag, int next_state,
+                                           int close_state) {
+  ++stats_->matches;
 
   if (counted_tag) {
     if (!closing) {
@@ -219,6 +507,7 @@ Status Engine::FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
       --nesting_depth_;
     }
     cursor_ = tag_end + 1;
+    jump_pending_ = true;
     return Status::Ok();
   }
 
@@ -245,13 +534,14 @@ Status Engine::FinishMatch(uint64_t pos, uint64_t tag_end, bool closing,
     }
   }
   cursor_ = tag_end + 1;
+  jump_pending_ = true;
   return Status::Ok();
 }
 
 /// Interned fast path: the tag name/attribute scan runs pointer loops over
 /// whole resident spans (memchr for '>' and quote terminators), and the
 /// transition resolves via one hash + one flat array load.
-Status Engine::HandleMatch(uint64_t pos, int* result) {
+Status PrefilterSession::Impl::HandleMatch(uint64_t pos, int* result) {
   *result = kFalseMatch;
   // Growing view anchored at pos. pos is at or above the lock, so bytes at
   // and after pos stay resident across refills; refills may slide or
@@ -261,12 +551,14 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
   auto extend = [this, pos, &span](size_t rel) -> bool {
     if (rel < span.size()) return true;
     span = win_.View(pos, rel + 1);
-    return rel < span.size();
+    if (rel < span.size()) return true;
+    scan_hit_end_ = true;
+    return false;
   };
 
   // Parse the tag at pos: "<name" or "</name".
   size_t r = 1;
-  if (!extend(r)) return Status::Ok();
+  if (!extend(r)) return Reject(result);
   bool closing = false;
   if (span[r] == '/') {
     closing = true;
@@ -277,8 +569,8 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
     while (r < span.size() && IsNameChar(span[r])) ++r;
     if (r < span.size() || !extend(r)) break;
   }
-  if (stats_ != nullptr) stats_->scan_chars += r;
-  if (r == name_rel) return Status::Ok();  // "<!", "<?", "< " ...
+  stats_->scan_chars += r;
+  if (r == name_rel) return Reject(result);  // "<!", "<?", "< " ...
   const size_t name_len = r - name_rel;
   std::string_view name = span.substr(name_rel, name_len);
 
@@ -298,10 +590,10 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
 
   int next_state = -1;
   if (!counted_tag) {
-    if (id < 0) return Status::Ok();  // false match
+    if (id < 0) return Reject(result);  // false match
     next_state = closing ? st.close_next_id[static_cast<size_t>(id)]
                          : st.open_next_id[static_cast<size_t>(id)];
-    if (next_state < 0) return Status::Ok();  // false match
+    if (next_state < 0) return Reject(result);  // false match
   }
 
   // Scan to the end of the tag, skipping quoted attribute values: memchr
@@ -312,13 +604,21 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
   if (r < span.size() && span[r] == '>') {
     // '>' directly after the name: never a bachelor (the '/' of "<t/>"
     // terminates the name scan first), no attributes to skip.
-    if (stats_ != nullptr) ++stats_->scan_chars;
+    ++stats_->scan_chars;
+    if (MayResume() && scan_hit_end_) {
+      *result = kNeedInput;
+      return Status::Ok();
+    }
     *result = kAccepted;
     return FinishMatch(pos, pos + r, closing, /*bachelor=*/false,
                        counted_tag, next_state, /*close_state=*/-1);
   }
   for (;;) {
     if (r >= span.size() && !extend(r)) {
+      if (MayResume()) {
+        *result = kNeedInput;
+        return Status::Ok();
+      }
       return Status::ParseError("unterminated tag at offset " +
                                 std::to_string(pos));
     }
@@ -346,6 +646,10 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
     r = static_cast<size_t>(quote - base) + 1;
     for (;;) {
       if (r >= span.size() && !extend(r)) {
+        if (MayResume()) {
+          *result = kNeedInput;
+          return Status::Ok();
+        }
         return Status::ParseError("unterminated attribute at offset " +
                                   std::to_string(pos));
       }
@@ -359,9 +663,15 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
     }
   }
   const bool bachelor = !closing && span[r - 1] == '/';
-  if (stats_ != nullptr) stats_->scan_chars += r - scan_start + 1;
+  stats_->scan_chars += r - scan_start + 1;
   const uint64_t tag_end = pos + r;  // position of '>'
 
+  if (MayResume() && scan_hit_end_) {
+    // The name (or an attribute) scan was cut short by the chunk end; the
+    // re-run over the full bytes may resolve differently.
+    *result = kNeedInput;
+    return Status::Ok();
+  }
   *result = kAccepted;
 
   // For bachelor tags, resolve the closing transition now; the interned id
@@ -386,7 +696,7 @@ Status Engine::HandleMatch(uint64_t pos, int* result) {
 /// Legacy path (TableOptions::use_map_dispatch): per-byte window access and
 /// std::map tag dispatch; kept verbatim as the differential-testing and
 /// benchmarking baseline.
-Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
+Status PrefilterSession::Impl::HandleMatchLegacy(uint64_t pos, int* result) {
   *result = kFalseMatch;
   // The whole scan operates on a view anchored at pos (which is above the
   // lock, so it stays resident); At() re-acquires the view only when the
@@ -395,7 +705,10 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
   auto at = [this, pos, &v](uint64_t abs) -> int {
     size_t rel = static_cast<size_t>(abs - pos);
     if (rel < v.size()) return static_cast<unsigned char>(v[rel]);
-    if (win_.Ensure(abs, 1) == 0) return -1;
+    if (win_.Ensure(abs, 1) == 0) {
+      scan_hit_end_ = true;
+      return -1;
+    }
     v = win_.View(pos, rel + 1);
     return static_cast<unsigned char>(v[rel]);
   };
@@ -404,15 +717,15 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
   uint64_t p = pos + 1;
   bool closing = false;
   int c = at(p);
-  if (c < 0) return Status::Ok();
+  if (c < 0) return Reject(result);
   if (c == '/') {
     closing = true;
     ++p;
   }
   uint64_t name_begin = p;
   while ((c = at(p)) >= 0 && IsNameChar(static_cast<char>(c))) ++p;
-  if (stats_ != nullptr) stats_->scan_chars += p - pos;
-  if (p == name_begin) return Status::Ok();  // "<!", "<?", "< " ...
+  stats_->scan_chars += p - pos;
+  if (p == name_begin) return Reject(result);  // "<!", "<?", "< " ...
   size_t name_len = static_cast<size_t>(p - name_begin);
   std::string_view name =
       v.substr(static_cast<size_t>(name_begin - pos), name_len);
@@ -428,7 +741,7 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
   if (!counted_tag) {
     auto& map = closing ? st.close_next : st.open_next;
     auto it = map.find(name);
-    if (it == map.end()) return Status::Ok();  // false match
+    if (it == map.end()) return Reject(result);  // false match
     next_state = it->second;
   }
 
@@ -438,6 +751,10 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
   for (;;) {
     c = at(p);
     if (c < 0) {
+      if (MayResume()) {
+        *result = kNeedInput;
+        return Status::Ok();
+      }
       return Status::ParseError("unterminated tag at offset " +
                                 std::to_string(pos));
     }
@@ -450,15 +767,23 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
       ++p;
       while ((c = at(p)) >= 0 && c != quote) ++p;
       if (c < 0) {
+        if (MayResume()) {
+          *result = kNeedInput;
+          return Status::Ok();
+        }
         return Status::ParseError("unterminated attribute at offset " +
                                   std::to_string(pos));
       }
     }
     ++p;
   }
-  if (stats_ != nullptr) stats_->scan_chars += p - scan_start + 1;
+  stats_->scan_chars += p - scan_start + 1;
   uint64_t tag_end = p;  // position of '>'
 
+  if (MayResume() && scan_hit_end_) {
+    *result = kNeedInput;
+    return Status::Ok();
+  }
   *result = kAccepted;
 
   // For bachelor tags, resolve the closing transition now. The tag-end scan
@@ -480,21 +805,27 @@ Status Engine::HandleMatchLegacy(uint64_t pos, int* result) {
                      next_state, close_state);
 }
 
-Status Engine::Run() {
-  visited_.assign(tables_.states.size(), false);
-  q_ = tables_.initial;
-  MarkVisited();
-  if (opts_.skip_prolog) SkipProlog();
+PrefilterSession::Impl::Step PrefilterSession::Impl::Drive() {
+  if (!status_.ok()) return Step::kError;
+  if (!prolog_done_) {
+    drained_cleanly_ = false;  // mid-prolog checkpoints are not hand-offs
+    if (!SkipProlog()) return Step::kNeedMore;
+    prolog_done_ = true;
+  }
 
   while (!tables_.states[static_cast<size_t>(q_)].is_final) {
     const DfaState& st = tables_.states[static_cast<size_t>(q_)];
     if (st.matcher == nullptr) {
-      return Status::Internal("stuck in non-final state without vocabulary");
+      status_ =
+          Status::Internal("stuck in non-final state without vocabulary");
+      return Step::kError;
     }
-    // Initial jump (paper table J).
-    if (st.jump > 0) {
-      cursor_ += st.jump;
-      if (stats_ != nullptr) {
+    // Initial jump (paper table J), once per state entry (a suspension
+    // re-enters this loop without a new entry).
+    if (jump_pending_) {
+      jump_pending_ = false;
+      if (st.jump > 0) {
+        cursor_ += st.jump;
         ++stats_->initial_jumps;
         stats_->initial_jump_chars += st.jump;
       }
@@ -503,25 +834,36 @@ Status Engine::Run() {
     // needed; the overlap keeps partially-seen keywords matchable.
     int handled = kFalseMatch;
     for (;;) {
-      win_.set_lock(cursor_);
+      MarkSafePoint();
+      Lock(cursor_);
       std::string_view view = win_.View(cursor_, st.max_keyword);
       if (!view.empty()) {
         // Counted per Search call, inside the retry loop: false-match
         // retries and window refills each run a fresh search.
-        if (stats_ != nullptr) {
-          if (st.keywords.size() == 1) {
-            ++stats_->bm_searches;
-          } else {
-            ++stats_->cw_searches;
-          }
+        if (st.keywords.size() == 1) {
+          ++stats_->bm_searches;
+        } else {
+          ++stats_->cw_searches;
         }
         strmatch::Match m = st.matcher->Search(view, 0, &stats_->search);
         if (m.found()) {
           uint64_t pos = cursor_ + m.pos;
-          SMPX_RETURN_IF_ERROR(interned_ ? HandleMatch(pos, &handled)
-                                         : HandleMatchLegacy(pos, &handled));
+          scan_hit_end_ = false;
+          Status s = interned_ ? HandleMatch(pos, &handled)
+                               : HandleMatchLegacy(pos, &handled);
+          if (!s.ok()) {
+            status_ = s;
+            return Step::kError;
+          }
+          if (handled == kNeedInput) {
+            // The candidate scan was truncated by the chunk end: roll back
+            // to the safe point and re-run it when more bytes arrive.
+            RestoreSafePoint();
+            drained_cleanly_ = false;
+            return Step::kNeedMore;
+          }
           if (handled == kAccepted) break;
-          if (stats_ != nullptr) ++stats_->false_matches;
+          ++stats_->false_matches;
           cursor_ = pos + 1;
           continue;
         }
@@ -530,32 +872,72 @@ Status Engine::Run() {
       // could still hold a partially-seen keyword, release the lock up to
       // there, then probe for more input (slide-only, never grows).
       uint64_t limit = win_.limit();
+      if (MayResume() && win_.eof_seen()) {
+        // The chunk feed is drained: everything up to `limit` has been
+        // searched for complete occurrences. Suspend keeping the whole
+        // keyword-length overlap tail -- without the serial path's forced
+        // one-byte progress, which would skip a keyword that the next
+        // chunk completes.
+        uint64_t next = limit > st.max_keyword - 1
+                            ? limit - (st.max_keyword - 1)
+                            : cursor_;
+        cursor_ = std::max(cursor_, next);
+        lock_floor_ = cursor_;
+        Lock(cursor_);
+        drained_cleanly_ = true;
+        return Step::kNeedMore;
+      }
       uint64_t next = limit > st.max_keyword - 1
                           ? limit - (st.max_keyword - 1)
                           : cursor_ + 1;
       cursor_ = std::max(cursor_ + 1, next);
-      win_.set_lock(cursor_);
+      lock_floor_ = cursor_;
+      Lock(cursor_);
       if (win_.AtEnd(cursor_)) {
-        return Status::ParseError(
+        if (MayResume()) {
+          // More input arrived between the view and this probe; loop.
+          continue;
+        }
+        status_ = Status::ParseError(
             "keyword not found before end of input (document invalid "
             "w.r.t. the DTD?)");
+        return Step::kError;
       }
     }
-    SMPX_RETURN_IF_ERROR(status_);  // surfaced from the evict hook
+    if (!status_.ok()) return Step::kError;  // surfaced from the evict hook
   }
-
-  if (stats_ != nullptr) {
-    stats_->input_bytes = win_.bytes_read();
-    stats_->output_bytes = out_->bytes_written();
-    stats_->window_peak = win_.max_capacity_used();
-    for (bool v : visited_) {
-      if (v) ++stats_->states_visited;
-    }
-  }
-  return Status::Ok();
+  return Step::kDone;
 }
 
-}  // namespace
+PrefilterSession::PrefilterSession(const RuntimeTables& tables,
+                                   OutputSink* out, RunStats* stats,
+                                   const EngineOptions& opts,
+                                   const SessionCheckpoint* start)
+    : impl_(new Impl(tables, /*in=*/nullptr, out, stats, opts, start)) {}
+
+PrefilterSession::~PrefilterSession() = default;
+
+Status PrefilterSession::Resume(std::string_view chunk) {
+  return impl_->Resume(chunk);
+}
+
+Status PrefilterSession::Finish() { return impl_->Finish(); }
+
+bool PrefilterSession::finished() const { return impl_->finished(); }
+
+SessionCheckpoint PrefilterSession::checkpoint() const {
+  return impl_->checkpoint();
+}
+
+bool PrefilterSession::drained_cleanly() const {
+  return impl_->drained_cleanly();
+}
+
+void PrefilterSession::FinalizeStats() { impl_->FinalizeStats(); }
+
+const std::vector<bool>& PrefilterSession::visited() const {
+  return impl_->visited();
+}
 
 Status RunEngine(const RuntimeTables& tables, InputStream* in,
                  OutputSink* out, RunStats* stats,
@@ -563,9 +945,8 @@ Status RunEngine(const RuntimeTables& tables, InputStream* in,
   if (tables.states.empty()) {
     return Status::InvalidArgument("empty runtime tables");
   }
-  RunStats local_stats;
-  Engine engine(tables, in, out, stats != nullptr ? stats : &local_stats,
-                opts);
+  PrefilterSession::Impl engine(tables, in, out, stats, opts,
+                                /*start=*/nullptr);
   return engine.Run();
 }
 

@@ -69,6 +69,98 @@ struct EngineOptions {
   bool skip_prolog = true;
 };
 
+/// The engine state carried across chunk boundaries: everything a session
+/// needs -- besides the immutable tables and the bytes themselves -- to
+/// continue a run exactly where another one stopped. Plain data; two runs
+/// over the same bytes from equal checkpoints produce identical output.
+struct SessionCheckpoint {
+  int state = 0;               ///< current runtime-DFA state
+  uint64_t cursor = 0;         ///< absolute next-unsearched byte position
+  uint64_t nesting_depth = 0;  ///< open-tag balance inside an opaque region
+  int copy_depth = 0;          ///< nesting depth of active copy regions
+  uint64_t copy_flushed = 0;   ///< copy output emitted below this position
+  /// False when the run suspended while still scanning the document prolog
+  /// (cursor then points at the unfinished construct). Defaults to true:
+  /// a hand-crafted mid-document checkpoint has no prolog ahead.
+  bool prolog_done = true;
+  /// True when `state` was entered but its initial jump J[state] has not
+  /// been applied yet (only possible before the first search, i.e. for the
+  /// initial state while the prolog is still being skipped).
+  bool jump_pending = false;
+};
+
+/// A resumable prefiltering run over the immutable RuntimeTables.
+///
+/// Push interface: feed contiguous document bytes with Resume(chunk) --
+/// starting at any absolute byte offset in a known checkpoint -- and close
+/// the input with Finish(). The session suspends cleanly when a chunk ends
+/// mid-construct (nothing is consumed past the last completed transition)
+/// and picks up when the next chunk arrives. The serial RunEngine() below
+/// is a thin pull-mode wrapper over the same code path and stays
+/// byte-identical to the historical one-shot engine.
+///
+/// A session is single-threaded; parallelism comes from running many
+/// sessions (one per shard or document) against the shared tables -- see
+/// src/parallel/.
+class PrefilterSession {
+ public:
+  /// Starts a run at absolute byte offset `start.cursor` in checkpoint
+  /// `start` (default: offset 0, the initial DFA state). `tables`, `out`
+  /// and `stats` must outlive the session; `stats` may be null.
+  PrefilterSession(const RuntimeTables& tables, OutputSink* out,
+                   RunStats* stats, const EngineOptions& opts = {},
+                   const SessionCheckpoint* start = nullptr);
+  ~PrefilterSession();
+
+  PrefilterSession(const PrefilterSession&) = delete;
+  PrefilterSession& operator=(const PrefilterSession&) = delete;
+
+  /// Feeds the next contiguous bytes of the document. Returns Ok both when
+  /// the run reached a final state (finished() becomes true; trailing bytes
+  /// are ignored, as in a serial run) and when the session merely consumed
+  /// the chunk and suspended awaiting more input.
+  Status Resume(std::string_view chunk);
+
+  /// Declares end of input. Fails with kParseError if the run is not in a
+  /// final state (matching the serial engine on truncated documents), and
+  /// finalizes summary statistics on success.
+  Status Finish();
+
+  /// True once a final DFA state was reached.
+  bool finished() const;
+
+  /// The resumable state after the last completed transition. Between
+  /// Resume calls, running another session over the remaining bytes from
+  /// this checkpoint yields output byte-identical to continuing this one.
+  SessionCheckpoint checkpoint() const;
+
+  /// True when the last Resume suspended in a plain keyword search (no
+  /// partially scanned construct pending). At such a suspension the whole
+  /// fed range has been searched; a successor session starting at the next
+  /// byte offset in checkpoint().state sees every remaining occurrence.
+  /// False after a suspension inside a candidate tag scan, whose handling
+  /// needs bytes from the next chunk.
+  bool drained_cleanly() const;
+
+  /// Fills the end-of-run summary fields of `stats` (input/output bytes,
+  /// window peak, states visited). Finish() does this automatically; call
+  /// it directly for sessions that end suspended (e.g. a mid-document
+  /// shard). Idempotent.
+  void FinalizeStats();
+
+  /// Per-state visit flags, for merging states_visited across sessions.
+  const std::vector<bool>& visited() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+
+  // RunEngine drives an Impl directly in pull mode.
+  friend Status RunEngine(const RuntimeTables& tables, InputStream* in,
+                          OutputSink* out, RunStats* stats,
+                          const EngineOptions& opts);
+};
+
 /// Executes one prefiltering run. `tables` must outlive the call.
 Status RunEngine(const RuntimeTables& tables, InputStream* in,
                  OutputSink* out, RunStats* stats,

@@ -150,6 +150,14 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
   int initial = intern({0});
   tables.initial = initial;
 
+  // Per-state transition maps. These are build-time scaffolding: the
+  // default (interned) tables ship only the flat id-indexed arrays, so the
+  // maps are moved into DfaState solely under use_map_dispatch, where the
+  // legacy engine path dispatches through them.
+  using TransitionMap = std::map<std::string, int, std::less<>>;
+  std::vector<TransitionMap> open_maps;
+  std::vector<TransitionMap> close_maps;
+
   // BFS over subsets, building transitions per token.
   for (size_t cur = 0; cur < subsets.size(); ++cur) {
     std::map<int, std::vector<int>> by_token;  // token -> successor members
@@ -164,18 +172,21 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     if (tables.states.size() <= cur) {
       tables.states.resize(subsets.size());
     }
-    DfaState& state = tables.states[cur];
-    state.is_final = is_final;
+    tables.states[cur].is_final = is_final;
     for (auto& [token, members] : by_token) {
       int to = intern(std::move(members));
       if (tables.states.size() < subsets.size()) {
         tables.states.resize(subsets.size());
       }
+      if (open_maps.size() < subsets.size()) {
+        open_maps.resize(subsets.size());
+        close_maps.resize(subsets.size());
+      }
       const dtd::TagToken& tok = aut.token(token);
       if (tok.closing) {
-        tables.states[cur].close_next[tok.name] = to;
+        close_maps[cur][tok.name] = to;
       } else {
-        tables.states[cur].open_next[tok.name] = to;
+        open_maps[cur][tok.name] = to;
       }
       // Record the entry token on the target (unique by homogeneity) and
       // precompute the emission strings.
@@ -189,6 +200,8 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     }
   }
   tables.states.resize(subsets.size());
+  open_maps.resize(subsets.size());
+  close_maps.resize(subsets.size());
 
   // Actions (join over members), vocabularies, jumps, matchers.
   for (size_t q = 0; q < subsets.size(); ++q) {
@@ -206,12 +219,12 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
 
     // Vocabulary: one keyword per outgoing token.
     std::set<int> vocab_tokens;
-    for (const auto& [name, to] : state.open_next) {
+    for (const auto& [name, to] : open_maps[q]) {
       state.keywords.push_back("<" + name);
       vocab_tokens.insert(aut.FindToken(name, false));
       (void)to;
     }
-    for (const auto& [name, to] : state.close_next) {
+    for (const auto& [name, to] : close_maps[q]) {
       state.keywords.push_back("</" + name);
       vocab_tokens.insert(aut.FindToken(name, true));
       (void)to;
@@ -262,44 +275,72 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     }
   }
 
-  // Interned dispatch: collapse every transition tag name into a dense id
-  // and mirror the tree maps as flat arrays (-1 = no transition), so the
-  // engine resolves a matched tag with one hash + one array load.
-  if (!opts.use_map_dispatch) {
-    std::vector<std::string> names;
-    for (const DfaState& state : tables.states) {
-      for (const auto& [name, to] : state.open_next) {
-        names.push_back(name);
-        (void)to;
-      }
-      for (const auto& [name, to] : state.close_next) {
-        names.push_back(name);
-        (void)to;
-      }
+  if (opts.use_map_dispatch) {
+    // Legacy engine path: ship the tree maps, skip the interner entirely.
+    for (size_t q = 0; q < subsets.size(); ++q) {
+      tables.states[q].open_next = std::move(open_maps[q]);
+      tables.states[q].close_next = std::move(close_maps[q]);
     }
-    tables.interner = TagInterner(names);
-    const size_t vocab = static_cast<size_t>(tables.interner.size());
-    for (DfaState& state : tables.states) {
-      state.open_next_id.assign(vocab, -1);
-      state.close_next_id.assign(vocab, -1);
-      for (const auto& [name, to] : state.open_next) {
-        state.open_next_id[static_cast<size_t>(
-            tables.interner.Find(name))] = to;
-      }
-      for (const auto& [name, to] : state.close_next) {
-        state.close_next_id[static_cast<size_t>(
-            tables.interner.Find(name))] = to;
-      }
-      if (!state.entry_name.empty()) {
-        state.entry_tag_id = tables.interner.Find(state.entry_name);
-      }
-    }
-    tables.interned_dispatch = true;
+    return tables;
   }
+
+  // Interned dispatch (default): collapse every transition tag name into a
+  // dense id and ship flat arrays (-1 = no transition), so the engine
+  // resolves a matched tag with one hash + one array load. The tree maps
+  // stay build-local -- they would be dead weight on this path.
+  std::vector<std::string> names;
+  for (size_t q = 0; q < subsets.size(); ++q) {
+    for (const auto& [name, to] : open_maps[q]) {
+      names.push_back(name);
+      (void)to;
+    }
+    for (const auto& [name, to] : close_maps[q]) {
+      names.push_back(name);
+      (void)to;
+    }
+  }
+  tables.interner = TagInterner(names);
+  const size_t vocab = static_cast<size_t>(tables.interner.size());
+  for (size_t q = 0; q < subsets.size(); ++q) {
+    DfaState& state = tables.states[q];
+    state.open_next_id.assign(vocab, -1);
+    state.close_next_id.assign(vocab, -1);
+    for (const auto& [name, to] : open_maps[q]) {
+      state.open_next_id[static_cast<size_t>(
+          tables.interner.Find(name))] = to;
+    }
+    for (const auto& [name, to] : close_maps[q]) {
+      state.close_next_id[static_cast<size_t>(
+          tables.interner.Find(name))] = to;
+    }
+    if (!state.entry_name.empty()) {
+      state.entry_tag_id = tables.interner.Find(state.entry_name);
+    }
+  }
+  tables.interned_dispatch = true;
   return tables;
 }
 
+int RuntimeTables::NextState(int from, std::string_view name,
+                             bool closing) const {
+  const DfaState& st = states[static_cast<size_t>(from)];
+  if (interned_dispatch) {
+    int32_t id = interner.Find(name);
+    if (id < 0) return -1;
+    const std::vector<int32_t>& next =
+        closing ? st.close_next_id : st.open_next_id;
+    return next[static_cast<size_t>(id)];
+  }
+  const auto& next = closing ? st.close_next : st.open_next;
+  auto it = next.find(name);
+  return it == next.end() ? -1 : it->second;
+}
+
 std::string RuntimeTables::DebugString() const {
+  // Transition names in sorted order, independent of the dispatch mode
+  // (the interner stores them in insertion order).
+  std::vector<std::string> names = interner.names();
+  std::sort(names.begin(), names.end());
   std::string out;
   for (size_t q = 0; q < states.size(); ++q) {
     const DfaState& s = states[q];
@@ -311,11 +352,26 @@ std::string RuntimeTables::DebugString() const {
       out += "\"" + s.keywords[i] + "\"";
     }
     out += "}\n";
-    for (const auto& [name, to] : s.open_next) {
-      out += "  <" + name + "> -> q" + std::to_string(to) + "\n";
-    }
-    for (const auto& [name, to] : s.close_next) {
-      out += "  </" + name + "> -> q" + std::to_string(to) + "\n";
+    if (interned_dispatch) {
+      for (const std::string& name : names) {
+        int to = NextState(static_cast<int>(q), name, /*closing=*/false);
+        if (to >= 0) {
+          out += "  <" + name + "> -> q" + std::to_string(to) + "\n";
+        }
+      }
+      for (const std::string& name : names) {
+        int to = NextState(static_cast<int>(q), name, /*closing=*/true);
+        if (to >= 0) {
+          out += "  </" + name + "> -> q" + std::to_string(to) + "\n";
+        }
+      }
+    } else {
+      for (const auto& [name, to] : s.open_next) {
+        out += "  <" + name + "> -> q" + std::to_string(to) + "\n";
+      }
+      for (const auto& [name, to] : s.close_next) {
+        out += "  </" + name + "> -> q" + std::to_string(to) + "\n";
+      }
     }
   }
   return out;

@@ -75,12 +75,14 @@ struct DfaState {
   std::vector<std::string> keywords;
   /// Compiled search structure over `keywords` (null iff keywords empty).
   std::unique_ptr<strmatch::Matcher> matcher;
-  /// A[q, <name>]: next state when an opening tag `name` is matched.
+  /// A[q, <name>] / A[q, </name>] as tree maps: populated ONLY under
+  /// TableOptions::use_map_dispatch (the legacy engine path); dead weight
+  /// otherwise, so the default build leaves them empty. Use
+  /// RuntimeTables::NextState for mode-independent lookups.
   std::map<std::string, int, std::less<>> open_next;
-  /// A[q, </name>]: next state when a closing tag `name` is matched.
   std::map<std::string, int, std::less<>> close_next;
-  /// Interned-dispatch mirrors of open_next/close_next: indexed by the tag
-  /// id from RuntimeTables::interner, -1 = no transition. Sized to the full
+  /// Interned-dispatch transition arrays: indexed by the tag id from
+  /// RuntimeTables::interner, -1 = no transition. Sized to the full
   /// interner vocabulary (empty when map dispatch was requested).
   std::vector<int32_t> open_next_id;
   std::vector<int32_t> close_next_id;
@@ -126,6 +128,10 @@ struct RuntimeTables {
   size_t nfa_states_selected = 0;  ///< |S| including q0
   size_t stopover_states = 0;
   size_t collapsed_pairs = 0;
+
+  /// A[from, <name>] (closing=false) or A[from, </name>] (closing=true);
+  /// -1 when there is no transition. Works in both dispatch modes.
+  int NextState(int from, std::string_view name, bool closing) const;
 
   std::string DebugString() const;
 };

@@ -1,0 +1,54 @@
+#include "parallel/batch.h"
+
+#include "common/io.h"
+#include "parallel/shard.h"
+
+namespace smpx::parallel {
+
+std::vector<BatchResult> BatchRun(const core::RuntimeTables& tables,
+                                  const std::vector<std::string_view>& docs,
+                                  ThreadPool* pool,
+                                  const core::EngineOptions& opts) {
+  std::vector<BatchResult> results(docs.size());
+  WaitGroup wg;
+  wg.Add(static_cast<int>(docs.size()));
+  for (size_t i = 0; i < docs.size(); ++i) {
+    pool->Submit([&, i] {
+      StringSink sink;
+      core::PrefilterSession session(tables, &sink, &results[i].stats,
+                                     opts);
+      Status s = session.Resume(docs[i]);
+      if (s.ok()) s = session.Finish();
+      results[i].status = s;
+      results[i].output = sink.TakeString();
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  return results;
+}
+
+Status BatchRunMerged(const core::RuntimeTables& tables,
+                      const std::vector<std::string_view>& docs,
+                      OutputSink* out, core::RunStats* stats,
+                      ThreadPool* pool, const core::EngineOptions& opts) {
+  std::vector<BatchResult> results = BatchRun(tables, docs, pool, opts);
+  // Merge the clean prefix only: a failed document's partial projection
+  // (and anything after it) would corrupt the concatenated output, so the
+  // merge stops at the first error and reports it.
+  size_t max_visited = 0;
+  for (const BatchResult& r : results) {
+    if (!r.status.ok()) return r.status;
+    SMPX_RETURN_IF_ERROR(out->Append(r.output));
+    if (stats != nullptr) {
+      MergeRunStats(stats, r.stats);
+      // states_visited is not additive; every document runs the same
+      // automaton, so report the maximum.
+      max_visited = std::max(max_visited, r.stats.states_visited);
+      stats->states_visited = max_visited;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace smpx::parallel

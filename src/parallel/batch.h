@@ -1,0 +1,49 @@
+// Multi-document batch prefiltering: run one PrefilterSession per document
+// concurrently against the shared immutable RuntimeTables, amortizing the
+// static table build across the whole batch. Results and merged statistics
+// are assembled in document order, so batch output is deterministic and
+// each document's bytes equal its serial run.
+
+#ifndef SMPX_PARALLEL_BATCH_H_
+#define SMPX_PARALLEL_BATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/tables.h"
+#include "parallel/thread_pool.h"
+
+namespace smpx::parallel {
+
+/// Per-document result of a batch run.
+struct BatchResult {
+  Status status;
+  std::string output;
+  core::RunStats stats;
+};
+
+/// Prefilters every document in `docs` concurrently on `pool`. Returns
+/// per-document results in input order. Must not be called from a pool
+/// thread.
+std::vector<BatchResult> BatchRun(const core::RuntimeTables& tables,
+                                  const std::vector<std::string_view>& docs,
+                                  ThreadPool* pool,
+                                  const core::EngineOptions& opts = {});
+
+/// Convenience wrapper: concatenates the outputs in document order into
+/// `out` and merges the statistics into `stats` (may be null). On a
+/// per-document error, returns the first (lowest-index) one and stops the
+/// merge there -- only the clean document prefix reaches `out`. Use
+/// BatchRun directly for per-document error isolation.
+Status BatchRunMerged(const core::RuntimeTables& tables,
+                      const std::vector<std::string_view>& docs,
+                      OutputSink* out, core::RunStats* stats,
+                      ThreadPool* pool,
+                      const core::EngineOptions& opts = {});
+
+}  // namespace smpx::parallel
+
+#endif  // SMPX_PARALLEL_BATCH_H_

@@ -1,0 +1,335 @@
+#include "parallel/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace smpx::parallel {
+namespace {
+
+// The helpers below form a second, simplified structural scanner over
+// contiguous input, paired with (but independent from) the engine's
+// window-based scanning in core/engine.cc (SkipPast/SkipDoctype/the tag
+// scan in HandleMatch). The pairing is advisory only: a boundary this
+// scanner gets "wrong" relative to the engine's view of the document can
+// only mis-speculate a shard's entry state, which the verification pass in
+// ShardedRun detects and repairs by re-running -- correctness never
+// depends on the two scanners agreeing, only throughput does.
+
+/// Position one past the next occurrence of `term` at or after `from`;
+/// doc.size() when absent.
+size_t SkipPastTerm(std::string_view doc, size_t from, std::string_view term) {
+  size_t r = from;
+  while (r + term.size() <= doc.size()) {
+    const char* hit = static_cast<const char*>(std::memchr(
+        doc.data() + r, term[0], doc.size() - r - (term.size() - 1)));
+    if (hit == nullptr) return doc.size();
+    r = static_cast<size_t>(hit - doc.data());
+    if (std::memcmp(hit, term.data(), term.size()) == 0) {
+      return r + term.size();
+    }
+    ++r;
+  }
+  return doc.size();
+}
+
+/// Position of the '>' closing the tag whose '<' sits at `from`, skipping
+/// quoted attribute values; doc.size() when unterminated.
+size_t TagEnd(std::string_view doc, size_t from) {
+  size_t r = from + 1;
+  for (;;) {
+    if (r >= doc.size()) return doc.size();
+    const char* gt = static_cast<const char*>(
+        std::memchr(doc.data() + r, '>', doc.size() - r));
+    size_t seg_end =
+        gt != nullptr ? static_cast<size_t>(gt - doc.data()) : doc.size();
+    const char* dq = static_cast<const char*>(
+        std::memchr(doc.data() + r, '"', seg_end - r));
+    const char* sq = static_cast<const char*>(
+        std::memchr(doc.data() + r, '\'', seg_end - r));
+    const char* quote = dq == nullptr   ? sq
+                        : sq == nullptr ? dq
+                                        : std::min(dq, sq);
+    if (quote == nullptr) return seg_end;
+    char qc = *quote;
+    const char* end = static_cast<const char*>(std::memchr(
+        quote + 1, qc, doc.size() - static_cast<size_t>(quote + 1 - doc.data())));
+    if (end == nullptr) return doc.size();
+    r = static_cast<size_t>(end - doc.data()) + 1;
+  }
+}
+
+/// Position one past the '>' closing a "<!DOCTYPE"-style construct at
+/// `from` (pointing at "<!"), honoring [...] subsets and quoted literals.
+/// Memchr-driven with lazily cached per-target offsets, mirroring the
+/// engine's SkipDoctype, so a pathological multi-megabyte internal subset
+/// does not serialize the boundary scan.
+size_t SkipDeclaration(std::string_view doc, size_t from) {
+  static constexpr char kTargets[] = {'[', ']', '>', '"', '\''};
+  static constexpr int kNumTargets = 5;
+  size_t next_hit[kNumTargets] = {0, 0, 0, 0, 0};
+  bool stale = true;
+  size_t r = from + 2;
+  int bracket = 0;
+  while (r < doc.size()) {
+    size_t hit = doc.size();
+    char hc = 0;
+    for (int i = 0; i < kNumTargets; ++i) {
+      if (stale || next_hit[i] < r) {
+        const char* h = static_cast<const char*>(
+            std::memchr(doc.data() + r, kTargets[i], doc.size() - r));
+        next_hit[i] = h != nullptr ? static_cast<size_t>(h - doc.data())
+                                   : doc.size();
+      }
+      if (next_hit[i] < hit) {
+        hit = next_hit[i];
+        hc = kTargets[i];
+      }
+    }
+    stale = false;
+    if (hit == doc.size()) return doc.size();
+    if (hc == '[') {
+      ++bracket;
+      r = hit + 1;
+    } else if (hc == ']') {
+      --bracket;
+      r = hit + 1;
+    } else if (hc == '>') {
+      if (bracket <= 0) return hit + 1;
+      r = hit + 1;
+    } else {
+      const char* end = static_cast<const char*>(
+          std::memchr(doc.data() + hit + 1, hc, doc.size() - hit - 1));
+      if (end == nullptr) return doc.size();
+      r = static_cast<size_t>(end - doc.data()) + 1;
+    }
+  }
+  return doc.size();
+}
+
+/// One shard's execution record.
+struct ShardResult {
+  StringSink sink;
+  core::RunStats stats;
+  core::SessionCheckpoint exit;
+  Status status;
+  bool finished = false;
+  bool clean = false;            // suspended in a plain keyword search
+  uint64_t read_end = 0;         // absolute end of the bytes this run read
+  std::vector<bool> visited;
+};
+
+}  // namespace
+
+std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
+                                             size_t max_splits) {
+  std::vector<uint64_t> splits;
+  if (max_splits == 0 || doc.size() < 2) return splits;
+  const size_t stride = doc.size() / (max_splits + 1);
+  if (stride == 0) return splits;
+
+  size_t pos = 0;
+  size_t depth = 0;        // number of currently open elements
+  size_t target_idx = 1;   // next split target = target_idx * stride
+  while (pos < doc.size() && splits.size() < max_splits) {
+    const char* lt = static_cast<const char*>(
+        std::memchr(doc.data() + pos, '<', doc.size() - pos));
+    if (lt == nullptr) break;
+    size_t t = static_cast<size_t>(lt - doc.data());
+    std::string_view rest = doc.substr(t);
+    if (rest.size() < 2) break;
+    char next = rest[1];
+    if (next == '!') {
+      if (rest.substr(0, 4) == "<!--") {
+        pos = SkipPastTerm(doc, t + 4, "-->");
+      } else if (rest.substr(0, 9) == "<![CDATA[") {
+        pos = SkipPastTerm(doc, t + 9, "]]>");
+      } else {
+        pos = SkipDeclaration(doc, t);
+      }
+      continue;
+    }
+    if (next == '?') {
+      pos = SkipPastTerm(doc, t + 2, "?>");
+      continue;
+    }
+    if (next == '/') {
+      size_t end = TagEnd(doc, t);
+      if (depth > 0) --depth;
+      pos = end + 1;
+      continue;
+    }
+    if (!IsNameChar(next)) {
+      pos = t + 1;  // stray '<' in text
+      continue;
+    }
+    // An opening (or bachelor) element tag. depth == 1 means its parent is
+    // the document root: a top-level boundary.
+    if (depth == 1 && t >= target_idx * stride) {
+      splits.push_back(t);
+      while (target_idx <= max_splits && target_idx * stride <= t) {
+        ++target_idx;  // collapse targets this boundary already covers
+      }
+    }
+    size_t end = TagEnd(doc, t);
+    bool bachelor = end < doc.size() && end > t + 1 && doc[end - 1] == '/';
+    if (!bachelor) ++depth;
+    pos = end + 1;
+  }
+  return splits;
+}
+
+void MergeRunStats(core::RunStats* dst, const core::RunStats& src) {
+  dst->input_bytes += src.input_bytes;
+  dst->output_bytes += src.output_bytes;
+  dst->search.Add(src.search);
+  dst->scan_chars += src.scan_chars;
+  dst->initial_jumps += src.initial_jumps;
+  dst->initial_jump_chars += src.initial_jump_chars;
+  dst->matches += src.matches;
+  dst->false_matches += src.false_matches;
+  dst->bm_searches += src.bm_searches;
+  dst->cw_searches += src.cw_searches;
+  dst->window_peak = std::max(dst->window_peak, src.window_peak);
+}
+
+Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
+                  OutputSink* out, core::RunStats* stats, ThreadPool* pool,
+                  const ShardOptions& opts) {
+  if (tables.states.empty()) {
+    return Status::InvalidArgument("empty runtime tables");
+  }
+  size_t max_shards =
+      opts.max_shards != 0 ? opts.max_shards
+                           : static_cast<size_t>(std::max(1, pool->size()));
+  std::vector<uint64_t> bounds =
+      max_shards > 1 ? FindTopLevelBoundaries(doc, max_shards - 1)
+                     : std::vector<uint64_t>();
+
+  // Segment k covers [seg_begin[k], seg_begin[k+1]).
+  std::vector<uint64_t> seg_begin;
+  seg_begin.push_back(0);
+  for (uint64_t b : bounds) seg_begin.push_back(b);
+  seg_begin.push_back(doc.size());
+  const size_t n = seg_begin.size() - 1;
+
+  // Runs one segment: `start` == nullptr for the document head, otherwise
+  // the carried checkpoint (whose cursor may sit before the segment start
+  // after a re-run hand-off). The final segment also Finish()es.
+  auto run_segment = [&](size_t k, const core::SessionCheckpoint* start,
+                         ShardResult* r) {
+    uint64_t begin = start != nullptr ? start->cursor : seg_begin[k];
+    uint64_t end = seg_begin[k + 1];
+    core::EngineOptions eopts = opts.engine;
+    core::PrefilterSession session(tables, &r->sink, &r->stats, eopts,
+                                   start);
+    r->status = session.Resume(
+        doc.substr(static_cast<size_t>(begin),
+                   static_cast<size_t>(end - begin)));
+    if (r->status.ok() && k + 1 == n && !session.finished()) {
+      r->status = session.Finish();
+    } else {
+      session.FinalizeStats();
+    }
+    r->finished = session.finished();
+    r->exit = session.checkpoint();
+    r->clean = session.drained_cleanly();
+    r->visited = session.visited();
+    r->read_end = begin + r->stats.input_bytes;
+  };
+
+  std::vector<ShardResult> results(n);
+
+  // Wave 1: the document head runs for real -- its exit state is the
+  // speculation seed for every other shard.
+  run_segment(0, nullptr, &results[0]);
+
+  // Wave 2: speculative shards in parallel. Skipped when shard 0 already
+  // finished the run, errored, or ended in a hand-off speculation cannot
+  // model (mid-candidate, open copy region, opaque recursion balance).
+  const ShardResult& head = results[0];
+  bool speculate = n > 1 && head.status.ok() && !head.finished &&
+                   head.clean && head.exit.copy_depth == 0 &&
+                   head.exit.nesting_depth == 0;
+  core::SessionCheckpoint guess;
+  if (speculate) {
+    guess = head.exit;
+    WaitGroup wg;
+    wg.Add(static_cast<int>(n - 1));
+    for (size_t k = 1; k < n; ++k) {
+      pool->Submit([&, k] {
+        core::SessionCheckpoint start = guess;
+        start.cursor = seg_begin[k];
+        start.copy_flushed = seg_begin[k];
+        run_segment(k, &start, &results[k]);
+        wg.Done();
+      });
+    }
+    wg.Wait();
+  }
+
+  // Sequential verification: accept a speculative shard iff its
+  // predecessor's actual hand-off matches the assumed entry; otherwise
+  // re-run it (synchronously) from the true checkpoint. Deterministic by
+  // construction -- the accepted sequence replays the serial run.
+  Status final_status;
+  size_t produced = n;
+  for (size_t k = 1; k < n; ++k) {
+    ShardResult& prev = results[k - 1];
+    if (!prev.status.ok()) {
+      final_status = prev.status;
+      produced = k;
+      break;
+    }
+    if (prev.finished) {
+      produced = k;  // serial run ends here; later bytes are ignored
+      break;
+    }
+    bool accepted = speculate && prev.clean &&
+                    prev.exit.state == guess.state &&
+                    prev.exit.copy_depth == 0 &&
+                    prev.exit.nesting_depth == 0;
+    if (!accepted) {
+      ShardResult rerun;
+      core::SessionCheckpoint start = prev.exit;
+      run_segment(k, &start, &rerun);
+      results[k] = std::move(rerun);
+    }
+  }
+  if (final_status.ok() && produced == n && !results[n - 1].status.ok()) {
+    final_status = results[n - 1].status;
+  }
+
+  // Deterministic merge in document order.
+  for (size_t k = 0; k < produced; ++k) {
+    SMPX_RETURN_IF_ERROR(out->Append(results[k].sink.str()));
+  }
+  if (stats != nullptr) {
+    std::vector<bool> visited;
+    uint64_t read_end = 0;  // how far into the document reads have advanced
+    for (size_t k = 0; k < produced; ++k) {
+      // Attribute to each shard the document range it advanced through:
+      // re-run hand-offs re-read their predecessor's overlap tail (counted
+      // once), and initial jumps across a boundary leave a gap the serial
+      // stream would have read and discarded (counted for parity).
+      results[k].stats.input_bytes =
+          results[k].read_end > read_end ? results[k].read_end - read_end
+                                         : 0;
+      read_end = std::max(read_end, results[k].read_end);
+      MergeRunStats(stats, results[k].stats);
+      if (visited.empty()) visited = results[k].visited;
+      for (size_t i = 0; i < results[k].visited.size(); ++i) {
+        if (results[k].visited[i]) visited[i] = true;
+      }
+    }
+    stats->states_visited = 0;
+    for (bool v : visited) {
+      if (v) ++stats->states_visited;
+    }
+  }
+  return final_status;
+}
+
+}  // namespace smpx::parallel

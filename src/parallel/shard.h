@@ -1,0 +1,63 @@
+// Single-document sharding: split one document at top-level element
+// boundaries (children of the root, located by a cheap memchr structural
+// scan) and prefilter the shards concurrently, one PrefilterSession per
+// shard against the shared immutable RuntimeTables.
+//
+// Entry states are speculative -- every shard after the first assumes it
+// starts in the state shard 0 ended in, which holds exactly for the
+// star-shaped roots (<!ELEMENT root (record*)>) that dominate large inputs.
+// A sequential verification pass then compares each shard's assumed entry
+// against its predecessor's actual exit and deterministically re-runs any
+// shard whose speculation failed (including hand-offs inside copy regions
+// or opaque recursion), so the merged output is ALWAYS byte-identical to
+// the serial engine, no matter where the boundaries fall.
+
+#ifndef SMPX_PARALLEL_SHARD_H_
+#define SMPX_PARALLEL_SHARD_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/tables.h"
+#include "parallel/thread_pool.h"
+
+namespace smpx::parallel {
+
+struct ShardOptions {
+  /// Upper bound on the number of shards; 0 means the pool size.
+  size_t max_shards = 0;
+  core::EngineOptions engine;
+};
+
+/// Structural scan for shard split points: returns at most `max_splits`
+/// strictly increasing offsets, each the position of the '<' opening a
+/// child element of the document root at the first top-level boundary at
+/// or after the corresponding evenly spaced target offset. The scan is
+/// memchr-driven and tracks element depth through comments, CDATA
+/// sections, processing instructions, DOCTYPE internal subsets, and quoted
+/// attribute values, so a candidate never lands mid-tag or inside opaque
+/// markup. Documents with few top-level children simply yield fewer splits
+/// (possibly none).
+std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
+                                             size_t max_splits);
+
+/// Prefilters `doc` by sharding it across `pool`. Output and the merged
+/// `stats` totals are byte-identical to RunEngine over the same document
+/// (up to search-effort counters, which depend on window geometry).
+/// `stats` may be null. Must not be called from a pool thread.
+Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
+                  OutputSink* out, core::RunStats* stats, ThreadPool* pool,
+                  const ShardOptions& opts = {});
+
+/// Merges shard- or document-level RunStats into `dst` (counters add,
+/// window peak maxes; states_visited is handled by the callers via the
+/// sessions' visited() sets).
+void MergeRunStats(core::RunStats* dst, const core::RunStats& src);
+
+}  // namespace smpx::parallel
+
+#endif  // SMPX_PARALLEL_SHARD_H_

@@ -1,0 +1,68 @@
+// A fixed-size thread pool and a Go-style wait group: the only
+// concurrency primitives the parallel prefiltering layer needs. Sessions
+// never share mutable state (each runs against the immutable RuntimeTables
+// with its own window and sink), so the pool is a plain task queue with no
+// work stealing or priorities.
+
+#ifndef SMPX_PARALLEL_THREAD_POOL_H_
+#define SMPX_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smpx::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not Submit-and-Wait on the same pool from
+  /// inside a pool thread (classic self-deadlock).
+  void Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Counts outstanding tasks; Wait blocks until all are Done.
+class WaitGroup {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace smpx::parallel
+
+#endif  // SMPX_PARALLEL_THREAD_POOL_H_

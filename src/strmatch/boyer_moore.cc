@@ -132,6 +132,22 @@ BoyerMooreMatcher::BoyerMooreMatcher(std::string pattern) {
       probe_pos_ = i;
     }
   }
+  // Second probe for the pair scan (long patterns only): the rarest byte at
+  // any other position. Requiring both bytes to match multiplies the two
+  // densities, which is what keeps verify counts low on text-heavy input
+  // where even the rarest single byte still occurs every few hundred
+  // characters.
+  if (m >= 4) {
+    pair_probe_ = true;
+    probe2_pos_ = probe_pos_ == 0 ? 1 : 0;
+    for (size_t i = 1; i < m; ++i) {
+      if (i == probe_pos_) continue;
+      if (XmlByteRarity(static_cast<unsigned char>(p[i])) <=
+          XmlByteRarity(static_cast<unsigned char>(p[probe2_pos_]))) {
+        probe2_pos_ = i;
+      }
+    }
+  }
 }
 
 Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
@@ -210,6 +226,44 @@ Match BoyerMooreMatcher::SearchMemchr(std::string_view text, size_t from,
     i += shift;
     return false;
   };
+
+  if (pair_probe_) {
+    // Two-byte SWAR pair probe: a candidate alignment survives only when
+    // BOTH probe bytes match, one word-load + mask each. The second load
+    // never reads past the text: with lo/hi <= m-1, the last alignment's
+    // hi byte sits at (n - m) + hi <= n - 1.
+    const size_t lo = std::min(kp, probe2_pos_);
+    const size_t hi = std::max(kp, probe2_pos_);
+    const unsigned char b_lo = static_cast<unsigned char>(p[lo]);
+    const unsigned char b_hi = static_cast<unsigned char>(p[hi]);
+    const size_t delta = hi - lo;
+    const size_t scan_end = n - m + lo + 1;
+    size_t k = from + lo;
+    for (; k + 8 <= scan_end; k += 8) {
+      uint64_t hits =
+          detail::ByteEqMask(detail::LoadWord(d + k), b_lo) &
+          detail::ByteEqMask(detail::LoadWord(d + k + delta), b_hi);
+      while (hits != 0) {
+        size_t a = k + detail::LowestHitByte(hits) - lo;
+        hits = detail::ClearLowestHit(hits);
+        if (a < i) continue;  // below the shift frontier
+        if (verify(a)) return {a, 0};
+      }
+    }
+    for (; k < scan_end; ++k) {
+      if (static_cast<unsigned char>(d[k]) == b_lo &&
+          static_cast<unsigned char>(d[k + delta]) == b_hi) {
+        size_t a = k - lo;
+        if (a < i) continue;
+        if (verify(a)) return {a, 0};
+      }
+    }
+    if (stats != nullptr && n - m + 1 > i) {
+      ++stats->shifts;
+      stats->shift_chars += n - m + 1 - i;
+    }
+    return {};
+  }
 
   // Scan probe positions s in [from + kp, n - m + kp]; alignment a = s - kp.
   const size_t scan_end = n - m + kp + 1;

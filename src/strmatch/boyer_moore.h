@@ -38,6 +38,8 @@ class BoyerMooreMatcher : public Matcher {
   std::vector<size_t> good_suffix_;         // shift for mismatch at index j
   bool skip_loops_ = true;                  // memchr rare-byte skip loop
   size_t probe_pos_ = 0;                    // offset of the rarest byte
+  size_t probe2_pos_ = 0;                   // offset of the 2nd-rarest byte
+  bool pair_probe_ = false;                 // use the two-byte SWAR probe
 };
 
 /// Horspool simplification (bad-character rule keyed on the window's last

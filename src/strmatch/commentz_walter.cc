@@ -135,10 +135,14 @@ CommentzWalterMatcher::CommentzWalterMatcher(
     for (size_t pi = 0; pi < patterns_.size(); ++pi) {
       int32_t node = 0;
       for (char c : patterns_[pi]) {
-        int32_t& slot = fwd_[static_cast<size_t>(node)]
-                            .next[static_cast<unsigned char>(c)];
+        // By value, not by reference: emplace_back below may reallocate
+        // fwd_ and a reference into it would dangle.
+        int32_t slot = fwd_[static_cast<size_t>(node)]
+                           .next[static_cast<unsigned char>(c)];
         if (slot < 0) {
           slot = static_cast<int32_t>(fwd_.size());
+          fwd_[static_cast<size_t>(node)]
+              .next[static_cast<unsigned char>(c)] = slot;
           fwd_.emplace_back();
         }
         node = slot;

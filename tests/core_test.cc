@@ -81,6 +81,16 @@ std::string Filter(const Prefilter& pf, std::string_view doc,
   return out.ok() ? *out : std::string();
 }
 
+/// NextState that fails the test (instead of handing back -1, which would
+/// index out of bounds) when the transition is missing.
+int MustNext(const RuntimeTables& t, int from, std::string_view name,
+             bool closing) {
+  int to = t.NextState(from, name, closing);
+  EXPECT_GE(to, 0) << "no transition on " << (closing ? "</" : "<") << name
+                   << "> from q" << from;
+  return to >= 0 ? to : 0;
+}
+
 // --- Selection: Fig. 6 step 1 on the paper's examples ---------------------
 
 TEST(SelectionTest, Example11SelectsStopOverStates) {
@@ -153,30 +163,32 @@ TEST_F(Fig3Tables, VocabulariesMatchFig3) {
   const DfaState& q0 = t.states[static_cast<size_t>(t.initial)];
   EXPECT_EQ(q0.keywords, (std::vector<std::string>{"<a"}));
   // After <a>: V = {"</a", "<b", "<c"}.
-  int q1 = q0.open_next.at("a");
+  int q1 = MustNext(t, t.initial, "a", false);
   const DfaState& s1 = t.states[static_cast<size_t>(q1)];
   EXPECT_EQ(s1.keywords, (std::vector<std::string>{"</a", "<b", "<c"}));
   // After <b>: V = {"</b"}; after <c>: V = {"</c"}.
-  EXPECT_EQ(t.states[static_cast<size_t>(s1.open_next.at("b"))].keywords,
-            (std::vector<std::string>{"</b"}));
-  EXPECT_EQ(t.states[static_cast<size_t>(s1.open_next.at("c"))].keywords,
-            (std::vector<std::string>{"</c"}));
+  EXPECT_EQ(
+      t.states[static_cast<size_t>(MustNext(t, q1, "b", false))].keywords,
+      (std::vector<std::string>{"</b"}));
+  EXPECT_EQ(
+      t.states[static_cast<size_t>(MustNext(t, q1, "c", false))].keywords,
+      (std::vector<std::string>{"</c"}));
 }
 
 TEST_F(Fig3Tables, ActionsMatchFig3) {
   const RuntimeTables& t = pf_->tables();
   const DfaState& q0 = t.states[static_cast<size_t>(t.initial)];
   EXPECT_EQ(q0.action, Action::kNop);
-  int q1 = q0.open_next.at("a");
+  int q1 = MustNext(t, t.initial, "a", false);
   const DfaState& s1 = t.states[static_cast<size_t>(q1)];
   EXPECT_EQ(s1.action, Action::kCopyTag);
-  int q2 = s1.open_next.at("b");
+  int q2 = MustNext(t, q1, "b", false);
   EXPECT_EQ(t.states[static_cast<size_t>(q2)].action, Action::kCopyOn);
-  int q2h = t.states[static_cast<size_t>(q2)].close_next.at("b");
+  int q2h = MustNext(t, q2, "b", true);
   EXPECT_EQ(t.states[static_cast<size_t>(q2h)].action, Action::kCopyOff);
-  int q3 = s1.open_next.at("c");
+  int q3 = MustNext(t, q1, "c", false);
   EXPECT_EQ(t.states[static_cast<size_t>(q3)].action, Action::kNop);
-  int q1h = s1.close_next.at("a");
+  int q1h = MustNext(t, q1, "a", true);
   const DfaState& s1h = t.states[static_cast<size_t>(q1h)];
   EXPECT_EQ(s1h.action, Action::kCopyTag);
   EXPECT_TRUE(s1h.is_final);
@@ -186,13 +198,13 @@ TEST_F(Fig3Tables, JumpOffsetsMatchFig3AndExample3) {
   const RuntimeTables& t = pf_->tables();
   const DfaState& q0 = t.states[static_cast<size_t>(t.initial)];
   EXPECT_EQ(q0.jump, 0u);
-  int q1 = q0.open_next.at("a");
+  int q1 = MustNext(t, t.initial, "a", false);
   const DfaState& s1 = t.states[static_cast<size_t>(q1)];
   EXPECT_EQ(s1.jump, 0u);
   // Example 3: J[q3] = 4 -- c must contain at least one b, minimally <b/>.
-  int q3 = s1.open_next.at("c");
+  int q3 = MustNext(t, q1, "c", false);
   EXPECT_EQ(t.states[static_cast<size_t>(q3)].jump, 4u);
-  int q2 = s1.open_next.at("b");
+  int q2 = MustNext(t, q1, "b", false);
   EXPECT_EQ(t.states[static_cast<size_t>(q2)].jump, 0u);
 }
 
@@ -390,27 +402,40 @@ TEST(TagInternerTest, SurvivesRehashGrowth) {
   EXPECT_EQ(interner.Find("tag500"), -1);
 }
 
-TEST_F(Fig3Tables, InternedDispatchMirrorsMaps) {
+TEST_F(Fig3Tables, InternedDispatchMirrorsMapDispatch) {
+  // The default (interned) tables must agree transition-for-transition with
+  // a map-dispatch compile of the same inputs -- and must NOT carry the
+  // legacy tree maps, which are dead weight on the interned path.
   const RuntimeTables& t = pf_->tables();
   ASSERT_TRUE(t.interned_dispatch);
   EXPECT_GT(t.interner.size(), 0);
   for (const DfaState& s : t.states) {
-    int flat_open = 0;
-    int flat_close = 0;
-    for (int32_t v : s.open_next_id) flat_open += v >= 0 ? 1 : 0;
-    for (int32_t v : s.close_next_id) flat_close += v >= 0 ? 1 : 0;
-    EXPECT_EQ(flat_open, static_cast<int>(s.open_next.size()));
-    EXPECT_EQ(flat_close, static_cast<int>(s.close_next.size()));
-    for (const auto& [name, to] : s.open_next) {
-      EXPECT_EQ(s.open_next_id[static_cast<size_t>(t.interner.Find(name))],
-                to);
-    }
-    for (const auto& [name, to] : s.close_next) {
-      EXPECT_EQ(s.close_next_id[static_cast<size_t>(t.interner.Find(name))],
-                to);
-    }
+    EXPECT_TRUE(s.open_next.empty());
+    EXPECT_TRUE(s.close_next.empty());
     if (!s.entry_name.empty()) {
       EXPECT_EQ(s.entry_tag_id, t.interner.Find(s.entry_name));
+    }
+  }
+
+  CompileOptions map_opts;
+  map_opts.tables.use_map_dispatch = true;
+  Prefilter map_pf = Compile(kPaperDtd, "/a/b#", map_opts);
+  const RuntimeTables& m = map_pf.tables();
+  ASSERT_EQ(m.states.size(), t.states.size());
+  for (size_t q = 0; q < m.states.size(); ++q) {
+    int flat_open = 0;
+    int flat_close = 0;
+    for (int32_t v : t.states[q].open_next_id) flat_open += v >= 0 ? 1 : 0;
+    for (int32_t v : t.states[q].close_next_id) {
+      flat_close += v >= 0 ? 1 : 0;
+    }
+    EXPECT_EQ(flat_open, static_cast<int>(m.states[q].open_next.size()));
+    EXPECT_EQ(flat_close, static_cast<int>(m.states[q].close_next.size()));
+    for (const auto& [name, to] : m.states[q].open_next) {
+      EXPECT_EQ(t.NextState(static_cast<int>(q), name, false), to);
+    }
+    for (const auto& [name, to] : m.states[q].close_next) {
+      EXPECT_EQ(t.NextState(static_cast<int>(q), name, true), to);
     }
   }
 }

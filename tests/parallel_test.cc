@@ -1,0 +1,535 @@
+// Determinism tests for the resumable PrefilterSession and the parallel
+// sharded/batch execution layer: chunked, sharded, and batched runs must be
+// byte-identical to the serial engine, with merged RunStats totals
+// matching, across thread counts, odd shard boundaries (mid-tag, inside
+// CDATA/comments), tiny windows, and empty shards.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/prefilter.h"
+#include "parallel/batch.h"
+#include "parallel/shard.h"
+#include "parallel/thread_pool.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx::core {
+namespace {
+
+constexpr char kPaperDtd[] =
+    "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+    " <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>";
+
+Prefilter Compile(std::string_view dtd_text, std::string_view paths,
+                  const CompileOptions& opts = {}) {
+  auto dtd = dtd::Dtd::Parse(dtd_text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  auto parsed = paths::ProjectionPath::ParseList(paths);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto pf = Prefilter::Compile(std::move(*dtd), *parsed, opts);
+  EXPECT_TRUE(pf.ok()) << pf.status().ToString();
+  return std::move(*pf);
+}
+
+std::string SerialRun(const Prefilter& pf, std::string_view doc,
+                      RunStats* stats = nullptr,
+                      const EngineOptions& opts = {}) {
+  auto out = pf.RunOnBuffer(doc, stats, opts);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::string();
+}
+
+/// Runs a push-mode session over `doc` in chunks of `chunk_len` bytes.
+std::string ChunkedRun(const Prefilter& pf, std::string_view doc,
+                       size_t chunk_len, RunStats* stats = nullptr,
+                       const EngineOptions& opts = {}) {
+  StringSink sink;
+  RunStats local;
+  PrefilterSession session(pf.tables(), &sink,
+                           stats != nullptr ? stats : &local, opts);
+  for (size_t off = 0; off < doc.size(); off += chunk_len) {
+    Status s = session.Resume(doc.substr(off, chunk_len));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) return std::string();
+  }
+  Status s = session.Finish();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return sink.TakeString();
+}
+
+// --- PrefilterSession: chunked push mode ----------------------------------
+
+TEST(SessionTest, ChunkedRunsMatchSerialAcrossChunkSizes) {
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  const std::string doc =
+      "<?xml version=\"1.0\"?>\n<!-- prolog comment -->\n"
+      "<a><b>one</b><c><b>shielded</b></c><b attr=\"x>y\">two</b>"
+      "<b/><c><b/></c></a>";
+  RunStats serial_stats;
+  std::string serial = SerialRun(pf, doc, &serial_stats);
+  for (size_t chunk : {1u, 2u, 3u, 7u, 16u, 64u, 4096u}) {
+    SCOPED_TRACE(chunk);
+    RunStats stats;
+    EXPECT_EQ(ChunkedRun(pf, doc, chunk, &stats), serial);
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.false_matches, serial_stats.false_matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+    EXPECT_EQ(stats.input_bytes, doc.size());
+  }
+}
+
+TEST(SessionTest, ChunkedDoctypeWithQuotedGt) {
+  // The memchr DOCTYPE scan must not terminate on a '>' inside a quoted
+  // entity value, in any chunking.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  const std::string doc =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*> <!ENTITY e \"x>y\">"
+      " <!ENTITY f 'p>q'> ]>\n<a><b>k</b></a>";
+  std::string serial = SerialRun(pf, doc);
+  EXPECT_EQ(serial, "<a><b>k</b></a>");
+  for (size_t chunk : {1u, 5u, 33u}) {
+    SCOPED_TRACE(chunk);
+    EXPECT_EQ(ChunkedRun(pf, doc, chunk), serial);
+  }
+}
+
+TEST(SessionTest, TinyWindowChunkedRun) {
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  std::string big_text(5000, 'x');
+  const std::string doc = "<a><b>" + big_text + "</b><c><b>n</b></c></a>";
+  EngineOptions opts;
+  opts.window_capacity = 64;
+  std::string serial = SerialRun(pf, doc, nullptr, opts);
+  for (size_t chunk : {3u, 17u, 256u}) {
+    SCOPED_TRACE(chunk);
+    EXPECT_EQ(ChunkedRun(pf, doc, chunk, nullptr, opts), serial);
+  }
+}
+
+TEST(SessionTest, InvalidConstructionIsInert) {
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  // Empty tables: clean error, no crash.
+  RuntimeTables empty;
+  StringSink sink1;
+  RunStats stats1;
+  PrefilterSession bad1(empty, &sink1, &stats1);
+  EXPECT_FALSE(bad1.finished());
+  EXPECT_EQ(bad1.Resume("<a/>").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad1.Finish().code(), StatusCode::kInvalidArgument);
+  // Out-of-range checkpoint state: same.
+  SessionCheckpoint cp;
+  cp.state = 999;
+  StringSink sink2;
+  RunStats stats2;
+  PrefilterSession bad2(pf.tables(), &sink2, &stats2, {}, &cp);
+  EXPECT_FALSE(bad2.finished());
+  EXPECT_EQ(bad2.Resume("<a/>").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, FinishOnTruncatedDocumentFails) {
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  StringSink sink;
+  RunStats stats;
+  PrefilterSession session(pf.tables(), &sink, &stats);
+  ASSERT_TRUE(session.Resume("<a><b>never").ok());
+  EXPECT_FALSE(session.finished());
+  Status s = session.Finish();
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(SessionTest, MidPrologCheckpointHandoffStaysByteIdentical) {
+  // A chunk ending inside the DOCTYPE suspends mid-prolog; a successor
+  // session built from the checkpoint must resume prolog scanning (not
+  // treat the internal subset -- here holding decoy vocabulary tags -- as
+  // document content). Regression: prolog_done/jump_pending now travel in
+  // the checkpoint.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  const std::string doc =
+      "<!DOCTYPE a [ <!-- <a><b>fake</b></a> --> ]>\n<a><b>real</b></a>";
+  std::string serial = SerialRun(pf, doc);
+  EXPECT_EQ(serial, "<a><b>real</b></a>");
+  for (size_t cut : {5u, 20u, 30u, 43u}) {  // all inside/at the DOCTYPE
+    SCOPED_TRACE(cut);
+    StringSink sink1;
+    RunStats stats1;
+    PrefilterSession first(pf.tables(), &sink1, &stats1);
+    ASSERT_TRUE(first.Resume(std::string_view(doc).substr(0, cut)).ok());
+    ASSERT_FALSE(first.finished());
+    SessionCheckpoint cp = first.checkpoint();
+    StringSink sink2;
+    RunStats stats2;
+    PrefilterSession second(pf.tables(), &sink2, &stats2, {}, &cp);
+    ASSERT_TRUE(
+        second
+            .Resume(std::string_view(doc).substr(
+                static_cast<size_t>(cp.cursor)))
+            .ok());
+    ASSERT_TRUE(second.Finish().ok());
+    EXPECT_EQ(sink1.str() + sink2.str(), serial);
+  }
+}
+
+TEST(SessionTest, CheckpointHandoffContinuesByteIdentically) {
+  // Split a document at an arbitrary top-level point: run the prefix in one
+  // session, hand its checkpoint to a second session over the suffix; the
+  // concatenated output must equal the serial run.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  const std::string doc =
+      "<a><b>one</b><c><b>s</b></c><b>two</b><b>three</b><c><b/></c></a>";
+  std::string serial = SerialRun(pf, doc);
+
+  // Boundary at the '<' of "<b>two" (a top-level child of <a>).
+  size_t bound = doc.find("<b>two");
+  ASSERT_NE(bound, std::string::npos);
+
+  StringSink sink1;
+  RunStats stats1;
+  PrefilterSession first(pf.tables(), &sink1, &stats1);
+  ASSERT_TRUE(first.Resume(std::string_view(doc).substr(0, bound)).ok());
+  ASSERT_FALSE(first.finished());
+  ASSERT_TRUE(first.drained_cleanly());
+  SessionCheckpoint cp = first.checkpoint();
+  EXPECT_EQ(cp.copy_depth, 0);
+  EXPECT_EQ(cp.nesting_depth, 0u);
+
+  // The successor starts exactly at the boundary in the carried state.
+  cp.cursor = bound;
+  StringSink sink2;
+  RunStats stats2;
+  PrefilterSession second(pf.tables(), &sink2, &stats2, {}, &cp);
+  ASSERT_TRUE(second.Resume(std::string_view(doc).substr(bound)).ok());
+  ASSERT_TRUE(second.Finish().ok());
+  EXPECT_TRUE(second.finished());
+
+  EXPECT_EQ(sink1.str() + sink2.str(), serial);
+}
+
+// --- Sharder: boundary scan -----------------------------------------------
+
+TEST(SharderTest, BoundariesAreTopLevelElementStarts) {
+  // Root <a>, top-level children alternate b and c; comments and CDATA
+  // containing fake tags must not attract or distort boundaries.
+  std::string doc = "<a>";
+  for (int i = 0; i < 40; ++i) {
+    doc += "<b>text</b>";
+    doc += "<c><b>nested</b><!-- <b>fake</b> --></c>";
+  }
+  doc += "</a>";
+  std::vector<uint64_t> bounds =
+      parallel::FindTopLevelBoundaries(doc, 3);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_LE(bounds.size(), 3u);
+  for (uint64_t b : bounds) {
+    ASSERT_LT(b + 1, doc.size());
+    EXPECT_EQ(doc[static_cast<size_t>(b)], '<');
+    // Never a closing tag, never inside a comment: must open b or c.
+    EXPECT_TRUE(doc[static_cast<size_t>(b) + 1] == 'b' ||
+                doc[static_cast<size_t>(b) + 1] == 'c')
+        << "boundary at " << b;
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(SharderTest, BoundariesSkipCdataAndComments) {
+  // A document whose midsection -- where even split targets land -- is one
+  // huge comment plus CDATA full of fake top-level tags.
+  std::string fake;
+  for (int i = 0; i < 200; ++i) fake += "<b>x</b>";
+  std::string doc = "<a><b>start</b><c><![CDATA[" + fake + "]]>" +
+                    "<!-- " + fake + " --><b>in</b></c><b>end</b></a>";
+  std::vector<uint64_t> bounds =
+      parallel::FindTopLevelBoundaries(doc, 7);
+  for (uint64_t b : bounds) {
+    // Only the real top-level children qualify.
+    size_t p = static_cast<size_t>(b);
+    bool is_c = doc.compare(p, 3, "<c>") == 0;
+    bool is_end = doc.compare(p, 11, "<b>end</b>") == 0 ||
+                  doc.compare(p, 3, "<b>") == 0;
+    EXPECT_TRUE(is_c || is_end) << "boundary at " << b << ": "
+                                << doc.substr(p, 12);
+  }
+}
+
+TEST(SharderTest, TinyDocumentsYieldFewOrNoBoundaries) {
+  EXPECT_TRUE(parallel::FindTopLevelBoundaries("", 4).empty());
+  EXPECT_TRUE(parallel::FindTopLevelBoundaries("<a/>", 4).empty());
+  // A childless root has no depth-1 element starts at all.
+  EXPECT_TRUE(parallel::FindTopLevelBoundaries("<a>text only</a>", 4).empty());
+  // One top-level child: at most one (valid) boundary, at that child.
+  std::vector<uint64_t> b =
+      parallel::FindTopLevelBoundaries("<a><b/></a>", 4);
+  ASSERT_LE(b.size(), 1u);
+  if (!b.empty()) {
+    EXPECT_EQ(b[0], 3u);
+  }
+}
+
+// --- Sharded execution ----------------------------------------------------
+
+/// Asserts byte-identical output and equal semantic stat totals between the
+/// serial engine and ShardedRun at several thread/shard counts.
+void ExpectShardedIdentical(const Prefilter& pf, const std::string& doc,
+                            const core::EngineOptions& eopts = {}) {
+  RunStats serial_stats;
+  std::string serial = SerialRun(pf, doc, &serial_stats, eopts);
+  for (int threads : {1, 2, 4, 7}) {
+    SCOPED_TRACE(threads);
+    parallel::ThreadPool pool(threads);
+    for (size_t shards : {static_cast<size_t>(threads), size_t{3},
+                          size_t{5}}) {
+      SCOPED_TRACE(shards);
+      StringSink sink;
+      RunStats stats;
+      parallel::ShardOptions opts;
+      opts.max_shards = shards;
+      opts.engine = eopts;
+      Status s =
+          parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool, opts);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(sink.str(), serial);
+      EXPECT_EQ(stats.matches, serial_stats.matches);
+      EXPECT_EQ(stats.false_matches, serial_stats.false_matches);
+      EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+      EXPECT_EQ(stats.initial_jump_chars, serial_stats.initial_jump_chars);
+      EXPECT_EQ(stats.states_visited, serial_stats.states_visited);
+      EXPECT_EQ(stats.input_bytes, serial_stats.input_bytes);
+    }
+  }
+}
+
+TEST(ShardedRunTest, StarRootMatchesSerial) {
+  // Star-shaped root: speculation hits on every boundary.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (b,b?)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 300; ++i) {
+    doc += "<b>keep " + std::to_string(i) + "</b>";
+    doc += "<c><b>drop</b><b>drop2</b></c>";
+  }
+  doc += "</a>";
+  ExpectShardedIdentical(pf, doc);
+}
+
+TEST(ShardedRunTest, OrderedRootMisspeculationStillMatchesSerial) {
+  // Sequenced root content: every boundary has a distinct DFA state, so
+  // speculation fails and the verification pass re-runs shards -- output
+  // must still be byte-identical.
+  const char dtd[] =
+      "<!DOCTYPE r [ <!ELEMENT r (x, y, z)> <!ELEMENT x (b*)>"
+      " <!ELEMENT y (b*)> <!ELEMENT z (b*)> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/r/y#");
+  std::string fill;
+  for (int i = 0; i < 120; ++i) fill += "<b>payload text</b>";
+  std::string doc =
+      "<r><x>" + fill + "</x><y>" + fill + "</y><z>" + fill + "</z></r>";
+  ExpectShardedIdentical(pf, doc);
+}
+
+TEST(ShardedRunTest, CdataCommentsAndFakeTagsAcrossBoundaries) {
+  // Split targets that would naively land mid-tag or inside CDATA/comment
+  // regions full of vocabulary-lookalike text.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 50; ++i) {
+    doc += "<b>text with &lt;zzz&gt; lookalikes <zzz attr=\"quoted>gt\"> "
+           "and more</b>";
+    doc += "<c><!-- <zzz>commented</zzz> -->plain</c>";
+    doc += "<c><![CDATA[ <zzz>cdata</zzz> ]]></c>";
+  }
+  doc += "</a>";
+  ExpectShardedIdentical(pf, doc);
+}
+
+TEST(ShardedRunTest, TinyWindowsAndEmptyShards) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  // Tiny document: more shards requested than top-level children exist.
+  std::string tiny = "<a><b>x</b><c>y</c></a>";
+  core::EngineOptions small;
+  small.window_capacity = 64;
+  ExpectShardedIdentical(pf, tiny, small);
+  // Larger document through a tiny window.
+  std::string doc = "<a>";
+  for (int i = 0; i < 200; ++i) doc += "<b>abcdefgh</b><c>ignored</c>";
+  doc += "</a>";
+  ExpectShardedIdentical(pf, doc, small);
+}
+
+TEST(ShardedRunTest, OpaqueRecursionAcrossBoundaries) {
+  // Recursive (opaque) regions spanning shard boundaries: the nesting
+  // balance cannot be speculated, so these shards re-run -- output must
+  // still match the serial engine.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (item*)>"
+      " <!ELEMENT item (name, tree)> <!ELEMENT name (#PCDATA)>"
+      " <!ELEMENT tree (leaf | tree)*> <!ELEMENT leaf (#PCDATA)> ]>";
+  CompileOptions copts;
+  copts.allow_recursion = true;
+  Prefilter pf = Compile(dtd, "//name#", copts);
+  std::string doc = "<a>";
+  for (int i = 0; i < 80; ++i) {
+    doc += "<item><name>n" + std::to_string(i) + "</name>"
+           "<tree><tree><leaf>deep</leaf></tree><leaf>x</leaf></tree>"
+           "</item>";
+  }
+  doc += "</a>";
+  ExpectShardedIdentical(pf, doc);
+}
+
+TEST(ShardedRunTest, XmarkGeneratorDocMatchesSerial) {
+  xmlgen::XmarkOptions gen;
+  gen.target_bytes = 400 << 10;
+  std::string doc = xmlgen::GenerateXmark(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/site/people/person@ /site/people/person/name#");
+  ASSERT_TRUE(paths.ok());
+  auto pf = Prefilter::Compile(xmlgen::XmarkDtd(), *paths);
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  ExpectShardedIdentical(*pf, doc);
+}
+
+TEST(ShardedRunTest, MedlineGeneratorDocMatchesSerial) {
+  // Star-shaped MEDLINE root: the bulk-scaling case for sharding.
+  xmlgen::MedlineOptions gen;
+  gen.target_bytes = 400 << 10;
+  std::string doc = xmlgen::GenerateMedline(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo#");
+  ASSERT_TRUE(paths.ok());
+  auto pf = Prefilter::Compile(xmlgen::MedlineDtd(), *paths);
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  ExpectShardedIdentical(*pf, doc);
+}
+
+TEST(ShardedRunTest, TruncatedDocumentFailsLikeSerial) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b)*> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 50; ++i) doc += "<b>x</b>";
+  // No closing </a>.
+  MemoryInputStream in(doc);
+  StringSink serial_sink;
+  Status serial = pf.Run(&in, &serial_sink);
+  ASSERT_FALSE(serial.ok());
+
+  parallel::ThreadPool pool(4);
+  StringSink sink;
+  RunStats stats;
+  Status sharded =
+      parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool, {});
+  EXPECT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.code(), serial.code());
+}
+
+// --- Batch driver ---------------------------------------------------------
+
+TEST(BatchRunTest, ManyDocumentsMatchPerDocumentSerialRuns) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::vector<std::string> docs;
+  for (int d = 0; d < 12; ++d) {
+    std::string doc = "<a>";
+    for (int i = 0; i <= d * 7; ++i) {
+      doc += "<b>d" + std::to_string(d) + "i" + std::to_string(i) + "</b>";
+      doc += "<c>skip</c>";
+    }
+    doc += "</a>";
+    docs.push_back(doc);
+  }
+  std::vector<std::string_view> views(docs.begin(), docs.end());
+
+  std::string expected;
+  RunStats expected_stats;
+  for (const std::string& d : docs) {
+    RunStats st;
+    expected += SerialRun(pf, d, &st);
+    parallel::MergeRunStats(&expected_stats, st);
+  }
+
+  for (int threads : {1, 2, 4, 7}) {
+    SCOPED_TRACE(threads);
+    parallel::ThreadPool pool(threads);
+    StringSink sink;
+    RunStats stats;
+    Status s = parallel::BatchRunMerged(pf.tables(), views, &sink, &stats,
+                                        &pool);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(sink.str(), expected);
+    EXPECT_EQ(stats.matches, expected_stats.matches);
+    EXPECT_EQ(stats.output_bytes, expected_stats.output_bytes);
+    EXPECT_EQ(stats.input_bytes, expected_stats.input_bytes);
+  }
+}
+
+TEST(BatchRunTest, PerDocumentErrorsAreIsolatedAndOrdered) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b)*> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::vector<std::string_view> docs = {
+      "<a><b>ok1</b></a>",
+      "<a><b>truncated",  // invalid
+      "<a><b>ok2</b></a>",
+  };
+  parallel::ThreadPool pool(3);
+  std::vector<parallel::BatchResult> results =
+      parallel::BatchRun(pf.tables(), docs, &pool);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_EQ(results[0].output, "<a><b>ok1</b></a>");
+  EXPECT_EQ(results[2].output, "<a><b>ok2</b></a>");
+}
+
+// --- InputSource / mmap ---------------------------------------------------
+
+TEST(InputSourceTest, MemorySourceRoundTrip) {
+  MemorySource src("hello world");
+  EXPECT_EQ(src.size(), 11u);
+  EXPECT_EQ(src.Contiguous(), "hello world");
+  char buf[5];
+  auto n = src.ReadAt(6, buf, 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(std::string_view(buf, 5), "world");
+  EXPECT_EQ(*src.ReadAt(11, buf, 5), 0u);
+}
+
+TEST(InputSourceTest, MmapSourceReadsFileAndStreams) {
+  std::string path = ::testing::TempDir() + "/smpx_mmap_test.xml";
+  std::string content = "<a><b>mmap payload</b></a>";
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+  auto src = MmapSource::Open(path);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  EXPECT_EQ((*src)->size(), content.size());
+  EXPECT_EQ((*src)->Contiguous(), content);
+
+  // The pull adapter feeds the serial engine from the mapping.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b)*> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  SourceStream stream(src->get());
+  StringSink sink;
+  ASSERT_TRUE(pf.Run(&stream, &sink).ok());
+  EXPECT_EQ(sink.str(), content);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smpx::core
