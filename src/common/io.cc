@@ -260,6 +260,17 @@ bool SlidingWindow::AtEnd(uint64_t pos) {
   return eof_ && pos >= base_ + size_;
 }
 
+std::string ProjectedOutputPath(const std::string& input_path) {
+  static constexpr std::string_view kXml = ".xml";
+  if (input_path.size() > kXml.size() &&
+      input_path.compare(input_path.size() - kXml.size(), kXml.size(),
+                         kXml) == 0) {
+    return input_path.substr(0, input_path.size() - kXml.size()) +
+           ".proj.xml";
+  }
+  return input_path + ".proj.xml";
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   SMPX_ASSIGN_OR_RETURN(std::unique_ptr<FileInputStream> in,
                         FileInputStream::Open(path));

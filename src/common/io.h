@@ -287,6 +287,11 @@ class SlidingWindow {
   Status status_;
 };
 
+/// Per-input projection output naming used by batch pipelines:
+/// "dir/in.xml" -> "dir/in.proj.xml"; non-".xml" inputs get ".proj.xml"
+/// appended ("data.bin" -> "data.bin.proj.xml").
+std::string ProjectedOutputPath(const std::string& input_path);
+
 /// Reads a whole file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 

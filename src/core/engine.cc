@@ -52,7 +52,7 @@ class PrefilterSession::Impl {
        const SessionCheckpoint* start)
       : tables_(tables),
         win_(in != nullptr ? in : &feed_, opts.window_capacity,
-             start != nullptr ? start->cursor : 0),
+             start != nullptr ? start->feed_begin() : 0),
         out_(out),
         stats_(stats != nullptr ? stats : &local_stats_),
         opts_(opts),
@@ -94,7 +94,7 @@ class PrefilterSession::Impl {
       q_ = tables_.initial;
       prolog_done_ = !opts_.skip_prolog;
     }
-    MarkVisited();
+    if (start == nullptr || opts_.mark_start_state_visited) MarkVisited();
     lock_floor_ = cursor_;
   }
 
@@ -106,9 +106,12 @@ class PrefilterSession::Impl {
     Step s = Drive();
     if (s == Step::kError) return status_;
     if (s == Step::kNeedMore && copy_depth_ > 0) {
-      // Hand-off invariant: everything below checkpoint().cursor has been
-      // emitted, so a successor session never needs our buffered bytes.
-      Status flush = EmitCopiedRange(cursor_);
+      // Hand-off invariant: everything below checkpoint().feed_begin()
+      // has been emitted, so a successor session never needs our buffered
+      // bytes. The flush is clamped to the delivered input -- an initial
+      // jump can park the cursor beyond it, and those copy bytes (not yet
+      // received) are re-fed to the successor via feed_begin().
+      Status flush = EmitCopiedRange(std::min(cursor_, win_.limit()));
       if (!flush.ok()) {
         status_ = flush;
         return status_;

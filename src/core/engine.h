@@ -67,6 +67,13 @@ struct EngineOptions {
   /// keyword search would treat prolog bytes as opaque text otherwise, which
   /// is correct but slower and can trip on DTD-internal quoted tags.
   bool skip_prolog = true;
+  /// Count the checkpoint's start state in visited()/states_visited. The
+  /// parallel sharder disables this for speculative sessions launched from
+  /// a *representative* of several behavior-equivalent candidate states:
+  /// the true serial run may never enter the representative itself, and its
+  /// bit is always owned by the predecessor shard's hand-off anyway.
+  /// Ignored for sessions starting from scratch (no checkpoint).
+  bool mark_start_state_visited = true;
 };
 
 /// The engine state carried across chunk boundaries: everything a session
@@ -87,6 +94,15 @@ struct SessionCheckpoint {
   /// been applied yet (only possible before the first search, i.e. for the
   /// initial state while the prolog is still being skipped).
   bool jump_pending = false;
+
+  /// Absolute offset a successor session must be fed from. Normally the
+  /// cursor; inside an active copy region the emitted prefix may lag
+  /// behind it (an initial jump taken past the end of the delivered input
+  /// suspends with copy bytes not yet received, let alone emitted), and
+  /// feeding restarts at copy_flushed so the successor emits them.
+  uint64_t feed_begin() const {
+    return copy_depth > 0 && copy_flushed < cursor ? copy_flushed : cursor;
+  }
 };
 
 /// A resumable prefiltering run over the immutable RuntimeTables.

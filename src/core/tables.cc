@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 #include <set>
+#include <unordered_set>
+#include <utility>
 
 #include "dtd/min_serial.h"
 
@@ -93,6 +95,57 @@ uint64_t ComputeJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
     }
   }
   return best == kInf ? 0 : best;
+}
+
+/// Static boundary-state analysis (RuntimeTables::boundary_states): BFS
+/// over the product of the DTD-automaton (which generates every token
+/// sequence of a DTD-valid document) and the runtime DFA's token semantics.
+/// Whenever a product node (s, q) has an outgoing token that opens a
+/// top-level instance, the cursor of a real run can rest on that boundary's
+/// '<' in DFA state q, so q joins the set. Opaque-region balances are not
+/// tracked; a closing entry tag inside a counting state forks into both
+/// "still nested" and "region left", which can only over-approximate --
+/// containment of the true entry state is what speculation needs.
+std::vector<int> ComputeBoundaryStates(const DtdAutomaton& aut,
+                                       const RuntimeTables& tables) {
+  const uint64_t nq = tables.states.size();
+  if (nq == 0) return {};
+  std::vector<char> boundary(static_cast<size_t>(nq), 0);
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<int, int>> work;
+  auto push = [&seen, &work, nq](int s, int q) {
+    uint64_t key = static_cast<uint64_t>(s) * nq + static_cast<uint64_t>(q);
+    if (seen.insert(key).second) work.emplace_back(s, q);
+  };
+  push(0, tables.initial);
+  while (!work.empty()) {
+    auto [s, q] = work.back();
+    work.pop_back();
+    const DfaState& st = tables.states[static_cast<size_t>(q)];
+    for (const DtdAutomaton::Transition& t : aut.Out(s)) {
+      const dtd::TagToken& tok = aut.token(t.token);
+      if (!tok.closing && aut.IsTopLevelOpenState(t.to)) {
+        boundary[static_cast<size_t>(q)] = 1;
+      }
+      if (st.count_nesting && tok.name == st.entry_name) {
+        // The engine balances the region's own tag: openings always stay
+        // inside; a closing leaves only when the balance hits zero.
+        push(t.to, q);
+        if (tok.closing) {
+          int next = tables.NextState(q, tok.name, /*closing=*/true);
+          if (next >= 0) push(t.to, next);
+        }
+        continue;
+      }
+      int next = tables.NextState(q, tok.name, tok.closing);
+      push(t.to, next >= 0 ? next : q);
+    }
+  }
+  std::vector<int> out;
+  for (size_t q = 0; q < boundary.size(); ++q) {
+    if (boundary[q] != 0) out.push_back(static_cast<int>(q));
+  }
+  return out;
 }
 
 }  // namespace
@@ -281,6 +334,7 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
       tables.states[q].open_next = std::move(open_maps[q]);
       tables.states[q].close_next = std::move(close_maps[q]);
     }
+    tables.boundary_states = ComputeBoundaryStates(aut, tables);
     return tables;
   }
 
@@ -318,6 +372,7 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     }
   }
   tables.interned_dispatch = true;
+  tables.boundary_states = ComputeBoundaryStates(aut, tables);
   return tables;
 }
 

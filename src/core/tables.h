@@ -122,6 +122,18 @@ struct RuntimeTables {
   /// open_next_id/close_next_id instead of the tree maps.
   bool interned_dispatch = false;
 
+  /// Static boundary-state analysis: the DFA states the runtime can be in
+  /// when the document cursor rests on the '<' of a top-level element
+  /// (a direct child of the root), sorted ascending. Computed at build time
+  /// by a product walk of the DTD-automaton and the runtime DFA over every
+  /// token sequence of a DTD-valid document, so for valid inputs the true
+  /// entry state of any top-level boundary is ALWAYS contained in this set.
+  /// The parallel sharder speculates every shard's entry state from it
+  /// without serializing shard 0 (invalid inputs merely mis-speculate and
+  /// are repaired by the verification pass). Empty only for hand-built
+  /// tables or childless roots.
+  std::vector<int> boundary_states;
+
   // Report metadata (paper Table I "States (CW + BM)").
   size_t num_cw_states = 0;   ///< states with |V| > 1
   size_t num_bm_states = 0;   ///< states with |V| == 1

@@ -89,6 +89,15 @@ class DtdAutomaton {
   /// The single final state: close(root instance).
   int final_state() const { return CloseState(0); }
 
+  /// True when `s` is the open state of a *top-level* instance (a direct
+  /// child of the document root): such states are entered exactly at the
+  /// top-level element boundaries the parallel sharder splits documents at.
+  /// Derived from the instance tree, i.e. ultimately from the root's
+  /// content model.
+  bool IsTopLevelOpenState(int s) const {
+    return IsOpenState(s) && instance(InstanceOf(s)).parent == 0;
+  }
+
   // --- Structure ----------------------------------------------------------
   const std::vector<Instance>& instances() const { return instances_; }
   const Instance& instance(int i) const {

@@ -1,5 +1,8 @@
 #include "parallel/batch.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/io.h"
 #include "parallel/shard.h"
 
@@ -10,21 +13,14 @@ std::vector<BatchResult> BatchRun(const core::RuntimeTables& tables,
                                   ThreadPool* pool,
                                   const core::EngineOptions& opts) {
   std::vector<BatchResult> results(docs.size());
-  WaitGroup wg;
-  wg.Add(static_cast<int>(docs.size()));
-  for (size_t i = 0; i < docs.size(); ++i) {
-    pool->Submit([&, i] {
-      StringSink sink;
-      core::PrefilterSession session(tables, &sink, &results[i].stats,
-                                     opts);
-      Status s = session.Resume(docs[i]);
-      if (s.ok()) s = session.Finish();
-      results[i].status = s;
-      results[i].output = sink.TakeString();
-      wg.Done();
-    });
-  }
-  wg.Wait();
+  pool->RunAndWait(docs.size(), [&](size_t i) {
+    StringSink sink;
+    core::PrefilterSession session(tables, &sink, &results[i].stats, opts);
+    Status s = session.Resume(docs[i]);
+    if (s.ok()) s = session.Finish();
+    results[i].status = s;
+    results[i].output = sink.TakeString();
+  });
   return results;
 }
 
@@ -49,6 +45,51 @@ Status BatchRunMerged(const core::RuntimeTables& tables,
     }
   }
   return Status::Ok();
+}
+
+Status StreamRun(const core::RuntimeTables& tables, const InputSource& src,
+                 OutputSink* out, core::RunStats* stats,
+                 const StreamOptions& opts) {
+  core::PrefilterSession session(tables, out, stats, opts.engine);
+  const size_t chunk = std::max<size_t>(1, opts.chunk_bytes);
+  std::vector<char> buf(chunk);
+  const uint64_t total = src.size();
+  uint64_t offset = 0;
+  while (offset < total && !session.finished()) {
+    auto n = src.ReadAt(offset, buf.data(), buf.size());
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // defensive: source shorter than advertised
+    SMPX_RETURN_IF_ERROR(
+        session.Resume(std::string_view(buf.data(), *n)));
+    offset += *n;
+  }
+  if (session.finished()) {
+    // Trailing bytes are ignored, as in a serial run; Finish() would be a
+    // no-op state-wise but we still want the summary stats filled.
+    session.FinalizeStats();
+    return Status::Ok();
+  }
+  return session.Finish();
+}
+
+std::vector<Status> BatchRunStreaming(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<OutputSink*>& sinks,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts) {
+  std::vector<Status> statuses(docs.size());
+  if (sinks.size() != docs.size()) {
+    statuses.assign(docs.size(),
+                    Status::InvalidArgument("one sink per document required"));
+    return statuses;
+  }
+  if (stats != nullptr) stats->assign(docs.size(), core::RunStats{});
+  pool->RunAndWait(docs.size(), [&](size_t i) {
+    statuses[i] = StreamRun(tables, *docs[i], sinks[i],
+                            stats != nullptr ? &(*stats)[i] : nullptr, opts);
+  });
+  return statuses;
 }
 
 }  // namespace smpx::parallel

@@ -3,6 +3,14 @@
 // static table build across the whole batch. Results and merged statistics
 // are assembled in document order, so batch output is deterministic and
 // each document's bytes equal its serial run.
+//
+// Two input shapes:
+//  - BatchRun / BatchRunMerged take whole in-memory documents and buffer
+//    each output (the original PR-2 drivers);
+//  - StreamRun / BatchRunStreaming pull each document through its session
+//    in bounded InputSource chunks and write straight to per-document
+//    sinks, so peak memory is O(window + chunk) per worker regardless of
+//    document size -- the multi-GB batch shape.
 
 #ifndef SMPX_PARALLEL_BATCH_H_
 #define SMPX_PARALLEL_BATCH_H_
@@ -11,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/io.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/tables.h"
@@ -43,6 +52,35 @@ Status BatchRunMerged(const core::RuntimeTables& tables,
                       OutputSink* out, core::RunStats* stats,
                       ThreadPool* pool,
                       const core::EngineOptions& opts = {});
+
+struct StreamOptions {
+  core::EngineOptions engine;
+  /// Bytes fed to the session per Resume call; together with the engine
+  /// window this bounds a streaming run's peak memory.
+  size_t chunk_bytes = 1 << 20;
+};
+
+/// Prefilters one document by pulling `src` through a resumable session in
+/// `chunk_bytes` slices: output is byte-identical to the serial engine,
+/// but no more than one chunk (plus the sliding window) is ever resident.
+/// Stops reading as soon as the run reaches a final state, like the serial
+/// engine. `stats` may be null.
+Status StreamRun(const core::RuntimeTables& tables, const InputSource& src,
+                 OutputSink* out, core::RunStats* stats,
+                 const StreamOptions& opts = {});
+
+/// Streaming batch driver: one StreamRun per document, concurrently on
+/// `pool`, each writing to its own caller-provided sink (sinks.size() must
+/// equal docs.size(); sinks are written from pool threads but never
+/// shared). Returns per-document statuses in input order; `stats` (may be
+/// null) receives per-document RunStats in the same order. Errors are
+/// isolated per document. Must not be called from a pool thread.
+std::vector<Status> BatchRunStreaming(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<OutputSink*>& sinks,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts = {});
 
 }  // namespace smpx::parallel
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <utility>
 
 #include "common/strings.h"
 
@@ -109,6 +110,114 @@ size_t SkipDeclaration(std::string_view doc, size_t from) {
   return doc.size();
 }
 
+/// Position one past the opaque markup construct whose '<' sits at `t`
+/// (`next` = doc[t+1], '!' or '?'): comment, CDATA section, DOCTYPE-style
+/// declaration, or processing instruction. Shared by the serial and the
+/// region-parallel scanner so their construct handling cannot diverge.
+size_t SkipMarkupConstruct(std::string_view doc, size_t t, char next) {
+  if (next == '?') return SkipPastTerm(doc, t + 2, "?>");
+  std::string_view rest = doc.substr(t);
+  if (rest.substr(0, 4) == "<!--") return SkipPastTerm(doc, t + 4, "-->");
+  if (rest.substr(0, 9) == "<![CDATA[") {
+    return SkipPastTerm(doc, t + 9, "]]>");
+  }
+  return SkipDeclaration(doc, t);
+}
+
+constexpr uint64_t kNoPos = ~uint64_t{0};
+
+/// Deepest region-start element depth the lazy scan can resolve; regions
+/// starting deeper than this simply report no boundary (safe: shards just
+/// get fewer split candidates there).
+constexpr int64_t kMaxRelDepth = 256;
+
+/// What one region's independent scan learned, relative to the (unknown at
+/// scan time) element depth at its start.
+struct RegionSummary {
+  /// first_open[d + kMaxRelDepth]: absolute position of the first element
+  /// start encountered at relative depth d, for d in [-kMaxRelDepth, 1];
+  /// kNoPos when none. A start at relative depth d is a top-level boundary
+  /// iff d + (absolute depth at scan start) == 1.
+  std::vector<uint64_t> first_open;
+  int64_t depth_delta = 0;   ///< net element-depth change across the scan
+  uint64_t resume_pos = 0;   ///< one past the last byte the scan consumed
+};
+
+/// Scans every construct *starting* in [begin, end), assuming the scan
+/// starts in content (not inside a tag/comment/CDATA/PI/DOCTYPE/quote) at
+/// an unknown absolute depth. Construct skips use the full document, so a
+/// construct straddling `end` is consumed completely and resume_pos tells
+/// the fix-up how far this region's view actually reached.
+RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
+  RegionSummary sum;
+  sum.first_open.assign(static_cast<size_t>(kMaxRelDepth + 2), kNoPos);
+  int64_t depth = 0;
+  size_t pos = static_cast<size_t>(begin);
+  const size_t stop = static_cast<size_t>(end);
+  while (pos < stop) {
+    const char* lt = static_cast<const char*>(
+        std::memchr(doc.data() + pos, '<', stop - pos));
+    if (lt == nullptr) {
+      pos = stop;
+      break;
+    }
+    size_t t = static_cast<size_t>(lt - doc.data());
+    std::string_view rest = doc.substr(t);
+    if (rest.size() < 2) {
+      pos = doc.size();
+      break;
+    }
+    char next = rest[1];
+    if (next == '!' || next == '?') {
+      pos = SkipMarkupConstruct(doc, t, next);
+      continue;
+    }
+    if (next == '/') {
+      size_t tag_end = TagEnd(doc, t);
+      --depth;  // may go negative: the region started below its closers
+      pos = tag_end + 1;
+      continue;
+    }
+    if (!IsNameChar(next)) {
+      pos = t + 1;  // stray '<' in text
+      continue;
+    }
+    // An opening (or bachelor) element tag at relative depth `depth`.
+    if (depth <= 1 && depth >= -kMaxRelDepth) {
+      size_t slot = static_cast<size_t>(depth + kMaxRelDepth);
+      if (sum.first_open[slot] == kNoPos) sum.first_open[slot] = t;
+    }
+    size_t tag_end = TagEnd(doc, t);
+    bool bachelor =
+        tag_end < doc.size() && tag_end > t + 1 && doc[tag_end - 1] == '/';
+    if (!bachelor) ++depth;
+    pos = tag_end + 1;
+  }
+  sum.depth_delta = depth;
+  sum.resume_pos = std::max<uint64_t>(std::min<uint64_t>(pos, doc.size()),
+                                      end);
+  return sum;
+}
+
+/// True when a resumed session behaves identically from state `a` and `b`:
+/// same frontier vocabulary (hence matcher behavior and search counters),
+/// same transitions, same opaque-nesting semantics, same finality, same
+/// re-entry jump. Entry *actions* are deliberately excluded -- they fire
+/// only on transitions, never at a resume point -- so behavior-equivalent
+/// boundary candidates (e.g. "after <root>" / "after </record>" in a star
+/// root) collapse into a single speculative run.
+bool SameRuntimeBehavior(const core::RuntimeTables& t, int a, int b) {
+  const core::DfaState& A = t.states[static_cast<size_t>(a)];
+  const core::DfaState& B = t.states[static_cast<size_t>(b)];
+  return A.keywords == B.keywords && A.is_final == B.is_final &&
+         A.jump == B.jump && A.count_nesting == B.count_nesting &&
+         // The entry tag matters only while tag-balancing an opaque region.
+         (!A.count_nesting || A.entry_name == B.entry_name) &&
+         A.open_next_id == B.open_next_id &&
+         A.close_next_id == B.close_next_id && A.open_next == B.open_next &&
+         A.close_next == B.close_next;
+}
+
 /// One shard's execution record.
 struct ShardResult {
   StringSink sink;
@@ -141,18 +250,8 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
     std::string_view rest = doc.substr(t);
     if (rest.size() < 2) break;
     char next = rest[1];
-    if (next == '!') {
-      if (rest.substr(0, 4) == "<!--") {
-        pos = SkipPastTerm(doc, t + 4, "-->");
-      } else if (rest.substr(0, 9) == "<![CDATA[") {
-        pos = SkipPastTerm(doc, t + 9, "]]>");
-      } else {
-        pos = SkipDeclaration(doc, t);
-      }
-      continue;
-    }
-    if (next == '?') {
-      pos = SkipPastTerm(doc, t + 2, "?>");
+    if (next == '!' || next == '?') {
+      pos = SkipMarkupConstruct(doc, t, next);
       continue;
     }
     if (next == '/') {
@@ -181,6 +280,64 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
   return splits;
 }
 
+std::vector<uint64_t> FindTopLevelBoundariesParallel(std::string_view doc,
+                                                     size_t max_splits,
+                                                     ThreadPool* pool) {
+  std::vector<uint64_t> splits;
+  if (max_splits == 0 || doc.size() < 2) return splits;
+  const uint64_t stride = doc.size() / (max_splits + 1);
+  if (stride == 0) return splits;
+
+  // One region per split target; region j = [j*stride, (j+1)*stride), the
+  // last one running to the document end. Each is scanned independently on
+  // the pool with relative depths.
+  const size_t regions = max_splits + 1;
+  auto region_begin = [stride](size_t j) { return stride * j; };
+  auto region_end = [&doc, stride, regions](size_t j) {
+    return j + 1 == regions ? doc.size() : stride * (j + 1);
+  };
+  std::vector<RegionSummary> sums(regions);
+  pool->RunAndWait(regions, [&doc, &sums, &region_begin, &region_end](
+                                size_t j) {
+    sums[j] = ScanRegion(doc, region_begin(j), region_end(j));
+  });
+
+  // Sequential fix-up: thread the actual scan position and absolute depth
+  // through the summaries. A region whose start was consumed by a construct
+  // straddling in from an earlier region scanned garbage (it assumed its
+  // start was content), so it is re-scanned from the construct's true end;
+  // a region consumed entirely holds no element starts at all.
+  std::vector<uint64_t> boundary(regions, kNoPos);
+  uint64_t pos = 0;
+  int64_t depth = 0;
+  for (size_t j = 0; j < regions; ++j) {
+    uint64_t b = region_begin(j);
+    uint64_t e = region_end(j);
+    if (pos >= e) continue;
+    if (pos > b) sums[j] = ScanRegion(doc, pos, e);
+    int64_t want = 1 - depth;  // relative depth of an absolute depth-1 start
+    if (want >= -kMaxRelDepth && want <= 1) {
+      boundary[j] =
+          sums[j].first_open[static_cast<size_t>(want + kMaxRelDepth)];
+    }
+    depth += sums[j].depth_delta;
+    pos = std::max(pos, sums[j].resume_pos);
+  }
+
+  // Target selection, matching the serial scanner: for each evenly spaced
+  // target, the first top-level element start at or after it; a chosen
+  // boundary collapses every target it already covers.
+  size_t target_idx = 1;
+  while (target_idx <= max_splits) {
+    size_t j = target_idx;
+    while (j < regions && boundary[j] == kNoPos) ++j;
+    if (j >= regions) break;
+    splits.push_back(boundary[j]);
+    target_idx = static_cast<size_t>(boundary[j] / stride) + 1;
+  }
+  return splits;
+}
+
 void MergeRunStats(core::RunStats* dst, const core::RunStats& src) {
   dst->input_bytes += src.input_bytes;
   dst->output_bytes += src.output_bytes;
@@ -197,16 +354,19 @@ void MergeRunStats(core::RunStats* dst, const core::RunStats& src) {
 
 Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
                   OutputSink* out, core::RunStats* stats, ThreadPool* pool,
-                  const ShardOptions& opts) {
+                  const ShardOptions& opts, ShardReport* report) {
   if (tables.states.empty()) {
     return Status::InvalidArgument("empty runtime tables");
   }
   size_t max_shards =
       opts.max_shards != 0 ? opts.max_shards
                            : static_cast<size_t>(std::max(1, pool->size()));
-  std::vector<uint64_t> bounds =
-      max_shards > 1 ? FindTopLevelBoundaries(doc, max_shards - 1)
-                     : std::vector<uint64_t>();
+  std::vector<uint64_t> bounds;
+  if (max_shards > 1) {
+    bounds = pool->size() > 1
+                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool)
+                 : FindTopLevelBoundaries(doc, max_shards - 1);
+  }
 
   // Segment k covers [seg_begin[k], seg_begin[k+1]).
   std::vector<uint64_t> seg_begin;
@@ -219,10 +379,11 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
   // the carried checkpoint (whose cursor may sit before the segment start
   // after a re-run hand-off). The final segment also Finish()es.
   auto run_segment = [&](size_t k, const core::SessionCheckpoint* start,
-                         ShardResult* r) {
-    uint64_t begin = start != nullptr ? start->cursor : seg_begin[k];
+                         ShardResult* r, bool mark_start = true) {
+    uint64_t begin = start != nullptr ? start->feed_begin() : seg_begin[k];
     uint64_t end = seg_begin[k + 1];
     core::EngineOptions eopts = opts.engine;
+    eopts.mark_start_state_visited = mark_start;
     core::PrefilterSession session(tables, &r->sink, &r->stats, eopts,
                                    start);
     r->status = session.Resume(
@@ -240,39 +401,110 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
     r->read_end = begin + r->stats.input_bytes;
   };
 
+  // The static boundary-state analysis makes every shard speculable at
+  // once: collapse the candidate set into behavior classes and launch one
+  // speculative run per class. Without a usable set (hand-built tables,
+  // too many distinct classes), fall back to seeding speculation from
+  // shard 0's actual exit.
+  const std::vector<int>& boundary_states = tables.boundary_states;
+  std::vector<int> class_reps;                      // representative state
+  std::vector<size_t> class_of(boundary_states.size(), 0);
+  if (n > 1) {
+    for (size_t i = 0; i < boundary_states.size(); ++i) {
+      size_t c = 0;
+      while (c < class_reps.size() &&
+             !SameRuntimeBehavior(tables, class_reps[c],
+                                  boundary_states[i])) {
+        ++c;
+      }
+      if (c == class_reps.size()) {
+        if (class_reps.size() == opts.max_candidate_states) {
+          // Too many distinct classes to speculate on: stop partitioning
+          // (the deep state comparisons are wasted past the cap) and fall
+          // back to dynamic seeding below.
+          class_reps.clear();
+          break;
+        }
+        class_reps.push_back(boundary_states[i]);
+      }
+      class_of[i] = c;
+    }
+  }
+  const bool static_spec = n > 1 && !class_reps.empty() &&
+                           class_reps.size() <= opts.max_candidate_states;
+
+  ShardReport local_report;
+  ShardReport& rep = report != nullptr ? *report : local_report;
+  rep = ShardReport{};
+  rep.shards = n;
+  rep.candidate_states = static_spec ? boundary_states.size() : 0;
+  rep.candidate_classes = static_spec ? class_reps.size() : 0;
+
   std::vector<ShardResult> results(n);
+  // Non-head speculative attempts: spec[k][c] ran segment k assuming entry
+  // behavior class c (static mode) or the shard-0 exit (dynamic mode, one
+  // attempt per shard).
+  std::vector<std::vector<ShardResult>> spec(n);
 
-  // Wave 1: the document head runs for real -- its exit state is the
-  // speculation seed for every other shard.
-  run_segment(0, nullptr, &results[0]);
+  core::SessionCheckpoint dynamic_guess;
+  bool dynamic_spec = false;
 
-  // Wave 2: speculative shards in parallel. Skipped when shard 0 already
-  // finished the run, errored, or ended in a hand-off speculation cannot
-  // model (mid-candidate, open copy region, opaque recursion balance).
-  const ShardResult& head = results[0];
-  bool speculate = n > 1 && head.status.ok() && !head.finished &&
+  if (static_spec) {
+    // One fully parallel wave: the head plus |classes| speculative runs
+    // per non-head shard. Nothing serializes ahead of the wave.
+    const size_t classes = class_reps.size();
+    for (size_t k = 1; k < n; ++k) spec[k].resize(classes);
+    rep.speculated = n - 1;
+    pool->RunAndWait(1 + (n - 1) * classes, [&](size_t idx) {
+      if (idx == 0) {
+        run_segment(0, nullptr, &results[0]);
+        return;
+      }
+      size_t k = 1 + (idx - 1) / classes;
+      size_t c = (idx - 1) % classes;
+      core::SessionCheckpoint start;
+      start.state = class_reps[c];
+      start.cursor = seg_begin[k];
+      start.copy_flushed = seg_begin[k];
+      // The representative may differ from the true entry state (whose
+      // visited bit the predecessor's hand-off owns); don't count it.
+      run_segment(k, &start, &spec[k][c], /*mark_start=*/false);
+    });
+    rep.wave_bytes += results[0].stats.input_bytes;
+    for (size_t k = 1; k < n; ++k) {
+      for (const ShardResult& attempt : spec[k]) {
+        rep.wave_bytes += attempt.stats.input_bytes;
+      }
+    }
+  } else {
+    // Dynamic fallback (PR-2 scheme): the document head runs for real --
+    // its exit state is the speculation seed for every other shard.
+    run_segment(0, nullptr, &results[0]);
+    rep.serial_bytes += results[0].stats.input_bytes;
+    const ShardResult& head = results[0];
+    dynamic_spec = n > 1 && head.status.ok() && !head.finished &&
                    head.clean && head.exit.copy_depth == 0 &&
                    head.exit.nesting_depth == 0;
-  core::SessionCheckpoint guess;
-  if (speculate) {
-    guess = head.exit;
-    WaitGroup wg;
-    wg.Add(static_cast<int>(n - 1));
-    for (size_t k = 1; k < n; ++k) {
-      pool->Submit([&, k] {
-        core::SessionCheckpoint start = guess;
+    if (dynamic_spec) {
+      dynamic_guess = head.exit;
+      for (size_t k = 1; k < n; ++k) spec[k].resize(1);
+      rep.speculated = n - 1;
+      pool->RunAndWait(n - 1, [&](size_t i) {
+        size_t k = i + 1;
+        core::SessionCheckpoint start = dynamic_guess;
         start.cursor = seg_begin[k];
         start.copy_flushed = seg_begin[k];
-        run_segment(k, &start, &results[k]);
-        wg.Done();
+        run_segment(k, &start, &spec[k][0]);
       });
+      for (size_t k = 1; k < n; ++k) {
+        rep.wave_bytes += spec[k][0].stats.input_bytes;
+      }
     }
-    wg.Wait();
   }
 
-  // Sequential verification: accept a speculative shard iff its
-  // predecessor's actual hand-off matches the assumed entry; otherwise
-  // re-run it (synchronously) from the true checkpoint. Deterministic by
+  // Sequential verification: accept the speculative attempt whose assumed
+  // entry matches the predecessor's actual hand-off; otherwise re-run the
+  // shard (synchronously) from the true checkpoint. Deterministic by
   // construction -- the accepted sequence replays the serial run.
   Status final_status;
   size_t produced = n;
@@ -287,15 +519,31 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       produced = k;  // serial run ends here; later bytes are ignored
       break;
     }
-    bool accepted = speculate && prev.clean &&
-                    prev.exit.state == guess.state &&
-                    prev.exit.copy_depth == 0 &&
-                    prev.exit.nesting_depth == 0;
-    if (!accepted) {
+    const bool clean_handoff = prev.clean && prev.exit.copy_depth == 0 &&
+                               prev.exit.nesting_depth == 0;
+    int hit = -1;
+    if (clean_handoff) {
+      if (static_spec) {
+        for (size_t c = 0; c < boundary_states.size(); ++c) {
+          if (boundary_states[c] == prev.exit.state) {
+            hit = static_cast<int>(class_of[c]);
+            break;
+          }
+        }
+      } else if (dynamic_spec && prev.exit.state == dynamic_guess.state) {
+        hit = 0;
+      }
+    }
+    if (hit >= 0) {
+      results[k] = std::move(spec[k][static_cast<size_t>(hit)]);
+      ++rep.accepted;
+    } else {
       ShardResult rerun;
       core::SessionCheckpoint start = prev.exit;
       run_segment(k, &start, &rerun);
       results[k] = std::move(rerun);
+      ++rep.reruns;
+      rep.serial_bytes += results[k].stats.input_bytes;
     }
   }
   if (final_status.ok() && produced == n && !results[n - 1].status.ok()) {

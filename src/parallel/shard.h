@@ -1,16 +1,26 @@
 // Single-document sharding: split one document at top-level element
-// boundaries (children of the root, located by a cheap memchr structural
-// scan) and prefilter the shards concurrently, one PrefilterSession per
-// shard against the shared immutable RuntimeTables.
+// boundaries (children of the root) and prefilter the shards concurrently,
+// one PrefilterSession per shard against the shared immutable RuntimeTables.
 //
-// Entry states are speculative -- every shard after the first assumes it
-// starts in the state shard 0 ended in, which holds exactly for the
-// star-shaped roots (<!ELEMENT root (record*)>) that dominate large inputs.
-// A sequential verification pass then compares each shard's assumed entry
-// against its predecessor's actual exit and deterministically re-runs any
-// shard whose speculation failed (including hand-offs inside copy regions
-// or opaque recursion), so the merged output is ALWAYS byte-identical to
-// the serial engine, no matter where the boundaries fall.
+// Execution is *fully speculative*: the static boundary-state analysis of
+// BuildTables (RuntimeTables::boundary_states) enumerates every DFA state a
+// run can be in at a top-level boundary, so all shards -- including the
+// document head -- launch in one parallel wave, each non-head shard once
+// per candidate entry state. A sequential verification pass then accepts
+// the speculative run whose assumed entry matches its predecessor's actual
+// exit and deterministically re-runs any shard whose speculation failed
+// (mis-placed boundaries, hand-offs inside copy regions, opaque recursion
+// balances, DTD-invalid input), so the merged output is ALWAYS
+// byte-identical to the serial engine, no matter where the boundaries fall.
+// Tables without a usable candidate set fall back to the PR-2 scheme that
+// seeds speculation from shard 0's actual exit state.
+//
+// The boundary scan itself is off the critical path too: the document is
+// cut into per-target regions that are scanned concurrently on the pool
+// (relative element depths, unknown absolute base), and a cheap sequential
+// fix-up resolves absolute depths region by region -- re-scanning only
+// regions whose start lies inside a construct (comment/CDATA/DOCTYPE/tag)
+// that straddles a region boundary.
 
 #ifndef SMPX_PARALLEL_SHARD_H_
 #define SMPX_PARALLEL_SHARD_H_
@@ -30,7 +40,35 @@ namespace smpx::parallel {
 struct ShardOptions {
   /// Upper bound on the number of shards; 0 means the pool size.
   size_t max_shards = 0;
+  /// Largest number of *behavior classes* worth speculating on. Candidate
+  /// states whose vocabulary and transitions coincide (they differ only in
+  /// entry actions, which never re-fire at a resume point) are collapsed
+  /// into one speculative run; every non-head shard runs once per class,
+  /// so class counts beyond this bound cost more in wasted wave work than
+  /// the removed serialization saves. Such tables fall back to exit-state
+  /// speculation seeded by shard 0.
+  size_t max_candidate_states = 4;
   core::EngineOptions engine;
+};
+
+/// How a sharded run actually executed; the substrate for the scaling
+/// bench's "serial fraction" metric and the speculation tests.
+struct ShardReport {
+  size_t shards = 0;             ///< segments the document was split into
+  size_t speculated = 0;         ///< non-head shards launched in the wave
+  size_t accepted = 0;           ///< speculative shards whose entry verified
+  size_t reruns = 0;             ///< shards re-run sequentially after the wave
+  size_t candidate_states = 0;   ///< boundary candidate set size (0 = dynamic)
+  size_t candidate_classes = 0;  ///< behavior classes speculated per shard
+  /// Bytes prefiltered on the sequential verification path (re-runs, plus
+  /// shard 0 in dynamic-fallback mode). The wave itself is perfectly
+  /// parallel, so serial_bytes / document size bounds the Amdahl fraction
+  /// of a sharded run (the memchr boundary scan is not counted; it runs
+  /// region-parallel and costs a small constant per byte).
+  uint64_t serial_bytes = 0;
+  /// Bytes prefiltered inside the parallel wave, including rejected
+  /// speculative attempts (total wave work, not just accepted output).
+  uint64_t wave_bytes = 0;
 };
 
 /// Structural scan for shard split points: returns at most `max_splits`
@@ -45,13 +83,27 @@ struct ShardOptions {
 std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
                                              size_t max_splits);
 
+/// Region-parallel variant of FindTopLevelBoundaries: each target's region
+/// is scanned concurrently on `pool` (relative depths), then a sequential
+/// fix-up resolves absolute depths and selects the same boundaries the
+/// serial scan would. Byte-identical results for well-formed documents
+/// whose element depth at region starts stays within the scanner's relative
+/// range (256); outside that -- or on non-well-formed input -- the two
+/// scanners may place boundaries differently (both remain safe: ShardedRun
+/// verification never trusts a boundary). Must not be called from a pool
+/// thread.
+std::vector<uint64_t> FindTopLevelBoundariesParallel(std::string_view doc,
+                                                     size_t max_splits,
+                                                     ThreadPool* pool);
+
 /// Prefilters `doc` by sharding it across `pool`. Output and the merged
 /// `stats` totals are byte-identical to RunEngine over the same document
 /// (up to search-effort counters, which depend on window geometry).
-/// `stats` may be null. Must not be called from a pool thread.
+/// `stats` and `report` may be null. Must not be called from a pool thread.
 Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
                   OutputSink* out, core::RunStats* stats, ThreadPool* pool,
-                  const ShardOptions& opts = {});
+                  const ShardOptions& opts = {},
+                  ShardReport* report = nullptr);
 
 /// Merges shard- or document-level RunStats into `dst` (counters add,
 /// window peak maxes; states_visited is handled by the callers via the

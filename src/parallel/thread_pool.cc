@@ -30,6 +30,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::RunAndWait(size_t n,
+                            const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  WaitGroup wg;
+  wg.Add(static_cast<int>(n));
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&body, &wg, i] {
+      body(i);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

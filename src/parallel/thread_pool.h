@@ -29,6 +29,12 @@ class ThreadPool {
   /// inside a pool thread (classic self-deadlock).
   void Submit(std::function<void()> task);
 
+  /// Runs `body(i)` for every i in [0, n) across the pool and blocks until
+  /// all iterations finished. The common fan-out-and-join shape of the
+  /// parallel layer (shard waves, boundary prescans, batch drivers).
+  /// Must not be called from a pool thread.
+  void RunAndWait(size_t n, const std::function<void(size_t)>& body);
+
   int size() const { return static_cast<int>(workers_.size()); }
 
  private:

@@ -1,0 +1,182 @@
+// End-to-end tests for the smpx command-line tool's batch mode: per-input
+// output naming (in.xml -> in.proj.xml), document-order per-input stats,
+// per-document error isolation with a nonzero exit code, and the --out
+// concatenation mode's argument-order merge. The binary path is injected
+// by CMake as SMPX_CLI_PATH; expected outputs come from the library's
+// serial engine over the same inputs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "core/prefilter.h"
+
+namespace smpx {
+namespace {
+
+constexpr char kDtdText[] =
+    "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+    " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+constexpr char kPaths[] = "/a/b#";
+
+TEST(ProjectedOutputPathTest, NamesFollowTheInputPath) {
+  EXPECT_EQ(ProjectedOutputPath("in.xml"), "in.proj.xml");
+  EXPECT_EQ(ProjectedOutputPath("dir/sub/in.xml"), "dir/sub/in.proj.xml");
+  EXPECT_EQ(ProjectedOutputPath("data.bin"), "data.bin.proj.xml");
+  EXPECT_EQ(ProjectedOutputPath(".xml"), ".xml.proj.xml");
+}
+
+#ifndef SMPX_CLI_PATH
+TEST(CliBatchTest, DISABLED_BinaryUnavailable) {}
+#else
+
+struct CliResult {
+  int exit_code = -1;
+  std::string err;
+};
+
+/// Runs the CLI with `args`, capturing stderr.
+CliResult RunCli(const std::string& args) {
+  std::string err_file = ::testing::TempDir() + "/smpx_cli_stderr.txt";
+  std::string cmd = std::string("\"") + SMPX_CLI_PATH + "\" " + args +
+                    " 2>\"" + err_file + "\"";
+  int rc = std::system(cmd.c_str());
+  CliResult r;
+  r.exit_code = rc == -1 ? -1 : WEXITSTATUS(rc);
+  auto err = ReadFileToString(err_file);
+  r.err = err.ok() ? *err : std::string();
+  std::remove(err_file.c_str());
+  return r;
+}
+
+std::string SerialExpected(const std::string& doc) {
+  auto dtd = dtd::Dtd::Parse(kDtdText);
+  EXPECT_TRUE(dtd.ok());
+  if (!dtd.ok()) return std::string();
+  auto paths = paths::ProjectionPath::ParseList(kPaths);
+  EXPECT_TRUE(paths.ok());
+  if (!paths.ok()) return std::string();
+  auto pf = core::Prefilter::Compile(std::move(*dtd), *paths);
+  EXPECT_TRUE(pf.ok());
+  if (!pf.ok()) return std::string();
+  auto out = pf->RunOnBuffer(doc);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? *out : std::string();
+}
+
+struct Fixture {
+  std::string dtd_path;
+  std::vector<std::string> inputs;
+  std::vector<std::string> docs;
+
+  explicit Fixture(const std::vector<std::string>& contents) {
+    const std::string dir = ::testing::TempDir();
+    dtd_path = dir + "/smpx_cli_test.dtd";
+    EXPECT_TRUE(WriteStringToFile(dtd_path, kDtdText).ok());
+    for (size_t i = 0; i < contents.size(); ++i) {
+      std::string path =
+          dir + "/smpx_cli_in" + std::to_string(i) + ".xml";
+      EXPECT_TRUE(WriteStringToFile(path, contents[i]).ok());
+      inputs.push_back(path);
+      docs.push_back(contents[i]);
+    }
+  }
+  ~Fixture() {
+    std::remove(dtd_path.c_str());
+    for (const std::string& p : inputs) {
+      std::remove(p.c_str());
+      std::remove(ProjectedOutputPath(p).c_str());
+    }
+  }
+  std::string InputArgs() const {
+    std::string args;
+    for (const std::string& p : inputs) args += " \"" + p + "\"";
+    return args;
+  }
+};
+
+TEST(CliBatchTest, PerInputOutputFilesWithDocumentOrderStats) {
+  Fixture fx({"<a><b>first</b><c>x</c></a>",
+              "<a><c>y</c><b>second</b><b>again</b></a>",
+              "<a><b>third</b></a>"});
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --batch --stats --threads 3" + fx.InputArgs());
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  size_t prev_pos = 0;
+  for (size_t i = 0; i < fx.inputs.size(); ++i) {
+    std::string out_path = ProjectedOutputPath(fx.inputs[i]);
+    auto content = ReadFileToString(out_path);
+    ASSERT_TRUE(content.ok()) << out_path;
+    EXPECT_EQ(*content, SerialExpected(fx.docs[i])) << out_path;
+    // The per-input stats lines must appear in document (argument) order.
+    std::string marker = fx.inputs[i] + " -> " + out_path + ":";
+    size_t pos = r.err.find(marker);
+    ASSERT_NE(pos, std::string::npos) << r.err;
+    EXPECT_GE(pos, prev_pos) << "stats lines out of document order:\n"
+                             << r.err;
+    prev_pos = pos;
+  }
+}
+
+TEST(CliBatchTest, SingleInputBatchStillWritesPerInputFile) {
+  // Regression: batch mode with one input used to fall through to the
+  // single-document path (stdout instead of in.proj.xml).
+  Fixture fx({"<a><b>solo</b><c>no</c></a>"});
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --batch" + fx.InputArgs());
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  auto content = ReadFileToString(ProjectedOutputPath(fx.inputs[0]));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, SerialExpected(fx.docs[0]));
+}
+
+TEST(CliBatchTest, PerDocumentErrorsAreIsolated) {
+  Fixture fx({"<a><b>good one</b></a>",
+              "<a><b>truncated",  // invalid: never closed
+              "<a><b>good two</b></a>"});
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --batch --threads 2" + fx.InputArgs());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find(fx.inputs[1]), std::string::npos) << r.err;
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    auto content = ReadFileToString(ProjectedOutputPath(fx.inputs[i]));
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(*content, SerialExpected(fx.docs[i]));
+  }
+}
+
+TEST(CliBatchTest, DuplicateInputsAreRejected) {
+  // Two identical input paths would race on one output file; the CLI must
+  // refuse instead of silently corrupting it.
+  Fixture fx({"<a><b>dup</b></a>"});
+  CliResult r =
+      RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+             "\" --batch \"" + fx.inputs[0] + "\" \"" + fx.inputs[0] + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("duplicate"), std::string::npos) << r.err;
+}
+
+TEST(CliBatchTest, OutFlagConcatenatesInArgumentOrder) {
+  Fixture fx({"<a><b>one</b></a>", "<a><b>two</b><c>z</c></a>",
+              "<a><c>q</c><b>three</b></a>"});
+  std::string merged = ::testing::TempDir() + "/smpx_cli_merged.xml";
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --batch --threads 2 --out \"" + merged + "\"" +
+                       fx.InputArgs());
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  auto content = ReadFileToString(merged);
+  ASSERT_TRUE(content.ok());
+  std::string expected;
+  for (const std::string& d : fx.docs) expected += SerialExpected(d);
+  EXPECT_EQ(*content, expected);
+  std::remove(merged.c_str());
+}
+
+#endif  // SMPX_CLI_PATH
+
+}  // namespace
+}  // namespace smpx

@@ -1,0 +1,337 @@
+// Seeded randomized differential fuzz suite for the parallel subsystem:
+// every generated (DTD, document, paths) case is prefiltered by the serial
+// engine (ground truth), a chunked push-mode session, ShardedRun at
+// 1/2/4/7 threads, and the streaming batch driver, at randomized window,
+// chunk, and shard geometries -- outputs must be byte-identical and the
+// semantic statistics must match. Documents come from the src/xmlgen
+// samplers (random nonrecursive DTDs plus XMark/MEDLINE/protein), with an
+// adversarial edge-mix pass injecting comments, CDATA sections, processing
+// instructions, and stray closing tags that desynchronize the structural
+// boundary scanner without changing what the engine projects.
+//
+// The suite doubles as the property harness for the speculation machinery:
+//  - every boundary the sharder reports coincides with a real top-level
+//    element start per the src/xml tokenizer (serial and region-parallel
+//    scanners agree);
+//  - the static candidate-state set (RuntimeTables::boundary_states)
+//    contains the true entry state at every top-level boundary of a
+//    DTD-valid document.
+//
+// SMPX_FUZZ_CASES scales the seeded sweep (default 40 cases per family;
+// the ctest registration runs >= 100 cases total).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "core/engine.h"
+#include "core/prefilter.h"
+#include "parallel/batch.h"
+#include "parallel/shard.h"
+#include "parallel/thread_pool.h"
+#include "xml/tokenizer.h"
+#include "xmlgen/dtd_sampler.h"
+#include "xmlgen/medline.h"
+#include "xmlgen/protein.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx::core {
+namespace {
+
+int FamilyCases() {
+  const char* env = std::getenv("SMPX_FUZZ_CASES");
+  int n = env != nullptr ? std::atoi(env) : 0;
+  return n > 0 ? n : 40;
+}
+
+EngineOptions RandomEngineOptions(xmlgen::Rng* rng) {
+  EngineOptions opts;
+  switch (xmlgen::Uniform(rng, 0, 3)) {
+    case 0: opts.window_capacity = 128; break;
+    case 1: opts.window_capacity = 1024; break;
+    case 2: opts.window_capacity = 4096; break;
+    default: break;  // paper default, 8 pages
+  }
+  return opts;
+}
+
+/// Ground truth for the boundary property tests: byte offsets of every
+/// top-level element start (child of the root), per the full tokenizer.
+std::vector<uint64_t> TokenizerTopLevelStarts(std::string_view doc) {
+  std::vector<uint64_t> starts;
+  xml::Tokenizer tok(doc);
+  xml::Token t;
+  int64_t depth = 0;
+  while (tok.Next(&t)) {
+    switch (t.type) {
+      case xml::TokenType::kStartTag:
+        if (depth == 1) starts.push_back(t.begin);
+        ++depth;
+        break;
+      case xml::TokenType::kEmptyTag:
+        if (depth == 1) starts.push_back(t.begin);
+        break;
+      case xml::TokenType::kEndTag:
+        --depth;
+        break;
+      default:
+        break;
+    }
+  }
+  return starts;
+}
+
+/// Runs every execution mode over `doc` and asserts byte-identical output
+/// and matching semantic stats against the serial engine.
+void ExpectAllModesIdentical(const Prefilter& pf, const std::string& doc,
+                             xmlgen::Rng* rng) {
+  EngineOptions eopts = RandomEngineOptions(rng);
+  RunStats serial_stats;
+  auto serial = pf.RunOnBuffer(doc, &serial_stats, eopts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString() << "\n" << doc;
+
+  // Chunked push-mode session at a random granularity.
+  {
+    size_t chunk = static_cast<size_t>(xmlgen::Uniform(rng, 1, 97));
+    StringSink sink;
+    RunStats stats;
+    PrefilterSession session(pf.tables(), &sink, &stats, eopts);
+    for (size_t off = 0; off < doc.size(); off += chunk) {
+      ASSERT_TRUE(
+          session.Resume(std::string_view(doc).substr(off, chunk)).ok());
+    }
+    ASSERT_TRUE(session.Finish().ok());
+    EXPECT_EQ(sink.str(), *serial) << "chunked diverged, chunk=" << chunk;
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.false_matches, serial_stats.false_matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+  }
+
+  // Sharded execution across thread counts and shard geometries.
+  for (int threads : {1, 2, 4, 7}) {
+    parallel::ThreadPool pool(threads);
+    parallel::ShardOptions opts;
+    opts.max_shards = static_cast<size_t>(
+        xmlgen::Uniform(rng, 1, 2 * threads + 1));
+    opts.engine = eopts;
+    parallel::ShardReport report;
+    StringSink sink;
+    RunStats stats;
+    Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                    opts, &report);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(sink.str(), *serial)
+        << "sharded diverged, threads=" << threads
+        << " shards=" << report.shards;
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.false_matches, serial_stats.false_matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+    EXPECT_EQ(stats.input_bytes, serial_stats.input_bytes);
+    EXPECT_EQ(stats.states_visited, serial_stats.states_visited);
+    EXPECT_EQ(report.accepted + report.reruns, report.speculated);
+  }
+
+  // Streaming batch (the document plus a sibling copy) at a random chunk.
+  {
+    parallel::ThreadPool pool(3);
+    parallel::StreamOptions sopts;
+    sopts.engine = eopts;
+    sopts.chunk_bytes = static_cast<size_t>(xmlgen::Uniform(rng, 1, 4096));
+    MemorySource src(doc);
+    std::vector<const InputSource*> docs = {&src, &src};
+    StringSink s0, s1;
+    std::vector<OutputSink*> sinks = {&s0, &s1};
+    std::vector<RunStats> stats;
+    std::vector<Status> statuses = parallel::BatchRunStreaming(
+        pf.tables(), docs, sinks, &stats, &pool, sopts);
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+      EXPECT_EQ(stats[i].matches, serial_stats.matches);
+      EXPECT_EQ(stats[i].output_bytes, serial_stats.output_bytes);
+    }
+    EXPECT_EQ(s0.str(), *serial)
+        << "streaming diverged, chunk=" << sopts.chunk_bytes;
+    EXPECT_EQ(s1.str(), *serial);
+  }
+}
+
+/// Asserts the boundary-scanner properties and, when `dtd_valid`, the
+/// candidate-state containment property.
+void ExpectBoundaryProperties(const Prefilter& pf, const std::string& doc,
+                              bool dtd_valid) {
+  std::vector<uint64_t> truth = TokenizerTopLevelStarts(doc);
+  parallel::ThreadPool pool(3);
+  for (size_t splits : {1u, 3u, 7u}) {
+    std::vector<uint64_t> serial_bounds =
+        parallel::FindTopLevelBoundaries(doc, splits);
+    EXPECT_EQ(parallel::FindTopLevelBoundariesParallel(doc, splits, &pool),
+              serial_bounds)
+        << "scanners disagree at splits=" << splits;
+    for (uint64_t b : serial_bounds) {
+      EXPECT_TRUE(std::find(truth.begin(), truth.end(), b) != truth.end())
+          << "boundary " << b << " is not a top-level element start";
+    }
+  }
+  if (!dtd_valid) return;
+
+  // Containment: at every true top-level boundary, the state of a serial
+  // run over the prefix must be in the static candidate set.
+  const std::vector<int>& candidates = pf.tables().boundary_states;
+  for (uint64_t b : truth) {
+    StringSink sink;
+    RunStats stats;
+    PrefilterSession session(pf.tables(), &sink, &stats, {});
+    ASSERT_TRUE(
+        session.Resume(std::string_view(doc).substr(
+                           0, static_cast<size_t>(b)))
+            .ok());
+    ASSERT_FALSE(session.finished());
+    int state = session.checkpoint().state;
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), state) !=
+                candidates.end())
+        << "true entry state " << state << " at boundary " << b
+        << " missing from the candidate set";
+  }
+}
+
+/// Injects well-formed opaque constructs (comments/CDATA/PIs whose fake
+/// tags are outside every sampled vocabulary) at random between-token
+/// positions; with `stray_closers`, also drops unmatched closing tags into
+/// text, which desynchronizes the structural scanner's depth tracking but
+/// is invisible to the engine (the names match no keyword).
+std::string InjectEdgeMix(const std::string& doc, xmlgen::Rng* rng,
+                          bool stray_closers) {
+  static const char* kSnippets[] = {
+      "<!-- <zz9 a=\"1\">commented</zz9> -->",
+      "<![CDATA[ <zz8/> raw <zzq]]>",
+      "<?zz7 fake='<b>' ?>",
+      "<!--->-->",
+  };
+  static const char* kStray[] = {"</zz6>", "</zz5></zz5>", "<zz4>"};
+  std::string out;
+  out.reserve(doc.size() + 256);
+  for (size_t i = 0; i < doc.size(); ++i) {
+    out.push_back(doc[i]);
+    // A '>' followed by '<' separates two constructs: a safe splice point.
+    if (doc[i] == '>' && i + 1 < doc.size() && doc[i + 1] == '<') {
+      if (xmlgen::Chance(rng, 0.08)) {
+        out += kSnippets[static_cast<size_t>(
+            xmlgen::Uniform(rng, 0, 3))];
+      }
+      if (stray_closers && xmlgen::Chance(rng, 0.05)) {
+        out += kStray[static_cast<size_t>(xmlgen::Uniform(rng, 0, 2))];
+      }
+    }
+  }
+  return out;
+}
+
+// --- Family 1: random DTD / document / paths ------------------------------
+
+TEST(FuzzDiffTest, RandomDtdDocumentsAcrossAllModes) {
+  const int cases = FamilyCases();
+  for (int seed = 0; seed < cases; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0x5eed0000u + static_cast<unsigned>(seed));
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::string doc = xmlgen::RandomDocument(dtd, &rng);
+    std::vector<paths::ProjectionPath> paths =
+        xmlgen::RandomPaths(dtd, &rng);
+    auto pf = Prefilter::Compile(dtd, std::move(paths));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    ExpectAllModesIdentical(*pf, doc, &rng);
+    ExpectBoundaryProperties(*pf, doc, /*dtd_valid=*/true);
+  }
+}
+
+// --- Family 2: adversarial edge mixes -------------------------------------
+
+TEST(FuzzDiffTest, EdgeMixedDocumentsStayByteIdentical) {
+  const int cases = FamilyCases();
+  for (int seed = 0; seed < cases; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0xed6e0000u + static_cast<unsigned>(seed));
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::string doc = xmlgen::RandomDocument(dtd, &rng);
+    std::vector<paths::ProjectionPath> paths =
+        xmlgen::RandomPaths(dtd, &rng);
+    auto pf = Prefilter::Compile(dtd, std::move(paths));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    // Comments/CDATA/PIs keep the tag stream DTD-valid, so the
+    // containment property must still hold...
+    std::string mixed = InjectEdgeMix(doc, &rng, /*stray_closers=*/false);
+    ExpectAllModesIdentical(*pf, mixed, &rng);
+    ExpectBoundaryProperties(*pf, mixed, /*dtd_valid=*/true);
+    // ...while stray closing tags may mis-place boundaries: every mode
+    // must still be byte-identical (mis-speculation is repaired), but the
+    // scanner/tokenizer agreement no longer applies.
+    std::string strayed = InjectEdgeMix(doc, &rng, /*stray_closers=*/true);
+    ExpectAllModesIdentical(*pf, strayed, &rng);
+  }
+}
+
+// --- Family 3: dataset samplers (XMark / MEDLINE / protein) ---------------
+
+TEST(FuzzDiffTest, XmarkSampledDocumentsAcrossAllModes) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0xa0c0000u + static_cast<unsigned>(seed));
+    xmlgen::XmarkOptions gen;
+    gen.target_bytes = 24 << 10;
+    gen.seed = seed;
+    std::string doc = xmlgen::GenerateXmark(gen);
+    auto paths = paths::ProjectionPath::ParseList(
+        "/site/people/person@ /site/people/person/name#");
+    ASSERT_TRUE(paths.ok());
+    auto pf = Prefilter::Compile(xmlgen::XmarkDtd(), std::move(*paths));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    ExpectAllModesIdentical(*pf, doc, &rng);
+    ExpectBoundaryProperties(*pf, doc, /*dtd_valid=*/true);
+  }
+}
+
+TEST(FuzzDiffTest, MedlineSampledDocumentsAcrossAllModes) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0x3ed0000u + static_cast<unsigned>(seed));
+    xmlgen::MedlineOptions gen;
+    gen.target_bytes = 24 << 10;
+    gen.seed = seed;
+    std::string doc = xmlgen::GenerateMedline(gen);
+    auto paths = paths::ProjectionPath::ParseList(
+        "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo# "
+        "/MedlineCitationSet/MedlineCitation/DateCompleted#");
+    ASSERT_TRUE(paths.ok());
+    auto pf = Prefilter::Compile(xmlgen::MedlineDtd(), std::move(*paths));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    ExpectAllModesIdentical(*pf, doc, &rng);
+    ExpectBoundaryProperties(*pf, doc, /*dtd_valid=*/true);
+  }
+}
+
+TEST(FuzzDiffTest, ProteinSampledDocumentsAcrossAllModes) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0x9207000u + static_cast<unsigned>(seed));
+    xmlgen::ProteinOptions gen;
+    gen.target_bytes = 24 << 10;
+    gen.seed = seed;
+    std::string doc = xmlgen::GenerateProtein(gen);
+    auto paths = paths::ProjectionPath::ParseList(
+        "/ProteinDatabase/ProteinEntry/protein/name# "
+        "/ProteinDatabase/ProteinEntry/header@");
+    ASSERT_TRUE(paths.ok());
+    auto pf = Prefilter::Compile(xmlgen::ProteinDtd(), std::move(*paths));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    ExpectAllModesIdentical(*pf, doc, &rng);
+    ExpectBoundaryProperties(*pf, doc, /*dtd_valid=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace smpx::core

@@ -4,6 +4,7 @@
 // matching, across thread counts, odd shard boundaries (mid-tag, inside
 // CDATA/comments), tiny windows, and empty shards.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -208,6 +209,64 @@ TEST(SessionTest, CheckpointHandoffContinuesByteIdentically) {
   EXPECT_EQ(sink1.str() + sink2.str(), serial);
 }
 
+TEST(SessionTest, ExhaustiveSuspendResumeAtEveryByteOffset) {
+  // For a corpus of small documents covering every construct the session
+  // can suspend inside (prolog, DOCTYPE subset, comments, CDATA, PIs,
+  // quoted attributes, bachelor tags, opaque recursion), suspend at EVERY
+  // byte offset and resume in a fresh session built from the checkpoint:
+  // the concatenated output must be byte-identical to the serial run.
+  struct Case {
+    const char* dtd;
+    const char* paths;
+    std::string doc;
+    bool recursion = false;
+  };
+  std::vector<Case> corpus;
+  corpus.push_back(
+      {kPaperDtd, "/a/b#",
+       "<?xml version=\"1.0\"?><!-- lead --><a><b>one</b>"
+       "<c><b>shielded</b></c><b at=\"x>y\">two</b><b/><c><b/></c></a>"});
+  corpus.push_back(
+      {kPaperDtd, "/a/b#",
+       "<!DOCTYPE a [ <!-- <a><b>fake</b></a> --> <!ENTITY e \"q>r\"> ]>"
+       "<a><![CDATA[ <b>cdata</b> ]]><b>real</b><?pi <b>no</b> ?></a>"});
+  corpus.push_back(
+      {"<!DOCTYPE a [ <!ELEMENT a (item*)>"
+       " <!ELEMENT item (name, tree)> <!ELEMENT name (#PCDATA)>"
+       " <!ELEMENT tree (leaf | tree)*> <!ELEMENT leaf (#PCDATA)> ]>",
+       "//name#",
+       "<a><item><name>n</name><tree><tree><leaf>d</leaf></tree>"
+       "<leaf>x</leaf></tree></item><item><name>m</name><tree/>"
+       "</item></a>",
+       /*recursion=*/true});
+  for (size_t ci = 0; ci < corpus.size(); ++ci) {
+    SCOPED_TRACE(ci);
+    const Case& c = corpus[ci];
+    CompileOptions copts;
+    copts.allow_recursion = c.recursion;
+    Prefilter pf = Compile(c.dtd, c.paths, copts);
+    std::string serial = SerialRun(pf, c.doc);
+    for (size_t cut = 0; cut <= c.doc.size(); ++cut) {
+      SCOPED_TRACE(cut);
+      StringSink sink1;
+      RunStats stats1;
+      PrefilterSession first(pf.tables(), &sink1, &stats1);
+      ASSERT_TRUE(
+          first.Resume(std::string_view(c.doc).substr(0, cut)).ok());
+      SessionCheckpoint cp = first.checkpoint();
+      StringSink sink2;
+      RunStats stats2;
+      PrefilterSession second(pf.tables(), &sink2, &stats2, {}, &cp);
+      ASSERT_TRUE(second
+                      .Resume(std::string_view(c.doc).substr(
+                          static_cast<size_t>(cp.feed_begin())))
+                      .ok());
+      ASSERT_TRUE(second.Finish().ok());
+      EXPECT_EQ(sink1.str() + sink2.str(), serial);
+    }
+  }
+}
+
 // --- Sharder: boundary scan -----------------------------------------------
 
 TEST(SharderTest, BoundariesAreTopLevelElementStarts) {
@@ -268,6 +327,121 @@ TEST(SharderTest, TinyDocumentsYieldFewOrNoBoundaries) {
   if (!b.empty()) {
     EXPECT_EQ(b[0], 3u);
   }
+}
+
+TEST(SharderTest, ParallelBoundariesMatchSerialScan) {
+  // The region-parallel scanner must select exactly the boundaries of the
+  // sequential scan on well-formed documents, for any split count and pool
+  // size (including constructs straddling region edges).
+  std::vector<std::string> docs;
+  {
+    std::string doc = "<a>";
+    for (int i = 0; i < 60; ++i) {
+      doc += "<b>text</b>";
+      doc += "<c><b>nested</b><!-- <b>fake</b> --></c>";
+    }
+    doc += "</a>";
+    docs.push_back(doc);
+  }
+  {
+    std::string fake;
+    for (int i = 0; i < 300; ++i) fake += "<b>x</b>";
+    docs.push_back("<a><b>start</b><c><![CDATA[" + fake + "]]>" +
+                   "<!-- " + fake + " --><b>in</b></c><b>end</b></a>");
+  }
+  docs.push_back("<?xml version=\"1.0\"?><!DOCTYPE a [ <!ENTITY g \"x>y\">"
+                 " ]><a><b at=\"q>r\">one</b><b/><c>two</c></a>");
+  docs.push_back("");
+  docs.push_back("<a/>");
+  docs.push_back("<a>text only</a>");
+  for (size_t di = 0; di < docs.size(); ++di) {
+    SCOPED_TRACE(di);
+    for (int pool_threads : {1, 2, 4}) {
+      parallel::ThreadPool pool(pool_threads);
+      for (size_t splits : {1u, 2u, 3u, 7u, 16u}) {
+        SCOPED_TRACE(splits);
+        EXPECT_EQ(
+            parallel::FindTopLevelBoundariesParallel(docs[di], splits,
+                                                     &pool),
+            parallel::FindTopLevelBoundaries(docs[di], splits));
+      }
+    }
+  }
+}
+
+// --- Static boundary-state analysis ---------------------------------------
+
+TEST(BoundaryStatesTest, StarRootEnumeratesBoundaryPhases) {
+  // (b|c)* root: a boundary can follow <a>, </b>, or </c> -- three DFA
+  // states that differ only in their entry action, so the sharder
+  // collapses them into ONE speculative behavior class (asserted via the
+  // ShardReport in FullySpeculativeWaveHasNoSerialPrefix).
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  ASSERT_EQ(pf.tables().boundary_states.size(), 3u);
+  for (int q : pf.tables().boundary_states) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(static_cast<size_t>(q), pf.tables().states.size());
+    EXPECT_FALSE(pf.tables().states[static_cast<size_t>(q)].is_final);
+  }
+}
+
+TEST(BoundaryStatesTest, OrderedRootEnumeratesAllPhases) {
+  // (x, y, z) root: the run is in a different state before x, y, and z, so
+  // the analysis must report several candidates (and each boundary's true
+  // state must be among them -- covered by the fuzz property suite).
+  const char dtd[] =
+      "<!DOCTYPE r [ <!ELEMENT r (x, y, z)> <!ELEMENT x (b*)>"
+      " <!ELEMENT y (b*)> <!ELEMENT z (b*)> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/r/y#");
+  EXPECT_GE(pf.tables().boundary_states.size(), 2u);
+  for (int q : pf.tables().boundary_states) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(static_cast<size_t>(q), pf.tables().states.size());
+  }
+}
+
+TEST(BoundaryStatesTest, OpaqueRecursionCandidatesContainTrueStates) {
+  // Recursive (opaque) top-level content: the analysis models the region
+  // nondeterministically, so the candidate set must still contain the true
+  // entry state at every top-level boundary.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (item*)>"
+      " <!ELEMENT item (name, tree)> <!ELEMENT name (#PCDATA)>"
+      " <!ELEMENT tree (leaf | tree)*> <!ELEMENT leaf (#PCDATA)> ]>";
+  CompileOptions copts;
+  copts.allow_recursion = true;
+  Prefilter pf = Compile(dtd, "//name#", copts);
+  const std::vector<int>& candidates = pf.tables().boundary_states;
+  ASSERT_FALSE(candidates.empty());
+  std::string doc = "<a>";
+  std::vector<size_t> boundaries;
+  for (int i = 0; i < 12; ++i) {
+    boundaries.push_back(doc.size());
+    doc += "<item><name>n" + std::to_string(i) + "</name>"
+           "<tree><tree><leaf>d</leaf><tree/></tree><leaf>x</leaf></tree>"
+           "</item>";
+  }
+  doc += "</a>";
+  for (size_t b : boundaries) {
+    SCOPED_TRACE(b);
+    StringSink sink;
+    RunStats stats;
+    PrefilterSession session(pf.tables(), &sink, &stats);
+    ASSERT_TRUE(session.Resume(std::string_view(doc).substr(0, b)).ok());
+    int state = session.checkpoint().state;
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), state) !=
+                candidates.end())
+        << "true state " << state << " missing at boundary " << b;
+  }
+}
+
+TEST(BoundaryStatesTest, MapDispatchGetsTheSameAnalysis) {
+  CompileOptions copts;
+  copts.tables.use_map_dispatch = true;
+  Prefilter legacy = Compile(kPaperDtd, "/a/b#", copts);
+  Prefilter modern = Compile(kPaperDtd, "/a/b#");
+  EXPECT_EQ(legacy.tables().boundary_states,
+            modern.tables().boundary_states);
 }
 
 // --- Sharded execution ----------------------------------------------------
@@ -412,6 +586,67 @@ TEST(ShardedRunTest, MedlineGeneratorDocMatchesSerial) {
   auto pf = Prefilter::Compile(xmlgen::MedlineDtd(), *paths);
   ASSERT_TRUE(pf.ok()) << pf.status().ToString();
   ExpectShardedIdentical(*pf, doc);
+}
+
+TEST(ShardedRunTest, FullySpeculativeWaveHasNoSerialPrefix) {
+  // With a usable static candidate set, every shard -- including the head
+  // -- runs inside the parallel wave: nothing is prefiltered on the
+  // sequential path, and every speculative shard verifies on a star root.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 400; ++i) {
+    doc += "<b>keep " + std::to_string(i) + "</b><c><b>no</b></c>";
+  }
+  doc += "</a>";
+  std::string serial = SerialRun(pf, doc);
+
+  parallel::ThreadPool pool(4);
+  parallel::ShardOptions opts;
+  opts.max_shards = 4;
+  parallel::ShardReport report;
+  StringSink sink;
+  RunStats stats;
+  Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                  opts, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.str(), serial);
+  EXPECT_EQ(report.shards, 4u);
+  EXPECT_EQ(report.candidate_states, 3u);
+  EXPECT_EQ(report.candidate_classes, 1u);
+  EXPECT_EQ(report.speculated, 3u);
+  EXPECT_EQ(report.accepted, 3u);
+  EXPECT_EQ(report.reruns, 0u);
+  EXPECT_EQ(report.serial_bytes, 0u);
+  EXPECT_GT(report.wave_bytes, 0u);
+}
+
+TEST(ShardedRunTest, MisplacedBoundariesRerunAndStayIdentical) {
+  // A stray closing tag inside c's (DTD-invalid) content desynchronizes
+  // the structural scanner's depth tracking, so split candidates land on
+  // nested elements. Speculation then mismatches, the verification pass
+  // re-runs those shards, and the output must still equal the serial run.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  std::string doc = "<a><c><b>p</b> </stray> ";
+  for (int i = 0; i < 60; ++i) doc += "<b>fake top level</b>";
+  doc += "</c>";
+  for (int i = 0; i < 10; ++i) doc += "<b>real</b>";
+  doc += "</a>";
+  std::string serial = SerialRun(pf, doc);
+
+  parallel::ThreadPool pool(4);
+  parallel::ShardOptions opts;
+  opts.max_shards = 4;
+  parallel::ShardReport report;
+  StringSink sink;
+  RunStats stats;
+  Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                  opts, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.str(), serial);
+  ASSERT_GT(report.shards, 1u);
+  EXPECT_GE(report.reruns, 1u);
+  EXPECT_EQ(report.accepted + report.reruns, report.speculated);
+  EXPECT_GT(report.serial_bytes, 0u);
 }
 
 TEST(ShardedRunTest, TruncatedDocumentFailsLikeSerial) {

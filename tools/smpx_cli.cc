@@ -4,13 +4,18 @@
 //   smpx --dtd schema.dtd --query "for $i in /site//item return $i/name" ...
 //   smpx --dtd schema.dtd --paths-file paths.txt --stats in.xml out.xml
 //   smpx --dtd schema.dtd --paths ... --threads 8 big.xml out.xml
-//   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml c.xml --out all.xml
+//   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml    # a.proj.xml ...
+//   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml --out all.xml
 //
 // Reads stdin/writes stdout when files are omitted. File inputs are
 // mmap'ed (sequential madvise); --threads > 1 shards one document across a
-// thread pool, --batch prefilters many documents concurrently (outputs
-// concatenated in argument order). --stats prints the paper's measurement
-// columns to stderr. --tables dumps the compiled A/V/J/T tables and exits.
+// thread pool speculatively. --batch prefilters many documents
+// concurrently, *streaming* each through its session in bounded chunks and
+// writing per-input output files (in.xml -> in.proj.xml), so batch memory
+// is O(window + chunk) per worker, not document size; --out FILE instead
+// concatenates the outputs in argument order. --stats prints the paper's
+// measurement columns to stderr (per document and as a total in batch
+// mode). --tables dumps the compiled A/V/J/T tables and exits.
 
 #include <cstdio>
 #include <cstring>
@@ -34,19 +39,24 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --dtd FILE (--paths LIST | --paths-file FILE | --query XQ)\n"
-      "          [--stats] [--tables] [--window BYTES] [--threads N]\n"
-      "          [--batch] [--out FILE] [in.xml ... [out.xml]]\n"
+      "          [--stats] [--tables] [--window BYTES] [--chunk BYTES]\n"
+      "          [--threads N] [--batch] [--out FILE] [in.xml ... [out.xml]]\n"
       "\n"
       "Prefilters XML documents valid w.r.t. the given nonrecursive DTD\n"
       "down to the nodes relevant for the projection paths (or for the\n"
       "XQuery expression, via path extraction).\n"
       "\n"
       "  --threads N  run on N threads: one document is sharded at\n"
-      "               top-level element boundaries; with --batch, the\n"
-      "               documents are prefiltered concurrently\n"
-      "  --batch      every positional argument is an input file; outputs\n"
-      "               are concatenated in argument order (use --out FILE\n"
-      "               to write somewhere other than stdout)\n",
+      "               top-level element boundaries and run speculatively;\n"
+      "               with --batch, the documents are prefiltered\n"
+      "               concurrently\n"
+      "  --batch      every positional argument is an input file; each is\n"
+      "               streamed through the prefilter in bounded chunks and\n"
+      "               written to its own output file (in.xml ->\n"
+      "               in.proj.xml). With --out FILE, outputs are instead\n"
+      "               concatenated into FILE in argument order\n"
+      "  --chunk B    streaming read granularity in batch mode (default\n"
+      "               1 MiB); peak memory per worker is O(window + chunk)\n",
       argv0);
   return 2;
 }
@@ -73,6 +83,7 @@ int main(int argc, char** argv) {
   bool batch_flag = false;
   int threads = 1;
   size_t window = smpx::SlidingWindow::kDefaultCapacity;
+  size_t chunk = 1 << 20;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -119,6 +130,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       window = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--chunk") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      chunk = static_cast<size_t>(std::atoll(v));
+      if (chunk == 0) chunk = 1;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {
@@ -207,46 +223,103 @@ int main(int argc, char** argv) {
       sources.push_back(std::move(*src));
     }
   }
-  std::unique_ptr<smpx::OutputSink> sink;
-  if (out_file.empty()) {
-    sink = std::make_unique<smpx::StringSink>();
-  } else {
-    auto file_sink = smpx::FileSink::Open(out_file);
-    if (!file_sink.ok()) {
-      std::fprintf(stderr, "%s\n", file_sink.status().ToString().c_str());
-      return 1;
-    }
-    sink = std::move(*file_sink);
-  }
-
   smpx::core::RunStats stats;
   smpx::core::EngineOptions eopts;
   eopts.window_capacity = window;
   smpx::WallTimer run_timer;
   smpx::CpuTimer cpu_timer;
-  smpx::Status s;
-  if (batch_flag && docs.size() > 1) {
+  int failures = 0;
+
+  if (batch_flag && out_file.empty()) {
+    // Streaming batch with per-input output files: every document is
+    // pulled through its own session in bounded chunks and written to
+    // in.proj.xml, so peak memory never depends on document size. Errors
+    // are isolated per document; stats stay in argument (document) order.
     smpx::parallel::ThreadPool pool(threads);
-    s = smpx::parallel::BatchRunMerged(pf->tables(), docs, sink.get(),
-                                       &stats, &pool, eopts);
-  } else if (threads > 1) {
-    smpx::parallel::ThreadPool pool(threads);
-    smpx::parallel::ShardOptions popts;
-    popts.engine = eopts;
-    s = smpx::parallel::ShardedRun(pf->tables(), docs[0], sink.get(),
-                                   &stats, &pool, popts);
+    smpx::parallel::StreamOptions sopts;
+    sopts.engine = eopts;
+    sopts.chunk_bytes = chunk;
+    std::vector<const smpx::InputSource*> srcs;
+    std::vector<std::unique_ptr<smpx::FileSink>> out_files;
+    std::vector<smpx::OutputSink*> sinks;
+    std::vector<std::string> out_paths;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      out_paths.push_back(smpx::ProjectedOutputPath(inputs[i]));
+      // Repeated inputs would race pool threads on one output file.
+      for (size_t j = 0; j < i; ++j) {
+        if (out_paths[j] == out_paths.back()) {
+          std::fprintf(stderr,
+                       "duplicate batch output file %s (inputs %s, %s)\n",
+                       out_paths.back().c_str(), inputs[j].c_str(),
+                       inputs[i].c_str());
+          return 1;
+        }
+      }
+      auto fs = smpx::FileSink::Open(out_paths.back());
+      if (!fs.ok()) {
+        std::fprintf(stderr, "%s\n", fs.status().ToString().c_str());
+        return 1;
+      }
+      srcs.push_back(sources[i].get());
+      out_files.push_back(std::move(*fs));
+      sinks.push_back(out_files.back().get());
+    }
+    std::vector<smpx::core::RunStats> doc_stats;
+    std::vector<smpx::Status> statuses = smpx::parallel::BatchRunStreaming(
+        pf->tables(), srcs, sinks, &doc_stats, &pool, sopts);
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) {
+        std::fprintf(stderr, "%s: %s\n", inputs[i].c_str(),
+                     statuses[i].ToString().c_str());
+        ++failures;
+        continue;
+      }
+      if (stats_flag) {
+        std::fprintf(
+            stderr, "%s -> %s: input=%llu output=%llu matches=%llu\n",
+            inputs[i].c_str(), out_paths[i].c_str(),
+            static_cast<unsigned long long>(doc_stats[i].input_bytes),
+            static_cast<unsigned long long>(doc_stats[i].output_bytes),
+            static_cast<unsigned long long>(doc_stats[i].matches));
+      }
+      smpx::parallel::MergeRunStats(&stats, doc_stats[i]);
+    }
   } else {
-    smpx::MemoryInputStream in(docs[0]);
-    s = pf->Run(&in, sink.get(), &stats, eopts);
-  }
-  if (!s.ok()) {
-    std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  if (out_file.empty()) {
-    const std::string& out =
-        static_cast<smpx::StringSink*>(sink.get())->str();
-    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::unique_ptr<smpx::OutputSink> sink;
+    if (out_file.empty()) {
+      sink = std::make_unique<smpx::StringSink>();
+    } else {
+      auto file_sink = smpx::FileSink::Open(out_file);
+      if (!file_sink.ok()) {
+        std::fprintf(stderr, "%s\n", file_sink.status().ToString().c_str());
+        return 1;
+      }
+      sink = std::move(*file_sink);
+    }
+    smpx::Status s;
+    if (batch_flag) {
+      smpx::parallel::ThreadPool pool(threads);
+      s = smpx::parallel::BatchRunMerged(pf->tables(), docs, sink.get(),
+                                         &stats, &pool, eopts);
+    } else if (threads > 1) {
+      smpx::parallel::ThreadPool pool(threads);
+      smpx::parallel::ShardOptions popts;
+      popts.engine = eopts;
+      s = smpx::parallel::ShardedRun(pf->tables(), docs[0], sink.get(),
+                                     &stats, &pool, popts);
+    } else {
+      smpx::MemoryInputStream in(docs[0]);
+      s = pf->Run(&in, sink.get(), &stats, eopts);
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (out_file.empty()) {
+      const std::string& out =
+          static_cast<smpx::StringSink*>(sink.get())->str();
+      std::fwrite(out.data(), 1, out.size(), stdout);
+    }
   }
   if (stats_flag) {
     std::fprintf(
@@ -263,5 +336,5 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.false_matches),
         stats.window_peak);
   }
-  return 0;
+  return failures == 0 ? 0 : 1;
 }
