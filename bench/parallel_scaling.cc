@@ -14,15 +14,28 @@
 //   SMPX_SCALE_MB=64 ./bench_parallel_scaling
 //   SMPX_THREADS="1 2 4 8 16"  thread counts to sweep
 //   SMPX_REPS=5                best-of-N timing (default 3)
+//   SMPX_MAX_BUFFER=1048576    per-segment output budget in bytes
+//                              (default 0 = unbounded in-memory segments)
 //   SMPX_CSV=1 / SMPX_JSON=1   machine-readable output
+//
+// Both tables report peakMB, the process-wide getrusage high-water RSS
+// after the row's runs. It is a lifetime maximum (monotone across rows),
+// so the interesting signals are the first row's level and whether later
+// rows move it; with a budget set, the budgeted pipeline should hold it
+// flat where the unbudgeted one grows with the projected output.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench/bench_util.h"
 #include "common/io.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "core/prefilter.h"
 #include "parallel/batch.h"
@@ -40,6 +53,33 @@ int Reps() {
   const char* env = std::getenv("SMPX_REPS");
   int reps = env != nullptr ? std::atoi(env) : 0;
   return reps > 0 ? reps : 3;
+}
+
+size_t MaxBufferBytes() {
+  const char* env = std::getenv("SMPX_MAX_BUFFER");
+  if (env == nullptr || env[0] == '\0') return 0;
+  auto parsed = ParseByteSize(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "SMPX_MAX_BUFFER: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  return static_cast<size_t>(*parsed);
+}
+
+/// Process peak RSS in MiB (getrusage high-water mark; 0 if unavailable).
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1 << 20);  // bytes
+#else
+    return static_cast<double>(ru.ru_maxrss) / (1 << 10);  // KiB
+#endif
+  }
+#endif
+  return 0.0;
 }
 
 std::vector<int> ThreadCounts() {
@@ -116,7 +156,14 @@ int Run() {
       "/site/open_auctions/open_auction/initial#");
   std::vector<std::string_view> batch(kBatchDocs, xmark);
 
-  // Cross-check: batch output must equal per-document serial runs.
+  const size_t max_buffer = MaxBufferBytes();
+  MemorySource xmark_src(xmark);
+  std::vector<const InputSource*> batch_srcs(kBatchDocs, &xmark_src);
+  parallel::StreamOptions batch_opts;
+  batch_opts.max_buffer_bytes = max_buffer;
+
+  // Cross-check: streaming merged batch output must equal per-document
+  // serial runs (also with a tiny budget, so the spill path is covered).
   {
     auto serial = xpf.RunOnBuffer(xmark);
     if (!serial.ok()) {
@@ -124,15 +171,19 @@ int Run() {
                    serial.status().ToString().c_str());
       return 1;
     }
-    parallel::ThreadPool pool(2);
-    StringSink sink;
-    Status s = parallel::BatchRunMerged(xpf.tables(), batch, &sink, nullptr,
-                                        &pool);
     std::string expected;
     for (int i = 0; i < kBatchDocs; ++i) expected += *serial;
-    if (!s.ok() || sink.str() != expected) {
-      std::fprintf(stderr, "batch output diverges from serial!\n");
-      return 1;
+    parallel::ThreadPool pool(2);
+    for (size_t budget : {size_t{0}, size_t{1} << 16}) {
+      parallel::StreamOptions sopts;
+      sopts.max_buffer_bytes = budget;
+      StringSink sink;
+      Status s = parallel::BatchRunStreamingMerged(
+          xpf.tables(), batch_srcs, &sink, nullptr, &pool, sopts);
+      if (!s.ok() || sink.str() != expected) {
+        std::fprintf(stderr, "batch output diverges from serial!\n");
+        return 1;
+      }
     }
   }
 
@@ -144,7 +195,7 @@ int Run() {
       std::thread::hardware_concurrency());
 
   TablePrinter batch_table(
-      {"mode", "threads", "secs", "tags/s", "MB/s", "speedup"});
+      {"mode", "threads", "secs", "tags/s", "MB/s", "speedup", "peakMB"});
   double batch_base = 0;
   for (int t : threads) {
     parallel::ThreadPool pool(t);
@@ -152,8 +203,8 @@ int Run() {
       CountingSink sink;
       core::RunStats stats;
       WallTimer timer;
-      Status st = parallel::BatchRunMerged(xpf.tables(), batch, &sink,
-                                           &stats, &pool);
+      Status st = parallel::BatchRunStreamingMerged(
+          xpf.tables(), batch_srcs, &sink, &stats, &pool, batch_opts);
       Sample out;
       out.seconds = timer.Seconds();
       if (!st.ok()) {
@@ -170,7 +221,7 @@ int Run() {
         {"batch", std::to_string(t), Fmt("%.3f", s.seconds),
          Rate(static_cast<double>(s.tags) / s.seconds),
          Fmt("%.1f", static_cast<double>(s.bytes) / (1 << 20) / s.seconds),
-         Fmt("%.2fx", batch_base / s.seconds)});
+         Fmt("%.2fx", batch_base / s.seconds), Fmt("%.1f", PeakRssMb())});
   }
   batch_table.Print("parallel_batch");
 
@@ -184,14 +235,17 @@ int Run() {
   {
     auto serial = mpf.RunOnBuffer(medline);
     parallel::ThreadPool pool(2);
-    StringSink sink;
-    parallel::ShardOptions opts;
-    opts.max_shards = 4;
-    Status s = parallel::ShardedRun(mpf.tables(), medline, &sink, nullptr,
-                                    &pool, opts);
-    if (!serial.ok() || !s.ok() || sink.str() != *serial) {
-      std::fprintf(stderr, "sharded output diverges from serial!\n");
-      return 1;
+    for (size_t budget : {size_t{0}, size_t{1} << 16}) {
+      StringSink sink;
+      parallel::ShardOptions opts;
+      opts.max_shards = 4;
+      opts.max_buffer_bytes = budget;
+      Status s = parallel::ShardedRun(mpf.tables(), medline, &sink, nullptr,
+                                      &pool, opts);
+      if (!serial.ok() || !s.ok() || sink.str() != *serial) {
+        std::fprintf(stderr, "sharded output diverges from serial!\n");
+        return 1;
+      }
     }
   }
 
@@ -200,7 +254,7 @@ int Run() {
   // candidate set the head no longer serializes, so a full hit rate shows
   // 0.0 serial%). accept is speculative shards verified / launched.
   TablePrinter shard_table({"mode", "threads", "secs", "tags/s", "MB/s",
-                            "speedup", "serial%", "accept"});
+                            "speedup", "serial%", "accept", "peakMB"});
   double shard_base = 0;
   for (int t : threads) {
     parallel::ThreadPool pool(t);
@@ -210,6 +264,7 @@ int Run() {
       core::RunStats stats;
       parallel::ShardOptions opts;
       opts.max_shards = static_cast<size_t>(t);
+      opts.max_buffer_bytes = max_buffer;
       WallTimer timer;
       Status st = parallel::ShardedRun(mpf.tables(), medline, &sink,
                                        &stats, &pool, opts, &report);
@@ -235,7 +290,8 @@ int Run() {
                          : 100.0 * static_cast<double>(report.serial_bytes) /
                                static_cast<double>(s.bytes)),
          std::to_string(report.accepted) + "/" +
-             std::to_string(report.speculated)});
+             std::to_string(report.speculated),
+         Fmt("%.1f", PeakRssMb())});
   }
   shard_table.Print("parallel_shard");
 

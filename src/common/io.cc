@@ -125,6 +125,18 @@ Result<size_t> FileInputStream::Read(char* buf, size_t len) {
   return n;
 }
 
+namespace {
+
+/// Status for a short fwrite: reports how far the data actually got, so a
+/// caller resuming or reporting upward knows the exact byte boundary.
+Status ShortWriteError(size_t written, size_t expected) {
+  return Status::IoError("short write: wrote " + std::to_string(written) +
+                         " of " + std::to_string(expected) + " bytes: " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
@@ -139,21 +151,282 @@ FileSink::~FileSink() {
 }
 
 Status FileSink::Append(std::string_view data) {
+  if (!error_.ok()) return error_;
+  if (data.empty()) return Status::Ok();  // may carry a null data pointer
   size_t n = std::fwrite(data.data(), 1, data.size(), file_);
   bytes_written_ += n;
   if (n != data.size()) {
-    return Status::IoError("write failed: " +
-                           std::string(std::strerror(errno)));
+    error_ = ShortWriteError(n, data.size());
+    return error_;
   }
   return Status::Ok();
 }
 
 Status FileSink::Flush() {
+  if (!error_.ok()) return error_;  // idempotent after a failed Append
   if (std::fflush(file_) != 0) {
-    return Status::IoError("flush failed: " +
-                           std::string(std::strerror(errno)));
+    error_ = Status::IoError("flush failed: " +
+                             std::string(std::strerror(errno)));
+    return error_;
   }
   return Status::Ok();
+}
+
+Result<std::unique_ptr<BufferedFileSink>> BufferedFileSink::Open(
+    const std::string& path, size_t buffer_capacity) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<BufferedFileSink>(
+      new BufferedFileSink(f, /*owns=*/true, buffer_capacity));
+}
+
+std::unique_ptr<BufferedFileSink> BufferedFileSink::Wrap(
+    std::FILE* f, size_t buffer_capacity) {
+  return std::unique_ptr<BufferedFileSink>(
+      new BufferedFileSink(f, /*owns=*/false, buffer_capacity));
+}
+
+BufferedFileSink::~BufferedFileSink() {
+  Flush();  // best effort; errors are already sticky in error_
+  if (owns_ && file_ != nullptr) std::fclose(file_);
+}
+
+Status BufferedFileSink::WriteOut(const char* data, size_t len) {
+  size_t n = std::fwrite(data, 1, len, file_);
+  if (n != len) {
+    error_ = ShortWriteError(n, len);
+    return error_;
+  }
+  return Status::Ok();
+}
+
+Status BufferedFileSink::Drain() {
+  if (fill_ == 0) return Status::Ok();
+  size_t n = fill_;
+  fill_ = 0;  // even on failure: the buffered bytes' fate is recorded in
+              // error_, retrying them would double-write the prefix
+  return WriteOut(buf_.data(), n);
+}
+
+Status BufferedFileSink::Append(std::string_view data) {
+  if (!error_.ok()) return error_;
+  if (data.empty()) return Status::Ok();  // may carry a null data pointer
+  bytes_written_ += data.size();
+  if (data.size() >= buf_.size()) {
+    // Large append: flush what's pending, then write through.
+    SMPX_RETURN_IF_ERROR(Drain());
+    return WriteOut(data.data(), data.size());
+  }
+  if (fill_ + data.size() > buf_.size()) SMPX_RETURN_IF_ERROR(Drain());
+  std::memcpy(buf_.data() + fill_, data.data(), data.size());
+  fill_ += data.size();
+  return Status::Ok();
+}
+
+Status BufferedFileSink::Flush() {
+  if (!error_.ok()) return error_;  // idempotent after failure
+  SMPX_RETURN_IF_ERROR(Drain());
+  if (std::fflush(file_) != 0) {
+    error_ = Status::IoError("flush failed: " +
+                             std::string(std::strerror(errno)));
+    return error_;
+  }
+  return Status::Ok();
+}
+
+SpillSink::~SpillSink() {
+  if (spill_ != nullptr) std::fclose(spill_);
+}
+
+Status SpillSink::EnsureSpill() {
+  if (spill_ != nullptr) return Status::Ok();
+  // tmpfile() is created already unlinked: the bytes live only as long as
+  // the handle, and a crashed process leaks nothing on disk.
+  spill_ = std::tmpfile();
+  if (spill_ == nullptr) {
+    error_ = Status::IoError("cannot create spill file: " +
+                             std::string(std::strerror(errno)));
+    return error_;
+  }
+  if (!mem_.empty()) {
+    size_t n = std::fwrite(mem_.data(), 1, mem_.size(), spill_);
+    if (n != mem_.size()) {
+      error_ = ShortWriteError(n, mem_.size());
+      return error_;
+    }
+    std::string().swap(mem_);  // actually release the buffer capacity
+  }
+  return Status::Ok();
+}
+
+Status SpillSink::Append(std::string_view data) {
+  if (!error_.ok()) return error_;
+  if (data.empty()) return Status::Ok();  // may carry a null data pointer
+  if (spill_ == nullptr && mem_.size() + data.size() <= budget_) {
+    mem_.append(data);
+    bytes_written_ += data.size();
+    return Status::Ok();
+  }
+  SMPX_RETURN_IF_ERROR(EnsureSpill());
+  size_t n = std::fwrite(data.data(), 1, data.size(), spill_);
+  bytes_written_ += n;
+  if (n != data.size()) {
+    error_ = ShortWriteError(n, data.size());
+    return error_;
+  }
+  return Status::Ok();
+}
+
+Status SpillSink::CopyTo(OutputSink* out) {
+  if (!error_.ok()) return error_;
+  if (spill_ == nullptr) return out->Append(mem_);
+  if (std::fseek(spill_, 0, SEEK_SET) != 0) {
+    error_ = Status::IoError("spill seek failed: " +
+                             std::string(std::strerror(errno)));
+    return error_;
+  }
+  char buf[1 << 16];
+  Status replay;
+  for (;;) {
+    size_t n = std::fread(buf, 1, sizeof(buf), spill_);
+    if (n == 0) {
+      if (std::ferror(spill_)) {
+        error_ = Status::IoError("spill read failed: " +
+                                 std::string(std::strerror(errno)));
+        replay = error_;
+      }
+      break;
+    }
+    replay = out->Append(std::string_view(buf, n));
+    if (!replay.ok()) break;  // downstream error: not sticky here
+  }
+  // Reposition at the end so later appends extend rather than overwrite.
+  if (std::fseek(spill_, 0, SEEK_END) != 0 && error_.ok()) {
+    error_ = Status::IoError("spill seek failed: " +
+                             std::string(std::strerror(errno)));
+    if (replay.ok()) replay = error_;
+  }
+  return replay;
+}
+
+void SpillSink::Clear() {
+  std::string().swap(mem_);
+  if (spill_ != nullptr) {
+    std::fclose(spill_);
+    spill_ = nullptr;
+  }
+  bytes_written_ = 0;
+  error_ = Status::Ok();
+}
+
+Status SpillSink::ForceSpill() {
+  if (!error_.ok()) return error_;
+  if (budget_ == kUnlimited || (spill_ == nullptr && mem_.empty())) {
+    return Status::Ok();
+  }
+  return EnsureSpill();
+}
+
+OrderedCommitSink::OrderedCommitSink(OutputSink* down, size_t segments)
+    : down_(down),
+      pending_(segments),
+      ready_(segments, false),
+      limit_(segments) {}
+
+Status OrderedCommitSink::CommitReady(std::unique_lock<std::mutex>& lock) {
+  if (committing_) return error_;  // the draining thread will pick ours up
+  committing_ = true;
+  // A sticky error stops the frontier for good: a half-replayed segment
+  // must not be skipped over, or the downstream stream would contain a
+  // hole instead of a clean prefix.
+  while (error_.ok() && frontier_ < limit_ && ready_[frontier_]) {
+    std::unique_ptr<SpillSink> seg = std::move(pending_[frontier_]);
+    if (seg != nullptr) {
+      uint64_t produced = seg->bytes_written();
+      // Replay outside the lock -- the committing_ flag keeps commits
+      // single-threaded, and holding mu_ across a multi-GB spill replay
+      // would block every concurrently finishing producer in Install.
+      lock.unlock();
+      Status s = seg->CopyTo(down_);
+      lock.lock();
+      if (!s.ok()) {
+        if (error_.ok()) error_ = s;
+        break;
+      }
+      committed_bytes_ += produced;
+    }
+    ++frontier_;  // seg (buffer and spill file) is freed here
+  }
+  committing_ = false;
+  return error_;
+}
+
+Status OrderedCommitSink::Install(size_t k,
+                                  std::unique_ptr<SpillSink> segment) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (k >= limit_) return error_;  // truncated away; content is dropped
+  if (ready_[k]) {
+    if (error_.ok()) {
+      error_ = Status::Internal("segment " + std::to_string(k) +
+                                " installed twice");
+    }
+    return error_;
+  }
+  if (segment != nullptr && k > frontier_) {
+    // Parked ahead of the frontier: hold the bytes on disk, not in
+    // memory. The spill write happens outside the lock (it can be an
+    // up-to-budget copy); a frontier advance in the meantime merely makes
+    // the spill redundant, and a racing duplicate install of the same k
+    // is caught by re-checking ready_ below.
+    lock.unlock();
+    Status s = segment->ForceSpill();
+    lock.lock();
+    if (!s.ok() && error_.ok()) error_ = s;
+    if (k >= limit_) return error_;  // truncated while spilling
+    if (ready_[k]) {
+      if (error_.ok()) {
+        error_ = Status::Internal("segment " + std::to_string(k) +
+                                  " installed twice");
+      }
+      return error_;
+    }
+  }
+  pending_[k] = std::move(segment);
+  ready_[k] = true;
+  return CommitReady(lock);
+}
+
+void OrderedCommitSink::Truncate(size_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (k >= limit_) return;
+  limit_ = k;
+  for (size_t i = k; i < pending_.size(); ++i) {
+    pending_[i].reset();
+    ready_[i] = false;
+  }
+}
+
+size_t OrderedCommitSink::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_;
+}
+
+bool OrderedCommitSink::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_ >= limit_;
+}
+
+uint64_t OrderedCommitSink::committed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_bytes_;
+}
+
+Status OrderedCommitSink::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
 }
 
 SlidingWindow::SlidingWindow(InputStream* in, size_t capacity,

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -175,6 +176,12 @@ class CountingSink : public OutputSink {
 };
 
 /// Writes to a stdio FILE. Owns the handle.
+///
+/// A short write puts the sink into a sticky failed state: the Status
+/// reports how many bytes of the Append actually reached the file, and
+/// every later Append/Flush returns that same error without touching the
+/// stream again (so a caller retrying Flush after a failure cannot
+/// double-write or mask the original cause).
 class FileSink : public OutputSink {
  public:
   static Result<std::unique_ptr<FileSink>> Open(const std::string& path);
@@ -186,6 +193,148 @@ class FileSink : public OutputSink {
  private:
   explicit FileSink(std::FILE* f) : file_(f) {}
   std::FILE* file_;
+  Status error_;  // first failure; sticky
+};
+
+/// Write-coalescing sink over a stdio FILE: appends accumulate in an owned
+/// buffer and reach the file in large fwrite calls, so the per-Append cost
+/// of a fine-grained producer (the engine emits one Append per copy-region
+/// flush safe-point) stays a memcpy. Appends at or above the buffer
+/// capacity bypass the buffer entirely. Failure semantics match FileSink:
+/// first error is sticky, Flush is idempotent after it.
+class BufferedFileSink : public OutputSink {
+ public:
+  static constexpr size_t kDefaultBuffer = 1 << 20;  // 1 MiB
+
+  /// Opens `path` for binary writing (owns the handle).
+  static Result<std::unique_ptr<BufferedFileSink>> Open(
+      const std::string& path, size_t buffer_capacity = kDefaultBuffer);
+  /// Wraps an existing handle (e.g. stdout) without owning it; the caller
+  /// must Flush() before the handle is used elsewhere or closed.
+  static std::unique_ptr<BufferedFileSink> Wrap(
+      std::FILE* f, size_t buffer_capacity = kDefaultBuffer);
+  ~BufferedFileSink() override;  // flushes best-effort, closes if owned
+
+  Status Append(std::string_view data) override;
+  /// Drains the coalescing buffer and fflushes the handle.
+  Status Flush();
+
+ private:
+  BufferedFileSink(std::FILE* f, bool owns, size_t capacity)
+      : file_(f), owns_(owns), buf_(capacity > 0 ? capacity : 1) {}
+  Status WriteOut(const char* data, size_t len);  // fwrite + short-write check
+  Status Drain();
+
+  std::FILE* file_;
+  bool owns_;
+  std::vector<char> buf_;
+  size_t fill_ = 0;
+  Status error_;  // first failure; sticky
+};
+
+/// Bounded-memory accumulator: appends stay in an owned string up to
+/// `budget` bytes, then everything overflows to an unlinked temporary file
+/// and the string is freed -- so a segment of unknown size costs at most
+/// `budget` resident bytes no matter how large it grows. The accumulated
+/// bytes are replayed with CopyTo (repeatable; appends may continue after
+/// a replay) and dropped with Clear for reuse. Budget edge semantics: a
+/// sink holding exactly `budget` bytes has not spilled; the first byte
+/// beyond it moves the whole content to disk. kUnlimited never spills
+/// (pure in-memory accumulation, like StringSink).
+class SpillSink : public OutputSink {
+ public:
+  static constexpr size_t kUnlimited = ~size_t{0};
+
+  explicit SpillSink(size_t budget = kUnlimited) : budget_(budget) {}
+  ~SpillSink() override;
+
+  SpillSink(const SpillSink&) = delete;
+  SpillSink& operator=(const SpillSink&) = delete;
+
+  Status Append(std::string_view data) override;
+
+  /// Streams every appended byte, in order, into `out` (in bounded chunks
+  /// when spilled). Repeatable; the sink stays appendable afterwards.
+  Status CopyTo(OutputSink* out);
+
+  /// Drops all content (buffer and spill file) and clears any sticky
+  /// error; the sink is reusable as if freshly constructed. bytes_written()
+  /// resets too.
+  void Clear();
+
+  /// Moves any resident bytes to the spill file immediately, regardless of
+  /// budget; used by ordered committers to park completed segments that
+  /// cannot commit yet at ~zero resident cost. No-op for kUnlimited sinks
+  /// (they are deliberately memory-backed) and empty sinks.
+  Status ForceSpill();
+
+  size_t budget() const { return budget_; }
+  bool spilled() const { return spill_ != nullptr; }
+  /// Bytes currently held in memory (the spill file holds the rest).
+  size_t resident_bytes() const { return mem_.size(); }
+
+ private:
+  Status EnsureSpill();  // opens the unlinked temp file, moves mem_ into it
+
+  size_t budget_;
+  std::string mem_;
+  std::FILE* spill_ = nullptr;  // unlinked tmpfile; non-null once spilled
+  Status error_;                // first failure; sticky
+};
+
+/// Streams N document-order segments into one downstream sink with bounded
+/// buffering: segment k's bytes (a SpillSink filled by whoever produced
+/// them) are installed when k is known to be final, and the moment the
+/// commit frontier reaches a segment it is replayed downstream and freed.
+/// Installs may arrive in any order from any thread (the batch driver
+/// installs from pool workers as documents finish); a segment installed
+/// ahead of the frontier is force-spilled so waiting costs disk, not
+/// memory. Downstream writes happen on whichever caller's thread advances
+/// the frontier, never concurrently.
+class OrderedCommitSink {
+ public:
+  /// `down` must outlive this object and is not written to concurrently
+  /// with direct use by the caller.
+  OrderedCommitSink(OutputSink* down, size_t segments);
+
+  OrderedCommitSink(const OrderedCommitSink&) = delete;
+  OrderedCommitSink& operator=(const OrderedCommitSink&) = delete;
+
+  /// Installs segment k's final content (null = empty segment) and commits
+  /// every consecutive ready segment at the frontier. Returns the sticky
+  /// downstream/replay error, if any. Thread-safe.
+  Status Install(size_t k, std::unique_ptr<SpillSink> segment);
+
+  /// Declares that segments [k, N) will never be installed: the frontier
+  /// stops before k forever and pending segments at or beyond k are freed.
+  /// Used for early-finishing runs (trailing shards unused) and for
+  /// first-error-stops-the-merge semantics. Thread-safe; keeps the
+  /// lowest k across calls.
+  void Truncate(size_t k);
+
+  /// Next segment index awaiting commit; == segments() when all committed.
+  size_t frontier() const;
+  /// True once every non-truncated segment has been committed.
+  bool finished() const;
+  /// Bytes replayed into the downstream sink so far.
+  uint64_t committed_bytes() const;
+  /// Sticky first error from a downstream Append or a spill replay.
+  Status status() const;
+
+ private:
+  /// Advances the frontier. Called with `lock` held; segment replays drop
+  /// the lock (the committing_ flag keeps commits single-threaded).
+  Status CommitReady(std::unique_lock<std::mutex>& lock);
+
+  OutputSink* down_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpillSink>> pending_;
+  std::vector<bool> ready_;
+  size_t limit_;             // segments >= limit_ are truncated
+  size_t frontier_ = 0;      // next segment to commit
+  bool committing_ = false;  // a thread is replaying outside the lock
+  uint64_t committed_bytes_ = 0;
+  Status error_;  // first failure; sticky
 };
 
 /// A sliding window over an InputStream with absolute (whole-stream) byte

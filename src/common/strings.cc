@@ -45,6 +45,54 @@ std::string HumanBytes(double bytes) {
   return buf;
 }
 
+Result<uint64_t> ParseByteSize(std::string_view s) {
+  std::string_view t = StripWhitespace(s);
+  if (t.empty() || t[0] < '0' || t[0] > '9') {
+    return Status::InvalidArgument("bad byte size '" + std::string(s) + "'");
+  }
+  uint64_t value = 0;
+  size_t i = 0;
+  while (i < t.size() && t[i] >= '0' && t[i] <= '9') {
+    uint64_t digit = static_cast<uint64_t>(t[i] - '0');
+    if (value > (~uint64_t{0} - digit) / 10) {
+      return Status::InvalidArgument("byte size '" + std::string(s) +
+                                     "' overflows");
+    }
+    value = value * 10 + digit;
+    ++i;
+  }
+  std::string_view suffix = t.substr(i);
+  int shift = 0;
+  if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default:
+        return Status::InvalidArgument("bad byte-size suffix in '" +
+                                       std::string(s) + "'");
+    }
+    std::string_view rest = suffix.substr(1);
+    bool rest_ok = rest.empty();
+    // Accept "KiB"/"KB"/"Kb"-style spellings after the unit letter.
+    if (rest.size() == 1) {
+      rest_ok = rest[0] == 'b' || rest[0] == 'B';
+    } else if (rest.size() == 2) {
+      rest_ok = (rest[0] == 'i' || rest[0] == 'I') &&
+                (rest[1] == 'b' || rest[1] == 'B');
+    }
+    if (!rest_ok) {
+      return Status::InvalidArgument("bad byte-size suffix in '" +
+                                     std::string(s) + "'");
+    }
+    if (value != 0 && (value >> (64 - shift)) != 0) {
+      return Status::InvalidArgument("byte size '" + std::string(s) +
+                                     "' overflows");
+    }
+  }
+  return value << shift;
+}
+
 std::string Join(const std::vector<std::string>& pieces,
                  std::string_view sep) {
   std::string out;

@@ -3,9 +3,12 @@
 #ifndef SMPX_COMMON_STRINGS_H_
 #define SMPX_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace smpx {
 
@@ -40,6 +43,12 @@ inline bool IsNameChar(char c) {
 
 /// Renders a byte count as "12.34MB" (binary units).
 std::string HumanBytes(double bytes);
+
+/// Parses a byte count with an optional binary-unit suffix: "4096",
+/// "64K"/"64KiB"/"64kb", "1M", "2G" (case-insensitive; K/M/G are 2^10/20/30).
+/// Fails on empty input, unknown suffixes, and values that overflow
+/// uint64_t.
+Result<uint64_t> ParseByteSize(std::string_view s);
 
 /// Joins pieces with `sep`.
 std::string Join(const std::vector<std::string>& pieces,

@@ -118,6 +118,14 @@ struct SessionCheckpoint {
 /// A session is single-threaded; parallelism comes from running many
 /// sessions (one per shard or document) against the shared tables -- see
 /// src/parallel/.
+///
+/// Sink contract: the session appends projected bytes strictly in
+/// document order and only at flush safe-points (completed transitions
+/// and sliding-window evictions of settled copy-region prefixes), and
+/// it never retracts an appended byte. Downstream sinks may therefore
+/// stream, spill, or commit each Append immediately -- the bounded-memory
+/// output pipeline (SpillSink / OrderedCommitSink in common/io.h) depends
+/// on this.
 class PrefilterSession {
  public:
   /// Starts a run at absolute byte offset `start.cursor` in checkpoint

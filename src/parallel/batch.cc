@@ -92,4 +92,40 @@ std::vector<Status> BatchRunStreaming(
   return statuses;
 }
 
+Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
+                               const std::vector<const InputSource*>& docs,
+                               OutputSink* out, core::RunStats* stats,
+                               ThreadPool* pool, const StreamOptions& opts) {
+  const size_t budget = opts.max_buffer_bytes != 0 ? opts.max_buffer_bytes
+                                                   : SpillSink::kUnlimited;
+  OrderedCommitSink commit(out, docs.size());
+  std::vector<Status> statuses(docs.size());
+  std::vector<core::RunStats> doc_stats(docs.size());
+  pool->RunAndWait(docs.size(), [&](size_t i) {
+    auto seg = std::make_unique<SpillSink>(budget);
+    statuses[i] = StreamRun(tables, *docs[i], seg.get(), &doc_stats[i],
+                            opts);
+    if (statuses[i].ok()) {
+      // The frontier cannot pass an uninstalled segment, so a document
+      // that will fail can never be overtaken by its successors' output:
+      // the commit below emits exactly the clean document prefix.
+      commit.Install(i, std::move(seg));
+    } else {
+      commit.Truncate(i);
+    }
+  });
+  size_t max_visited = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    if (stats != nullptr) {
+      MergeRunStats(stats, doc_stats[i]);
+      // states_visited is not additive; every document runs the same
+      // automaton, so report the maximum.
+      max_visited = std::max(max_visited, doc_stats[i].states_visited);
+      stats->states_visited = max_visited;
+    }
+  }
+  return commit.status();
+}
+
 }  // namespace smpx::parallel

@@ -58,6 +58,11 @@ struct StreamOptions {
   /// Bytes fed to the session per Resume call; together with the engine
   /// window this bounds a streaming run's peak memory.
   size_t chunk_bytes = 1 << 20;
+  /// Per-document output buffering budget for BatchRunStreamingMerged:
+  /// a document's projection beyond it overflows to an unlinked temp file
+  /// until the ordered-commit frontier streams it into the merged sink.
+  /// 0 keeps per-document output fully in memory.
+  size_t max_buffer_bytes = 0;
 };
 
 /// Prefilters one document by pulling `src` through a resumable session in
@@ -81,6 +86,23 @@ std::vector<Status> BatchRunStreaming(
     const std::vector<OutputSink*>& sinks,
     std::vector<core::RunStats>* stats, ThreadPool* pool,
     const StreamOptions& opts = {});
+
+/// Streaming replacement for BatchRunMerged: every document is pulled
+/// through its session in bounded chunks into a budgeted SpillSink
+/// segment, and segments commit into `out` in document order the moment
+/// the frontier reaches them -- workers finishing out of order park their
+/// segment on disk (not memory) until the frontier arrives. Peak resident
+/// memory is O(workers x (window + chunk + budget)) regardless of
+/// document and projection sizes. Error semantics match BatchRunMerged:
+/// the first (lowest-index) per-document error is returned and only the
+/// clean document prefix before it reaches `out`; a failed document
+/// contributes no bytes. `stats` (may be null) receives the merged totals
+/// of that clean prefix. Must not be called from a pool thread.
+Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
+                               const std::vector<const InputSource*>& docs,
+                               OutputSink* out, core::RunStats* stats,
+                               ThreadPool* pool,
+                               const StreamOptions& opts = {});
 
 }  // namespace smpx::parallel
 

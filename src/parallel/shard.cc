@@ -199,6 +199,60 @@ RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
   return sum;
 }
 
+/// First element start at absolute depth 1 at or after `begin`, entering
+/// the scan at absolute element depth `depth` (known from the region
+/// fix-up); kNoPos when none. Unlike ScanRegion this stops at the first
+/// hit, so the tail of the document past the last chosen boundary is never
+/// read -- the early-exit the serial scanner gets for free. `scanned`
+/// accumulates the bytes consumed.
+uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
+                             int64_t depth, uint64_t* scanned) {
+  size_t pos = static_cast<size_t>(begin);
+  uint64_t found = kNoPos;
+  while (pos < doc.size()) {
+    const char* lt = static_cast<const char*>(
+        std::memchr(doc.data() + pos, '<', doc.size() - pos));
+    if (lt == nullptr) {
+      pos = doc.size();
+      break;
+    }
+    size_t t = static_cast<size_t>(lt - doc.data());
+    std::string_view rest = doc.substr(t);
+    if (rest.size() < 2) {
+      pos = doc.size();
+      break;
+    }
+    char next = rest[1];
+    if (next == '!' || next == '?') {
+      pos = SkipMarkupConstruct(doc, t, next);
+      continue;
+    }
+    if (next == '/') {
+      --depth;
+      pos = TagEnd(doc, t) + 1;
+      continue;
+    }
+    if (!IsNameChar(next)) {
+      pos = t + 1;  // stray '<' in text
+      continue;
+    }
+    if (depth == 1) {
+      found = t;
+      pos = t;
+      break;
+    }
+    size_t tag_end = TagEnd(doc, t);
+    bool bachelor =
+        tag_end < doc.size() && tag_end > t + 1 && doc[tag_end - 1] == '/';
+    if (!bachelor) ++depth;
+    pos = tag_end + 1;
+  }
+  if (scanned != nullptr) {
+    *scanned += std::min<uint64_t>(pos, doc.size()) - begin;
+  }
+  return found;
+}
+
 /// True when a resumed session behaves identically from state `a` and `b`:
 /// same frontier vocabulary (hence matcher behavior and search counters),
 /// same transitions, same opaque-nesting semantics, same finality, same
@@ -218,9 +272,12 @@ bool SameRuntimeBehavior(const core::RuntimeTables& t, int a, int b) {
          A.close_next == B.close_next;
 }
 
-/// One shard's execution record.
+/// One shard's execution record. The sink is a budget-bounded SpillSink
+/// segment: accepted segments move into the ordered-commit frontier and
+/// are freed as they stream out; rejected speculative attempts are freed
+/// wholesale when their shard resolves.
 struct ShardResult {
-  StringSink sink;
+  std::unique_ptr<SpillSink> sink;
   core::RunStats stats;
   core::SessionCheckpoint exit;
   Status status;
@@ -280,41 +337,65 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
   return splits;
 }
 
-std::vector<uint64_t> FindTopLevelBoundariesParallel(std::string_view doc,
-                                                     size_t max_splits,
-                                                     ThreadPool* pool) {
+std::vector<uint64_t> FindTopLevelBoundariesParallel(
+    std::string_view doc, size_t max_splits, ThreadPool* pool,
+    uint64_t* scanned_bytes) {
+  if (scanned_bytes != nullptr) *scanned_bytes = 0;
   std::vector<uint64_t> splits;
   if (max_splits == 0 || doc.size() < 2) return splits;
   const uint64_t stride = doc.size() / (max_splits + 1);
   if (stride == 0) return splits;
+  if (pool->size() <= 1) {
+    // A one-worker wave degenerates to a sequential whole-document scan;
+    // the serial scanner is strictly better (it stops at the last chosen
+    // boundary).
+    splits = FindTopLevelBoundaries(doc, max_splits);
+    if (scanned_bytes != nullptr) {
+      *scanned_bytes =
+          splits.size() == max_splits ? splits.back() : doc.size();
+    }
+    return splits;
+  }
 
-  // One region per split target; region j = [j*stride, (j+1)*stride), the
-  // last one running to the document end. Each is scanned independently on
-  // the pool with relative depths.
-  const size_t regions = max_splits + 1;
+  // One region per split target; region j = [j*stride, (j+1)*stride). The
+  // interior regions are scanned independently on the pool with relative
+  // depths; the tail region [max_splits*stride, doc.size()) is *not* part
+  // of the wave -- after the fix-up resolves the absolute depth at its
+  // start it is scanned lazily, stopping at the first top-level element
+  // start (which covers every split target still unfulfilled, all of which
+  // sit at or before the tail's begin).
+  const size_t interior = max_splits;  // regions 0 .. max_splits-1
   auto region_begin = [stride](size_t j) { return stride * j; };
-  auto region_end = [&doc, stride, regions](size_t j) {
-    return j + 1 == regions ? doc.size() : stride * (j + 1);
-  };
-  std::vector<RegionSummary> sums(regions);
-  pool->RunAndWait(regions, [&doc, &sums, &region_begin, &region_end](
-                                size_t j) {
+  auto region_end = [stride](size_t j) { return stride * (j + 1); };
+  std::vector<RegionSummary> sums(interior);
+  pool->RunAndWait(interior, [&doc, &sums, &region_begin, &region_end](
+                                 size_t j) {
     sums[j] = ScanRegion(doc, region_begin(j), region_end(j));
   });
+  if (scanned_bytes != nullptr) {
+    for (size_t j = 0; j < interior; ++j) {
+      *scanned_bytes += sums[j].resume_pos - region_begin(j);
+    }
+  }
 
   // Sequential fix-up: thread the actual scan position and absolute depth
   // through the summaries. A region whose start was consumed by a construct
   // straddling in from an earlier region scanned garbage (it assumed its
   // start was content), so it is re-scanned from the construct's true end;
   // a region consumed entirely holds no element starts at all.
-  std::vector<uint64_t> boundary(regions, kNoPos);
+  std::vector<uint64_t> boundary(interior, kNoPos);
   uint64_t pos = 0;
   int64_t depth = 0;
-  for (size_t j = 0; j < regions; ++j) {
+  for (size_t j = 0; j < interior; ++j) {
     uint64_t b = region_begin(j);
     uint64_t e = region_end(j);
     if (pos >= e) continue;
-    if (pos > b) sums[j] = ScanRegion(doc, pos, e);
+    if (pos > b) {
+      sums[j] = ScanRegion(doc, pos, e);
+      if (scanned_bytes != nullptr) {
+        *scanned_bytes += sums[j].resume_pos - pos;
+      }
+    }
     int64_t want = 1 - depth;  // relative depth of an absolute depth-1 start
     if (want >= -kMaxRelDepth && want <= 1) {
       boundary[j] =
@@ -330,10 +411,17 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(std::string_view doc,
   size_t target_idx = 1;
   while (target_idx <= max_splits) {
     size_t j = target_idx;
-    while (j < regions && boundary[j] == kNoPos) ++j;
-    if (j >= regions) break;
+    while (j < interior && boundary[j] == kNoPos) ++j;
+    if (j >= interior) break;  // remaining targets fall through to the tail
     splits.push_back(boundary[j]);
     target_idx = static_cast<size_t>(boundary[j] / stride) + 1;
+  }
+  if (target_idx <= max_splits) {
+    uint64_t begin = std::max<uint64_t>(pos, region_begin(interior));
+    if (begin < doc.size()) {
+      uint64_t hit = FirstTopLevelOpenAt(doc, begin, depth, scanned_bytes);
+      if (hit != kNoPos) splits.push_back(hit);
+    }
   }
   return splits;
 }
@@ -375,6 +463,10 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
   seg_begin.push_back(doc.size());
   const size_t n = seg_begin.size() - 1;
 
+  const size_t seg_budget = opts.max_buffer_bytes != 0
+                                ? opts.max_buffer_bytes
+                                : SpillSink::kUnlimited;
+
   // Runs one segment: `start` == nullptr for the document head, otherwise
   // the carried checkpoint (whose cursor may sit before the segment start
   // after a re-run hand-off). The final segment also Finish()es.
@@ -384,7 +476,8 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
     uint64_t end = seg_begin[k + 1];
     core::EngineOptions eopts = opts.engine;
     eopts.mark_start_state_visited = mark_start;
-    core::PrefilterSession session(tables, &r->sink, &r->stats, eopts,
+    r->sink = std::make_unique<SpillSink>(seg_budget);
+    core::PrefilterSession session(tables, r->sink.get(), &r->stats, eopts,
                                    start);
     r->status = session.Resume(
         doc.substr(static_cast<size_t>(begin),
@@ -502,10 +595,18 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
     }
   }
 
-  // Sequential verification: accept the speculative attempt whose assumed
-  // entry matches the predecessor's actual hand-off; otherwise re-run the
-  // shard (synchronously) from the true checkpoint. Deterministic by
-  // construction -- the accepted sequence replays the serial run.
+  // Sequential verification with streaming commit: accept the speculative
+  // attempt whose assumed entry matches the predecessor's actual hand-off;
+  // otherwise re-run the shard (synchronously) from the true checkpoint.
+  // Deterministic by construction -- the accepted sequence replays the
+  // serial run. Each resolved segment is installed into the ordered-commit
+  // frontier immediately, which streams it into `out` and frees its
+  // buffer/spill before the next shard is even verified; the rejected
+  // attempts of a resolved shard are freed at the same moment. Peak
+  // resident output is therefore bounded by the per-segment budget times
+  // the outstanding attempts, never by the projection size.
+  OrderedCommitSink commit(out, n);
+  SMPX_RETURN_IF_ERROR(commit.Install(0, std::move(results[0].sink)));
   Status final_status;
   size_t produced = n;
   for (size_t k = 1; k < n; ++k) {
@@ -545,14 +646,12 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       ++rep.reruns;
       rep.serial_bytes += results[k].stats.input_bytes;
     }
+    spec[k].clear();  // free the losing attempts' buffers and spills now
+    SMPX_RETURN_IF_ERROR(commit.Install(k, std::move(results[k].sink)));
   }
+  if (produced < n) commit.Truncate(produced);
   if (final_status.ok() && produced == n && !results[n - 1].status.ok()) {
     final_status = results[n - 1].status;
-  }
-
-  // Deterministic merge in document order.
-  for (size_t k = 0; k < produced; ++k) {
-    SMPX_RETURN_IF_ERROR(out->Append(results[k].sink.str()));
   }
   if (stats != nullptr) {
     std::vector<bool> visited;

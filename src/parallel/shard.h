@@ -48,6 +48,14 @@ struct ShardOptions {
   /// the removed serialization saves. Such tables fall back to exit-state
   /// speculation seeded by shard 0.
   size_t max_candidate_states = 4;
+  /// Per-segment output buffering budget in bytes; a shard's projected
+  /// output beyond it overflows to an unlinked temp file (SpillSink) until
+  /// the ordered-commit frontier streams the segment into the caller's
+  /// sink and frees it. 0 keeps segments fully in memory (unbounded, the
+  /// pre-budget behavior). With a budget B, peak resident memory of a
+  /// sharded run is O(shards x classes x B) on top of the per-session
+  /// windows, independent of document and projection size.
+  size_t max_buffer_bytes = 0;
   core::EngineOptions engine;
 };
 
@@ -86,19 +94,32 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
 /// Region-parallel variant of FindTopLevelBoundaries: each target's region
 /// is scanned concurrently on `pool` (relative depths), then a sequential
 /// fix-up resolves absolute depths and selects the same boundaries the
-/// serial scan would. Byte-identical results for well-formed documents
-/// whose element depth at region starts stays within the scanner's relative
-/// range (256); outside that -- or on non-well-formed input -- the two
-/// scanners may place boundaries differently (both remain safe: ShardedRun
-/// verification never trusts a boundary). Must not be called from a pool
-/// thread.
-std::vector<uint64_t> FindTopLevelBoundariesParallel(std::string_view doc,
-                                                     size_t max_splits,
-                                                     ThreadPool* pool);
+/// serial scan would. The tail region past the last split target is not
+/// part of the wave: it is scanned lazily after the fix-up (its absolute
+/// entry depth is then known) and the scan stops at the first top-level
+/// element start, which covers every remaining target -- so, like the
+/// serial scanner, nothing past the last selected boundary is ever read.
+/// A pool of one worker delegates to the serial scan outright. Results are
+/// byte-identical to the serial scanner for well-formed documents whose
+/// element depth at interior region starts stays within the scanner's
+/// relative range (256); outside that -- or on non-well-formed input --
+/// the two scanners may place boundaries differently (both remain safe:
+/// ShardedRun verification never trusts a boundary). `scanned_bytes` (may
+/// be null) receives the approximate number of document bytes the scan
+/// actually consumed, the early-exit observable. Must not be called from
+/// a pool thread.
+std::vector<uint64_t> FindTopLevelBoundariesParallel(
+    std::string_view doc, size_t max_splits, ThreadPool* pool,
+    uint64_t* scanned_bytes = nullptr);
 
 /// Prefilters `doc` by sharding it across `pool`. Output and the merged
 /// `stats` totals are byte-identical to RunEngine over the same document
 /// (up to search-effort counters, which depend on window geometry).
+/// Every session writes through a per-segment SpillSink bounded by
+/// ShardOptions::max_buffer_bytes; the verification pass commits each
+/// segment into `out` (and frees it) the moment its entry is verified, so
+/// `out` receives the projection as an in-order stream while verification
+/// is still running -- on an error, `out` may hold a partial prefix.
 /// `stats` and `report` may be null. Must not be called from a pool thread.
 Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
                   OutputSink* out, core::RunStats* stats, ThreadPool* pool,

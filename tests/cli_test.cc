@@ -160,6 +160,47 @@ TEST(CliBatchTest, DuplicateInputsAreRejected) {
   EXPECT_NE(r.err.find("duplicate"), std::string::npos) << r.err;
 }
 
+TEST(CliBatchTest, MaxBufferBudgetKeepsOutputsByteIdentical) {
+  // A 1-byte budget forces every shard segment and batch document through
+  // the spill + ordered-commit path; outputs must not change. Also covers
+  // the suffixed size spelling and stdout through the buffered sink.
+  std::string big = "<a>";
+  for (int i = 0; i < 200; ++i) {
+    big += "<b>payload " + std::to_string(i) + "</b><c>drop</c>";
+  }
+  big += "</a>";
+  Fixture fx({big, "<a><b>two</b></a>"});
+  std::string expected0 = SerialExpected(fx.docs[0]);
+
+  // Sharded single document, tiny budget, explicit output file.
+  std::string out = ::testing::TempDir() + "/smpx_cli_budget.xml";
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --threads 4 --max-buffer 1 \"" + fx.inputs[0] +
+                       "\" \"" + out + "\"");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  auto content = ReadFileToString(out);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, expected0);
+  std::remove(out.c_str());
+
+  // Batch --out through the streaming merged driver with a suffixed size.
+  std::string merged = ::testing::TempDir() + "/smpx_cli_budget_merged.xml";
+  r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+             "\" --batch --threads 2 --max-buffer 1KiB --chunk 64 --out \"" +
+             merged + "\"" + fx.InputArgs());
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  content = ReadFileToString(merged);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, expected0 + SerialExpected(fx.docs[1]));
+  std::remove(merged.c_str());
+
+  // Malformed sizes are usage errors, not silent zeros.
+  r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+             "\" --max-buffer nonsense \"" + fx.inputs[1] + "\"");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("byte size"), std::string::npos) << r.err;
+}
+
 TEST(CliBatchTest, OutFlagConcatenatesInArgumentOrder) {
   Fixture fx({"<a><b>one</b></a>", "<a><b>two</b><c>z</c></a>",
               "<a><c>q</c><b>three</b></a>"});

@@ -1,9 +1,11 @@
 // Seeded randomized differential fuzz suite for the parallel subsystem:
 // every generated (DTD, document, paths) case is prefiltered by the serial
 // engine (ground truth), a chunked push-mode session, ShardedRun at
-// 1/2/4/7 threads, and the streaming batch driver, at randomized window,
-// chunk, and shard geometries -- outputs must be byte-identical and the
-// semantic statistics must match. Documents come from the src/xmlgen
+// 1/2/4/7 threads, the streaming batch driver, and the streaming *merged*
+// batch driver, at randomized window, chunk, shard, and output-buffer
+// budget geometries (tiny budgets force the SpillSink overflow and
+// ordered-commit paths on nearly every case) -- outputs must be
+// byte-identical and the semantic statistics must match. Documents come from the src/xmlgen
 // samplers (random nonrecursive DTDs plus XMark/MEDLINE/protein), with an
 // adversarial edge-mix pass injecting comments, CDATA sections, processing
 // instructions, and stray closing tags that desynchronize the structural
@@ -112,13 +114,18 @@ void ExpectAllModesIdentical(const Prefilter& pf, const std::string& doc,
     EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
   }
 
-  // Sharded execution across thread counts and shard geometries.
+  // Sharded execution across thread counts and shard geometries. A tiny
+  // randomized --max-buffer-style budget forces most cases through the
+  // SpillSink overflow + ordered-commit path (budget 0 keeps the legacy
+  // unbounded in-memory segments for contrast).
   for (int threads : {1, 2, 4, 7}) {
     parallel::ThreadPool pool(threads);
     parallel::ShardOptions opts;
     opts.max_shards = static_cast<size_t>(
         xmlgen::Uniform(rng, 1, 2 * threads + 1));
     opts.engine = eopts;
+    opts.max_buffer_bytes =
+        static_cast<size_t>(xmlgen::Uniform(rng, 0, 65));
     parallel::ShardReport report;
     StringSink sink;
     RunStats stats;
@@ -127,7 +134,8 @@ void ExpectAllModesIdentical(const Prefilter& pf, const std::string& doc,
     ASSERT_TRUE(s.ok()) << s.ToString();
     EXPECT_EQ(sink.str(), *serial)
         << "sharded diverged, threads=" << threads
-        << " shards=" << report.shards;
+        << " shards=" << report.shards
+        << " budget=" << opts.max_buffer_bytes;
     EXPECT_EQ(stats.matches, serial_stats.matches);
     EXPECT_EQ(stats.false_matches, serial_stats.false_matches);
     EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
@@ -157,6 +165,30 @@ void ExpectAllModesIdentical(const Prefilter& pf, const std::string& doc,
     EXPECT_EQ(s0.str(), *serial)
         << "streaming diverged, chunk=" << sopts.chunk_bytes;
     EXPECT_EQ(s1.str(), *serial);
+  }
+
+  // Streaming merged batch through spill segments and the ordered-commit
+  // frontier, at a tiny budget so docs regularly overflow to disk and
+  // out-of-order completions park spilled.
+  {
+    parallel::ThreadPool pool(3);
+    parallel::StreamOptions sopts;
+    sopts.engine = eopts;
+    sopts.chunk_bytes = static_cast<size_t>(xmlgen::Uniform(rng, 1, 4096));
+    sopts.max_buffer_bytes =
+        static_cast<size_t>(xmlgen::Uniform(rng, 1, 65));
+    MemorySource src(doc);
+    std::vector<const InputSource*> docs = {&src, &src, &src};
+    StringSink merged;
+    RunStats stats;
+    Status s = parallel::BatchRunStreamingMerged(pf.tables(), docs, &merged,
+                                                 &stats, &pool, sopts);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(merged.str(), *serial + *serial + *serial)
+        << "streaming merged diverged, chunk=" << sopts.chunk_bytes
+        << " budget=" << sopts.max_buffer_bytes;
+    EXPECT_EQ(stats.matches, 3 * serial_stats.matches);
+    EXPECT_EQ(stats.output_bytes, 3 * serial_stats.output_bytes);
   }
 }
 

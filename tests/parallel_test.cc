@@ -369,6 +369,38 @@ TEST(SharderTest, ParallelBoundariesMatchSerialScan) {
   }
 }
 
+TEST(SharderTest, ParallelScanEarlyExitsPastTheLastBoundary) {
+  // Once every split target is covered, the region-parallel scan must stop
+  // -- the tail region past the last chosen boundary is scanned only up to
+  // that boundary, like the serial scanner, not to the document end.
+  std::string doc = "<a>";
+  for (int i = 0; i < 500; ++i) {
+    doc += "<b>some payload text for bulk " + std::to_string(i) + "</b>";
+  }
+  doc += "</a>";
+  parallel::ThreadPool pool(3);
+  for (size_t splits : {1u, 2u, 4u}) {
+    SCOPED_TRACE(splits);
+    uint64_t scanned = 0;
+    std::vector<uint64_t> par = parallel::FindTopLevelBoundariesParallel(
+        doc, splits, &pool, &scanned);
+    EXPECT_EQ(par, parallel::FindTopLevelBoundaries(doc, splits));
+    ASSERT_EQ(par.size(), splits);  // dense children: every target is met
+    // The bytes consumed stay close to the last boundary; in particular
+    // the tail past it was skipped (at least ~1/(splits+1) of the doc).
+    EXPECT_LT(scanned, doc.size() - doc.size() / (splits + 2))
+        << "tail region was scanned to the end";
+  }
+  // A 1-worker pool delegates to the serial scan and inherits its early
+  // exit.
+  parallel::ThreadPool serial_pool(1);
+  uint64_t scanned = 0;
+  std::vector<uint64_t> par = parallel::FindTopLevelBoundariesParallel(
+      doc, 2, &serial_pool, &scanned);
+  EXPECT_EQ(par, parallel::FindTopLevelBoundaries(doc, 2));
+  EXPECT_LT(scanned, doc.size());
+}
+
 // --- Static boundary-state analysis ---------------------------------------
 
 TEST(BoundaryStatesTest, StarRootEnumeratesBoundaryPhases) {
@@ -563,6 +595,66 @@ TEST(ShardedRunTest, OpaqueRecursionAcrossBoundaries) {
   ExpectShardedIdentical(pf, doc);
 }
 
+TEST(ShardedRunTest, BudgetedSpillSegmentsMatchSerial) {
+  // Output-buffer budgets far below the projected size force every shard
+  // segment through SpillSink overflow and the ordered-commit replay; the
+  // merged stream must stay byte-identical, including stats.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 400; ++i) {
+    doc += "<b>projected payload " + std::to_string(i) + "</b>";
+    doc += "<c>dropped</c>";
+  }
+  doc += "</a>";
+  RunStats serial_stats;
+  std::string serial = SerialRun(pf, doc, &serial_stats);
+  ASSERT_GT(serial.size(), 4096u);
+  for (size_t budget : {size_t{0}, size_t{1}, size_t{33}, size_t{4096}}) {
+    SCOPED_TRACE(budget);
+    parallel::ThreadPool pool(4);
+    StringSink sink;
+    RunStats stats;
+    parallel::ShardOptions opts;
+    opts.max_shards = 5;
+    opts.max_buffer_bytes = budget;
+    Status s =
+        parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool, opts);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(sink.str(), serial);
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+    EXPECT_EQ(stats.input_bytes, serial_stats.input_bytes);
+  }
+}
+
+TEST(ShardedRunTest, BudgetedRerunsWriteThroughFreshSegments) {
+  // A stray closing tag desynchronizes the boundary scanner (see
+  // MisplacedBoundariesRerunAndStayIdentical), so shards misspeculate and
+  // re-run at the frontier -- the re-run's segment replaces the rejected
+  // attempts and must survive a one-byte budget (pure spill) unchanged.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  std::string doc = "<a><c><b>p</b> </stray> ";
+  for (int i = 0; i < 60; ++i) doc += "<b>fake top level</b>";
+  doc += "</c>";
+  for (int i = 0; i < 10; ++i) doc += "<b>real</b>";
+  doc += "</a>";
+  std::string serial = SerialRun(pf, doc);
+  parallel::ThreadPool pool(4);
+  parallel::ShardOptions opts;
+  opts.max_shards = 4;
+  opts.max_buffer_bytes = 1;
+  parallel::ShardReport report;
+  StringSink sink;
+  Status s = parallel::ShardedRun(pf.tables(), doc, &sink, nullptr, &pool,
+                                  opts, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.str(), serial);
+  EXPECT_GT(report.reruns, 0u);  // the re-run path really was exercised
+}
+
 TEST(ShardedRunTest, XmarkGeneratorDocMatchesSerial) {
   xmlgen::XmarkOptions gen;
   gen.target_bytes = 400 << 10;
@@ -730,6 +822,79 @@ TEST(BatchRunTest, PerDocumentErrorsAreIsolatedAndOrdered) {
   EXPECT_TRUE(results[2].status.ok());
   EXPECT_EQ(results[0].output, "<a><b>ok1</b></a>");
   EXPECT_EQ(results[2].output, "<a><b>ok2</b></a>");
+}
+
+TEST(BatchRunTest, StreamingMergedMatchesBufferedMergeAcrossBudgets) {
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b|c)*>"
+      " <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::vector<std::string> docs;
+  for (int d = 0; d < 9; ++d) {
+    std::string doc = "<a>";
+    for (int i = 0; i <= d * 11; ++i) {
+      doc += "<b>d" + std::to_string(d) + "i" + std::to_string(i) + "</b>";
+      doc += "<c>skip</c>";
+    }
+    doc += "</a>";
+    docs.push_back(doc);
+  }
+  std::string expected;
+  RunStats expected_stats;
+  for (const std::string& d : docs) {
+    RunStats st;
+    expected += SerialRun(pf, d, &st);
+    parallel::MergeRunStats(&expected_stats, st);
+  }
+  std::vector<MemorySource> sources(docs.begin(), docs.end());
+  std::vector<const InputSource*> srcs;
+  for (const MemorySource& s : sources) srcs.push_back(&s);
+
+  for (int threads : {1, 2, 4, 7}) {
+    SCOPED_TRACE(threads);
+    parallel::ThreadPool pool(threads);
+    for (size_t budget : {size_t{0}, size_t{1}, size_t{57}}) {
+      SCOPED_TRACE(budget);
+      parallel::StreamOptions sopts;
+      sopts.chunk_bytes = 73;
+      sopts.max_buffer_bytes = budget;
+      StringSink sink;
+      RunStats stats;
+      Status s = parallel::BatchRunStreamingMerged(pf.tables(), srcs, &sink,
+                                                   &stats, &pool, sopts);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(sink.str(), expected);
+      EXPECT_EQ(stats.matches, expected_stats.matches);
+      EXPECT_EQ(stats.output_bytes, expected_stats.output_bytes);
+      EXPECT_EQ(stats.input_bytes, expected_stats.input_bytes);
+    }
+  }
+}
+
+TEST(BatchRunTest, StreamingMergedStopsAtTheFirstError) {
+  // BatchRunMerged semantics: the first (lowest-index) failing document is
+  // reported and only the clean prefix before it is emitted -- even though
+  // later documents finish fine (possibly first) on other workers.
+  const char dtd[] =
+      "<!DOCTYPE a [ <!ELEMENT a (b)*> <!ELEMENT b (#PCDATA)> ]>";
+  Prefilter pf = Compile(dtd, "/a/b#");
+  std::vector<std::string> docs = {
+      "<a><b>ok1</b></a>",
+      "<a><b>ok2</b></a>",
+      "<a><b>truncated",  // invalid
+      "<a><b>ok3</b></a>",
+  };
+  std::vector<MemorySource> sources(docs.begin(), docs.end());
+  std::vector<const InputSource*> srcs;
+  for (const MemorySource& s : sources) srcs.push_back(&s);
+  parallel::ThreadPool pool(4);
+  parallel::StreamOptions sopts;
+  sopts.max_buffer_bytes = 4;
+  StringSink sink;
+  Status s = parallel::BatchRunStreamingMerged(pf.tables(), srcs, &sink,
+                                               nullptr, &pool, sopts);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(sink.str(), "<a><b>ok1</b></a><a><b>ok2</b></a>");
 }
 
 // --- InputSource / mmap ---------------------------------------------------

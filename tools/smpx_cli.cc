@@ -7,13 +7,17 @@
 //   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml    # a.proj.xml ...
 //   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml --out all.xml
 //
-// Reads stdin/writes stdout when files are omitted. File inputs are
-// mmap'ed (sequential madvise); --threads > 1 shards one document across a
-// thread pool speculatively. --batch prefilters many documents
-// concurrently, *streaming* each through its session in bounded chunks and
-// writing per-input output files (in.xml -> in.proj.xml), so batch memory
-// is O(window + chunk) per worker, not document size; --out FILE instead
-// concatenates the outputs in argument order. --stats prints the paper's
+// Reads stdin/writes stdout when files are omitted; all output goes
+// through a write-coalescing BufferedFileSink. File inputs are mmap'ed
+// (sequential madvise); --threads > 1 shards one document across a thread
+// pool speculatively, each shard projecting into a SpillSink segment
+// bounded by --max-buffer and committed to the output in document order as
+// verification succeeds -- a multi-GB single document stays shardable at
+// O(threads x (window + budget)) resident memory. --batch prefilters many
+// documents concurrently, *streaming* each through its session in bounded
+// chunks and writing per-input output files (in.xml -> in.proj.xml);
+// --out FILE instead concatenates the outputs in argument order through
+// the same budgeted ordered-commit pipeline. --stats prints the paper's
 // measurement columns to stderr (per document and as a total in batch
 // mode). --tables dumps the compiled A/V/J/T tables and exits.
 
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "common/io.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "core/prefilter.h"
 #include "dtd/dtd.h"
@@ -39,24 +44,37 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --dtd FILE (--paths LIST | --paths-file FILE | --query XQ)\n"
-      "          [--stats] [--tables] [--window BYTES] [--chunk BYTES]\n"
-      "          [--threads N] [--batch] [--out FILE] [in.xml ... [out.xml]]\n"
+      "          [--stats] [--tables] [--window SIZE] [--chunk SIZE]\n"
+      "          [--max-buffer SIZE] [--threads N] [--batch] [--out FILE]\n"
+      "          [in.xml ... [out.xml]]\n"
       "\n"
       "Prefilters XML documents valid w.r.t. the given nonrecursive DTD\n"
       "down to the nodes relevant for the projection paths (or for the\n"
-      "XQuery expression, via path extraction).\n"
+      "XQuery expression, via path extraction). SIZE arguments accept\n"
+      "K/M/G suffixes (binary units: 64K, 1M, 1MiB, ...).\n"
       "\n"
-      "  --threads N  run on N threads: one document is sharded at\n"
-      "               top-level element boundaries and run speculatively;\n"
-      "               with --batch, the documents are prefiltered\n"
-      "               concurrently\n"
-      "  --batch      every positional argument is an input file; each is\n"
-      "               streamed through the prefilter in bounded chunks and\n"
-      "               written to its own output file (in.xml ->\n"
-      "               in.proj.xml). With --out FILE, outputs are instead\n"
-      "               concatenated into FILE in argument order\n"
-      "  --chunk B    streaming read granularity in batch mode (default\n"
-      "               1 MiB); peak memory per worker is O(window + chunk)\n",
+      "  --threads N     run on N threads: one document is sharded at\n"
+      "                  top-level element boundaries and run\n"
+      "                  speculatively; with --batch, the documents are\n"
+      "                  prefiltered concurrently\n"
+      "  --batch         every positional argument is an input file; each\n"
+      "                  is streamed through the prefilter in bounded\n"
+      "                  chunks and written to its own output file\n"
+      "                  (in.xml -> in.proj.xml). With --out FILE, outputs\n"
+      "                  are instead concatenated into FILE in argument\n"
+      "                  order through the ordered-commit pipeline\n"
+      "  --chunk S       streaming read granularity in batch mode\n"
+      "                  (default 1M): bytes fed to a session per resume\n"
+      "  --max-buffer S  per-segment output buffering budget (default\n"
+      "                  64M, 0 = unbounded): each shard / batch document\n"
+      "                  buffers at most S projected bytes in memory and\n"
+      "                  overflows to an unlinked temp file until its\n"
+      "                  turn in the document-order commit. Peak resident\n"
+      "                  memory is O(threads x (window + chunk +\n"
+      "                  max-buffer)) regardless of input size; shrink\n"
+      "                  --max-buffer (and --chunk) to shard multi-GB\n"
+      "                  documents on small machines, grow them to avoid\n"
+      "                  spill I/O when memory is plentiful\n",
       argv0);
   return 2;
 }
@@ -84,11 +102,27 @@ int main(int argc, char** argv) {
   int threads = 1;
   size_t window = smpx::SlidingWindow::kDefaultCapacity;
   size_t chunk = 1 << 20;
+  size_t max_buffer = 64 << 20;
 
+  bool bad_size = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    // Parses a size argument ("4096", "64K", "1MiB"); flags usage errors.
+    auto next_size = [&](size_t* out) -> bool {
+      const char* v = next();
+      if (v == nullptr) return false;
+      auto parsed = smpx::ParseByteSize(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s: %s\n", arg.c_str(),
+                     parsed.status().ToString().c_str());
+        bad_size = true;
+        return true;  // consumed; the error is reported above
+      }
+      *out = static_cast<size_t>(*parsed);
+      return true;
     };
     if (arg == "--dtd") {
       const char* v = next();
@@ -127,20 +161,19 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage(argv[0]);
       out_file = v;
     } else if (arg == "--window") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      window = static_cast<size_t>(std::atoll(v));
+      if (!next_size(&window)) return Usage(argv[0]);
     } else if (arg == "--chunk") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      chunk = static_cast<size_t>(std::atoll(v));
+      if (!next_size(&chunk)) return Usage(argv[0]);
       if (chunk == 0) chunk = 1;
+    } else if (arg == "--max-buffer") {
+      if (!next_size(&max_buffer)) return Usage(argv[0]);
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {
       inputs.push_back(arg);
     }
   }
+  if (bad_size) return 2;
   if (dtd_file.empty() || (paths_text.empty() && query.empty())) {
     return Usage(argv[0]);
   }
@@ -240,7 +273,7 @@ int main(int argc, char** argv) {
     sopts.engine = eopts;
     sopts.chunk_bytes = chunk;
     std::vector<const smpx::InputSource*> srcs;
-    std::vector<std::unique_ptr<smpx::FileSink>> out_files;
+    std::vector<std::unique_ptr<smpx::BufferedFileSink>> out_files;
     std::vector<smpx::OutputSink*> sinks;
     std::vector<std::string> out_paths;
     for (size_t i = 0; i < sources.size(); ++i) {
@@ -255,7 +288,7 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      auto fs = smpx::FileSink::Open(out_paths.back());
+      auto fs = smpx::BufferedFileSink::Open(out_paths.back());
       if (!fs.ok()) {
         std::fprintf(stderr, "%s\n", fs.status().ToString().c_str());
         return 1;
@@ -268,6 +301,7 @@ int main(int argc, char** argv) {
     std::vector<smpx::Status> statuses = smpx::parallel::BatchRunStreaming(
         pf->tables(), srcs, sinks, &doc_stats, &pool, sopts);
     for (size_t i = 0; i < statuses.size(); ++i) {
+      if (statuses[i].ok()) statuses[i] = out_files[i]->Flush();
       if (!statuses[i].ok()) {
         std::fprintf(stderr, "%s: %s\n", inputs[i].c_str(),
                      statuses[i].ToString().c_str());
@@ -285,11 +319,13 @@ int main(int argc, char** argv) {
       smpx::parallel::MergeRunStats(&stats, doc_stats[i]);
     }
   } else {
-    std::unique_ptr<smpx::OutputSink> sink;
+    // Single merged output (file or stdout), always through the
+    // write-coalescing sink -- nothing below buffers the whole projection.
+    std::unique_ptr<smpx::BufferedFileSink> sink;
     if (out_file.empty()) {
-      sink = std::make_unique<smpx::StringSink>();
+      sink = smpx::BufferedFileSink::Wrap(stdout);
     } else {
-      auto file_sink = smpx::FileSink::Open(out_file);
+      auto file_sink = smpx::BufferedFileSink::Open(out_file);
       if (!file_sink.ok()) {
         std::fprintf(stderr, "%s\n", file_sink.status().ToString().c_str());
         return 1;
@@ -298,27 +334,34 @@ int main(int argc, char** argv) {
     }
     smpx::Status s;
     if (batch_flag) {
+      // --batch --out: concatenate in argument order through the
+      // budgeted ordered-commit pipeline (documents stream, completed
+      // ones park on disk until their turn).
       smpx::parallel::ThreadPool pool(threads);
-      s = smpx::parallel::BatchRunMerged(pf->tables(), docs, sink.get(),
-                                         &stats, &pool, eopts);
+      smpx::parallel::StreamOptions sopts;
+      sopts.engine = eopts;
+      sopts.chunk_bytes = chunk;
+      sopts.max_buffer_bytes = max_buffer;
+      std::vector<const smpx::InputSource*> srcs;
+      for (const auto& src : sources) srcs.push_back(src.get());
+      s = smpx::parallel::BatchRunStreamingMerged(pf->tables(), srcs,
+                                                 sink.get(), &stats, &pool,
+                                                 sopts);
     } else if (threads > 1) {
       smpx::parallel::ThreadPool pool(threads);
       smpx::parallel::ShardOptions popts;
       popts.engine = eopts;
+      popts.max_buffer_bytes = max_buffer;
       s = smpx::parallel::ShardedRun(pf->tables(), docs[0], sink.get(),
                                      &stats, &pool, popts);
     } else {
       smpx::MemoryInputStream in(docs[0]);
       s = pf->Run(&in, sink.get(), &stats, eopts);
     }
+    if (s.ok()) s = sink->Flush();
     if (!s.ok()) {
       std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
       return 1;
-    }
-    if (out_file.empty()) {
-      const std::string& out =
-          static_cast<smpx::StringSink*>(sink.get())->str();
-      std::fwrite(out.data(), 1, out.size(), stdout);
     }
   }
   if (stats_flag) {
