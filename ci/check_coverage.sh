@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Line-coverage gate over the ctest suite, for clang source-based coverage
+# (-fprofile-instr-generate -fcoverage-mapping).
+#
+# Usage: ci/check_coverage.sh BUILD_DIR [MIN_PERCENT]
+#
+# Expects the test binaries in BUILD_DIR to have been run with
+# LLVM_PROFILE_FILE="BUILD_DIR/profraw/%p-%m.profraw" (ctest does this via
+# the CI workflow). Merges the profiles, exports an llvm-cov summary over
+# the library sources (tests/benches/examples excluded), and fails when
+# total line coverage drops below the gate -- the checked-in minimum below
+# is the contract; raise it as coverage grows, never lower it to make a
+# red build green.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: check_coverage.sh BUILD_DIR [MIN_PERCENT]}
+MIN=${2:-${SMPX_MIN_LINE_COVERAGE:-78}}
+
+cd "$BUILD_DIR"
+if ! ls profraw/*.profraw >/dev/null 2>&1; then
+  echo "no .profraw files under $BUILD_DIR/profraw -- did ctest run with" \
+       "LLVM_PROFILE_FILE set?" >&2
+  exit 1
+fi
+llvm-profdata merge -sparse profraw/*.profraw -o merged.profdata
+
+# Every instrumented ctest binary contributes its mapping.
+objects=()
+first=""
+for bin in ./*_test; do
+  [ -x "$bin" ] || continue
+  if [ -z "$first" ]; then first="$bin"; else objects+=(-object "$bin"); fi
+done
+if [ -z "$first" ]; then
+  echo "no test binaries found in $BUILD_DIR" >&2
+  exit 1
+fi
+
+llvm-cov export "$first" "${objects[@]}" \
+  -instr-profile merged.profdata \
+  -ignore-filename-regex='(tests|bench|examples|tools)/' \
+  -summary-only > coverage.json
+
+python3 - "$MIN" <<'PY'
+import json
+import sys
+
+gate = float(sys.argv[1])
+totals = json.load(open("coverage.json"))["data"][0]["totals"]
+lines = totals["lines"]["percent"]
+funcs = totals["functions"]["percent"]
+print(f"library line coverage: {lines:.2f}% "
+      f"(functions: {funcs:.2f}%, gate: {gate:.2f}%)")
+if lines < gate:
+    print(f"FAIL: line coverage {lines:.2f}% is below the "
+          f"checked-in minimum {gate:.2f}%", file=sys.stderr)
+    sys.exit(1)
+PY

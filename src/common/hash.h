@@ -1,0 +1,126 @@
+// Fast 64-bit content hashing in the xxHash64 style: 4-lane striped
+// accumulation with avalanche finalization. Used for the boundary-index
+// document digest and the runtime-table fingerprint, so the VALUE of this
+// function is part of the on-disk index format -- changing it invalidates
+// every saved index (see hash_stability tests in tests/common_test.cc
+// before touching anything here).
+//
+// Not cryptographic; collision resistance is only what 64 well-mixed bits
+// buy. Input is read as little-endian words regardless of host order.
+
+#ifndef SMPX_COMMON_HASH_H_
+#define SMPX_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace smpx {
+
+namespace hash_internal {
+
+inline constexpr uint64_t kPrime1 = 11400714785074694791ull;
+inline constexpr uint64_t kPrime2 = 14029467366897019727ull;
+inline constexpr uint64_t kPrime3 = 1609587929392839161ull;
+inline constexpr uint64_t kPrime4 = 9650029242287828579ull;
+inline constexpr uint64_t kPrime5 = 2870177450012600261ull;
+
+inline uint64_t Rotl(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t LoadLe64(const char* p) {
+  unsigned char b[8];
+  std::memcpy(b, p, 8);
+  return static_cast<uint64_t>(b[0]) | static_cast<uint64_t>(b[1]) << 8 |
+         static_cast<uint64_t>(b[2]) << 16 |
+         static_cast<uint64_t>(b[3]) << 24 |
+         static_cast<uint64_t>(b[4]) << 32 |
+         static_cast<uint64_t>(b[5]) << 40 |
+         static_cast<uint64_t>(b[6]) << 48 | static_cast<uint64_t>(b[7]) << 56;
+}
+
+inline uint64_t LoadLe32(const char* p) {
+  unsigned char b[4];
+  std::memcpy(b, p, 4);
+  return static_cast<uint64_t>(b[0]) | static_cast<uint64_t>(b[1]) << 8 |
+         static_cast<uint64_t>(b[2]) << 16 |
+         static_cast<uint64_t>(b[3]) << 24;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t lane) {
+  acc += lane * kPrime2;
+  acc = Rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t h, uint64_t acc) {
+  h ^= Round(0, acc);
+  return h * kPrime1 + kPrime4;
+}
+
+}  // namespace hash_internal
+
+/// 64-bit hash of `data`; deterministic across platforms and builds.
+inline uint64_t Hash64(std::string_view data, uint64_t seed = 0) {
+  using namespace hash_internal;
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint64_t h;
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const char* limit = end - 32;
+    do {
+      v1 = Round(v1, LoadLe64(p));
+      v2 = Round(v2, LoadLe64(p + 8));
+      v3 = Round(v3, LoadLe64(p + 16));
+      v4 = Round(v4, LoadLe64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<uint64_t>(data.size());
+  while (p + 8 <= end) {
+    h ^= Round(0, LoadLe64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= LoadLe32(p) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p)) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Order-sensitive combiner for hashing a sequence of fields without
+/// materializing the canonical byte string (a = Combine(a, field_hash)).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  using namespace hash_internal;
+  a ^= Round(0, b);
+  return a * kPrime1 + kPrime4;
+}
+
+}  // namespace smpx
+
+#endif  // SMPX_COMMON_HASH_H_

@@ -336,6 +336,13 @@ OrderedCommitSink::OrderedCommitSink(OutputSink* down, size_t segments)
       ready_(segments, false),
       limit_(segments) {}
 
+OrderedCommitSink::OrderedCommitSink(SegmentWriter writer, size_t segments)
+    : down_(nullptr),
+      writer_(std::move(writer)),
+      pending_(segments),
+      ready_(segments, false),
+      limit_(segments) {}
+
 Status OrderedCommitSink::CommitReady(std::unique_lock<std::mutex>& lock) {
   if (committing_) return error_;  // the draining thread will pick ours up
   committing_ = true;
@@ -344,13 +351,14 @@ Status OrderedCommitSink::CommitReady(std::unique_lock<std::mutex>& lock) {
   // hole instead of a clean prefix.
   while (error_.ok() && frontier_ < limit_ && ready_[frontier_]) {
     std::unique_ptr<SpillSink> seg = std::move(pending_[frontier_]);
-    if (seg != nullptr) {
-      uint64_t produced = seg->bytes_written();
+    if (seg != nullptr || writer_) {
+      uint64_t produced = seg != nullptr ? seg->bytes_written() : 0;
       // Replay outside the lock -- the committing_ flag keeps commits
       // single-threaded, and holding mu_ across a multi-GB spill replay
       // would block every concurrently finishing producer in Install.
+      size_t k = frontier_;
       lock.unlock();
-      Status s = seg->CopyTo(down_);
+      Status s = writer_ ? writer_(k, seg.get()) : seg->CopyTo(down_);
       lock.lock();
       if (!s.ok()) {
         if (error_.ok()) error_ = s;

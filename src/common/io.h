@@ -293,9 +293,26 @@ class SpillSink : public OutputSink {
 /// the frontier, never concurrently.
 class OrderedCommitSink {
  public:
+  /// Per-segment commit callback, for pipelines whose segments go to
+  /// DIFFERENT destinations (e.g. one output file per batch document):
+  /// invoked exactly once per non-truncated segment, in segment order, on
+  /// whichever caller thread advances the frontier (never concurrently).
+  /// `segment` may be null (empty segment). A non-OK return sticks and
+  /// stops the frontier, exactly like a downstream Append failure --
+  /// writers wanting per-segment error isolation record the failure
+  /// themselves and return Ok.
+  using SegmentWriter =
+      std::function<Status(size_t k, SpillSink* segment)>;
+
   /// `down` must outlive this object and is not written to concurrently
   /// with direct use by the caller.
   OrderedCommitSink(OutputSink* down, size_t segments);
+
+  /// Commits each segment through `writer` instead of replaying into one
+  /// downstream sink. At most one segment is being written at any moment,
+  /// which is what caps the number of simultaneously open output files in
+  /// the per-input batch driver no matter how large the batch is.
+  OrderedCommitSink(SegmentWriter writer, size_t segments);
 
   OrderedCommitSink(const OrderedCommitSink&) = delete;
   OrderedCommitSink& operator=(const OrderedCommitSink&) = delete;
@@ -326,7 +343,8 @@ class OrderedCommitSink {
   /// the lock (the committing_ flag keeps commits single-threaded).
   Status CommitReady(std::unique_lock<std::mutex>& lock);
 
-  OutputSink* down_;
+  OutputSink* down_;  // null in SegmentWriter mode
+  SegmentWriter writer_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SpillSink>> pending_;
   std::vector<bool> ready_;

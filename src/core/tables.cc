@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/hash.h"
+
 #include "dtd/min_serial.h"
 
 namespace smpx::core {
@@ -389,6 +391,48 @@ int RuntimeTables::NextState(int from, std::string_view name,
   const auto& next = closing ? st.close_next : st.open_next;
   auto it = next.find(name);
   return it == next.end() ? -1 : it->second;
+}
+
+uint64_t RuntimeTables::Fingerprint() const {
+  // Canonical serialization of everything the engine's behavior depends
+  // on. Transitions are enumerated through the frontier vocabulary (every
+  // keyword is "<name" or "</name"), so the result is identical under map
+  // and interned dispatch.
+  std::string canon;
+  canon.reserve(64 * states.size() + 64);
+  auto put_u64 = [&canon](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      canon.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  auto put_str = [&](std::string_view s) {
+    put_u64(s.size());
+    canon.append(s);
+  };
+  canon.append("smpx-tables-fp-v1");
+  put_u64(states.size());
+  put_u64(static_cast<uint64_t>(initial));
+  for (size_t q = 0; q < states.size(); ++q) {
+    const DfaState& s = states[q];
+    canon.push_back(static_cast<char>((s.is_final ? 1 : 0) |
+                                      (s.count_nesting ? 2 : 0) |
+                                      (s.entry_closing ? 4 : 0)));
+    put_u64(s.jump);
+    put_u64(static_cast<uint64_t>(s.action));
+    put_str(s.entry_name);
+    put_u64(s.keywords.size());
+    for (const std::string& kw : s.keywords) {
+      put_str(kw);
+      bool closing = kw.size() > 1 && kw[1] == '/';
+      std::string_view name =
+          std::string_view(kw).substr(closing ? 2 : 1);
+      put_u64(static_cast<uint64_t>(
+          NextState(static_cast<int>(q), name, closing) + 1));
+    }
+  }
+  put_u64(boundary_states.size());
+  for (int b : boundary_states) put_u64(static_cast<uint64_t>(b));
+  return Hash64(canon);
 }
 
 std::string RuntimeTables::DebugString() const {

@@ -145,6 +145,16 @@ struct RuntimeTables {
   /// -1 when there is no transition. Works in both dispatch modes.
   int NextState(int from, std::string_view name, bool closing) const;
 
+  /// Stable 64-bit fingerprint of the runtime-relevant table content:
+  /// state count, initial state, and per state the vocabulary, jump,
+  /// action, finality, entry token, recursion flag, and every transition
+  /// reachable through the vocabulary -- identical across dispatch modes
+  /// and process runs. A serialized SessionCheckpoint (boundary index,
+  /// cursor token) names DFA states by number, which only means anything
+  /// against the tables it was computed from; persisted artifacts record
+  /// this fingerprint and fail closed on mismatch.
+  uint64_t Fingerprint() const;
+
   std::string DebugString() const;
 };
 

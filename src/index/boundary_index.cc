@@ -1,0 +1,257 @@
+#include "index/boundary_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/hash.h"
+#include "index/wire.h"
+#include "parallel/shard.h"
+
+namespace smpx::index {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'P', 'X', 'B', 'I', 'X', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+constexpr size_t kFooterBytes = 8;
+
+/// Entry flag bits (one byte per entry on disk).
+constexpr uint8_t kFlagPrologDone = 1;
+constexpr uint8_t kFlagJumpPending = 2;
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("corrupt boundary index: " + what);
+}
+
+}  // namespace
+
+Result<BoundaryIndex> BoundaryIndex::Build(const core::RuntimeTables& tables,
+                                           std::string_view doc,
+                                           parallel::ThreadPool* pool,
+                                           const BoundaryIndexOptions& opts) {
+  if (tables.states.empty()) {
+    return Status::InvalidArgument("empty runtime tables");
+  }
+  BoundaryIndex idx;
+  idx.doc_size_ = doc.size();
+  idx.doc_digest_ = Hash64(doc);
+  idx.tables_fingerprint_ = tables.Fingerprint();
+
+  const uint64_t gran = std::max<uint64_t>(1, opts.granularity_bytes);
+  uint64_t max_splits = std::min<uint64_t>(doc.size() / gran,
+                                           opts.max_entries);
+  if (!doc.empty()) {
+    // FindTopLevelBoundaries needs a stride of at least one byte.
+    max_splits = std::min<uint64_t>(max_splits, doc.size() - 1);
+  }
+  std::vector<uint64_t> bounds;
+  if (max_splits > 0) {
+    bounds = pool->size() > 1
+                 ? parallel::FindTopLevelBoundariesParallel(
+                       doc, static_cast<size_t>(max_splits), pool)
+                 : parallel::FindTopLevelBoundaries(
+                       doc, static_cast<size_t>(max_splits));
+  }
+
+  // The sharded execution pipeline with the output thrown away: speculate
+  // every inter-boundary segment in one wave, then resolve the chain in
+  // order. Each resolved exit is the serial engine's state at the next
+  // boundary -- verified, not assumed -- and the per-segment output byte
+  // counts accumulate into the projection offsets.
+  parallel::SpeculativeResolver::Options ropts;
+  ropts.max_candidate_states = opts.max_candidate_states;
+  ropts.capture_output = false;
+  ropts.engine = opts.engine;
+  parallel::SpeculativeResolver resolver(tables, doc, bounds, ropts);
+  const size_t n = resolver.segments();
+  resolver.LaunchWave(pool);
+  idx.entries_.reserve(bounds.size());
+  uint64_t out_offset = 0;
+  for (size_t k = 0; k < n; ++k) {
+    parallel::ShardResult& r = resolver.Resolve(k);
+    if (!r.status.ok()) return r.status;
+    out_offset += r.stats.output_bytes;
+    if (r.finished) break;  // serial run ends; later boundaries unreachable
+    if (k + 1 < n) {
+      IndexEntry e;
+      e.offset = resolver.seg_begin(k + 1);
+      e.out_offset = out_offset;
+      e.checkpoint = r.exit;
+      idx.entries_.push_back(e);
+    }
+  }
+  return idx;
+}
+
+int64_t BoundaryIndex::FindEntry(uint64_t byte_target) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), byte_target,
+      [](uint64_t t, const IndexEntry& e) { return t < e.offset; });
+  return static_cast<int64_t>(it - entries_.begin()) - 1;
+}
+
+Status BoundaryIndex::Matches(std::string_view doc,
+                              const core::RuntimeTables& tables) const {
+  if (doc.size() != doc_size_) {
+    return Status::InvalidArgument(
+        "stale boundary index: document size " +
+        std::to_string(doc.size()) + " != indexed size " +
+        std::to_string(doc_size_));
+  }
+  if (Hash64(doc) != doc_digest_) {
+    return Status::InvalidArgument(
+        "stale boundary index: document content digest mismatch");
+  }
+  if (tables.Fingerprint() != tables_fingerprint_) {
+    return Status::InvalidArgument(
+        "stale boundary index: built against different runtime tables "
+        "(DTD / projection paths / table options changed)");
+  }
+  return Status::Ok();
+}
+
+std::string BoundaryIndex::Serialize() const {
+  std::string out;
+  out.reserve(kHeaderBytes + 16 * entries_.size() + kFooterBytes);
+  out.append(kMagic, sizeof(kMagic));
+  wire::PutU32(&out, kVersion);
+  wire::PutU32(&out, 0);  // reserved
+  wire::PutU64(&out, doc_size_);
+  wire::PutU64(&out, doc_digest_);
+  wire::PutU64(&out, tables_fingerprint_);
+  wire::PutU64(&out, entries_.size());
+  uint64_t prev_offset = 0;
+  uint64_t prev_out = 0;
+  for (const IndexEntry& e : entries_) {
+    const core::SessionCheckpoint& c = e.checkpoint;
+    wire::PutVarint(&out, e.offset - prev_offset);
+    wire::PutVarint(&out, e.out_offset - prev_out);
+    wire::PutVarint(&out, static_cast<uint64_t>(c.state));
+    // The cursor usually trails the boundary by the keyword-overlap tail,
+    // but an initial jump can also carry it past the boundary, so the
+    // backset is signed.
+    wire::PutVarint(&out, wire::ZigZag(static_cast<int64_t>(e.offset) -
+                                       static_cast<int64_t>(c.cursor)));
+    wire::PutVarint(&out, c.nesting_depth);
+    wire::PutVarint(&out, static_cast<uint64_t>(c.copy_depth));
+    wire::PutVarint(&out, wire::ZigZag(static_cast<int64_t>(c.cursor) -
+                                       static_cast<int64_t>(c.copy_flushed)));
+    out.push_back(static_cast<char>((c.prolog_done ? kFlagPrologDone : 0) |
+                                    (c.jump_pending ? kFlagJumpPending : 0)));
+    prev_offset = e.offset;
+    prev_out = e.out_offset;
+  }
+  wire::PutU64(&out, Hash64(out));
+  return out;
+}
+
+Status BoundaryIndex::Save(OutputSink* out) const {
+  return out->Append(Serialize());
+}
+
+Status BoundaryIndex::SaveToFile(const std::string& path) const {
+  return WriteStringToFile(path, Serialize());
+}
+
+Result<BoundaryIndex> BoundaryIndex::Load(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
+    return Corrupt("truncated (" + std::to_string(bytes.size()) + " bytes)");
+  }
+  // The trailing hash covers everything before it, so any flipped or
+  // missing byte anywhere in the file fails here -- structural checks
+  // below only produce better messages (and guard hash collisions).
+  wire::Reader footer(bytes.substr(bytes.size() - kFooterBytes));
+  uint64_t stored_hash = 0;
+  footer.ReadU64(&stored_hash);
+  if (Hash64(bytes.substr(0, bytes.size() - kFooterBytes)) != stored_hash) {
+    return Corrupt("content hash mismatch");
+  }
+
+  wire::Reader r(bytes.substr(0, bytes.size() - kFooterBytes));
+  if (bytes.compare(0, sizeof(kMagic),
+                    std::string_view(kMagic, sizeof(kMagic))) != 0) {
+    return Corrupt("bad magic");
+  }
+  r.Skip(sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  r.ReadU32(&version);
+  r.ReadU32(&reserved);
+  if (version != kVersion) {
+    return Status::Unsupported("boundary index version " +
+                               std::to_string(version) +
+                               " (this build reads version " +
+                               std::to_string(kVersion) + ")");
+  }
+  BoundaryIndex idx;
+  uint64_t count = 0;
+  r.ReadU64(&idx.doc_size_);
+  r.ReadU64(&idx.doc_digest_);
+  r.ReadU64(&idx.tables_fingerprint_);
+  r.ReadU64(&count);
+  if (r.failed()) return Corrupt("truncated header");
+  if (count > idx.doc_size_) {
+    // More entries than document bytes is impossible (offsets are
+    // strictly increasing); rejecting early also bounds the allocation.
+    return Corrupt("entry count " + std::to_string(count) +
+                   " exceeds document size");
+  }
+  idx.entries_.reserve(static_cast<size_t>(count));
+  uint64_t prev_offset = 0;
+  uint64_t prev_out = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t d_off = 0, d_out = 0, state = 0, cursor_back = 0;
+    uint64_t nesting = 0, copy_depth = 0, copy_back = 0;
+    uint8_t flags = 0;
+    r.ReadVarint(&d_off);
+    r.ReadVarint(&d_out);
+    r.ReadVarint(&state);
+    r.ReadVarint(&cursor_back);
+    r.ReadVarint(&nesting);
+    r.ReadVarint(&copy_depth);
+    r.ReadVarint(&copy_back);
+    r.ReadByte(&flags);
+    if (r.failed()) {
+      return Corrupt("truncated entry " + std::to_string(i));
+    }
+    IndexEntry e;
+    e.offset = prev_offset + d_off;
+    e.out_offset = prev_out + d_out;
+    if (e.offset >= idx.doc_size_) {
+      return Corrupt("entry " + std::to_string(i) + " offset out of range");
+    }
+    if (i > 0 && d_off == 0) {
+      return Corrupt("entry " + std::to_string(i) + " offset not increasing");
+    }
+    if (state > static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
+        copy_depth >
+            static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+      return Corrupt("entry " + std::to_string(i) + " field out of range");
+    }
+    e.checkpoint.state = static_cast<int>(state);
+    e.checkpoint.cursor = static_cast<uint64_t>(
+        static_cast<int64_t>(e.offset) - wire::UnZigZag(cursor_back));
+    e.checkpoint.nesting_depth = nesting;
+    e.checkpoint.copy_depth = static_cast<int>(copy_depth);
+    e.checkpoint.copy_flushed = static_cast<uint64_t>(
+        static_cast<int64_t>(e.checkpoint.cursor) -
+        wire::UnZigZag(copy_back));
+    e.checkpoint.prolog_done = (flags & kFlagPrologDone) != 0;
+    e.checkpoint.jump_pending = (flags & kFlagJumpPending) != 0;
+    idx.entries_.push_back(e);
+    prev_offset = e.offset;
+    prev_out = e.out_offset;
+  }
+  if (r.remaining() != 0) {
+    return Corrupt(std::to_string(r.remaining()) +
+                   " trailing bytes after the last entry");
+  }
+  return idx;
+}
+
+Result<BoundaryIndex> BoundaryIndex::LoadFromFile(const std::string& path) {
+  SMPX_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return Load(bytes);
+}
+
+}  // namespace smpx::index

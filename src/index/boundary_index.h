@@ -1,0 +1,129 @@
+// Boundary skip-index: random access into huge prefiltered documents.
+//
+// The paper's prefilter is strictly streaming -- entering a document at
+// byte k requires prefiltering bytes [0, k) first. The static
+// boundary-state analysis (RuntimeTables::boundary_states) plus the
+// speculative wave/verify machinery (parallel::SpeculativeResolver) remove
+// that restriction: one indexing pass runs the region-parallel top-level
+// boundary scan, speculates every inter-boundary segment in a single
+// parallel wave, and verifies the chain exit-vs-entry -- exactly the
+// ShardedRun pipeline with the projected output discarded. What survives
+// is, per boundary, the byte offset, the cumulative projected-output
+// offset, and the verified SessionCheckpoint: provably the serial engine's
+// state at that offset. A session resumed from any entry therefore
+// projects the document's remainder byte-identically to the suffix of a
+// full serial run (see cursor.h), without ever touching the prefix.
+//
+// On-disk format (version 1, little-endian, built for mmap-and-go):
+//
+//   offset  size  field
+//        0     8  magic "SMPXBIX1"
+//        8     4  version (1)
+//       12     4  reserved (0)
+//       16     8  document size in bytes
+//       24     8  document content digest (Hash64 over the whole document)
+//       32     8  RuntimeTables::Fingerprint() of the compiled tables
+//       40     8  entry count
+//       48     -  entries, LEB128 varints (see boundary_index.cc):
+//                 offset delta, out_offset delta, state, cursor backset,
+//                 nesting depth, copy depth, copy-flush backset, flags
+//      end-8    8  Hash64 over every preceding byte of the file
+//
+// Loading validates structure (magic, version, monotonicity, exact
+// trailing hash, no trailing bytes); *using* an index additionally
+// requires Matches(doc, tables) -- size, content digest, and table
+// fingerprint -- so a stale or foreign index fails closed with a clear
+// Status instead of resuming into garbage.
+
+#ifndef SMPX_INDEX_BOUNDARY_INDEX_H_
+#define SMPX_INDEX_BOUNDARY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/tables.h"
+#include "parallel/thread_pool.h"
+
+namespace smpx::index {
+
+/// One indexed boundary: a resume point for random access.
+struct IndexEntry {
+  /// Byte offset of the '<' opening a top-level element (child of the
+  /// document root).
+  uint64_t offset = 0;
+  /// Projected bytes the serial engine emits for the document prefix
+  /// before this boundary; the resumed suffix starts at exactly this
+  /// position of the full serial projection.
+  uint64_t out_offset = 0;
+  /// The serial engine's resumable state at `offset` (cursor may trail the
+  /// boundary by the keyword-overlap tail; see SessionCheckpoint).
+  core::SessionCheckpoint checkpoint;
+};
+
+struct BoundaryIndexOptions {
+  /// Target byte spacing between consecutive index entries. The scan
+  /// places one entry at the first top-level boundary at or after each
+  /// `granularity_bytes`-spaced target, so entries are approximately this
+  /// far apart; 1 indexes EVERY top-level boundary.
+  uint64_t granularity_bytes = 1 << 20;
+  /// Hard cap on the number of entries regardless of granularity.
+  uint64_t max_entries = 1 << 20;
+  /// See parallel::SpeculativeResolver::Options.
+  size_t max_candidate_states = 4;
+  core::EngineOptions engine;
+};
+
+class BoundaryIndex {
+ public:
+  /// Builds the index for `doc` against `tables` on `pool`: one
+  /// region-parallel boundary scan plus one speculative verification wave
+  /// over the whole document. Fails with the engine's Status if the
+  /// document does not prefilter cleanly (the checkpoints of a broken run
+  /// would be meaningless). Must not be called from a pool thread.
+  static Result<BoundaryIndex> Build(const core::RuntimeTables& tables,
+                                     std::string_view doc,
+                                     parallel::ThreadPool* pool,
+                                     const BoundaryIndexOptions& opts = {});
+
+  /// Entries sorted by strictly increasing offset.
+  const std::vector<IndexEntry>& entries() const { return entries_; }
+  uint64_t doc_size() const { return doc_size_; }
+  uint64_t doc_digest() const { return doc_digest_; }
+  uint64_t tables_fingerprint() const { return tables_fingerprint_; }
+
+  /// Index of the greatest entry with offset <= byte_target; -1 when the
+  /// target precedes every entry (resume from the document start).
+  int64_t FindEntry(uint64_t byte_target) const;
+
+  /// Fail-closed compatibility check: the document must have the indexed
+  /// size and content digest, and `tables` the recorded fingerprint.
+  Status Matches(std::string_view doc,
+                 const core::RuntimeTables& tables) const;
+
+  /// Serializes in the on-disk format (see file comment).
+  Status Save(OutputSink* out) const;
+  std::string Serialize() const;
+  Status SaveToFile(const std::string& path) const;
+
+  /// Parses and structurally validates a serialized index. Corrupted,
+  /// truncated, or version-mismatched bytes fail closed; compatibility
+  /// with a document/tables pair is checked separately via Matches().
+  static Result<BoundaryIndex> Load(std::string_view bytes);
+  static Result<BoundaryIndex> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<IndexEntry> entries_;
+  uint64_t doc_size_ = 0;
+  uint64_t doc_digest_ = 0;
+  uint64_t tables_fingerprint_ = 0;
+};
+
+}  // namespace smpx::index
+
+#endif  // SMPX_INDEX_BOUNDARY_INDEX_H_

@@ -1,0 +1,116 @@
+// Internal wire-format helpers shared by the boundary-index file format
+// and cursor tokens: little-endian fixed-width integers and LEB128
+// varints (with zigzag for the rare signed backset fields). Both formats
+// end in a Hash64 of everything preceding it, so these helpers only need
+// to be deterministic, not self-describing.
+
+#ifndef SMPX_INDEX_WIRE_H_
+#define SMPX_INDEX_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smpx::index::wire {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+inline uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Cursor over a serialized buffer; every Read* fails (returns false and
+/// sets failed()) on truncation, and the caller checks once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (failed_ || data_.size() - pos_ < 4) return Fail();
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (failed_ || data_.size() - pos_ < 8) return Fail();
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadVarint(uint64_t* v) {
+    if (failed_) return false;
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return Fail();
+      unsigned char b = static_cast<unsigned char>(data_[pos_++]);
+      *v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return true;
+    }
+    return Fail();  // > 10 continuation bytes: not a valid u64
+  }
+
+  bool ReadByte(uint8_t* v) {
+    if (failed_ || pos_ >= data_.size()) return Fail();
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) return Fail();
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace smpx::index::wire
+
+#endif  // SMPX_INDEX_WIRE_H_

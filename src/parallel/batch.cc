@@ -92,6 +92,61 @@ std::vector<Status> BatchRunStreaming(
   return statuses;
 }
 
+std::vector<Status> BatchRunStreamingToFiles(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<std::string>& out_paths,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts) {
+  std::vector<Status> statuses(docs.size());
+  if (out_paths.size() != docs.size()) {
+    statuses.assign(docs.size(), Status::InvalidArgument(
+                                     "one output path per document required"));
+    return statuses;
+  }
+  if (stats != nullptr) stats->assign(docs.size(), core::RunStats{});
+  const size_t budget = opts.max_buffer_bytes != 0 ? opts.max_buffer_bytes
+                                                   : SpillSink::kUnlimited;
+  // File errors are isolated per document: the writer records them and
+  // returns Ok so the frontier keeps moving -- one unwritable output file
+  // must not starve the rest of the batch.
+  std::vector<Status> file_status(docs.size());
+  OrderedCommitSink commit(
+      [&out_paths, &file_status](size_t k, SpillSink* seg) {
+        auto file = BufferedFileSink::Open(out_paths[k]);
+        if (!file.ok()) {
+          file_status[k] = file.status();
+          return Status::Ok();
+        }
+        Status s = seg != nullptr ? seg->CopyTo(file->get()) : Status::Ok();
+        if (s.ok()) s = (*file)->Flush();
+        file_status[k] = s;
+        return Status::Ok();
+      },
+      docs.size());
+  pool->RunAndWait(docs.size(), [&](size_t i) {
+    auto seg = std::make_unique<SpillSink>(budget);
+    statuses[i] = StreamRun(tables, *docs[i], seg.get(),
+                            stats != nullptr ? &(*stats)[i] : nullptr, opts);
+    // Install even on failure: the file should hold the partial
+    // projection the old always-open-file driver would have written.
+    commit.Install(i, std::move(seg));
+  });
+  // A sticky commit error (e.g. a parked segment's spill failing on a
+  // full disk) halts the frontier: the writer never ran for documents at
+  // or past it, so their files were never (re)written -- report that
+  // instead of a silent all-OK.
+  const Status commit_status = commit.status();
+  const size_t frontier = commit.frontier();
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (statuses[i].ok()) statuses[i] = file_status[i];
+    if (statuses[i].ok() && !commit_status.ok() && i >= frontier) {
+      statuses[i] = commit_status;
+    }
+  }
+  return statuses;
+}
+
 Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
                                const std::vector<const InputSource*>& docs,
                                OutputSink* out, core::RunStats* stats,

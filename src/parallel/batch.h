@@ -87,6 +87,28 @@ std::vector<Status> BatchRunStreaming(
     std::vector<core::RunStats>* stats, ThreadPool* pool,
     const StreamOptions& opts = {});
 
+/// Streaming batch with per-document output FILES through the
+/// ordered-commit machinery: every document streams into a budgeted
+/// SpillSink segment on a pool worker, and each segment is written to its
+/// own output file -- opened, replayed, flushed, and closed -- only when
+/// the document-order commit frontier reaches it. At most ONE output file
+/// is therefore open at any moment, no matter how many documents the
+/// batch holds (the pre-PR-5 driver held every output file open for the
+/// whole run and died on fd limits at a few hundred documents); a
+/// max_buffer_bytes budget additionally bounds resident memory, with
+/// overflow parked in unlinked spill tmpfiles. Error isolation matches
+/// BatchRunStreaming: per-document statuses in input order (run errors
+/// take precedence over that document's file I/O errors), and a failed
+/// document's file still receives the partial projection produced before
+/// the failure. `stats` (may be null) receives per-document RunStats.
+/// Must not be called from a pool thread.
+std::vector<Status> BatchRunStreamingToFiles(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<std::string>& out_paths,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts = {});
+
 /// Streaming replacement for BatchRunMerged: every document is pulled
 /// through its session in bounded chunks into a budgeted SpillSink
 /// segment, and segments commit into `out` in document order the moment

@@ -272,21 +272,6 @@ bool SameRuntimeBehavior(const core::RuntimeTables& t, int a, int b) {
          A.close_next == B.close_next;
 }
 
-/// One shard's execution record. The sink is a budget-bounded SpillSink
-/// segment: accepted segments move into the ordered-commit frontier and
-/// are freed as they stream out; rejected speculative attempts are freed
-/// wholesale when their shard resolves.
-struct ShardResult {
-  std::unique_ptr<SpillSink> sink;
-  core::RunStats stats;
-  core::SessionCheckpoint exit;
-  Status status;
-  bool finished = false;
-  bool clean = false;            // suspended in a plain keyword search
-  uint64_t read_end = 0;         // absolute end of the bytes this run read
-  std::vector<bool> visited;
-};
-
 }  // namespace
 
 std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
@@ -426,6 +411,179 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(
   return splits;
 }
 
+SpeculativeResolver::SpeculativeResolver(const core::RuntimeTables& tables,
+                                         std::string_view doc,
+                                         const std::vector<uint64_t>& boundaries,
+                                         const Options& opts)
+    : tables_(tables), doc_(doc), opts_(opts) {
+  seg_begin_.reserve(boundaries.size() + 2);
+  seg_begin_.push_back(0);
+  for (uint64_t b : boundaries) seg_begin_.push_back(b);
+  seg_begin_.push_back(doc.size());
+  const size_t n = segments();
+
+  // Collapse the static candidate set into behavior classes; candidates
+  // whose vocabulary and transitions coincide (they differ only in entry
+  // actions, which never re-fire at a resume point) share one speculative
+  // run per segment.
+  const std::vector<int>& boundary_states = tables_.boundary_states;
+  class_of_.assign(boundary_states.size(), 0);
+  if (n > 1) {
+    for (size_t i = 0; i < boundary_states.size(); ++i) {
+      size_t c = 0;
+      while (c < class_reps_.size() &&
+             !SameRuntimeBehavior(tables_, class_reps_[c],
+                                  boundary_states[i])) {
+        ++c;
+      }
+      if (c == class_reps_.size()) {
+        if (class_reps_.size() == opts_.max_candidate_states) {
+          // Too many distinct classes to speculate on: stop partitioning
+          // (the deep state comparisons are wasted past the cap) and fall
+          // back to dynamic seeding.
+          class_reps_.clear();
+          break;
+        }
+        class_reps_.push_back(boundary_states[i]);
+      }
+      class_of_[i] = c;
+    }
+  }
+  static_spec_ = n > 1 && !class_reps_.empty() &&
+                 class_reps_.size() <= opts_.max_candidate_states;
+
+  results_.resize(n);
+  spec_.resize(n);
+  report_.shards = n;
+  report_.candidate_states = static_spec_ ? boundary_states.size() : 0;
+  report_.candidate_classes = static_spec_ ? class_reps_.size() : 0;
+}
+
+void SpeculativeResolver::RunSegment(size_t k,
+                                     const core::SessionCheckpoint* start,
+                                     ShardResult* r, bool mark_start) {
+  const size_t n = segments();
+  uint64_t begin = start != nullptr ? start->feed_begin() : seg_begin_[k];
+  uint64_t end = seg_begin_[k + 1];
+  core::EngineOptions eopts = opts_.engine;
+  eopts.mark_start_state_visited = mark_start;
+  CountingSink counter;
+  OutputSink* out = &counter;
+  if (opts_.capture_output) {
+    r->sink = std::make_unique<SpillSink>(opts_.max_buffer_bytes != 0
+                                              ? opts_.max_buffer_bytes
+                                              : SpillSink::kUnlimited);
+    out = r->sink.get();
+  }
+  core::PrefilterSession session(tables_, out, &r->stats, eopts, start);
+  r->status = session.Resume(doc_.substr(static_cast<size_t>(begin),
+                                         static_cast<size_t>(end - begin)));
+  if (r->status.ok() && k + 1 == n && !session.finished()) {
+    r->status = session.Finish();
+  } else {
+    session.FinalizeStats();
+  }
+  r->finished = session.finished();
+  r->exit = session.checkpoint();
+  r->clean = session.drained_cleanly();
+  r->visited = session.visited();
+  r->read_end = begin + r->stats.input_bytes;
+}
+
+void SpeculativeResolver::LaunchWave(ThreadPool* pool) {
+  const size_t n = segments();
+  if (static_spec_) {
+    // One fully parallel wave: the head plus |classes| speculative runs
+    // per non-head segment. Nothing serializes ahead of the wave.
+    const size_t classes = class_reps_.size();
+    for (size_t k = 1; k < n; ++k) spec_[k].resize(classes);
+    report_.speculated = n - 1;
+    pool->RunAndWait(1 + (n - 1) * classes, [this, classes](size_t idx) {
+      if (idx == 0) {
+        RunSegment(0, nullptr, &results_[0], /*mark_start=*/true);
+        return;
+      }
+      size_t k = 1 + (idx - 1) / classes;
+      size_t c = (idx - 1) % classes;
+      core::SessionCheckpoint start;
+      start.state = class_reps_[c];
+      start.cursor = seg_begin_[k];
+      start.copy_flushed = seg_begin_[k];
+      // The representative may differ from the true entry state (whose
+      // visited bit the predecessor's hand-off owns); don't count it.
+      RunSegment(k, &start, &spec_[k][c], /*mark_start=*/false);
+    });
+    report_.wave_bytes += results_[0].stats.input_bytes;
+    for (size_t k = 1; k < n; ++k) {
+      for (const ShardResult& attempt : spec_[k]) {
+        report_.wave_bytes += attempt.stats.input_bytes;
+      }
+    }
+  } else {
+    // Dynamic fallback (PR-2 scheme): the document head runs for real --
+    // its exit state is the speculation seed for every other segment.
+    RunSegment(0, nullptr, &results_[0], /*mark_start=*/true);
+    report_.serial_bytes += results_[0].stats.input_bytes;
+    const ShardResult& head = results_[0];
+    dynamic_spec_ = n > 1 && head.status.ok() && !head.finished &&
+                    head.clean && head.exit.copy_depth == 0 &&
+                    head.exit.nesting_depth == 0;
+    if (dynamic_spec_) {
+      dynamic_guess_ = head.exit;
+      for (size_t k = 1; k < n; ++k) spec_[k].resize(1);
+      report_.speculated = n - 1;
+      pool->RunAndWait(n - 1, [this](size_t i) {
+        size_t k = i + 1;
+        core::SessionCheckpoint start = dynamic_guess_;
+        start.cursor = seg_begin_[k];
+        start.copy_flushed = seg_begin_[k];
+        RunSegment(k, &start, &spec_[k][0], /*mark_start=*/true);
+      });
+      for (size_t k = 1; k < n; ++k) {
+        report_.wave_bytes += spec_[k][0].stats.input_bytes;
+      }
+    }
+  }
+}
+
+ShardResult& SpeculativeResolver::Resolve(size_t k) {
+  if (k == 0) return results_[0];  // the head ran for real in the wave
+  ShardResult& prev = results_[k - 1];
+  // Accept the speculative attempt whose assumed entry matches the
+  // predecessor's actual hand-off; otherwise re-run the segment from the
+  // true checkpoint. Deterministic by construction -- the accepted
+  // sequence replays the serial run.
+  const bool clean_handoff = prev.clean && prev.exit.copy_depth == 0 &&
+                             prev.exit.nesting_depth == 0;
+  int hit = -1;
+  if (clean_handoff) {
+    if (static_spec_) {
+      const std::vector<int>& boundary_states = tables_.boundary_states;
+      for (size_t c = 0; c < boundary_states.size(); ++c) {
+        if (boundary_states[c] == prev.exit.state) {
+          hit = static_cast<int>(class_of_[c]);
+          break;
+        }
+      }
+    } else if (dynamic_spec_ && prev.exit.state == dynamic_guess_.state) {
+      hit = 0;
+    }
+  }
+  if (hit >= 0 && static_cast<size_t>(hit) < spec_[k].size()) {
+    results_[k] = std::move(spec_[k][static_cast<size_t>(hit)]);
+    ++report_.accepted;
+  } else {
+    ShardResult rerun;
+    core::SessionCheckpoint start = prev.exit;
+    RunSegment(k, &start, &rerun, /*mark_start=*/true);
+    results_[k] = std::move(rerun);
+    ++report_.reruns;
+    report_.serial_bytes += results_[k].stats.input_bytes;
+  }
+  spec_[k].clear();  // free the losing attempts' buffers and spills now
+  return results_[k];
+}
+
 void MergeRunStats(core::RunStats* dst, const core::RunStats& src) {
   dst->input_bytes += src.input_bytes;
   dst->output_bytes += src.output_bytes;
@@ -456,161 +614,29 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
                  : FindTopLevelBoundaries(doc, max_shards - 1);
   }
 
-  // Segment k covers [seg_begin[k], seg_begin[k+1]).
-  std::vector<uint64_t> seg_begin;
-  seg_begin.push_back(0);
-  for (uint64_t b : bounds) seg_begin.push_back(b);
-  seg_begin.push_back(doc.size());
-  const size_t n = seg_begin.size() - 1;
+  SpeculativeResolver::Options ropts;
+  ropts.max_candidate_states = opts.max_candidate_states;
+  ropts.max_buffer_bytes = opts.max_buffer_bytes;
+  ropts.engine = opts.engine;
+  SpeculativeResolver resolver(tables, doc, bounds, ropts);
+  const size_t n = resolver.segments();
+  resolver.LaunchWave(pool);
 
-  const size_t seg_budget = opts.max_buffer_bytes != 0
-                                ? opts.max_buffer_bytes
-                                : SpillSink::kUnlimited;
-
-  // Runs one segment: `start` == nullptr for the document head, otherwise
-  // the carried checkpoint (whose cursor may sit before the segment start
-  // after a re-run hand-off). The final segment also Finish()es.
-  auto run_segment = [&](size_t k, const core::SessionCheckpoint* start,
-                         ShardResult* r, bool mark_start = true) {
-    uint64_t begin = start != nullptr ? start->feed_begin() : seg_begin[k];
-    uint64_t end = seg_begin[k + 1];
-    core::EngineOptions eopts = opts.engine;
-    eopts.mark_start_state_visited = mark_start;
-    r->sink = std::make_unique<SpillSink>(seg_budget);
-    core::PrefilterSession session(tables, r->sink.get(), &r->stats, eopts,
-                                   start);
-    r->status = session.Resume(
-        doc.substr(static_cast<size_t>(begin),
-                   static_cast<size_t>(end - begin)));
-    if (r->status.ok() && k + 1 == n && !session.finished()) {
-      r->status = session.Finish();
-    } else {
-      session.FinalizeStats();
-    }
-    r->finished = session.finished();
-    r->exit = session.checkpoint();
-    r->clean = session.drained_cleanly();
-    r->visited = session.visited();
-    r->read_end = begin + r->stats.input_bytes;
-  };
-
-  // The static boundary-state analysis makes every shard speculable at
-  // once: collapse the candidate set into behavior classes and launch one
-  // speculative run per class. Without a usable set (hand-built tables,
-  // too many distinct classes), fall back to seeding speculation from
-  // shard 0's actual exit.
-  const std::vector<int>& boundary_states = tables.boundary_states;
-  std::vector<int> class_reps;                      // representative state
-  std::vector<size_t> class_of(boundary_states.size(), 0);
-  if (n > 1) {
-    for (size_t i = 0; i < boundary_states.size(); ++i) {
-      size_t c = 0;
-      while (c < class_reps.size() &&
-             !SameRuntimeBehavior(tables, class_reps[c],
-                                  boundary_states[i])) {
-        ++c;
-      }
-      if (c == class_reps.size()) {
-        if (class_reps.size() == opts.max_candidate_states) {
-          // Too many distinct classes to speculate on: stop partitioning
-          // (the deep state comparisons are wasted past the cap) and fall
-          // back to dynamic seeding below.
-          class_reps.clear();
-          break;
-        }
-        class_reps.push_back(boundary_states[i]);
-      }
-      class_of[i] = c;
-    }
-  }
-  const bool static_spec = n > 1 && !class_reps.empty() &&
-                           class_reps.size() <= opts.max_candidate_states;
-
-  ShardReport local_report;
-  ShardReport& rep = report != nullptr ? *report : local_report;
-  rep = ShardReport{};
-  rep.shards = n;
-  rep.candidate_states = static_spec ? boundary_states.size() : 0;
-  rep.candidate_classes = static_spec ? class_reps.size() : 0;
-
-  std::vector<ShardResult> results(n);
-  // Non-head speculative attempts: spec[k][c] ran segment k assuming entry
-  // behavior class c (static mode) or the shard-0 exit (dynamic mode, one
-  // attempt per shard).
-  std::vector<std::vector<ShardResult>> spec(n);
-
-  core::SessionCheckpoint dynamic_guess;
-  bool dynamic_spec = false;
-
-  if (static_spec) {
-    // One fully parallel wave: the head plus |classes| speculative runs
-    // per non-head shard. Nothing serializes ahead of the wave.
-    const size_t classes = class_reps.size();
-    for (size_t k = 1; k < n; ++k) spec[k].resize(classes);
-    rep.speculated = n - 1;
-    pool->RunAndWait(1 + (n - 1) * classes, [&](size_t idx) {
-      if (idx == 0) {
-        run_segment(0, nullptr, &results[0]);
-        return;
-      }
-      size_t k = 1 + (idx - 1) / classes;
-      size_t c = (idx - 1) % classes;
-      core::SessionCheckpoint start;
-      start.state = class_reps[c];
-      start.cursor = seg_begin[k];
-      start.copy_flushed = seg_begin[k];
-      // The representative may differ from the true entry state (whose
-      // visited bit the predecessor's hand-off owns); don't count it.
-      run_segment(k, &start, &spec[k][c], /*mark_start=*/false);
-    });
-    rep.wave_bytes += results[0].stats.input_bytes;
-    for (size_t k = 1; k < n; ++k) {
-      for (const ShardResult& attempt : spec[k]) {
-        rep.wave_bytes += attempt.stats.input_bytes;
-      }
-    }
-  } else {
-    // Dynamic fallback (PR-2 scheme): the document head runs for real --
-    // its exit state is the speculation seed for every other shard.
-    run_segment(0, nullptr, &results[0]);
-    rep.serial_bytes += results[0].stats.input_bytes;
-    const ShardResult& head = results[0];
-    dynamic_spec = n > 1 && head.status.ok() && !head.finished &&
-                   head.clean && head.exit.copy_depth == 0 &&
-                   head.exit.nesting_depth == 0;
-    if (dynamic_spec) {
-      dynamic_guess = head.exit;
-      for (size_t k = 1; k < n; ++k) spec[k].resize(1);
-      rep.speculated = n - 1;
-      pool->RunAndWait(n - 1, [&](size_t i) {
-        size_t k = i + 1;
-        core::SessionCheckpoint start = dynamic_guess;
-        start.cursor = seg_begin[k];
-        start.copy_flushed = seg_begin[k];
-        run_segment(k, &start, &spec[k][0]);
-      });
-      for (size_t k = 1; k < n; ++k) {
-        rep.wave_bytes += spec[k][0].stats.input_bytes;
-      }
-    }
-  }
-
-  // Sequential verification with streaming commit: accept the speculative
-  // attempt whose assumed entry matches the predecessor's actual hand-off;
-  // otherwise re-run the shard (synchronously) from the true checkpoint.
-  // Deterministic by construction -- the accepted sequence replays the
-  // serial run. Each resolved segment is installed into the ordered-commit
-  // frontier immediately, which streams it into `out` and frees its
-  // buffer/spill before the next shard is even verified; the rejected
-  // attempts of a resolved shard are freed at the same moment. Peak
-  // resident output is therefore bounded by the per-segment budget times
-  // the outstanding attempts, never by the projection size.
+  // Sequential verification with streaming commit: each segment resolved
+  // by the SpeculativeResolver (accepted attempt or synchronous re-run) is
+  // installed into the ordered-commit frontier immediately, which streams
+  // it into `out` and frees its buffer/spill before the next shard is even
+  // verified; the rejected attempts of a resolved shard are freed at the
+  // same moment. Peak resident output is therefore bounded by the
+  // per-segment budget times the outstanding attempts, never by the
+  // projection size.
   OrderedCommitSink commit(out, n);
-  SMPX_RETURN_IF_ERROR(commit.Install(0, std::move(results[0].sink)));
+  Status commit_status =
+      commit.Install(0, std::move(resolver.Resolve(0).sink));
   Status final_status;
   size_t produced = n;
-  for (size_t k = 1; k < n; ++k) {
-    ShardResult& prev = results[k - 1];
+  for (size_t k = 1; commit_status.ok() && k < n; ++k) {
+    ShardResult& prev = resolver.result(k - 1);
     if (!prev.status.ok()) {
       final_status = prev.status;
       produced = k;
@@ -620,39 +646,18 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       produced = k;  // serial run ends here; later bytes are ignored
       break;
     }
-    const bool clean_handoff = prev.clean && prev.exit.copy_depth == 0 &&
-                               prev.exit.nesting_depth == 0;
-    int hit = -1;
-    if (clean_handoff) {
-      if (static_spec) {
-        for (size_t c = 0; c < boundary_states.size(); ++c) {
-          if (boundary_states[c] == prev.exit.state) {
-            hit = static_cast<int>(class_of[c]);
-            break;
-          }
-        }
-      } else if (dynamic_spec && prev.exit.state == dynamic_guess.state) {
-        hit = 0;
-      }
-    }
-    if (hit >= 0) {
-      results[k] = std::move(spec[k][static_cast<size_t>(hit)]);
-      ++rep.accepted;
-    } else {
-      ShardResult rerun;
-      core::SessionCheckpoint start = prev.exit;
-      run_segment(k, &start, &rerun);
-      results[k] = std::move(rerun);
-      ++rep.reruns;
-      rep.serial_bytes += results[k].stats.input_bytes;
-    }
-    spec[k].clear();  // free the losing attempts' buffers and spills now
-    SMPX_RETURN_IF_ERROR(commit.Install(k, std::move(results[k].sink)));
+    commit_status = commit.Install(k, std::move(resolver.Resolve(k).sink));
+  }
+  if (!commit_status.ok()) {
+    if (report != nullptr) *report = resolver.report();
+    return commit_status;
   }
   if (produced < n) commit.Truncate(produced);
-  if (final_status.ok() && produced == n && !results[n - 1].status.ok()) {
-    final_status = results[n - 1].status;
+  if (final_status.ok() && produced == n &&
+      !resolver.result(n - 1).status.ok()) {
+    final_status = resolver.result(n - 1).status;
   }
+  if (report != nullptr) *report = resolver.report();
   if (stats != nullptr) {
     std::vector<bool> visited;
     uint64_t read_end = 0;  // how far into the document reads have advanced
@@ -661,14 +666,14 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       // re-run hand-offs re-read their predecessor's overlap tail (counted
       // once), and initial jumps across a boundary leave a gap the serial
       // stream would have read and discarded (counted for parity).
-      results[k].stats.input_bytes =
-          results[k].read_end > read_end ? results[k].read_end - read_end
-                                         : 0;
-      read_end = std::max(read_end, results[k].read_end);
-      MergeRunStats(stats, results[k].stats);
-      if (visited.empty()) visited = results[k].visited;
-      for (size_t i = 0; i < results[k].visited.size(); ++i) {
-        if (results[k].visited[i]) visited[i] = true;
+      ShardResult& r = resolver.result(k);
+      r.stats.input_bytes =
+          r.read_end > read_end ? r.read_end - read_end : 0;
+      read_end = std::max(read_end, r.read_end);
+      MergeRunStats(stats, r.stats);
+      if (visited.empty()) visited = r.visited;
+      for (size_t i = 0; i < r.visited.size(); ++i) {
+        if (r.visited[i]) visited[i] = true;
       }
     }
     stats->states_visited = 0;

@@ -79,6 +79,99 @@ struct ShardReport {
   uint64_t wave_bytes = 0;
 };
 
+/// One segment's execution record: the session's exit checkpoint, stats,
+/// and (in capture mode) its buffered output segment. Accepted segments
+/// replay the serial run exactly, so `exit` is provably the serial
+/// engine's checkpoint at the segment's end offset.
+struct ShardResult {
+  /// Budget-bounded output segment; null in discard mode (indexing) and
+  /// after the caller moved it into an ordered committer.
+  std::unique_ptr<SpillSink> sink;
+  core::RunStats stats;
+  core::SessionCheckpoint exit;
+  Status status;
+  bool finished = false;  ///< reached a final DFA state
+  bool clean = false;     ///< suspended in a plain keyword search
+  uint64_t read_end = 0;  ///< absolute end of the bytes this run read
+  std::vector<bool> visited;
+};
+
+/// The speculative wave/verify machinery shared by single-document
+/// sharding (ShardedRun) and boundary-index construction
+/// (index::BoundaryIndex::Build): given a document cut at top-level
+/// boundaries into segments, it launches every segment in one parallel
+/// wave -- the head for real, each later segment once per candidate entry
+/// *behavior class* from the static boundary-state analysis -- and then
+/// resolves segments in order, accepting the attempt whose assumed entry
+/// matches the predecessor's verified exit and deterministically re-running
+/// the segment otherwise. The resolved sequence replays the serial engine
+/// byte-for-byte no matter where the boundaries fall or how speculation
+/// fared; tables without a usable candidate set fall back to seeding
+/// speculation from the head's actual exit state (the PR-2 scheme).
+class SpeculativeResolver {
+ public:
+  struct Options {
+    /// See ShardOptions::max_candidate_states.
+    size_t max_candidate_states = 4;
+    /// Per-segment SpillSink budget in capture mode; 0 = unbounded.
+    size_t max_buffer_bytes = 0;
+    /// Capture each segment's projected output in ShardResult::sink.
+    /// False discards output (byte counts still reach the stats) -- the
+    /// indexing mode, which only wants the verified exit checkpoints.
+    bool capture_output = true;
+    core::EngineOptions engine;
+  };
+
+  /// `boundaries` are strictly increasing offsets inside `doc` (typically
+  /// from FindTopLevelBoundaries*); segment k then covers
+  /// [seg_begin(k), seg_begin(k+1)) with seg_begin(0) = 0 and the last
+  /// segment ending at doc.size(). `tables` and `doc` must outlive the
+  /// resolver.
+  SpeculativeResolver(const core::RuntimeTables& tables, std::string_view doc,
+                      const std::vector<uint64_t>& boundaries,
+                      const Options& opts);
+
+  size_t segments() const { return seg_begin_.size() - 1; }
+  uint64_t seg_begin(size_t k) const { return seg_begin_[k]; }
+
+  /// Launches the head plus every speculative attempt in one pool wave
+  /// (or, in dynamic-fallback mode, runs the head serially first and
+  /// seeds one attempt per remaining segment from its exit). Call once,
+  /// before Resolve; must not be called from a pool thread.
+  void LaunchWave(ThreadPool* pool);
+
+  /// Resolves segment k and returns its record. Requires LaunchWave() and
+  /// that segments < k are resolved; the caller must stop resolving after
+  /// a segment whose status is non-OK or whose run finished (later bytes
+  /// are ignored in a serial run, so later segments are meaningless).
+  /// Re-runs (the only sequential work) execute on the calling thread.
+  ShardResult& Resolve(size_t k);
+
+  /// Resolved segment records (valid for k already resolved).
+  ShardResult& result(size_t k) { return results_[k]; }
+
+  /// Execution metrics; shards/candidate fields are valid after
+  /// LaunchWave, accept/rerun counts grow as segments resolve.
+  const ShardReport& report() const { return report_; }
+
+ private:
+  void RunSegment(size_t k, const core::SessionCheckpoint* start,
+                  ShardResult* r, bool mark_start);
+
+  const core::RuntimeTables& tables_;
+  std::string_view doc_;
+  std::vector<uint64_t> seg_begin_;  // segments()+1 fenceposts
+  Options opts_;
+  std::vector<int> class_reps_;      // representative state per class
+  std::vector<size_t> class_of_;     // candidate index -> class
+  bool static_spec_ = false;
+  bool dynamic_spec_ = false;
+  core::SessionCheckpoint dynamic_guess_;
+  std::vector<ShardResult> results_;
+  std::vector<std::vector<ShardResult>> spec_;
+  ShardReport report_;
+};
+
 /// Structural scan for shard split points: returns at most `max_splits`
 /// strictly increasing offsets, each the position of the '<' opening a
 /// child element of the document root at the first top-level boundary at

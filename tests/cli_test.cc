@@ -14,6 +14,9 @@
 
 #include "common/io.h"
 #include "core/prefilter.h"
+#include "index/boundary_index.h"
+#include "index/cursor.h"
+#include "parallel/thread_pool.h"
 
 namespace smpx {
 namespace {
@@ -39,10 +42,12 @@ struct CliResult {
   std::string err;
 };
 
-/// Runs the CLI with `args`, capturing stderr.
-CliResult RunCli(const std::string& args) {
+/// Runs the CLI with `args`, capturing stderr. `shell_prefix` is prepended
+/// inside the shell command (e.g. "ulimit -n 32; " for the fd-limit test).
+CliResult RunCli(const std::string& args,
+                 const std::string& shell_prefix = std::string()) {
   std::string err_file = ::testing::TempDir() + "/smpx_cli_stderr.txt";
-  std::string cmd = std::string("\"") + SMPX_CLI_PATH + "\" " + args +
+  std::string cmd = shell_prefix + "\"" + SMPX_CLI_PATH + "\" " + args +
                     " 2>\"" + err_file + "\"";
   int rc = std::system(cmd.c_str());
   CliResult r;
@@ -215,6 +220,119 @@ TEST(CliBatchTest, OutFlagConcatenatesInArgumentOrder) {
   for (const std::string& d : fx.docs) expected += SerialExpected(d);
   EXPECT_EQ(*content, expected);
   std::remove(merged.c_str());
+}
+
+TEST(CliBatchTest, LowFdLimitBatchStillWritesEveryOutputFile) {
+  // 60 documents under a 32-fd limit: the per-input batch driver must not
+  // hold every output file open at once (the pre-ordered-commit driver
+  // did exactly that and died here). --max-buffer 0 keeps segments in
+  // memory so no spill tmpfile fds muddy the measurement -- parked
+  // BUDGETED segments still cost one spill fd each, the known SpillSink
+  // follow-up tracked in ROADMAP.
+  std::vector<std::string> contents;
+  for (int i = 0; i < 60; ++i) {
+    contents.push_back("<a><b>doc " + std::to_string(i) +
+                       "</b><c>drop</c></a>");
+  }
+  Fixture fx(contents);
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                           "\" --batch --threads 4 --max-buffer 0" +
+                           fx.InputArgs(),
+                       "ulimit -n 32; ");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  for (size_t i = 0; i < fx.inputs.size(); ++i) {
+    auto content = ReadFileToString(ProjectedOutputPath(fx.inputs[i]));
+    ASSERT_TRUE(content.ok()) << fx.inputs[i];
+    EXPECT_EQ(*content, SerialExpected(fx.docs[i])) << fx.inputs[i];
+  }
+}
+
+TEST(CliIndexTest, IndexBuildThenSeekServesByteIdenticalSlices) {
+  // A document large enough for several granularity-64 boundaries.
+  std::string big = "<a>";
+  for (int i = 0; i < 120; ++i) {
+    big += "<b>keep " + std::to_string(i) + "</b><c>drop " +
+           std::to_string(i) + "</c>";
+  }
+  big += "</a>";
+  Fixture fx({big});
+  std::string idx_path = ::testing::TempDir() + "/smpx_cli_test.idx";
+  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                       "\" --index-build \"" + idx_path +
+                       "\" --index-granularity 64 --threads 2 \"" +
+                       fx.inputs[0] + "\"");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+
+  // The saved index must load and agree with a library-built one; the
+  // library index then provides the expected projection offsets.
+  auto loaded = index::BoundaryIndex::LoadFromFile(idx_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_FALSE(loaded->entries().empty());
+  std::string serial = SerialExpected(big);
+
+  for (size_t i : {size_t{0}, loaded->entries().size() / 2,
+                   loaded->entries().size() - 1}) {
+    const index::IndexEntry& e = loaded->entries()[i];
+    std::string out = ::testing::TempDir() + "/smpx_cli_seek.xml";
+    r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+               "\" --index \"" + idx_path + "\" --seek " +
+               std::to_string(e.offset) + " \"" + fx.inputs[0] + "\" \"" +
+               out + "\"");
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+    auto content = ReadFileToString(out);
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(*content, serial.substr(static_cast<size_t>(e.out_offset)))
+        << "CLI seek to boundary " << e.offset
+        << " is not the serial projection's suffix";
+    std::remove(out.c_str());
+  }
+
+  // --count limits the emission to whole records.
+  {
+    const index::IndexEntry& e = loaded->entries()[0];
+    std::string out = ::testing::TempDir() + "/smpx_cli_count.xml";
+    r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+               "\" --index \"" + idx_path + "\" --seek " +
+               std::to_string(e.offset) + " --count 2 \"" + fx.inputs[0] +
+               "\" \"" + out + "\"");
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+    auto content = ReadFileToString(out);
+    ASSERT_TRUE(content.ok());
+    uint64_t end = loaded->entries().size() > 2
+                       ? loaded->entries()[2].out_offset
+                       : serial.size();
+    EXPECT_EQ(*content,
+              serial.substr(static_cast<size_t>(e.out_offset),
+                            static_cast<size_t>(end - e.out_offset)));
+    std::remove(out.c_str());
+  }
+
+  // A stale index (document changed since indexing) must fail closed.
+  {
+    std::string tampered = big;
+    tampered[tampered.find("keep 7") + 5] = '9';
+    ASSERT_TRUE(WriteStringToFile(fx.inputs[0], tampered).ok());
+    r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+               "\" --index \"" + idx_path + "\" --seek 100 \"" +
+               fx.inputs[0] + "\"");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("stale"), std::string::npos) << r.err;
+  }
+
+  // A truncated index file must fail closed, not serve wrong bytes.
+  {
+    auto bytes = ReadFileToString(idx_path);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(
+        WriteStringToFile(idx_path, bytes->substr(0, bytes->size() / 2))
+            .ok());
+    r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+               "\" --index \"" + idx_path + "\" --seek 100 \"" +
+               fx.inputs[0] + "\"");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.err.find("corrupt"), std::string::npos) << r.err;
+  }
+  std::remove(idx_path.c_str());
 }
 
 #endif  // SMPX_CLI_PATH

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "common/io.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -255,6 +256,26 @@ TEST(SlidingWindowTest, EnsurePastEofReturnsShortCount) {
   EXPECT_EQ(win.Ensure(0, 10), 3u);
   EXPECT_EQ(win.Ensure(3, 1), 0u);
   EXPECT_TRUE(win.AtEnd(3));
+}
+
+TEST(HashStabilityTest, Hash64ValuesArePinnedForever) {
+  // These values are baked into every saved boundary-index file and
+  // cursor token (document digests, table fingerprints, trailing content
+  // hashes). A change here is a FORMAT BREAK: bump the index/token format
+  // version instead of updating the expectations. The first two are the
+  // reference XXH64 vectors, pinning cross-implementation compatibility.
+  EXPECT_EQ(Hash64(""), 17241709254077376921ull);   // xxh64 ef46db3751d8e999
+  EXPECT_EQ(Hash64("abc"), 4952883123889572249ull);  // xxh64 44bc2cf5ad770999
+  EXPECT_EQ(Hash64("smpx boundary index"), 11744050980586103378ull);
+  std::string long_input;
+  for (int i = 0; i < 1000; ++i) {
+    long_input += static_cast<char>('a' + i % 26);
+  }
+  EXPECT_EQ(Hash64(long_input), 10716435957372782249ull);
+  EXPECT_EQ(Hash64("abc", 77), 3540267617390289244ull);
+  EXPECT_EQ(HashCombine(1, 2), 4498758804896154761ull);
+  // Single-byte sensitivity: flipping any one byte moves the hash.
+  EXPECT_NE(Hash64("smpx boundary index"), Hash64("smpx boundary inde_"));
 }
 
 }  // namespace

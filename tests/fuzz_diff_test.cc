@@ -1,11 +1,14 @@
 // Seeded randomized differential fuzz suite for the parallel subsystem:
 // every generated (DTD, document, paths) case is prefiltered by the serial
 // engine (ground truth), a chunked push-mode session, ShardedRun at
-// 1/2/4/7 threads, the streaming batch driver, and the streaming *merged*
-// batch driver, at randomized window, chunk, shard, and output-buffer
-// budget geometries (tiny budgets force the SpillSink overflow and
-// ordered-commit paths on nearly every case) -- outputs must be
-// byte-identical and the semantic statistics must match. Documents come from the src/xmlgen
+// 1/2/4/7 threads, the streaming batch driver, the streaming *merged*
+// batch driver, and an index-resume mode (BoundaryIndex at random
+// granularity, cursors opened at random byte targets plus token
+// round-trips, each drained against the serial projection's suffix), at
+// randomized window, chunk, shard, and output-buffer budget geometries
+// (tiny budgets force the SpillSink overflow and ordered-commit paths on
+// nearly every case) -- outputs must be byte-identical and the semantic
+// statistics must match. Documents come from the src/xmlgen
 // samplers (random nonrecursive DTDs plus XMark/MEDLINE/protein), with an
 // adversarial edge-mix pass injecting comments, CDATA sections, processing
 // instructions, and stray closing tags that desynchronize the structural
@@ -33,6 +36,8 @@
 #include "common/io.h"
 #include "core/engine.h"
 #include "core/prefilter.h"
+#include "index/boundary_index.h"
+#include "index/cursor.h"
 #include "parallel/batch.h"
 #include "parallel/shard.h"
 #include "parallel/thread_pool.h"
@@ -165,6 +170,46 @@ void ExpectAllModesIdentical(const Prefilter& pf, const std::string& doc,
     EXPECT_EQ(s0.str(), *serial)
         << "streaming diverged, chunk=" << sopts.chunk_bytes;
     EXPECT_EQ(s1.str(), *serial);
+  }
+
+  // Index-resumed random access: build a boundary index at a random
+  // granularity, then enter the document at random byte targets (plus the
+  // extremes); the cursor's drained output must be the exact suffix of
+  // the serial projection starting at the entry's recorded projection
+  // offset, and a token round-trip at the resume point must not change a
+  // byte. This is the differential property the skip-index exists for.
+  {
+    parallel::ThreadPool pool(3);
+    index::BoundaryIndexOptions iopts;
+    iopts.granularity_bytes = static_cast<uint64_t>(xmlgen::Uniform(
+        rng, 1, std::max<int64_t>(2, static_cast<int64_t>(doc.size() / 3))));
+    iopts.engine = eopts;
+    auto idx = index::BoundaryIndex::Build(pf.tables(), doc, &pool, iopts);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    std::vector<uint64_t> targets = {0, doc.size()};
+    for (int t = 0; t < 3; ++t) {
+      targets.push_back(static_cast<uint64_t>(
+          xmlgen::Uniform(rng, 0, static_cast<int64_t>(doc.size()))));
+    }
+    for (uint64_t target : targets) {
+      auto cur = index::Cursor::OpenAt(*idx, pf.tables(), doc, target);
+      ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+      ASSERT_LE(cur->output_position(), serial->size());
+      const std::string expected =
+          serial->substr(static_cast<size_t>(cur->output_position()));
+      auto restored = index::Cursor::Restore(*idx, pf.tables(), doc,
+                                             cur->SaveToken());
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      StringSink direct, via_token;
+      ASSERT_TRUE(cur->Drain(&direct).ok());
+      EXPECT_EQ(direct.str(), expected)
+          << "index resume at target " << target << " (boundary "
+          << cur->position() << ", granularity " << iopts.granularity_bytes
+          << ") diverged from the serial suffix";
+      ASSERT_TRUE(restored->Drain(&via_token).ok());
+      EXPECT_EQ(via_token.str(), expected)
+          << "token-restored resume at target " << target << " diverged";
+    }
   }
 
   // Streaming merged batch through spill segments and the ordered-commit

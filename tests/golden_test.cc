@@ -1,0 +1,124 @@
+// Golden-corpus regression tests: tiny XMark/MEDLINE/protein documents,
+// their DTDs, and their expected projections are CHECKED IN under
+// tests/data/ and compared byte-for-byte. Unlike the generator-driven
+// suites, nothing here is recomputed from src/xmlgen at test time, so an
+// engine regression is caught even if the generators (or their seeds)
+// drift in the same commit. The corpus also exercises the boundary index
+// against frozen inputs: every projection suffix served by a cursor must
+// match a substring of the checked-in projection.
+//
+// Regenerating the corpus (only when the projection SEMANTICS change
+// intentionally): rebuild the three documents with xmlgen seed 42 at
+// target_bytes 4096, re-run the serial engine, and replace the files --
+// then justify the diff in review like any other golden-file change.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/io.h"
+#include "core/prefilter.h"
+#include "index/boundary_index.h"
+#include "index/cursor.h"
+#include "parallel/shard.h"
+#include "parallel/thread_pool.h"
+
+namespace smpx {
+namespace {
+
+#ifndef SMPX_TEST_DATA_DIR
+#define SMPX_TEST_DATA_DIR "tests/data"
+#endif
+
+struct GoldenCase {
+  const char* name;
+  const char* paths;
+};
+
+const GoldenCase kCases[] = {
+    {"xmark", "/site/people/person@ /site/people/person/name#"},
+    {"medline",
+     "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo# "
+     "/MedlineCitationSet/MedlineCitation/DateCompleted#"},
+    {"protein",
+     "/ProteinDatabase/ProteinEntry/protein/name# "
+     "/ProteinDatabase/ProteinEntry/header@"},
+};
+
+std::string DataFile(const std::string& name) {
+  auto content = ReadFileToString(std::string(SMPX_TEST_DATA_DIR) + "/" +
+                                  name);
+  EXPECT_TRUE(content.ok()) << "missing corpus file " << name << ": "
+                            << content.status().ToString();
+  return content.ok() ? *content : std::string();
+}
+
+core::Prefilter CompileGolden(const GoldenCase& c) {
+  auto dtd = dtd::Dtd::Parse(DataFile(std::string(c.name) + ".dtd"));
+  EXPECT_TRUE(dtd.ok()) << dtd.status().ToString();
+  auto paths = paths::ProjectionPath::ParseList(c.paths);
+  EXPECT_TRUE(paths.ok());
+  auto pf = core::Prefilter::Compile(std::move(*dtd), std::move(*paths));
+  EXPECT_TRUE(pf.ok()) << pf.status().ToString();
+  return std::move(*pf);
+}
+
+TEST(GoldenCorpusTest, SerialProjectionsMatchCheckedInFiles) {
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    core::Prefilter pf = CompileGolden(c);
+    std::string doc = DataFile(std::string(c.name) + "_tiny.xml");
+    std::string expected = DataFile(std::string(c.name) + "_tiny.proj.xml");
+    ASSERT_FALSE(doc.empty());
+    auto out = pf.RunOnBuffer(doc);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, expected)
+        << "projection of the frozen " << c.name
+        << " document changed -- engine regression, or an intentional "
+           "semantics change that must regenerate tests/data/";
+  }
+}
+
+TEST(GoldenCorpusTest, ShardedRunsMatchCheckedInFiles) {
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    core::Prefilter pf = CompileGolden(c);
+    std::string doc = DataFile(std::string(c.name) + "_tiny.xml");
+    std::string expected = DataFile(std::string(c.name) + "_tiny.proj.xml");
+    for (int threads : {2, 4}) {
+      parallel::ThreadPool pool(threads);
+      StringSink sink;
+      Status s = parallel::ShardedRun(pf.tables(), doc, &sink, nullptr,
+                                      &pool);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(sink.str(), expected) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(GoldenCorpusTest, IndexedCursorsServeCheckedInSuffixes) {
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    core::Prefilter pf = CompileGolden(c);
+    std::string doc = DataFile(std::string(c.name) + "_tiny.xml");
+    std::string expected = DataFile(std::string(c.name) + "_tiny.proj.xml");
+    parallel::ThreadPool pool(2);
+    index::BoundaryIndexOptions opts;
+    opts.granularity_bytes = 1;
+    auto idx = index::BoundaryIndex::Build(pf.tables(), doc, &pool, opts);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    for (const index::IndexEntry& e : idx->entries()) {
+      auto cur = index::Cursor::OpenAt(*idx, pf.tables(), doc, e.offset);
+      ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+      ASSERT_LE(e.out_offset, expected.size());
+      StringSink sink;
+      ASSERT_TRUE(cur->Drain(&sink).ok());
+      EXPECT_EQ(sink.str(),
+                expected.substr(static_cast<size_t>(e.out_offset)))
+          << "cursor at frozen boundary " << e.offset << " diverged";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smpx

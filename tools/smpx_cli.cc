@@ -6,6 +6,8 @@
 //   smpx --dtd schema.dtd --paths ... --threads 8 big.xml out.xml
 //   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml    # a.proj.xml ...
 //   smpx --dtd schema.dtd --paths ... --batch a.xml b.xml --out all.xml
+//   smpx --dtd schema.dtd --paths ... --index-build big.idx big.xml
+//   smpx --dtd schema.dtd --paths ... --index big.idx --seek 512M big.xml
 //
 // Reads stdin/writes stdout when files are omitted; all output goes
 // through a write-coalescing BufferedFileSink. File inputs are mmap'ed
@@ -17,9 +19,19 @@
 // documents concurrently, *streaming* each through its session in bounded
 // chunks and writing per-input output files (in.xml -> in.proj.xml);
 // --out FILE instead concatenates the outputs in argument order through
-// the same budgeted ordered-commit pipeline. --stats prints the paper's
-// measurement columns to stderr (per document and as a total in batch
-// mode). --tables dumps the compiled A/V/J/T tables and exits.
+// the same budgeted ordered-commit pipeline; per-input output files are
+// written through the ordered-commit machinery too, so at most one output
+// file is open at a time regardless of batch size. --stats prints the
+// paper's measurement columns to stderr (per document and as a total in
+// batch mode). --tables dumps the compiled A/V/J/T tables and exits.
+//
+// Random access: --index-build FILE runs the speculative indexing pass
+// over one document and saves a boundary skip-index (--index-granularity
+// sets the entry spacing); --index FILE --seek OFF [--count N] then
+// resumes a cursor at the nearest indexed boundary at or before OFF --
+// without prefiltering the prefix -- and emits N indexed spans (one
+// top-level record each at granularity 1; or everything to the end),
+// byte-identical to the corresponding slice of a full serial run.
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +44,8 @@
 #include "common/timer.h"
 #include "core/prefilter.h"
 #include "dtd/dtd.h"
+#include "index/boundary_index.h"
+#include "index/cursor.h"
 #include "parallel/batch.h"
 #include "parallel/shard.h"
 #include "parallel/thread_pool.h"
@@ -46,6 +60,8 @@ int Usage(const char* argv0) {
       "usage: %s --dtd FILE (--paths LIST | --paths-file FILE | --query XQ)\n"
       "          [--stats] [--tables] [--window SIZE] [--chunk SIZE]\n"
       "          [--max-buffer SIZE] [--threads N] [--batch] [--out FILE]\n"
+      "          [--index-build FILE [--index-granularity SIZE]]\n"
+      "          [--index FILE [--seek OFFSET] [--count N]]\n"
       "          [in.xml ... [out.xml]]\n"
       "\n"
       "Prefilters XML documents valid w.r.t. the given nonrecursive DTD\n"
@@ -74,7 +90,19 @@ int Usage(const char* argv0) {
       "                  max-buffer)) regardless of input size; shrink\n"
       "                  --max-buffer (and --chunk) to shard multi-GB\n"
       "                  documents on small machines, grow them to avoid\n"
-      "                  spill I/O when memory is plentiful\n",
+      "                  spill I/O when memory is plentiful\n"
+      "  --index-build F index one document for random access: record the\n"
+      "                  verified engine checkpoint at top-level element\n"
+      "                  boundaries (one per --index-granularity bytes,\n"
+      "                  default 1M) and save the skip-index to F\n"
+      "  --index F       load the skip-index F for the input document and\n"
+      "                  resume at the nearest indexed boundary at or\n"
+      "                  before --seek OFFSET (default 0), emitting\n"
+      "                  --count N indexed spans (default: to the end)\n"
+      "                  exactly as a full serial run would have. A span\n"
+      "                  is one top-level record when the index was built\n"
+      "                  with --index-granularity 1, and about one\n"
+      "                  granularity's worth of records otherwise\n",
       argv0);
   return 2;
 }
@@ -103,6 +131,11 @@ int main(int argc, char** argv) {
   size_t window = smpx::SlidingWindow::kDefaultCapacity;
   size_t chunk = 1 << 20;
   size_t max_buffer = 64 << 20;
+  std::string index_build_file;
+  std::string index_file;
+  size_t index_granularity = 1 << 20;
+  size_t seek_offset = 0;
+  long long count = -1;  // -1 = drain to the end
 
   bool bad_size = false;
   for (int i = 1; i < argc; ++i) {
@@ -167,6 +200,24 @@ int main(int argc, char** argv) {
       if (chunk == 0) chunk = 1;
     } else if (arg == "--max-buffer") {
       if (!next_size(&max_buffer)) return Usage(argv[0]);
+    } else if (arg == "--index-build") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      index_build_file = v;
+    } else if (arg == "--index") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      index_file = v;
+    } else if (arg == "--index-granularity") {
+      if (!next_size(&index_granularity)) return Usage(argv[0]);
+      if (index_granularity == 0) index_granularity = 1;
+    } else if (arg == "--seek") {
+      if (!next_size(&seek_offset)) return Usage(argv[0]);
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      count = std::atoll(v);
+      if (count < 0) count = 0;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {
@@ -175,6 +226,11 @@ int main(int argc, char** argv) {
   }
   if (bad_size) return 2;
   if (dtd_file.empty() || (paths_text.empty() && query.empty())) {
+    return Usage(argv[0]);
+  }
+  const bool index_mode = !index_build_file.empty() || !index_file.empty();
+  if (index_mode &&
+      (batch_flag || (!index_build_file.empty() && !index_file.empty()))) {
     return Usage(argv[0]);
   }
   if (!batch_flag) {
@@ -188,6 +244,9 @@ int main(int argc, char** argv) {
   } else if (inputs.empty()) {
     return Usage(argv[0]);
   }
+  // --index-build writes the index file, never a projection; an output
+  // file (flag or positional, resolved above) has nothing to receive.
+  if (!index_build_file.empty() && !out_file.empty()) return Usage(argv[0]);
 
   auto dtd_text = smpx::ReadFileToString(dtd_file);
   if (!dtd_text.ok()) {
@@ -263,22 +322,116 @@ int main(int argc, char** argv) {
   smpx::CpuTimer cpu_timer;
   int failures = 0;
 
+  if (!index_build_file.empty()) {
+    // One speculative indexing pass over the document, then the versioned
+    // skip-index file; the projection itself is discarded.
+    smpx::parallel::ThreadPool pool(threads);
+    smpx::index::BoundaryIndexOptions iopts;
+    iopts.granularity_bytes = index_granularity;
+    iopts.engine = eopts;
+    auto idx = smpx::index::BoundaryIndex::Build(pf->tables(), docs[0],
+                                                 &pool, iopts);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "index build: %s\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    std::string serialized = idx->Serialize();
+    smpx::Status s = smpx::WriteStringToFile(index_build_file, serialized);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (stats_flag) {
+      double secs = run_timer.Seconds();
+      std::fprintf(
+          stderr,
+          "index: entries=%zu index_bytes=%zu doc_bytes=%zu "
+          "build=%.3fs (%.1f MB/s)\n",
+          idx->entries().size(), serialized.size(), docs[0].size(), secs,
+          secs > 0 ? static_cast<double>(docs[0].size()) / 1048576.0 / secs
+                   : 0.0);
+    }
+    return 0;
+  }
+
+  if (!index_file.empty()) {
+    auto idx = smpx::index::BoundaryIndex::LoadFromFile(index_file);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "index: %s\n", idx.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<smpx::BufferedFileSink> sink;
+    if (out_file.empty()) {
+      sink = smpx::BufferedFileSink::Wrap(stdout);
+    } else {
+      auto file_sink = smpx::BufferedFileSink::Open(out_file);
+      if (!file_sink.ok()) {
+        std::fprintf(stderr, "%s\n", file_sink.status().ToString().c_str());
+        return 1;
+      }
+      sink = std::move(*file_sink);
+    }
+    smpx::index::CursorOptions copts;
+    copts.engine = eopts;
+    auto cur = smpx::index::Cursor::OpenAt(*idx, pf->tables(), docs[0],
+                                           seek_offset, copts);
+    if (!cur.ok()) {
+      std::fprintf(stderr, "seek: %s\n", cur.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t opened_at = cur->position();
+    uint64_t out_offset = cur->output_position();
+    size_t records = 0;
+    smpx::Status s;
+    if (count >= 0) {
+      auto n = cur->Next(static_cast<size_t>(count), sink.get());
+      if (!n.ok()) {
+        s = n.status();
+      } else {
+        records = *n;
+      }
+    } else {
+      s = cur->Drain(sink.get());
+    }
+    if (s.ok()) s = sink->Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "cursor: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (stats_flag) {
+      std::fprintf(
+          stderr,
+          "seek=%llu opened_at=%llu out_offset=%llu records=%zu "
+          "emitted=%llu time=%.3fs\n",
+          static_cast<unsigned long long>(seek_offset),
+          static_cast<unsigned long long>(opened_at),
+          static_cast<unsigned long long>(out_offset), records,
+          static_cast<unsigned long long>(cur->output_position() -
+                                          out_offset),
+          run_timer.Seconds());
+    }
+    return 0;
+  }
+
   if (batch_flag && out_file.empty()) {
     // Streaming batch with per-input output files: every document is
-    // pulled through its own session in bounded chunks and written to
-    // in.proj.xml, so peak memory never depends on document size. Errors
-    // are isolated per document; stats stay in argument (document) order.
+    // pulled through its own session in bounded chunks into a budgeted
+    // segment, and segments are written to their in.proj.xml files in
+    // document order through the ordered-commit machinery -- at most one
+    // output file open at a time, so thousand-document batches do not
+    // exhaust fd limits, and peak memory never depends on document size.
+    // Errors are isolated per document; stats stay in argument order.
     smpx::parallel::ThreadPool pool(threads);
     smpx::parallel::StreamOptions sopts;
     sopts.engine = eopts;
     sopts.chunk_bytes = chunk;
+    sopts.max_buffer_bytes = max_buffer;
     std::vector<const smpx::InputSource*> srcs;
-    std::vector<std::unique_ptr<smpx::BufferedFileSink>> out_files;
-    std::vector<smpx::OutputSink*> sinks;
     std::vector<std::string> out_paths;
     for (size_t i = 0; i < sources.size(); ++i) {
       out_paths.push_back(smpx::ProjectedOutputPath(inputs[i]));
-      // Repeated inputs would race pool threads on one output file.
+      // Repeated inputs would collapse two documents onto one output file.
       for (size_t j = 0; j < i; ++j) {
         if (out_paths[j] == out_paths.back()) {
           std::fprintf(stderr,
@@ -288,20 +441,14 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      auto fs = smpx::BufferedFileSink::Open(out_paths.back());
-      if (!fs.ok()) {
-        std::fprintf(stderr, "%s\n", fs.status().ToString().c_str());
-        return 1;
-      }
       srcs.push_back(sources[i].get());
-      out_files.push_back(std::move(*fs));
-      sinks.push_back(out_files.back().get());
     }
     std::vector<smpx::core::RunStats> doc_stats;
-    std::vector<smpx::Status> statuses = smpx::parallel::BatchRunStreaming(
-        pf->tables(), srcs, sinks, &doc_stats, &pool, sopts);
+    std::vector<smpx::Status> statuses =
+        smpx::parallel::BatchRunStreamingToFiles(pf->tables(), srcs,
+                                                 out_paths, &doc_stats,
+                                                 &pool, sopts);
     for (size_t i = 0; i < statuses.size(); ++i) {
-      if (statuses[i].ok()) statuses[i] = out_files[i]->Flush();
       if (!statuses[i].ok()) {
         std::fprintf(stderr, "%s: %s\n", inputs[i].c_str(),
                      statuses[i].ToString().c_str());
