@@ -6,14 +6,21 @@
 //            an XMark workload over a 16-document batch.
 //   shard    one document split at top-level element boundaries and run
 //            speculatively shard-by-shard -- the huge-single-file shape;
-//            a MEDLINE workload (star-shaped root, so entry-state
-//            speculation hits on every boundary).
+//            a MEDLINE workload (star-shaped root: one behavior class, so
+//            speculation hits on every boundary) plus an XMark workload
+//            (sectioned root: several behavior classes, so the wave
+//            carries losers for early-kill to reclaim).
 //
 // Outputs are cross-checked against the serial engine before timing.
 //
 //   SMPX_SCALE_MB=64 ./bench_parallel_scaling
 //   SMPX_THREADS="1 2 4 8 16"  thread counts to sweep
-//   SMPX_REPS=5                best-of-N timing (default 3)
+//   SMPX_REPS=5                best-of-N timing (default 3); every cell
+//                              first runs one untimed warm-up pass, then
+//                              keeps sampling past N until the timed reps
+//                              accumulate SMPX_MIN_SECS of runtime, so a
+//                              single descheduled rep cannot set the cell
+//   SMPX_MIN_SECS=0.5          minimum accumulated timed seconds per cell
 //   SMPX_MAX_BUFFER=1048576    per-segment output budget in bytes
 //                              (default 0 = unbounded in-memory segments)
 //   SMPX_CSV=1 / SMPX_JSON=1   machine-readable output
@@ -132,12 +139,27 @@ struct Sample {
   uint64_t bytes = 0;
 };
 
-/// Runs `body` Reps() times, keeping the fastest sample.
+double MinSecs() {
+  const char* env = std::getenv("SMPX_MIN_SECS");
+  double v = env != nullptr ? std::atof(env) : 0.0;
+  return v > 0 ? v : 0.5;
+}
+
+/// One untimed warm-up, then `body` at least `reps` times -- continuing
+/// until the timed samples accumulate MinSecs() of runtime -- keeping the
+/// fastest sample. The warm-up faults the dataset in and spins up the
+/// pool; the runtime floor keeps a cell from being decided by one or two
+/// descheduled runs when the per-rep time is far below a scheduler slice.
 template <typename Body>
 Sample Best(int reps, Body body) {
+  constexpr int kMaxReps = 256;  // floor guard for pathologically fast bodies
+  (void)body();                  // warm-up, never timed
+  const double min_secs = MinSecs();
   Sample best;
-  for (int r = 0; r < reps; ++r) {
+  double accumulated = 0;
+  for (int r = 0; r < kMaxReps && (r < reps || accumulated < min_secs); ++r) {
     Sample s = body();
+    accumulated += s.seconds;
     if (best.seconds == 0 || s.seconds < best.seconds) best = s;
   }
   return best;
@@ -225,75 +247,98 @@ int Run() {
   }
   batch_table.Print("parallel_batch");
 
-  // --- Shard: one MEDLINE document split across the pool ----------------
+  // --- Shard: one huge document split across the pool -------------------
+  // serial% is the Amdahl bound of the run: bytes prefiltered outside the
+  // parallel wave (speculation misses re-run sequentially; with the static
+  // candidate set the head no longer serializes, so a full hit rate shows
+  // 0.0 serial%). accept is speculative shards verified / launched.
+  // classes is the behavior-class count of the static candidate set (wave
+  // width per segment before early-kill); wavex is total prefiltered bytes
+  // (wave attempts + serial reruns) over document bytes -- with early-kill
+  // it should sit near 1.0 instead of the classes multiple, and killed
+  // counts the attempts reclaimed to get there (timing-dependent, like
+  // the stolen-inline runs folded into wavex).
+  auto shard_sweep = [&](const char* table_name, const core::Prefilter& pf,
+                         const std::string& doc) -> int {
+    {
+      auto serial = pf.RunOnBuffer(doc);
+      parallel::ThreadPool pool(2);
+      for (size_t budget : {size_t{0}, size_t{1} << 16}) {
+        StringSink sink;
+        parallel::ShardOptions opts;
+        opts.max_shards = 4;
+        opts.max_buffer_bytes = budget;
+        Status s = parallel::ShardedRun(pf.tables(), doc, &sink, nullptr,
+                                        &pool, opts);
+        if (!serial.ok() || !s.ok() || sink.str() != *serial) {
+          std::fprintf(stderr, "%s: sharded output diverges from serial!\n",
+                       table_name);
+          return 1;
+        }
+      }
+    }
+    TablePrinter shard_table({"mode", "threads", "secs", "tags/s", "MB/s",
+                              "speedup", "serial%", "accept", "classes",
+                              "wavex", "killed", "peakMB"});
+    double shard_base = 0;
+    for (int t : threads) {
+      parallel::ThreadPool pool(t);
+      parallel::ShardReport report;
+      Sample s = Best(reps, [&] {
+        CountingSink sink;
+        core::RunStats stats;
+        parallel::ShardOptions opts;
+        opts.max_shards = static_cast<size_t>(t);
+        opts.max_buffer_bytes = max_buffer;
+        WallTimer timer;
+        Status st = parallel::ShardedRun(pf.tables(), doc, &sink, &stats,
+                                         &pool, opts, &report);
+        Sample out;
+        out.seconds = timer.Seconds();
+        if (!st.ok()) {
+          std::fprintf(stderr, "sharded run failed: %s\n",
+                       st.ToString().c_str());
+          std::abort();
+        }
+        out.tags = stats.matches;
+        out.bytes = stats.input_bytes;
+        return out;
+      });
+      if (shard_base == 0) shard_base = s.seconds;
+      shard_table.AddRow(
+          {"shard", std::to_string(t), Fmt("%.3f", s.seconds),
+           Rate(static_cast<double>(s.tags) / s.seconds),
+           Fmt("%.1f", static_cast<double>(s.bytes) / (1 << 20) / s.seconds),
+           Fmt("%.2fx", shard_base / s.seconds),
+           Fmt("%.1f", s.bytes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(report.serial_bytes) /
+                                 static_cast<double>(s.bytes)),
+           std::to_string(report.accepted) + "/" +
+               std::to_string(report.speculated),
+           std::to_string(report.candidate_classes),
+           Fmt("%.2f", s.bytes == 0
+                           ? 0.0
+                           : static_cast<double>(report.wave_bytes +
+                                                 report.serial_bytes) /
+                                 static_cast<double>(s.bytes)),
+           std::to_string(report.killed), Fmt("%.1f", PeakRssMb())});
+    }
+    shard_table.Print(table_name);
+    return 0;
+  };
+
   const std::string& medline = Dataset("medline", scale);
   core::Prefilter mpf = MustCompile(
       xmlgen::MedlineDtd(),
       "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo# "
       "/MedlineCitationSet/MedlineCitation/DateCompleted#");
+  if (int rc = shard_sweep("parallel_shard", mpf, medline)) return rc;
 
-  {
-    auto serial = mpf.RunOnBuffer(medline);
-    parallel::ThreadPool pool(2);
-    for (size_t budget : {size_t{0}, size_t{1} << 16}) {
-      StringSink sink;
-      parallel::ShardOptions opts;
-      opts.max_shards = 4;
-      opts.max_buffer_bytes = budget;
-      Status s = parallel::ShardedRun(mpf.tables(), medline, &sink, nullptr,
-                                      &pool, opts);
-      if (!serial.ok() || !s.ok() || sink.str() != *serial) {
-        std::fprintf(stderr, "sharded output diverges from serial!\n");
-        return 1;
-      }
-    }
-  }
-
-  // serial% is the Amdahl bound of the run: bytes prefiltered outside the
-  // parallel wave (speculation misses re-run sequentially; with the static
-  // candidate set the head no longer serializes, so a full hit rate shows
-  // 0.0 serial%). accept is speculative shards verified / launched.
-  TablePrinter shard_table({"mode", "threads", "secs", "tags/s", "MB/s",
-                            "speedup", "serial%", "accept", "peakMB"});
-  double shard_base = 0;
-  for (int t : threads) {
-    parallel::ThreadPool pool(t);
-    parallel::ShardReport report;
-    Sample s = Best(reps, [&] {
-      CountingSink sink;
-      core::RunStats stats;
-      parallel::ShardOptions opts;
-      opts.max_shards = static_cast<size_t>(t);
-      opts.max_buffer_bytes = max_buffer;
-      WallTimer timer;
-      Status st = parallel::ShardedRun(mpf.tables(), medline, &sink,
-                                       &stats, &pool, opts, &report);
-      Sample out;
-      out.seconds = timer.Seconds();
-      if (!st.ok()) {
-        std::fprintf(stderr, "sharded run failed: %s\n",
-                     st.ToString().c_str());
-        std::abort();
-      }
-      out.tags = stats.matches;
-      out.bytes = stats.input_bytes;
-      return out;
-    });
-    if (shard_base == 0) shard_base = s.seconds;
-    shard_table.AddRow(
-        {"shard", std::to_string(t), Fmt("%.3f", s.seconds),
-         Rate(static_cast<double>(s.tags) / s.seconds),
-         Fmt("%.1f", static_cast<double>(s.bytes) / (1 << 20) / s.seconds),
-         Fmt("%.2fx", shard_base / s.seconds),
-         Fmt("%.1f", s.bytes == 0
-                         ? 0.0
-                         : 100.0 * static_cast<double>(report.serial_bytes) /
-                               static_cast<double>(s.bytes)),
-         std::to_string(report.accepted) + "/" +
-             std::to_string(report.speculated),
-         Fmt("%.1f", PeakRssMb())});
-  }
-  shard_table.Print("parallel_shard");
+  // XMark's sectioned root has few top-level children but several
+  // behavior classes -- the workload where early-kill reclaims the most
+  // wave work (MEDLINE's star root collapses to one class).
+  if (int rc = shard_sweep("parallel_shard_xmark", xpf, xmark)) return rc;
 
   std::printf(
       "note: speedups are bounded by the hardware thread count (%u here). "

@@ -237,8 +237,110 @@ Status BufferedFileSink::Flush() {
   return Status::Ok();
 }
 
+SpillArena::~SpillArena() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillArena::Write(std::string_view data, uint64_t* offset) {
+  uint64_t off;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr) {
+      // tmpfile() is created already unlinked: the bytes live only as
+      // long as the handle, and a crashed process leaks nothing on disk.
+      file_ = std::tmpfile();
+      if (file_ == nullptr) {
+        return Status::IoError("cannot create arena spill file: " +
+                               std::string(std::strerror(errno)));
+      }
+#if defined(__unix__) || defined(__APPLE__)
+      fd_ = fileno(file_);
+#endif
+    }
+    off = end_;
+    end_ += data.size();
+    live_ += data.size();
+  }
+  *offset = off;
+#if defined(__unix__) || defined(__APPLE__)
+  // Positionless writes: concurrent sinks spill without touching the
+  // mutex past the extent allocation above.
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = pwrite(fd_, data.data() + done, data.size() - done,
+                       static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("arena write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+    return Status::IoError("arena seek failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+  if (n != data.size()) return ShortWriteError(n, data.size());
+  return Status::Ok();
+#endif
+}
+
+Status SpillArena::Read(uint64_t offset, char* buf, size_t len) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = pread(fd_, buf + done, len - done,
+                      static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("arena read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("arena read truncated");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+#else
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr ||
+      std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("arena seek failed");
+  }
+  size_t n = std::fread(buf, 1, len, file_);
+  if (n != len) return Status::IoError("arena read truncated");
+  return Status::Ok();
+#endif
+}
+
+void SpillArena::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_ = bytes < live_ ? live_ - bytes : 0;
+  if (live_ == 0 && end_ != 0) {
+    // Epoch reclamation: nobody holds an extent, so the whole file is
+    // garbage. Truncation (not close) keeps the fd stable for reuse.
+    end_ = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    if (fd_ >= 0 && ftruncate(fd_, 0) != 0) {
+      // Reclamation is best-effort; allocation stays correct regardless.
+    }
+#endif
+  }
+}
+
+int SpillArena::open_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr ? 1 : 0;
+}
+
 SpillSink::~SpillSink() {
   if (spill_ != nullptr) std::fclose(spill_);
+  if (arena_ != nullptr && extent_bytes_ > 0) arena_->Release(extent_bytes_);
 }
 
 Status SpillSink::EnsureSpill() {
@@ -262,11 +364,40 @@ Status SpillSink::EnsureSpill() {
   return Status::Ok();
 }
 
+Status SpillSink::SpillToArena(std::string_view data) {
+  uint64_t off = 0;
+  Status s = arena_->Write(data, &off);
+  if (!s.ok()) {
+    error_ = s;
+    return error_;
+  }
+  // Merge extents the arena happened to hand out back-to-back (the common
+  // case when no other sink's overflow interleaves).
+  if (!extents_.empty() &&
+      extents_.back().offset + extents_.back().size == off) {
+    extents_.back().size += data.size();
+  } else {
+    extents_.push_back(Extent{off, data.size()});
+  }
+  extent_bytes_ += data.size();
+  return Status::Ok();
+}
+
 Status SpillSink::Append(std::string_view data) {
   if (!error_.ok()) return error_;
   if (data.empty()) return Status::Ok();  // may carry a null data pointer
-  if (spill_ == nullptr && mem_.size() + data.size() <= budget_) {
+  if (!spilled() && mem_.size() + data.size() <= budget_) {
     mem_.append(data);
+    bytes_written_ += data.size();
+    return Status::Ok();
+  }
+  if (arena_ != nullptr) {
+    arena_spilled_ = true;
+    if (!mem_.empty()) {
+      SMPX_RETURN_IF_ERROR(SpillToArena(mem_));
+      std::string().swap(mem_);  // actually release the buffer capacity
+    }
+    SMPX_RETURN_IF_ERROR(SpillToArena(data));
     bytes_written_ += data.size();
     return Status::Ok();
   }
@@ -282,7 +413,26 @@ Status SpillSink::Append(std::string_view data) {
 
 Status SpillSink::CopyTo(OutputSink* out) {
   if (!error_.ok()) return error_;
-  if (spill_ == nullptr) return out->Append(mem_);
+  if (!spilled()) return out->Append(mem_);
+  if (arena_spilled_) {
+    char buf[1 << 16];
+    for (const Extent& e : extents_) {
+      uint64_t done = 0;
+      while (done < e.size) {
+        size_t n = static_cast<size_t>(
+            std::min<uint64_t>(sizeof(buf), e.size - done));
+        Status s = arena_->Read(e.offset + done, buf, n);
+        if (!s.ok()) {
+          error_ = s;
+          return error_;
+        }
+        // Downstream errors are the caller's, not sticky here.
+        SMPX_RETURN_IF_ERROR(out->Append(std::string_view(buf, n)));
+        done += n;
+      }
+    }
+    return mem_.empty() ? Status::Ok() : out->Append(mem_);
+  }
   if (std::fseek(spill_, 0, SEEK_SET) != 0) {
     error_ = Status::IoError("spill seek failed: " +
                              std::string(std::strerror(errno)));
@@ -318,13 +468,25 @@ void SpillSink::Clear() {
     std::fclose(spill_);
     spill_ = nullptr;
   }
+  if (arena_ != nullptr && extent_bytes_ > 0) arena_->Release(extent_bytes_);
+  extents_.clear();
+  extent_bytes_ = 0;
+  arena_spilled_ = false;
   bytes_written_ = 0;
   error_ = Status::Ok();
 }
 
 Status SpillSink::ForceSpill() {
   if (!error_.ok()) return error_;
-  if (budget_ == kUnlimited || (spill_ == nullptr && mem_.empty())) {
+  if (budget_ == kUnlimited || (!spilled() && mem_.empty())) {
+    return Status::Ok();
+  }
+  if (arena_ != nullptr) {
+    arena_spilled_ = true;
+    if (!mem_.empty()) {
+      SMPX_RETURN_IF_ERROR(SpillToArena(mem_));
+      std::string().swap(mem_);
+    }
     return Status::Ok();
   }
   return EnsureSpill();

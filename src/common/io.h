@@ -232,6 +232,48 @@ class BufferedFileSink : public OutputSink {
   Status error_;  // first failure; sticky
 };
 
+/// A shared spill file: many SpillSinks append byte extents into ONE
+/// unlinked temporary file instead of opening one tmpfile each, so a
+/// thousand-document batch (or a wide speculative wave) costs a single
+/// file descriptor no matter how many segments overflow or park. On
+/// POSIX, extents are written with pwrite and replayed with pread --
+/// no shared seek state, so sinks on different threads never contend on
+/// file position and only extent allocation takes the mutex; elsewhere a
+/// portable seek+stdio path runs entirely under the mutex. Space is
+/// reclaimed in epochs: when every extent handed out has been released
+/// (all sinks cleared or destroyed), the file truncates back to zero.
+/// That fits the ordered-commit lifecycle -- drivers drain segments in
+/// waves -- without free-list bookkeeping. The arena must outlive every
+/// sink constructed over it.
+class SpillArena {
+ public:
+  SpillArena() = default;
+  ~SpillArena();
+
+  SpillArena(const SpillArena&) = delete;
+  SpillArena& operator=(const SpillArena&) = delete;
+
+  /// Appends `data` as a new extent; `*offset` receives its position.
+  /// Opens the backing file lazily on first use.
+  Status Write(std::string_view data, uint64_t* offset);
+  /// Reads `len` bytes at `offset` (previously written) into `buf`.
+  Status Read(uint64_t offset, char* buf, size_t len);
+  /// Returns `bytes` of extent space; when everything handed out has been
+  /// released the backing file truncates to zero length.
+  void Release(uint64_t bytes);
+
+  /// Open backing files held by this arena (0 before first spill, then
+  /// 1); the fd-count observable the batch tests assert on.
+  int open_files() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;  // unlinked tmpfile backing every extent
+  int fd_ = -1;                // fileno(file_) for pwrite/pread (POSIX)
+  uint64_t end_ = 0;           // allocation frontier
+  uint64_t live_ = 0;          // bytes handed out and not yet released
+};
+
 /// Bounded-memory accumulator: appends stay in an owned string up to
 /// `budget` bytes, then everything overflows to an unlinked temporary file
 /// and the string is freed -- so a segment of unknown size costs at most
@@ -241,11 +283,16 @@ class BufferedFileSink : public OutputSink {
 /// sink holding exactly `budget` bytes has not spilled; the first byte
 /// beyond it moves the whole content to disk. kUnlimited never spills
 /// (pure in-memory accumulation, like StringSink).
+///
+/// With an arena, overflow goes to extents of the shared file instead of
+/// a private tmpfile -- same observable behavior, O(1) fds per driver
+/// instead of one per spilled segment.
 class SpillSink : public OutputSink {
  public:
   static constexpr size_t kUnlimited = ~size_t{0};
 
-  explicit SpillSink(size_t budget = kUnlimited) : budget_(budget) {}
+  explicit SpillSink(size_t budget = kUnlimited, SpillArena* arena = nullptr)
+      : budget_(budget), arena_(arena) {}
   ~SpillSink() override;
 
   SpillSink(const SpillSink&) = delete;
@@ -257,9 +304,9 @@ class SpillSink : public OutputSink {
   /// when spilled). Repeatable; the sink stays appendable afterwards.
   Status CopyTo(OutputSink* out);
 
-  /// Drops all content (buffer and spill file) and clears any sticky
-  /// error; the sink is reusable as if freshly constructed. bytes_written()
-  /// resets too.
+  /// Drops all content (buffer and spill extents/file) and clears any
+  /// sticky error; the sink is reusable as if freshly constructed.
+  /// bytes_written() resets too.
   void Clear();
 
   /// Moves any resident bytes to the spill file immediately, regardless of
@@ -269,16 +316,26 @@ class SpillSink : public OutputSink {
   Status ForceSpill();
 
   size_t budget() const { return budget_; }
-  bool spilled() const { return spill_ != nullptr; }
+  bool spilled() const { return spill_ != nullptr || arena_spilled_; }
   /// Bytes currently held in memory (the spill file holds the rest).
   size_t resident_bytes() const { return mem_.size(); }
 
  private:
+  struct Extent {
+    uint64_t offset;
+    uint64_t size;
+  };
+
   Status EnsureSpill();  // opens the unlinked temp file, moves mem_ into it
+  Status SpillToArena(std::string_view data);  // append one extent
 
   size_t budget_;
   std::string mem_;
   std::FILE* spill_ = nullptr;  // unlinked tmpfile; non-null once spilled
+  SpillArena* arena_;           // shared spill file; overrides tmpfile path
+  bool arena_spilled_ = false;  // overflow went to arena extents
+  std::vector<Extent> extents_;
+  uint64_t extent_bytes_ = 0;   // total extent space to release
   Status error_;                // first failure; sticky
 };
 

@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -21,6 +21,7 @@ enum class StatusCode : unsigned char {
   kNotFound,          // missing file, unknown element name
   kResourceExhausted, // memory budget exceeded (mem_engine)
   kIoError,           // read/write failure
+  kCancelled,         // cooperative cancellation (losing speculative attempt)
   kInternal,          // invariant violation; indicates a library bug
 };
 
@@ -52,6 +53,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

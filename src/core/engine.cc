@@ -837,6 +837,11 @@ PrefilterSession::Impl::Step PrefilterSession::Impl::Drive() {
     // needed; the overlap keeps partially-seen keywords matchable.
     int handled = kFalseMatch;
     for (;;) {
+      if (opts_.cancel != nullptr &&
+          opts_.cancel->load(std::memory_order_relaxed)) {
+        status_ = Status::Cancelled("session cancelled at safe point");
+        return Step::kError;
+      }
       MarkSafePoint();
       Lock(cursor_);
       std::string_view view = win_.View(cursor_, st.max_keyword);

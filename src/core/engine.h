@@ -15,6 +15,7 @@
 #ifndef SMPX_CORE_ENGINE_H_
 #define SMPX_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,13 @@ struct EngineOptions {
   /// bit is always owned by the predecessor shard's hand-off anyway.
   /// Ignored for sessions starting from scratch (no checkpoint).
   bool mark_start_state_visited = true;
+  /// Cooperative cancellation token. When non-null, the session polls it
+  /// (relaxed load) once per search-loop iteration -- i.e. at every safe
+  /// point, roughly once per window view -- and aborts with a kCancelled
+  /// status as soon as it reads true. The parallel sharder uses this to
+  /// kill losing speculative attempts mid-wave; a cancelled session is
+  /// dead (every later Resume/Finish returns the same status).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// The engine state carried across chunk boundaries: everything a session

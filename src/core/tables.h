@@ -71,7 +71,12 @@ class TagInterner {
 /// One state of the runtime DFA with everything the engine needs.
 struct DfaState {
   /// Frontier vocabulary V[q], sorted; keyword i belongs to matcher
-  /// pattern i.
+  /// pattern i. Deliberately per-state rather than one interner-wide set:
+  /// the interner resolves an already-found tag to its transition, while
+  /// these vectors decide how far the BM/CW search can SHIFT through raw
+  /// bytes -- collapsing them to the global vocabulary costs ~30% geomean
+  /// throughput on the XMark sweep (TableOptions::shared_vocabulary in
+  /// bench_hotpath_micro measures it), so both structures stay.
   std::vector<std::string> keywords;
   /// Compiled search structure over `keywords` (null iff keywords empty).
   std::unique_ptr<strmatch::Matcher> matcher;
@@ -173,6 +178,15 @@ struct TableOptions {
   /// matching + tag-resolution hot path (prolog skipping is span-based in
   /// both modes).
   bool disable_matcher_skip_loops = false;
+  /// Ablation: replace every state's frontier vocabulary with the union
+  /// over all states -- i.e. collapse the paper's per-state keyword
+  /// vectors into one interner-wide keyword set. Output is unchanged
+  /// (extra candidates hit no-transition entries and count as false
+  /// matches), but BM/CW shift distances shrink to the global minimum and
+  /// false-candidate work grows; bench_hotpath_micro measures the cost.
+  /// Initial jumps J[q] stay per-state (they derive from the automaton,
+  /// not the keyword list).
+  bool shared_vocabulary = false;
 };
 
 /// Determinizes the subgraph automaton and builds all tables.

@@ -111,6 +111,10 @@ std::vector<Status> BatchRunStreamingToFiles(
   // returns Ok so the frontier keeps moving -- one unwritable output file
   // must not starve the rest of the batch.
   std::vector<Status> file_status(docs.size());
+  // One shared spill file for the whole batch: overflowing and parked
+  // segments cost extents, not file descriptors, so a thousand-document
+  // batch stays well under tight fd limits (the ulimit cli test).
+  SpillArena arena;
   OrderedCommitSink commit(
       [&out_paths, &file_status](size_t k, SpillSink* seg) {
         auto file = BufferedFileSink::Open(out_paths[k]);
@@ -125,7 +129,7 @@ std::vector<Status> BatchRunStreamingToFiles(
       },
       docs.size());
   pool->RunAndWait(docs.size(), [&](size_t i) {
-    auto seg = std::make_unique<SpillSink>(budget);
+    auto seg = std::make_unique<SpillSink>(budget, &arena);
     statuses[i] = StreamRun(tables, *docs[i], seg.get(),
                             stats != nullptr ? &(*stats)[i] : nullptr, opts);
     // Install even on failure: the file should hold the partial
@@ -153,11 +157,12 @@ Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
                                ThreadPool* pool, const StreamOptions& opts) {
   const size_t budget = opts.max_buffer_bytes != 0 ? opts.max_buffer_bytes
                                                    : SpillSink::kUnlimited;
+  SpillArena arena;  // one spill fd for every overflowing segment
   OrderedCommitSink commit(out, docs.size());
   std::vector<Status> statuses(docs.size());
   std::vector<core::RunStats> doc_stats(docs.size());
   pool->RunAndWait(docs.size(), [&](size_t i) {
-    auto seg = std::make_unique<SpillSink>(budget);
+    auto seg = std::make_unique<SpillSink>(budget, &arena);
     statuses[i] = StreamRun(tables, *docs[i], seg.get(), &doc_stats[i],
                             opts);
     if (statuses[i].ok()) {

@@ -260,6 +260,17 @@ uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
 /// only on transitions, never at a resume point -- so behavior-equivalent
 /// boundary candidates (e.g. "after <root>" / "after </record>" in a star
 /// root) collapse into a single speculative run.
+///
+/// This partition is as coarse as exact replay allows. Successors must be
+/// the *same states*, not merely equivalent ones: an accepted attempt
+/// stands in for the serial run byte-for-byte, including match counters
+/// and the states_visited set, and a run routed through a twin state
+/// would already diverge on those. Nor is there slack in the transition
+/// domain: a state's keyword vocabulary is derived from its transition
+/// function, so `keywords` equality plus per-tag successor equality
+/// covers every transition the keyword search can reach. Classes that
+/// remain distinct (e.g. the phases of an ordered root) differ
+/// observably, and the wave cost they add is what early-kill reclaims.
 bool SameRuntimeBehavior(const core::RuntimeTables& t, int a, int b) {
   const core::DfaState& A = t.states[static_cast<size_t>(a)];
   const core::DfaState& B = t.states[static_cast<size_t>(b)];
@@ -453,26 +464,30 @@ SpeculativeResolver::SpeculativeResolver(const core::RuntimeTables& tables,
                  class_reps_.size() <= opts_.max_candidate_states;
 
   results_.resize(n);
-  spec_.resize(n);
   report_.shards = n;
   report_.candidate_states = static_spec_ ? boundary_states.size() : 0;
   report_.candidate_classes = static_spec_ ? class_reps_.size() : 0;
 }
 
+SpeculativeResolver::~SpeculativeResolver() { Abort(); }
+
 void SpeculativeResolver::RunSegment(size_t k,
                                      const core::SessionCheckpoint* start,
-                                     ShardResult* r, bool mark_start) {
+                                     ShardResult* r, bool mark_start,
+                                     const std::atomic<bool>* cancel) {
   const size_t n = segments();
   uint64_t begin = start != nullptr ? start->feed_begin() : seg_begin_[k];
   uint64_t end = seg_begin_[k + 1];
   core::EngineOptions eopts = opts_.engine;
   eopts.mark_start_state_visited = mark_start;
+  eopts.cancel = cancel;
   CountingSink counter;
   OutputSink* out = &counter;
   if (opts_.capture_output) {
     r->sink = std::make_unique<SpillSink>(opts_.max_buffer_bytes != 0
                                               ? opts_.max_buffer_bytes
-                                              : SpillSink::kUnlimited);
+                                              : SpillSink::kUnlimited,
+                                          opts_.arena);
     out = r->sink.get();
   }
   core::PrefilterSession session(tables_, out, &r->stats, eopts, start);
@@ -490,39 +505,125 @@ void SpeculativeResolver::RunSegment(size_t k,
   r->read_end = begin + r->stats.input_bytes;
 }
 
+void SpeculativeResolver::RunAttempt(size_t idx, Attempt* a) {
+  if (static_spec_) {
+    if (idx == 0) {
+      RunSegment(0, nullptr, &a->result, /*mark_start=*/true, &a->cancel);
+      return;
+    }
+    const size_t classes = class_reps_.size();
+    size_t k = 1 + (idx - 1) / classes;
+    size_t c = (idx - 1) % classes;
+    core::SessionCheckpoint start;
+    start.state = class_reps_[c];
+    start.cursor = seg_begin_[k];
+    start.copy_flushed = seg_begin_[k];
+    // The representative may differ from the true entry state (whose
+    // visited bit the predecessor's hand-off owns); don't count it.
+    RunSegment(k, &start, &a->result, /*mark_start=*/false, &a->cancel);
+  } else {
+    size_t k = idx + 1;
+    core::SessionCheckpoint start = dynamic_guess_;
+    start.cursor = seg_begin_[k];
+    start.copy_flushed = seg_begin_[k];
+    RunSegment(k, &start, &a->result, /*mark_start=*/true, &a->cancel);
+  }
+}
+
+void SpeculativeResolver::KillLocked(Attempt* a) {
+  if (a->loser) return;
+  a->loser = true;
+  a->cancel.store(true, std::memory_order_relaxed);
+  if (a->done) {
+    // Completed before it lost: reclaim its buffer/spill right away. A
+    // still-running one frees itself in AttemptTask when it stops.
+    a->result.sink.reset();
+    a->result.visited.clear();
+  }
+}
+
+void SpeculativeResolver::AttemptTask(size_t idx) {
+  // `outstanding_` counts *task invocations*, not attempt completions:
+  // every exit path below decrements exactly once, so Abort's drain also
+  // covers the back-off path of a task whose attempt was stolen -- the
+  // resolver must not die while any submitted closure can still run.
+  Attempt& a = *attempts_[idx];
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (a.started) {  // stolen by the resolving thread; it published
+      --outstanding_;
+      cv_.notify_all();
+      return;
+    }
+    if (a.loser) {
+      // Killed before it ever started: the whole attempt is reclaimed
+      // wave work.
+      ++report_.killed;
+      a.done = true;
+      --outstanding_;
+      cv_.notify_all();
+      return;
+    }
+    a.started = true;
+  }
+  RunAttempt(idx, &a);
+  std::unique_lock<std::mutex> lock(mu_);
+  report_.wave_bytes += a.result.stats.input_bytes;
+  if (a.result.status.code() == StatusCode::kCancelled) ++report_.killed;
+  if (a.loser) {
+    a.result.sink.reset();
+    a.result.visited.clear();
+  }
+  a.done = true;
+  --outstanding_;
+  cv_.notify_all();
+}
+
+void SpeculativeResolver::WaitDone(size_t idx) {
+  Attempt& a = *attempts_[idx];
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!a.started && !a.done) {
+    // Still queued behind busy workers, but it is the one attempt the
+    // resolve loop needs next: run it here instead of idling. The queued
+    // pool task sees `started` and backs off.
+    a.started = true;
+    lock.unlock();
+    RunAttempt(idx, &a);
+    lock.lock();
+    ++report_.stolen;
+    report_.wave_bytes += a.result.stats.input_bytes;
+    a.done = true;  // the queued task backs off and decrements outstanding_
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&a] { return a.done; });
+}
+
 void SpeculativeResolver::LaunchWave(ThreadPool* pool) {
   const size_t n = segments();
   if (static_spec_) {
     // One fully parallel wave: the head plus |classes| speculative runs
-    // per non-head segment. Nothing serializes ahead of the wave.
+    // per non-head segment. Nothing serializes ahead of the wave, and
+    // nothing waits for it either -- Resolve picks attempts up as their
+    // exits land.
     const size_t classes = class_reps_.size();
-    for (size_t k = 1; k < n; ++k) spec_[k].resize(classes);
+    const size_t total = 1 + (n - 1) * classes;
+    attempts_.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      attempts_.push_back(std::make_unique<Attempt>());
+    }
     report_.speculated = n - 1;
-    pool->RunAndWait(1 + (n - 1) * classes, [this, classes](size_t idx) {
-      if (idx == 0) {
-        RunSegment(0, nullptr, &results_[0], /*mark_start=*/true);
-        return;
-      }
-      size_t k = 1 + (idx - 1) / classes;
-      size_t c = (idx - 1) % classes;
-      core::SessionCheckpoint start;
-      start.state = class_reps_[c];
-      start.cursor = seg_begin_[k];
-      start.copy_flushed = seg_begin_[k];
-      // The representative may differ from the true entry state (whose
-      // visited bit the predecessor's hand-off owns); don't count it.
-      RunSegment(k, &start, &spec_[k][c], /*mark_start=*/false);
-    });
-    report_.wave_bytes += results_[0].stats.input_bytes;
-    for (size_t k = 1; k < n; ++k) {
-      for (const ShardResult& attempt : spec_[k]) {
-        report_.wave_bytes += attempt.stats.input_bytes;
-      }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      outstanding_ = total;
+    }
+    for (size_t idx = 0; idx < total; ++idx) {
+      pool->Submit([this, idx] { AttemptTask(idx); });
     }
   } else {
     // Dynamic fallback (PR-2 scheme): the document head runs for real --
     // its exit state is the speculation seed for every other segment.
-    RunSegment(0, nullptr, &results_[0], /*mark_start=*/true);
+    RunSegment(0, nullptr, &results_[0], /*mark_start=*/true, nullptr);
     report_.serial_bytes += results_[0].stats.input_bytes;
     const ShardResult& head = results_[0];
     dynamic_spec_ = n > 1 && head.status.ok() && !head.finished &&
@@ -530,29 +631,37 @@ void SpeculativeResolver::LaunchWave(ThreadPool* pool) {
                     head.exit.nesting_depth == 0;
     if (dynamic_spec_) {
       dynamic_guess_ = head.exit;
-      for (size_t k = 1; k < n; ++k) spec_[k].resize(1);
+      attempts_.reserve(n - 1);
+      for (size_t i = 0; i + 1 < n; ++i) {
+        attempts_.push_back(std::make_unique<Attempt>());
+      }
       report_.speculated = n - 1;
-      pool->RunAndWait(n - 1, [this](size_t i) {
-        size_t k = i + 1;
-        core::SessionCheckpoint start = dynamic_guess_;
-        start.cursor = seg_begin_[k];
-        start.copy_flushed = seg_begin_[k];
-        RunSegment(k, &start, &spec_[k][0], /*mark_start=*/true);
-      });
-      for (size_t k = 1; k < n; ++k) {
-        report_.wave_bytes += spec_[k][0].stats.input_bytes;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        outstanding_ = n - 1;
+      }
+      for (size_t idx = 0; idx + 1 < n; ++idx) {
+        pool->Submit([this, idx] { AttemptTask(idx); });
       }
     }
   }
 }
 
 ShardResult& SpeculativeResolver::Resolve(size_t k) {
-  if (k == 0) return results_[0];  // the head ran for real in the wave
+  if (k == 0) {
+    if (static_spec_) {
+      WaitDone(0);
+      std::lock_guard<std::mutex> lock(mu_);
+      results_[0] = std::move(attempts_[0]->result);
+    }
+    return results_[0];  // dynamic mode ran the head synchronously
+  }
   ShardResult& prev = results_[k - 1];
   // Accept the speculative attempt whose assumed entry matches the
   // predecessor's actual hand-off; otherwise re-run the segment from the
   // true checkpoint. Deterministic by construction -- the accepted
-  // sequence replays the serial run.
+  // sequence replays the serial run (early-kill only cancels attempts
+  // that were never going to be part of it).
   const bool clean_handoff = prev.clean && prev.exit.copy_depth == 0 &&
                              prev.exit.nesting_depth == 0;
   int hit = -1;
@@ -569,19 +678,52 @@ ShardResult& SpeculativeResolver::Resolve(size_t k) {
       hit = 0;
     }
   }
-  if (hit >= 0 && static_cast<size_t>(hit) < spec_[k].size()) {
-    results_[k] = std::move(spec_[k][static_cast<size_t>(hit)]);
+  const size_t classes = static_spec_ ? class_reps_.size()
+                        : dynamic_spec_ ? 1
+                                        : 0;
+  if (hit >= 0) {
+    // Kill the losing attempts of this segment before waiting on the
+    // winner: a running loser aborts at its next safe point and frees its
+    // buffered output mid-wave.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t c = 0; c < classes; ++c) {
+        if (c != static_cast<size_t>(hit)) {
+          KillLocked(attempts_[AttemptIndex(k, c)].get());
+        }
+      }
+    }
+    WaitDone(AttemptIndex(k, static_cast<size_t>(hit)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      results_[k] =
+          std::move(attempts_[AttemptIndex(k, static_cast<size_t>(hit))]
+                        ->result);
+    }
     ++report_.accepted;
   } else {
+    // Mis-speculation: every attempt of this segment lost. Kill them all,
+    // then re-run from the true checkpoint on this thread.
+    if (classes > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t c = 0; c < classes; ++c) {
+        KillLocked(attempts_[AttemptIndex(k, c)].get());
+      }
+    }
     ShardResult rerun;
     core::SessionCheckpoint start = prev.exit;
-    RunSegment(k, &start, &rerun, /*mark_start=*/true);
+    RunSegment(k, &start, &rerun, /*mark_start=*/true, nullptr);
     results_[k] = std::move(rerun);
     ++report_.reruns;
     report_.serial_bytes += results_[k].stats.input_bytes;
   }
-  spec_[k].clear();  // free the losing attempts' buffers and spills now
   return results_[k];
+}
+
+void SpeculativeResolver::Abort() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (std::unique_ptr<Attempt>& a : attempts_) KillLocked(a.get());
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 void MergeRunStats(core::RunStats* dst, const core::RunStats& src) {
@@ -618,6 +760,10 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
   ropts.max_candidate_states = opts.max_candidate_states;
   ropts.max_buffer_bytes = opts.max_buffer_bytes;
   ropts.engine = opts.engine;
+  // All attempts of the wave share one spill file; killed attempts
+  // release their extents the moment they are freed.
+  SpillArena arena;
+  ropts.arena = &arena;
   SpeculativeResolver resolver(tables, doc, bounds, ropts);
   const size_t n = resolver.segments();
   resolver.LaunchWave(pool);
@@ -648,6 +794,10 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
     }
     commit_status = commit.Install(k, std::move(resolver.Resolve(k).sink));
   }
+  // Cancel whatever the early exits above made moot (attempts past a
+  // finished or failed segment) and quiesce the wave: the report's work
+  // counters are mutated by in-flight attempts until they drain.
+  resolver.Abort();
   if (!commit_status.ok()) {
     if (report != nullptr) *report = resolver.report();
     return commit_status;

@@ -6,9 +6,13 @@
 // BuildTables (RuntimeTables::boundary_states) enumerates every DFA state a
 // run can be in at a top-level boundary, so all shards -- including the
 // document head -- launch in one parallel wave, each non-head shard once
-// per candidate entry state. A sequential verification pass then accepts
-// the speculative run whose assumed entry matches its predecessor's actual
-// exit and deterministically re-runs any shard whose speculation failed
+// per candidate entry state. The verification pass resolves segments in
+// order *while the wave is still running*: it accepts the run whose
+// assumed entry matches its predecessor's actual exit, cancels the
+// segment's losing attempts mid-flight (cooperative kill at session safe
+// points, buffered output freed on the spot -- wave work is proportional
+// to what speculation actually needed, not to shards x classes), and
+// deterministically re-runs any shard whose speculation failed
 // (mis-placed boundaries, hand-offs inside copy regions, opaque recursion
 // balances, DTD-invalid input), so the merged output is ALWAYS
 // byte-identical to the serial engine, no matter where the boundaries fall.
@@ -25,7 +29,11 @@
 #ifndef SMPX_PARALLEL_SHARD_H_
 #define SMPX_PARALLEL_SHARD_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -76,7 +84,16 @@ struct ShardReport {
   uint64_t serial_bytes = 0;
   /// Bytes prefiltered inside the parallel wave, including rejected
   /// speculative attempts (total wave work, not just accepted output).
+  /// Early-kill makes this timing-dependent: a losing attempt contributes
+  /// only the bytes it prefiltered before its cancellation token fired.
   uint64_t wave_bytes = 0;
+  /// Losing attempts cancelled before they ran to completion (skipped
+  /// outright or aborted at a session safe point). Timing-dependent; the
+  /// deterministic counters above are what tests should assert on.
+  size_t killed = 0;
+  /// Wave attempts executed inline by the resolving thread because no
+  /// worker had picked them up yet (their bytes count as wave work).
+  size_t stolen = 0;
 };
 
 /// One segment's execution record: the session's exit checkpoint, stats,
@@ -119,6 +136,10 @@ class SpeculativeResolver {
     /// False discards output (byte counts still reach the stats) -- the
     /// indexing mode, which only wants the verified exit checkpoints.
     bool capture_output = true;
+    /// Shared spill file for budgeted segment sinks (see SpillArena); may
+    /// be null (each overflowing sink then opens its own tmpfile). Must
+    /// outlive the resolver.
+    SpillArena* arena = nullptr;
     core::EngineOptions engine;
   };
 
@@ -131,32 +152,82 @@ class SpeculativeResolver {
                       const std::vector<uint64_t>& boundaries,
                       const Options& opts);
 
+  /// Aborts and drains any attempts still in flight (see Abort).
+  ~SpeculativeResolver();
+
   size_t segments() const { return seg_begin_.size() - 1; }
   uint64_t seg_begin(size_t k) const { return seg_begin_[k]; }
 
-  /// Launches the head plus every speculative attempt in one pool wave
-  /// (or, in dynamic-fallback mode, runs the head serially first and
-  /// seeds one attempt per remaining segment from its exit). Call once,
-  /// before Resolve; must not be called from a pool thread.
+  /// Submits the head plus every speculative attempt to the pool and
+  /// returns WITHOUT waiting -- resolution overlaps the wave. In
+  /// dynamic-fallback mode the head runs synchronously on the calling
+  /// thread first (its exit seeds the attempts), then the attempts are
+  /// submitted. Call once, before Resolve; must not be called from a pool
+  /// thread. `pool` must outlive the resolver.
   void LaunchWave(ThreadPool* pool);
 
   /// Resolves segment k and returns its record. Requires LaunchWave() and
   /// that segments < k are resolved; the caller must stop resolving after
   /// a segment whose status is non-OK or whose run finished (later bytes
-  /// are ignored in a serial run, so later segments are meaningless).
-  /// Re-runs (the only sequential work) execute on the calling thread.
+  /// are ignored in a serial run, so later segments are meaningless), and
+  /// should then Abort() to cancel the attempts that became moot.
+  /// Resolution is incremental: this waits only for the one attempt the
+  /// predecessor's exit selects (running it inline if no worker has
+  /// started it yet) and immediately kills the segment's losing attempts
+  /// -- their sessions abort at the next safe point and their buffered
+  /// output is freed mid-wave, not after it. Re-runs (the only sequential
+  /// work) execute on the calling thread.
   ShardResult& Resolve(size_t k);
 
   /// Resolved segment records (valid for k already resolved).
   ShardResult& result(size_t k) { return results_[k]; }
 
+  /// Cancels every unresolved attempt and blocks until all in-flight ones
+  /// drained. Call before reading report() once resolution stops early
+  /// (error, finished run), or to discard the wave wholesale; resolving
+  /// after Abort is not allowed. Idempotent.
+  void Abort();
+
   /// Execution metrics; shards/candidate fields are valid after
-  /// LaunchWave, accept/rerun counts grow as segments resolve.
+  /// LaunchWave, accept/rerun/kill counts grow as segments resolve. Only
+  /// read it while no attempt is in flight (after the last Resolve plus
+  /// Abort, or after all segments resolved and Abort returned): the wave
+  /// mutates the work counters concurrently.
   const ShardReport& report() const { return report_; }
 
  private:
+  /// One speculative attempt's slot. The wave task and the resolving
+  /// thread meet here: `cancel` is the session's cooperative kill switch,
+  /// the rest is guarded by mu_. Cache-line alignment keeps one attempt's
+  /// hot state from false-sharing its neighbours' (slots are heap-
+  /// allocated per attempt, written by whichever worker runs it).
+  struct alignas(64) Attempt {
+    std::atomic<bool> cancel{false};
+    bool started = false;  ///< a thread owns the run (guarded by mu_)
+    bool done = false;     ///< result is final (guarded by mu_)
+    bool loser = false;    ///< resolved against; free on sight (mu_)
+    ShardResult result;
+  };
+
   void RunSegment(size_t k, const core::SessionCheckpoint* start,
-                  ShardResult* r, bool mark_start);
+                  ShardResult* r, bool mark_start,
+                  const std::atomic<bool>* cancel);
+  /// Replays the launch parameters of attempt `idx` (segment, entry
+  /// checkpoint, visited marking) into its slot.
+  void RunAttempt(size_t idx, Attempt* a);
+  /// Pool task wrapper: skips killed-before-start attempts, publishes
+  /// completion, frees the sink of an attempt that lost while running.
+  void AttemptTask(size_t idx);
+  /// Blocks until attempt `idx` is done, stealing the run onto the
+  /// calling thread when no worker has claimed it yet.
+  void WaitDone(size_t idx);
+  /// mu_ held. Marks an attempt dead: a queued one never starts, a
+  /// running session aborts at its next safe point, and its buffered
+  /// output is freed as soon as it stops (immediately when already done).
+  void KillLocked(Attempt* a);
+  size_t AttemptIndex(size_t k, size_t c) const {
+    return static_spec_ ? 1 + (k - 1) * class_reps_.size() + c : k - 1;
+  }
 
   const core::RuntimeTables& tables_;
   std::string_view doc_;
@@ -168,7 +239,10 @@ class SpeculativeResolver {
   bool dynamic_spec_ = false;
   core::SessionCheckpoint dynamic_guess_;
   std::vector<ShardResult> results_;
-  std::vector<std::vector<ShardResult>> spec_;
+  std::vector<std::unique_ptr<Attempt>> attempts_;
+  size_t outstanding_ = 0;  // submitted pool tasks not yet exited (mu_)
+  std::mutex mu_;
+  std::condition_variable cv_;
   ShardReport report_;
 };
 

@@ -1,5 +1,8 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+
 namespace smpx::parallel {
 
 ThreadPool::ThreadPool(int threads) {
@@ -33,15 +36,27 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::RunAndWait(size_t n,
                             const std::function<void(size_t)>& body) {
   if (n == 0) return;
-  WaitGroup wg;
-  wg.Add(static_cast<int>(n));
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&body, &wg, i] {
-      body(i);
-      wg.Done();
+  // One dispatcher task per worker (not per item): workers claim iteration
+  // indices from a shared atomic counter. Large fan-outs (boundary prescan
+  // regions, batch docs) otherwise heap-allocate one std::function each
+  // and grab the queue lock n times. Everything on the stack outlives the
+  // dispatchers because Wait() returns only after the last Done().
+  struct Ctl {
+    std::atomic<size_t> next{0};
+    WaitGroup wg;
+  } ctl;
+  size_t fan = std::min(n, static_cast<size_t>(size()));
+  ctl.wg.Add(static_cast<int>(fan));
+  for (size_t w = 0; w < fan; ++w) {
+    Submit([&ctl, &body, n] {
+      for (size_t i = ctl.next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = ctl.next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+      ctl.wg.Done();
     });
   }
-  wg.Wait();
+  ctl.wg.Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -225,25 +225,32 @@ TEST(CliBatchTest, OutFlagConcatenatesInArgumentOrder) {
 TEST(CliBatchTest, LowFdLimitBatchStillWritesEveryOutputFile) {
   // 60 documents under a 32-fd limit: the per-input batch driver must not
   // hold every output file open at once (the pre-ordered-commit driver
-  // did exactly that and died here). --max-buffer 0 keeps segments in
-  // memory so no spill tmpfile fds muddy the measurement -- parked
-  // BUDGETED segments still cost one spill fd each, the known SpillSink
-  // follow-up tracked in ROADMAP.
+  // did exactly that and died here), and budgeted segments must not cost
+  // one spill tmpfile fd each (the pre-SpillArena driver did: every
+  // overflowing or parked segment opened its own tmpfile). With the batch
+  // sharing a single spill-arena file, both the in-memory and the
+  // spill-everything extremes fit the same tight fd budget.
   std::vector<std::string> contents;
   for (int i = 0; i < 60; ++i) {
     contents.push_back("<a><b>doc " + std::to_string(i) +
                        "</b><c>drop</c></a>");
   }
   Fixture fx(contents);
-  CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
-                           "\" --batch --threads 4 --max-buffer 0" +
-                           fx.InputArgs(),
-                       "ulimit -n 32; ");
-  ASSERT_EQ(r.exit_code, 0) << r.err;
-  for (size_t i = 0; i < fx.inputs.size(); ++i) {
-    auto content = ReadFileToString(ProjectedOutputPath(fx.inputs[i]));
-    ASSERT_TRUE(content.ok()) << fx.inputs[i];
-    EXPECT_EQ(*content, SerialExpected(fx.docs[i])) << fx.inputs[i];
+  // --max-buffer 0: segments stay in memory; only output files cost fds.
+  // --max-buffer 1: every segment overflows into the shared arena, and
+  // out-of-order completions park there too -- still one spill fd total.
+  for (const char* budget : {"0", "1"}) {
+    SCOPED_TRACE(budget);
+    CliResult r = RunCli("--dtd \"" + fx.dtd_path + "\" --paths \"" + kPaths +
+                             "\" --batch --threads 4 --max-buffer " + budget +
+                             fx.InputArgs(),
+                         "ulimit -n 32; ");
+    ASSERT_EQ(r.exit_code, 0) << r.err;
+    for (size_t i = 0; i < fx.inputs.size(); ++i) {
+      auto content = ReadFileToString(ProjectedOutputPath(fx.inputs[i]));
+      ASSERT_TRUE(content.ok()) << fx.inputs[i];
+      EXPECT_EQ(*content, SerialExpected(fx.docs[i])) << fx.inputs[i];
+    }
   }
 }
 

@@ -20,7 +20,12 @@
 //    scanners agree);
 //  - the static candidate-state set (RuntimeTables::boundary_states)
 //    contains the true entry state at every top-level boundary of a
-//    DTD-valid document.
+//    DTD-valid document;
+//  - early-kill speculation is always on: every sharded case resolves
+//    incrementally and cancels losing attempts mid-wave (cooperative
+//    kCancelled at session safe points), so byte-identity here also
+//    proves a killed or stolen attempt never corrupts the committed
+//    output or the merged statistics.
 //
 // SMPX_FUZZ_CASES scales the seeded sweep (default 40 cases per family;
 // the ctest registration runs >= 100 cases total).

@@ -5,8 +5,11 @@
 // CDATA/comments), tiny windows, and empty shards.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -141,6 +144,35 @@ TEST(SessionTest, FinishOnTruncatedDocumentFails) {
   EXPECT_FALSE(session.finished());
   Status s = session.Finish();
   EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(SessionTest, CancellationTokenAbortsAtASafePointAndIsSticky) {
+  // The cooperative cancellation token (EngineOptions::cancel) is polled at
+  // session safe points: a token raised between chunks makes the next
+  // Resume return kCancelled, and the session stays dead afterwards. A
+  // token that is never raised must not perturb the run.
+  Prefilter pf = Compile(kPaperDtd, "/a/b#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 60; ++i) doc += "<b>payload</b><c><b>n</b></c>";
+  doc += "</a>";
+
+  std::atomic<bool> cancel{false};
+  EngineOptions opts;
+  opts.cancel = &cancel;
+  EXPECT_EQ(ChunkedRun(pf, doc, 97, nullptr, opts), SerialRun(pf, doc));
+
+  StringSink sink;
+  RunStats stats;
+  PrefilterSession session(pf.tables(), &sink, &stats, opts);
+  ASSERT_TRUE(session.Resume(std::string_view(doc).substr(0, 100)).ok());
+  cancel.store(true);
+  EXPECT_EQ(session.Resume(std::string_view(doc).substr(100)).code(),
+            StatusCode::kCancelled);
+  // Sticky: a cancelled session never resumes, even if the token drops.
+  cancel.store(false);
+  EXPECT_EQ(session.Resume("<b>more</b>").code(), StatusCode::kCancelled);
+  EXPECT_EQ(session.Finish().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(session.finished());
 }
 
 TEST(SessionTest, MidPrologCheckpointHandoffStaysByteIdentical) {
@@ -711,6 +743,83 @@ TEST(ShardedRunTest, FullySpeculativeWaveHasNoSerialPrefix) {
   EXPECT_EQ(report.reruns, 0u);
   EXPECT_EQ(report.serial_bytes, 0u);
   EXPECT_GT(report.wave_bytes, 0u);
+}
+
+TEST(ShardedRunTest, EarlyKillAcrossPoolSizesStaysByteIdentical) {
+  // XMark's sectioned root yields several behavior classes, so every wave
+  // carries losing attempts that resolution now kills mid-flight. Across
+  // pool sizes (which shift kills between the skipped-before-start and
+  // cancelled-mid-run paths) the surviving output must stay byte-identical
+  // to serial with full stats parity, and the work ledger must balance:
+  // every speculative slot is either accepted or replaced by a rerun.
+  xmlgen::XmarkOptions gen;
+  gen.target_bytes = 600 << 10;
+  std::string doc = xmlgen::GenerateXmark(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/site/people/person@ /site/people/person/name#");
+  ASSERT_TRUE(paths.ok());
+  auto pfs = Prefilter::Compile(xmlgen::XmarkDtd(), *paths);
+  ASSERT_TRUE(pfs.ok()) << pfs.status().ToString();
+  const Prefilter& pf = *pfs;
+  RunStats serial_stats;
+  std::string serial = SerialRun(pf, doc, &serial_stats);
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE(threads);
+    parallel::ThreadPool pool(threads);
+    parallel::ShardOptions opts;
+    opts.max_shards = 8;
+    parallel::ShardReport report;
+    StringSink sink;
+    RunStats stats;
+    Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                    opts, &report);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(sink.str(), serial);
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+    EXPECT_EQ(stats.states_visited, serial_stats.states_visited);
+    EXPECT_EQ(stats.input_bytes, serial_stats.input_bytes);
+    EXPECT_GE(report.candidate_classes, 2u);
+    EXPECT_EQ(report.accepted + report.reruns, report.speculated);
+  }
+}
+
+TEST(ShardedRunTest, LosingAttemptsAreKilledNotRun) {
+  // Park the only worker on a sleeper task: the resolving thread steals
+  // each segment's accepted attempt inline and marks the losers long
+  // before the worker can touch them. Whether the worker wakes to find
+  // them marked (skipped before start) or mid-run (cancelled at a safe
+  // point), losers must never be completed for nothing -- the report's
+  // killed counter proves the reclaim happened.
+  xmlgen::XmarkOptions gen;
+  gen.target_bytes = 2 << 20;
+  std::string doc = xmlgen::GenerateXmark(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/site/people/person@ /site/people/person/name#");
+  ASSERT_TRUE(paths.ok());
+  auto pfs = Prefilter::Compile(xmlgen::XmarkDtd(), *paths);
+  ASSERT_TRUE(pfs.ok()) << pfs.status().ToString();
+  const Prefilter& pf = *pfs;
+  std::string serial = SerialRun(pf, doc);
+  parallel::ThreadPool pool(1);
+  pool.Submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  parallel::ShardOptions opts;
+  opts.max_shards = 8;
+  parallel::ShardReport report;
+  StringSink sink;
+  Status s = parallel::ShardedRun(pf.tables(), doc, &sink, nullptr, &pool,
+                                  opts, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.str(), serial);
+  ASSERT_GE(report.candidate_classes, 2u);
+  ASSERT_GT(report.speculated, 0u);
+  // At least one loser per resolved segment existed; with the resolver
+  // ahead of a single worker, some of them must have been reclaimed.
+  EXPECT_GT(report.killed, 0u);
+  // Killed attempts never contribute accepted slots.
+  EXPECT_EQ(report.accepted + report.reruns, report.speculated);
 }
 
 TEST(ShardedRunTest, MisplacedBoundariesRerunAndStayIdentical) {

@@ -6,6 +6,7 @@
 // thread pool.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -354,6 +355,128 @@ TEST(OrderedCommitSinkTest, CommitErrorStopsTheFrontierForGood) {
   EXPECT_EQ(commit.frontier(), 1u);
   EXPECT_FALSE(commit.finished());
   EXPECT_EQ(commit.status(), s);
+}
+
+// --- SpillArena -----------------------------------------------------------
+
+TEST(SpillArenaTest, ManySinksShareOneBackingFile) {
+  SpillArena arena;
+  EXPECT_EQ(arena.open_files(), 0);  // lazily opened
+  std::vector<std::unique_ptr<SpillSink>> sinks;
+  std::vector<std::string> expected(40);
+  for (size_t i = 0; i < 40; ++i) {
+    sinks.push_back(std::make_unique<SpillSink>(/*budget=*/4, &arena));
+    for (int j = 0; j < 8; ++j) {
+      std::string piece = "s" + std::to_string(i) + "p" + std::to_string(j);
+      expected[i] += piece;
+      ASSERT_TRUE(sinks[i]->Append(piece).ok());
+    }
+    EXPECT_TRUE(sinks[i]->spilled());
+    EXPECT_EQ(sinks[i]->resident_bytes(), 0u);
+  }
+  EXPECT_EQ(arena.open_files(), 1);
+  for (size_t i = 0; i < 40; ++i) {
+    StringSink out;
+    ASSERT_TRUE(sinks[i]->CopyTo(&out).ok());
+    EXPECT_EQ(out.str(), expected[i]);
+  }
+}
+
+TEST(SpillArenaTest, ReplayIsRepeatableAndAppendsContinueInOrder) {
+  SpillArena arena;
+  SpillSink sink(/*budget=*/8, &arena);
+  std::string expected;
+  for (int i = 0; i < 50; ++i) {
+    std::string piece = "piece" + std::to_string(i) + ";";
+    expected += piece;
+    ASSERT_TRUE(sink.Append(piece).ok());
+  }
+  EXPECT_TRUE(sink.spilled());
+  StringSink out1;
+  ASSERT_TRUE(sink.CopyTo(&out1).ok());
+  EXPECT_EQ(out1.str(), expected);
+  ASSERT_TRUE(sink.Append("tail").ok());
+  expected += "tail";
+  StringSink out2;
+  ASSERT_TRUE(sink.CopyTo(&out2).ok());
+  EXPECT_EQ(out2.str(), expected);
+  EXPECT_EQ(sink.bytes_written(), expected.size());
+}
+
+TEST(SpillArenaTest, ForceSpillParksIntoArenaAndClearReleases) {
+  SpillArena arena;
+  SpillSink sink(/*budget=*/1 << 20, &arena);
+  ASSERT_TRUE(sink.Append("hello").ok());
+  EXPECT_FALSE(sink.spilled());
+  ASSERT_TRUE(sink.ForceSpill().ok());
+  EXPECT_TRUE(sink.spilled());
+  EXPECT_EQ(sink.resident_bytes(), 0u);
+  StringSink out;
+  ASSERT_TRUE(sink.CopyTo(&out).ok());
+  EXPECT_EQ(out.str(), "hello");
+  sink.Clear();
+  EXPECT_FALSE(sink.spilled());
+  // After the last extent is released the arena truncates its file but
+  // keeps the fd for the next epoch.
+  EXPECT_EQ(arena.open_files(), 1);
+  ASSERT_TRUE(sink.Append("again-0123456789").ok());
+  ASSERT_TRUE(sink.ForceSpill().ok());
+  StringSink out2;
+  ASSERT_TRUE(sink.CopyTo(&out2).ok());
+  EXPECT_EQ(out2.str(), "again-0123456789");
+}
+
+TEST(SpillArenaTest, ConcurrentSpillsFromAPoolStayIsolated) {
+  for (int round = 0; round < 10; ++round) {
+    SpillArena arena;
+    const size_t n = 16;
+    std::vector<std::unique_ptr<SpillSink>> sinks;
+    std::vector<std::string> expected(n);
+    for (size_t i = 0; i < n; ++i) {
+      sinks.push_back(std::make_unique<SpillSink>(/*budget=*/3, &arena));
+    }
+    parallel::ThreadPool pool(5);
+    pool.RunAndWait(n, [&](size_t i) {
+      for (int j = 0; j < 64; ++j) {
+        std::string piece =
+            "w" + std::to_string(i) + "." + std::to_string(j) + "|";
+        expected[i] += piece;
+        ASSERT_TRUE(sinks[i]->Append(piece).ok());
+      }
+    });
+    EXPECT_EQ(arena.open_files(), 1);
+    for (size_t i = 0; i < n; ++i) {
+      StringSink out;
+      ASSERT_TRUE(sinks[i]->CopyTo(&out).ok());
+      EXPECT_EQ(out.str(), expected[i]);
+    }
+  }
+}
+
+TEST(OrderedCommitSinkTest, ParkedBudgetedSegmentsShareTheArenaFile) {
+  SpillArena arena;
+  StringSink down;
+  const size_t n = 12;
+  OrderedCommitSink commit(&down, n);
+  std::string expected;
+  std::vector<std::string> contents;
+  for (size_t i = 0; i < n; ++i) {
+    contents.push_back(std::string(64, static_cast<char>('a' + i)));
+    expected += contents[i];
+  }
+  // Install out of order so every segment past the frontier parks
+  // (ForceSpill) into the shared arena.
+  for (size_t i = n; i-- > 1;) {
+    auto seg = std::make_unique<SpillSink>(/*budget=*/16, &arena);
+    ASSERT_TRUE(seg->Append(contents[i]).ok());
+    ASSERT_TRUE(commit.Install(i, std::move(seg)).ok());
+  }
+  EXPECT_EQ(arena.open_files(), 1);
+  auto head = std::make_unique<SpillSink>(/*budget=*/16, &arena);
+  ASSERT_TRUE(head->Append(contents[0]).ok());
+  ASSERT_TRUE(commit.Install(0, std::move(head)).ok());
+  EXPECT_TRUE(commit.finished());
+  EXPECT_EQ(down.str(), expected);
 }
 
 TEST(OrderedCommitSinkTest, ConcurrentInstallsFromAPool) {
