@@ -7,10 +7,15 @@
 //             skipping, a once-per-document cost, is shared).
 //   interned  interned tag dispatch + bulk span scanning, matchers still
 //             classical (isolates the dispatch/scan layers).
-//   full      interned dispatch + span scanning + memchr skip loops in the
-//             matchers (the default engine).
-//   shared    full, but with the per-state keyword vectors collapsed into
-//             one interner-wide vocabulary (TableOptions::
+//   scalar/swar/simd
+//             the full default pipeline (interned dispatch + span scanning
+//             + matcher skip loops), measured under a forced structural-
+//             classification tier (simd::SetIsa): per-byte scalar kernels,
+//             8-byte SWAR word kernels, and the best vector tier the host
+//             offers (the `isa` column names it). Same code path, same
+//             output, same stats -- the columns isolate the kernel tier.
+//   shared    full simd pipeline, but with the per-state keyword vectors
+//             collapsed into one interner-wide vocabulary (TableOptions::
 //             shared_vocabulary) -- answers whether the interner could
 //             REPLACE the paper's per-state frontier vectors now that
 //             batching amortizes table builds. It cannot: the global
@@ -18,12 +23,14 @@
 //             states with no-transition candidates (see the shared/full
 //             column), which is why both structures stay.
 //
-// Reports tags/sec and bytes/sec per workload plus speedups over legacy;
-// the outputs of all paths are cross-checked byte-for-byte before timing.
+// Reports tags/sec and bytes/sec per workload plus speedups over legacy
+// and the simd/swar tier ratio; the outputs of all paths (and all tiers)
+// are cross-checked byte-for-byte before timing.
 //
 //   SMPX_SCALE_MB=64 ./bench_hotpath_micro
 //   SMPX_REPS=5      best-of-N timing (default 3)
 //   SMPX_CSV=1 / SMPX_JSON=1 for machine-readable output
+//   SMPX_FORCE_ISA=  caps the tier the `simd` column selects
 
 #include <cstdio>
 #include <cmath>
@@ -34,6 +41,7 @@
 #include "common/io.h"
 #include "common/timer.h"
 #include "core/prefilter.h"
+#include "simd/simd.h"
 #include "xmlgen/xmark.h"
 
 namespace smpx::bench {
@@ -111,18 +119,23 @@ int Run() {
   const uint64_t bytes = ScaleBytes();
   const std::string& doc = Dataset("xmark", bytes);
   const int reps = Reps();
+  const simd::Isa best = simd::ActiveIsa();
+  const char* isa = simd::IsaName(best);
   std::printf(
       "== Hot path: legacy (seed) vs interned dispatch + span scan vs "
-      "full memchr pipeline (XMark %s, best of %d) ==\n",
-      Mb(static_cast<double>(doc.size())).c_str(), reps);
+      "full pipeline under scalar/swar/%s kernels (XMark %s, best of %d) "
+      "==\n",
+      isa, Mb(static_cast<double>(doc.size())).c_str(), reps);
 
   TablePrinter table({"query", "tags/s(legacy)", "tags/s(interned)",
-                      "tags/s(full)", "tags/s(shared)", "interned/legacy",
-                      "full/legacy", "shared/full", "MB/s(legacy)",
-                      "MB/s(full)", "tags"});
+                      "tags/s(scalar)", "tags/s(swar)", "tags/s(simd)",
+                      "tags/s(shared)", "full/legacy", "simd/swar",
+                      "shared/full", "MB/s(simd)", "isa", "tags"});
 
   double worst_full = 0;
   double geomean_full = 1;
+  double geomean_tier = 1;
+  double worst_tier = 0;
   double geomean_shared = 1;
   int rows = 0;
   for (const Workload& w : XmarkWorkloads()) {
@@ -140,45 +153,61 @@ int Run() {
     core::Prefilter full = MustCompile(w, full_opts);
     core::Prefilter shared = MustCompile(w, shared_opts);
 
-    // Cross-check before timing: no path may change the output.
+    // Cross-check before timing: no path -- and no kernel tier -- may
+    // change the output.
     auto out_legacy = legacy.RunOnBuffer(doc);
     auto out_interned = interned.RunOnBuffer(doc);
     auto out_full = full.RunOnBuffer(doc);
     auto out_shared = shared.RunOnBuffer(doc);
+    simd::SetIsa(simd::Isa::kScalar);
+    auto out_scalar = full.RunOnBuffer(doc);
+    simd::SetIsa(simd::Isa::kSwar);
+    auto out_swar = full.RunOnBuffer(doc);
+    simd::SetIsa(best);
     if (!out_legacy.ok() || !out_interned.ok() || !out_full.ok() ||
-        !out_shared.ok() || *out_legacy != *out_interned ||
-        *out_legacy != *out_full || *out_legacy != *out_shared) {
+        !out_shared.ok() || !out_scalar.ok() || !out_swar.ok() ||
+        *out_legacy != *out_interned || *out_legacy != *out_full ||
+        *out_legacy != *out_shared || *out_legacy != *out_scalar ||
+        *out_legacy != *out_swar) {
       std::fprintf(stderr, "%s: hot-path variants disagree!\n", w.id);
       return 1;
     }
 
     Measurement m_legacy = Measure(legacy, doc, reps);
     Measurement m_interned = Measure(interned, doc, reps);
-    Measurement m_full = Measure(full, doc, reps);
+    simd::SetIsa(simd::Isa::kScalar);
+    Measurement m_scalar = Measure(full, doc, reps);
+    simd::SetIsa(simd::Isa::kSwar);
+    Measurement m_swar = Measure(full, doc, reps);
+    simd::SetIsa(best);
+    Measurement m_simd = Measure(full, doc, reps);
     Measurement m_shared = Measure(shared, doc, reps);
-    double speedup_interned = m_legacy.seconds / m_interned.seconds;
-    double speedup_full = m_legacy.seconds / m_full.seconds;
-    double ratio_shared = m_full.seconds / m_shared.seconds;
+    double speedup_full = m_legacy.seconds / m_simd.seconds;
+    double speedup_tier = m_swar.seconds / m_simd.seconds;
+    double ratio_shared = m_simd.seconds / m_shared.seconds;
     if (rows == 0 || speedup_full < worst_full) worst_full = speedup_full;
+    if (rows == 0 || speedup_tier < worst_tier) worst_tier = speedup_tier;
     geomean_full *= speedup_full;
+    geomean_tier *= speedup_tier;
     geomean_shared *= ratio_shared;
     ++rows;
 
     table.AddRow({w.id, Rate(m_legacy.TagsPerSec()),
-                  Rate(m_interned.TagsPerSec()), Rate(m_full.TagsPerSec()),
-                  Rate(m_shared.TagsPerSec()),
-                  Fmt("%.2fx", speedup_interned),
-                  Fmt("%.2fx", speedup_full), Fmt("%.2fx", ratio_shared),
-                  Fmt("%.1f", m_legacy.MbPerSec()),
-                  Fmt("%.1f", m_full.MbPerSec()),
-                  std::to_string(m_full.tags)});
+                  Rate(m_interned.TagsPerSec()), Rate(m_scalar.TagsPerSec()),
+                  Rate(m_swar.TagsPerSec()), Rate(m_simd.TagsPerSec()),
+                  Rate(m_shared.TagsPerSec()), Fmt("%.2fx", speedup_full),
+                  Fmt("%.2fx", speedup_tier), Fmt("%.2fx", ratio_shared),
+                  Fmt("%.1f", m_simd.MbPerSec()), isa,
+                  std::to_string(m_simd.tags)});
   }
   table.Print("hotpath_micro");
   std::printf(
-      "full pipeline vs seed: worst %.2fx, geomean %.2fx; shared-vocabulary "
-      "ablation vs per-state keyword vectors: geomean %.2fx (below 1.0 means "
-      "the per-state vectors earn their build cost)\n",
-      worst_full, rows > 0 ? std::pow(geomean_full, 1.0 / rows) : 0.0,
+      "full pipeline vs seed: worst %.2fx, geomean %.2fx; %s kernels vs "
+      "swar skip loops: worst %.2fx, geomean %.2fx; shared-vocabulary "
+      "ablation vs per-state keyword vectors: geomean %.2fx (below 1.0 "
+      "means the per-state vectors earn their build cost)\n",
+      worst_full, rows > 0 ? std::pow(geomean_full, 1.0 / rows) : 0.0, isa,
+      worst_tier, rows > 0 ? std::pow(geomean_tier, 1.0 / rows) : 0.0,
       rows > 0 ? std::pow(geomean_shared, 1.0 / rows) : 0.0);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/strings.h"
+#include "simd/simd.h"
 
 namespace smpx::core {
 namespace {
@@ -298,8 +299,9 @@ class PrefilterSession::Impl {
 };
 
 /// Scans past the next occurrence of `term` (2-3 bytes) starting at `from`,
-/// memchr-ing for its first byte over whole resident spans. Returns the
-/// position one past the terminator; past end-of-input when unterminated.
+/// running the vectorized pattern scan over whole resident spans. Returns
+/// the position one past the terminator; past end-of-input when
+/// unterminated.
 uint64_t PrefilterSession::Impl::SkipPast(uint64_t from,
                                           std::string_view term) {
   const size_t tn = term.size();
@@ -308,15 +310,8 @@ uint64_t PrefilterSession::Impl::SkipPast(uint64_t from,
     Lock(p);
     std::string_view span = win_.View(p, tn);
     if (span.size() < tn) return win_.limit() + tn;  // unterminated
-    size_t r = 0;
-    while (r + tn <= span.size()) {
-      const char* hit = static_cast<const char*>(
-          std::memchr(span.data() + r, term[0], span.size() - r - (tn - 1)));
-      if (hit == nullptr) break;
-      r = static_cast<size_t>(hit - span.data());
-      if (std::memcmp(hit, term.data(), tn) == 0) return p + r + tn;
-      ++r;
-    }
+    const size_t hit = simd::FindPattern(span.data(), span.size(), term);
+    if (hit != span.size()) return p + hit + tn;
     // Keep tn-1 tail bytes resident so a straddling terminator is seen
     // (span.size() >= tn here -- shorter spans returned above).
     p += span.size() - (tn - 1);
@@ -325,13 +320,13 @@ uint64_t PrefilterSession::Impl::SkipPast(uint64_t from,
 
 /// Scans past the '>' that closes the DOCTYPE starting at `from` (the
 /// position just after "<!"), honoring [...] internal subsets and quoted
-/// literals (entity/system ids can contain '>'). Memchr-driven: the scan
-/// hops between the structural bytes instead of stepping per character, so
-/// pathological multi-megabyte internal subsets cost a few memchr sweeps.
-/// Returns a position past the window limit when unterminated.
+/// literals (entity/system ids can contain '>'). Bitmap-driven: one
+/// vectorized any-of classification finds the earliest of the five
+/// structural bytes per step, so pathological multi-megabyte internal
+/// subsets cost one linear sweep. Returns a position past the window limit
+/// when unterminated.
 uint64_t PrefilterSession::Impl::SkipDoctype(uint64_t from) {
-  static constexpr char kTargets[] = {'[', ']', '>', '"', '\''};
-  static constexpr int kNumTargets = 5;
+  static constexpr simd::ByteSet kStructural("[]>\"'");
   uint64_t p = from;
   int bracket = 0;
   for (;;) {
@@ -340,30 +335,11 @@ uint64_t PrefilterSession::Impl::SkipDoctype(uint64_t from) {
     if (span.empty()) return win_.limit() + 1;  // unterminated
     size_t r = 0;
     bool restarted = false;
-    // Per-target next-hit offsets into `span`, recomputed lazily only once
-    // the scan passes them (span.size() = no further occurrence). This
-    // keeps quote-dense subsets linear: a target absent from the span is
-    // memchr'ed once, not once per structural step.
-    size_t next_hit[kNumTargets] = {0, 0, 0, 0, 0};
-    bool stale = true;
     while (r < span.size()) {
-      size_t hit = span.size();
-      char hc = 0;
-      for (int i = 0; i < kNumTargets; ++i) {
-        if (stale || next_hit[i] < r) {
-          const char* h = static_cast<const char*>(
-              std::memchr(span.data() + r, kTargets[i], span.size() - r));
-          next_hit[i] =
-              h != nullptr ? static_cast<size_t>(h - span.data())
-                           : span.size();
-        }
-        if (next_hit[i] < hit) {
-          hit = next_hit[i];
-          hc = kTargets[i];
-        }
-      }
-      stale = false;
+      const size_t hit =
+          r + simd::FindAny(span.data() + r, span.size() - r, kStructural);
       if (hit == span.size()) break;  // nothing structural in this span
+      const char hc = span[hit];
       if (hc == '[') {
         ++bracket;
         r = hit + 1;
@@ -384,19 +360,17 @@ uint64_t PrefilterSession::Impl::SkipDoctype(uint64_t from) {
           Lock(p);  // keep the whole construct resident in push mode
           std::string_view qs = win_.RefillAt(q);
           if (qs.empty()) return win_.limit() + 1;  // unterminated literal
-          const char* e = static_cast<const char*>(
-              std::memchr(qs.data(), hc, qs.size()));
-          if (e != nullptr) {
-            q += static_cast<size_t>(e - qs.data()) + 1;
+          const size_t e = simd::FindByte(
+              qs.data(), qs.size(), static_cast<unsigned char>(hc));
+          if (e != qs.size()) {
+            q += e + 1;
             break;
           }
           q += qs.size();
         }
-        std::string_view nspan = win_.Span(p);
-        if (nspan.data() != span.data() || nspan.size() != span.size()) {
-          span = nspan;
-          stale = true;  // offsets refer to the old span contents
-        }
+        // The refill may have slid or reallocated the buffer; re-acquire
+        // the structural span before continuing in place.
+        span = win_.Span(p);
         if (!span.empty() && q - p < span.size()) {
           r = static_cast<size_t>(q - p);
         } else {
@@ -599,10 +573,11 @@ Status PrefilterSession::Impl::HandleMatch(uint64_t pos, int* result) {
     if (next_state < 0) return Reject(result);  // false match
   }
 
-  // Scan to the end of the tag, skipping quoted attribute values: memchr
-  // for '>' over the resident span; a quote before it diverts into a
-  // memchr-for-the-matching-quote skip. The overwhelmingly common
-  // attribute-free tag ("<name>") short-circuits the machinery.
+  // Scan to the end of the tag, skipping quoted attribute values: one
+  // vectorized any-of scan finds the earliest of '>' or a quote over the
+  // resident span; a quote diverts into a find-the-matching-quote skip.
+  // The overwhelmingly common attribute-free tag ("<name>") short-circuits
+  // the machinery.
   const size_t scan_start = r;
   if (r < span.size() && span[r] == '>') {
     // '>' directly after the name: never a bachelor (the '/' of "<t/>"
@@ -625,28 +600,19 @@ Status PrefilterSession::Impl::HandleMatch(uint64_t pos, int* result) {
       return Status::ParseError("unterminated tag at offset " +
                                 std::to_string(pos));
     }
-    const char* base = span.data();
-    const char* gt = static_cast<const char*>(
-        std::memchr(base + r, '>', span.size() - r));
-    const size_t seg_end =
-        gt != nullptr ? static_cast<size_t>(gt - base) : span.size();
-    const char* dq = static_cast<const char*>(
-        std::memchr(base + r, '"', seg_end - r));
-    const char* sq = static_cast<const char*>(
-        std::memchr(base + r, '\'', seg_end - r));
-    const char* quote = dq == nullptr   ? sq
-                        : sq == nullptr ? dq
-                                        : std::min(dq, sq);
-    if (quote == nullptr) {
-      if (gt != nullptr) {
-        r = seg_end;
-        break;  // position of '>'
-      }
+    static constexpr simd::ByteSet kTagEnd(">\"'");
+    const size_t hit =
+        r + simd::FindAny(span.data() + r, span.size() - r, kTagEnd);
+    if (hit == span.size()) {
       r = span.size();
       continue;
     }
-    const char qc = *quote;
-    r = static_cast<size_t>(quote - base) + 1;
+    if (span[hit] == '>') {
+      r = hit;
+      break;  // position of '>'
+    }
+    const char qc = span[hit];
+    r = hit + 1;
     for (;;) {
       if (r >= span.size() && !extend(r)) {
         if (MayResume()) {
@@ -656,10 +622,10 @@ Status PrefilterSession::Impl::HandleMatch(uint64_t pos, int* result) {
         return Status::ParseError("unterminated attribute at offset " +
                                   std::to_string(pos));
       }
-      const char* end = static_cast<const char*>(
-          std::memchr(span.data() + r, qc, span.size() - r));
-      if (end != nullptr) {
-        r = static_cast<size_t>(end - span.data()) + 1;
+      const size_t end = simd::FindByte(span.data() + r, span.size() - r,
+                                        static_cast<unsigned char>(qc));
+      if (end != span.size() - r) {
+        r += end + 1;
         break;
       }
       r = span.size();

@@ -311,9 +311,9 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
         return Status::Internal("failed to build matcher for state " +
                                 std::to_string(q));
       }
-      if (opts.disable_matcher_skip_loops) {
-        state.matcher->set_skip_loops(false);
-      }
+      state.matcher->set_skip_mode(opts.disable_matcher_skip_loops
+                                       ? strmatch::SkipLoopMode::kClassic
+                                       : opts.matcher_skip_mode);
       if (state.keywords.size() == 1) {
         ++tables.num_bm_states;
       } else {
@@ -361,9 +361,9 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
         return Status::Internal("failed to build shared matcher for state " +
                                 std::to_string(q));
       }
-      if (opts.disable_matcher_skip_loops) {
-        state.matcher->set_skip_loops(false);
-      }
+      state.matcher->set_skip_mode(opts.disable_matcher_skip_loops
+                                       ? strmatch::SkipLoopMode::kClassic
+                                       : opts.matcher_skip_mode);
       if (state.keywords.size() == 1) {
         ++tables.num_bm_states;
       } else {

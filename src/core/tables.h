@@ -173,11 +173,16 @@ struct TableOptions {
   /// scanner) instead of the interned fast path; differential-testing and
   /// benchmarking baseline.
   bool use_map_dispatch = false;
-  /// Disable the matchers' memchr skip loops (classical textbook BM/CW
-  /// scan loops); together with use_map_dispatch this restores the seed's
-  /// matching + tag-resolution hot path (prolog skipping is span-based in
-  /// both modes).
+  /// Disable the matchers' candidate skip loops entirely (classical
+  /// textbook BM/CW scan loops); together with use_map_dispatch this
+  /// restores the seed's matching + tag-resolution hot path (prolog
+  /// skipping is span-based in both modes). Overrides matcher_skip_mode.
   bool disable_matcher_skip_loops = false;
+  /// Candidate skip-loop tier for BM/CW when skip loops are enabled:
+  /// kSimd (default, dispatched bitmap probes) or kSwar (8-byte word
+  /// probes) -- same matches, same search stats, different probe speed.
+  /// Apples-to-apples ablation hook for bench_hotpath_micro.
+  strmatch::SkipLoopMode matcher_skip_mode = strmatch::SkipLoopMode::kSimd;
   /// Ablation: replace every state's frontier vocabulary with the union
   /// over all states -- i.e. collapse the paper's per-state keyword
   /// vectors into one interner-wide keyword set. Output is unchanged

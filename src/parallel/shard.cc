@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "simd/simd.h"
 
 namespace smpx::parallel {
 namespace {
@@ -22,75 +23,46 @@ namespace {
 /// Position one past the next occurrence of `term` at or after `from`;
 /// doc.size() when absent.
 size_t SkipPastTerm(std::string_view doc, size_t from, std::string_view term) {
-  size_t r = from;
-  while (r + term.size() <= doc.size()) {
-    const char* hit = static_cast<const char*>(std::memchr(
-        doc.data() + r, term[0], doc.size() - r - (term.size() - 1)));
-    if (hit == nullptr) return doc.size();
-    r = static_cast<size_t>(hit - doc.data());
-    if (std::memcmp(hit, term.data(), term.size()) == 0) {
-      return r + term.size();
-    }
-    ++r;
-  }
-  return doc.size();
+  if (from >= doc.size()) return doc.size();
+  const size_t hit =
+      simd::FindPattern(doc.data() + from, doc.size() - from, term);
+  if (hit == doc.size() - from) return doc.size();
+  return from + hit + term.size();
 }
 
 /// Position of the '>' closing the tag whose '<' sits at `from`, skipping
 /// quoted attribute values; doc.size() when unterminated.
 size_t TagEnd(std::string_view doc, size_t from) {
+  static constexpr simd::ByteSet kTagEnd(">\"'");
   size_t r = from + 1;
   for (;;) {
     if (r >= doc.size()) return doc.size();
-    const char* gt = static_cast<const char*>(
-        std::memchr(doc.data() + r, '>', doc.size() - r));
-    size_t seg_end =
-        gt != nullptr ? static_cast<size_t>(gt - doc.data()) : doc.size();
-    const char* dq = static_cast<const char*>(
-        std::memchr(doc.data() + r, '"', seg_end - r));
-    const char* sq = static_cast<const char*>(
-        std::memchr(doc.data() + r, '\'', seg_end - r));
-    const char* quote = dq == nullptr   ? sq
-                        : sq == nullptr ? dq
-                                        : std::min(dq, sq);
-    if (quote == nullptr) return seg_end;
-    char qc = *quote;
-    const char* end = static_cast<const char*>(std::memchr(
-        quote + 1, qc, doc.size() - static_cast<size_t>(quote + 1 - doc.data())));
-    if (end == nullptr) return doc.size();
-    r = static_cast<size_t>(end - doc.data()) + 1;
+    const size_t hit =
+        r + simd::FindAny(doc.data() + r, doc.size() - r, kTagEnd);
+    if (hit == doc.size()) return doc.size();
+    if (doc[hit] == '>') return hit;
+    const size_t end = simd::FindByte(
+        doc.data() + hit + 1, doc.size() - hit - 1,
+        static_cast<unsigned char>(doc[hit]));
+    if (end == doc.size() - hit - 1) return doc.size();
+    r = hit + 1 + end + 1;
   }
 }
 
 /// Position one past the '>' closing a "<!DOCTYPE"-style construct at
 /// `from` (pointing at "<!"), honoring [...] subsets and quoted literals.
-/// Memchr-driven with lazily cached per-target offsets, mirroring the
-/// engine's SkipDoctype, so a pathological multi-megabyte internal subset
-/// does not serialize the boundary scan.
+/// Bitmap-driven, mirroring the engine's SkipDoctype: one vectorized
+/// any-of classification per structural step, so a pathological
+/// multi-megabyte internal subset does not serialize the boundary scan.
 size_t SkipDeclaration(std::string_view doc, size_t from) {
-  static constexpr char kTargets[] = {'[', ']', '>', '"', '\''};
-  static constexpr int kNumTargets = 5;
-  size_t next_hit[kNumTargets] = {0, 0, 0, 0, 0};
-  bool stale = true;
+  static constexpr simd::ByteSet kStructural("[]>\"'");
   size_t r = from + 2;
   int bracket = 0;
   while (r < doc.size()) {
-    size_t hit = doc.size();
-    char hc = 0;
-    for (int i = 0; i < kNumTargets; ++i) {
-      if (stale || next_hit[i] < r) {
-        const char* h = static_cast<const char*>(
-            std::memchr(doc.data() + r, kTargets[i], doc.size() - r));
-        next_hit[i] = h != nullptr ? static_cast<size_t>(h - doc.data())
-                                   : doc.size();
-      }
-      if (next_hit[i] < hit) {
-        hit = next_hit[i];
-        hc = kTargets[i];
-      }
-    }
-    stale = false;
+    const size_t hit =
+        r + simd::FindAny(doc.data() + r, doc.size() - r, kStructural);
     if (hit == doc.size()) return doc.size();
+    const char hc = doc[hit];
     if (hc == '[') {
       ++bracket;
       r = hit + 1;
@@ -101,10 +73,11 @@ size_t SkipDeclaration(std::string_view doc, size_t from) {
       if (bracket <= 0) return hit + 1;
       r = hit + 1;
     } else {
-      const char* end = static_cast<const char*>(
-          std::memchr(doc.data() + hit + 1, hc, doc.size() - hit - 1));
-      if (end == nullptr) return doc.size();
-      r = static_cast<size_t>(end - doc.data()) + 1;
+      const size_t end = simd::FindByte(
+          doc.data() + hit + 1, doc.size() - hit - 1,
+          static_cast<unsigned char>(hc));
+      if (end == doc.size() - hit - 1) return doc.size();
+      r = hit + 1 + end + 1;
     }
   }
   return doc.size();
@@ -154,14 +127,13 @@ RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
   int64_t depth = 0;
   size_t pos = static_cast<size_t>(begin);
   const size_t stop = static_cast<size_t>(end);
+  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
   while (pos < stop) {
-    const char* lt = static_cast<const char*>(
-        std::memchr(doc.data() + pos, '<', stop - pos));
-    if (lt == nullptr) {
+    size_t t = open_scan.Next(pos);
+    if (t >= stop) {
       pos = stop;
       break;
     }
-    size_t t = static_cast<size_t>(lt - doc.data());
     std::string_view rest = doc.substr(t);
     if (rest.size() < 2) {
       pos = doc.size();
@@ -209,14 +181,13 @@ uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
                              int64_t depth, uint64_t* scanned) {
   size_t pos = static_cast<size_t>(begin);
   uint64_t found = kNoPos;
+  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
   while (pos < doc.size()) {
-    const char* lt = static_cast<const char*>(
-        std::memchr(doc.data() + pos, '<', doc.size() - pos));
-    if (lt == nullptr) {
+    size_t t = open_scan.Next(pos);
+    if (t == doc.size()) {
       pos = doc.size();
       break;
     }
-    size_t t = static_cast<size_t>(lt - doc.data());
     std::string_view rest = doc.substr(t);
     if (rest.size() < 2) {
       pos = doc.size();
@@ -295,11 +266,10 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
   size_t pos = 0;
   size_t depth = 0;        // number of currently open elements
   size_t target_idx = 1;   // next split target = target_idx * stride
+  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
   while (pos < doc.size() && splits.size() < max_splits) {
-    const char* lt = static_cast<const char*>(
-        std::memchr(doc.data() + pos, '<', doc.size() - pos));
-    if (lt == nullptr) break;
-    size_t t = static_cast<size_t>(lt - doc.data());
+    size_t t = open_scan.Next(pos);
+    if (t == doc.size()) break;
     std::string_view rest = doc.substr(t);
     if (rest.size() < 2) break;
     char next = rest[1];

@@ -1,0 +1,10 @@
+// SSE2 tier (x86-64 baseline): 16-byte vector classification. Bodies live
+// in kernels_sse.inc.h, shared with the SSE4.2 tier.
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+
+#define SMPX_SSE_ISA Isa::kSse2
+#define SMPX_SSE_ACCESSOR Sse2Kernels
+#include "simd/kernels_sse.inc.h"
+
+#endif

@@ -1,0 +1,11 @@
+// SSE4.2 tier: the 16-byte kernel bodies of kernels_sse.inc.h compiled at
+// the SSE4.2 feature level (CMake adds -msse4.2 for this TU), letting the
+// compiler schedule for the wider execution resources of that generation.
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+
+#define SMPX_SSE_ISA Isa::kSse42
+#define SMPX_SSE_ACCESSOR Sse42Kernels
+#include "simd/kernels_sse.inc.h"
+
+#endif

@@ -1,0 +1,64 @@
+// SWAR tier: 8-bytes-per-word classification built on the same primitives
+// as the matcher skip loops (strmatch/byte_scan.h). Always available on any
+// host; the portable performance fallback when no vector unit is usable.
+//
+// ByteEqMask yields 0x80 in every matching byte; the multiply-compaction
+// below gathers those per-byte flags into 8 LSB-first bits. The gather is
+// exact: with x holding only 0/1 per byte, x * 0x0102040810204080 places
+// byte k's bit at position 7k+7 + ... -- each product bit position has at
+// most one (k, weight) contribution (k + j = 7 uniquely), so no carries.
+
+#include "simd/kernels.h"
+#include "strmatch/byte_scan.h"
+
+namespace smpx::simd::detail {
+namespace {
+
+namespace bs = smpx::strmatch::detail;
+
+/// 0x80-per-byte mask -> 8 LSB-first bits (byte k of w -> bit k).
+inline uint64_t Compact(uint64_t high_mask) {
+  return ((high_mask >> 7) * 0x0102040810204080ull) >> 56;
+}
+
+uint64_t Eq64Swar(const unsigned char* p, unsigned char c) {
+  uint64_t mask = 0;
+  for (size_t w = 0; w < kBlock / 8; ++w) {
+    uint64_t word = bs::LoadWord(reinterpret_cast<const char*>(p) + 8 * w);
+    mask |= Compact(bs::ByteEqMask(word, c)) << (8 * w);
+  }
+  return mask;
+}
+
+uint64_t Any64Swar(const unsigned char* p, const ByteSet& set) {
+  uint64_t mask = 0;
+  for (size_t w = 0; w < kBlock / 8; ++w) {
+    uint64_t word = bs::LoadWord(reinterpret_cast<const char*>(p) + 8 * w);
+    uint64_t hits = 0;
+    for (unsigned j = 0; j < set.n; ++j) {
+      hits |= bs::ByteEqMask(word, set.chars[j]);
+    }
+    mask |= Compact(hits) << (8 * w);
+  }
+  return mask;
+}
+
+uint64_t Pair64Swar(const unsigned char* p, size_t delta, unsigned char a,
+                    unsigned char b) {
+  uint64_t mask = 0;
+  for (size_t w = 0; w < kBlock / 8; ++w) {
+    const char* base = reinterpret_cast<const char*>(p) + 8 * w;
+    uint64_t hits = bs::ByteEqMask(bs::LoadWord(base), a) &
+                    bs::ByteEqMask(bs::LoadWord(base + delta), b);
+    mask |= Compact(hits) << (8 * w);
+  }
+  return mask;
+}
+
+constexpr Kernels kSwar = {Isa::kSwar, Eq64Swar, Any64Swar, Pair64Swar};
+
+}  // namespace
+
+const Kernels& SwarKernels() { return kSwar; }
+
+}  // namespace smpx::simd::detail

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "simd/simd.h"
 #include "strmatch/byte_scan.h"
 
 namespace smpx::strmatch {
@@ -156,7 +157,7 @@ Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
   const size_t m = p.size();
   const size_t n = text.size();
   if (from > n || n - from < m) return {};
-  if (skip_loops_) return SearchMemchr(text, from, stats);
+  if (skip_mode_ != SkipLoopMode::kClassic) return SearchSkip(text, from, stats);
 
   size_t i = from;  // current alignment: pattern start at text position i
   while (i + m <= n) {
@@ -182,18 +183,21 @@ Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
   return {};
 }
 
-Match BoyerMooreMatcher::SearchMemchr(std::string_view text, size_t from,
-                                      SearchStats* stats) const {
+Match BoyerMooreMatcher::SearchSkip(std::string_view text, size_t from,
+                                    SearchStats* stats) const {
   const std::string& p = patterns_[0];
   const size_t m = p.size();
   const size_t n = text.size();
   const char* d = text.data();
+  const unsigned char* ud = reinterpret_cast<const unsigned char*>(d);
 
   // Skip loop: no occurrence can align unless its probe byte (the rarest
   // pattern byte, '<' for tag keywords) matches, so only probe-byte hits
-  // become candidate alignments. The hits are popped word-at-a-time (see
-  // byte_scan.h); candidates below the BM-shift frontier `i` are dropped
-  // without a verify.
+  // become candidate alignments. The hits are popped word-at-a-time (SWAR,
+  // byte_scan.h) or block-at-a-time (SIMD bitmaps, simd/simd.h) -- both
+  // enumerate candidates in ascending text order, so matches AND stats are
+  // tier-independent. Candidates below the BM-shift frontier `i` are
+  // dropped without a verify.
   const size_t kp = probe_pos_;
   const unsigned char probe = static_cast<unsigned char>(p[kp]);
   size_t i = from;  // minimal admissible alignment (the shift frontier)
@@ -239,6 +243,34 @@ Match BoyerMooreMatcher::SearchMemchr(std::string_view text, size_t from,
     const size_t delta = hi - lo;
     const size_t scan_end = n - m + lo + 1;
     size_t k = from + lo;
+    if (skip_mode_ == SkipLoopMode::kSimd) {
+      // Block-at-a-time pair probe. The full-block branch is in-bounds:
+      // k + 64 <= scan_end implies k + delta + 64 <= n - m + hi + 1 <= n.
+      const simd::Kernels& kn = simd::Active();
+      while (k < scan_end) {
+        size_t take = scan_end - k;
+        uint64_t hits;
+        if (take >= simd::kBlock) {
+          take = simd::kBlock;
+          hits = kn.pair64(ud + k, delta, b_lo, b_hi);
+        } else {
+          hits = simd::PairMaskTail(ud + k, n - k, delta, b_lo, b_hi) &
+                 simd::TakeMask(take);
+        }
+        while (hits != 0) {
+          size_t a = k + simd::NextSetBit(hits) - lo;
+          hits = simd::ClearLowestBit(hits);
+          if (a < i) continue;  // below the shift frontier
+          if (verify(a)) return {a, 0};
+        }
+        k += take;
+      }
+      if (stats != nullptr && n - m + 1 > i) {
+        ++stats->shifts;
+        stats->shift_chars += n - m + 1 - i;
+      }
+      return {};
+    }
     for (; k + 8 <= scan_end; k += 8) {
       uint64_t hits =
           detail::ByteEqMask(detail::LoadWord(d + k), b_lo) &
@@ -268,6 +300,31 @@ Match BoyerMooreMatcher::SearchMemchr(std::string_view text, size_t from,
   // Scan probe positions s in [from + kp, n - m + kp]; alignment a = s - kp.
   const size_t scan_end = n - m + kp + 1;
   size_t k = from + kp;
+  if (skip_mode_ == SkipLoopMode::kSimd) {
+    const simd::Kernels& kn = simd::Active();
+    while (k < scan_end) {
+      size_t take = scan_end - k;
+      uint64_t hits;
+      if (take >= simd::kBlock) {
+        take = simd::kBlock;
+        hits = kn.eq64(ud + k, probe);
+      } else {
+        hits = simd::EqMaskTail(ud + k, take, probe);
+      }
+      while (hits != 0) {
+        size_t a = k + simd::NextSetBit(hits) - kp;
+        hits = simd::ClearLowestBit(hits);
+        if (a < i) continue;  // below the shift frontier
+        if (verify(a)) return {a, 0};
+      }
+      k += take;
+    }
+    if (stats != nullptr && n - m + 1 > i) {
+      ++stats->shifts;
+      stats->shift_chars += n - m + 1 - i;
+    }
+    return {};
+  }
   for (; k + 8 <= scan_end; k += 8) {
     uint64_t hits = detail::ByteEqMask(detail::LoadWord(d + k), probe);
     while (hits != 0) {

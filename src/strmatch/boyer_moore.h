@@ -27,19 +27,19 @@ class BoyerMooreMatcher : public Matcher {
     return patterns_;
   }
   std::string_view name() const override { return "BM"; }
-  void set_skip_loops(bool enabled) override { skip_loops_ = enabled; }
+  void set_skip_mode(SkipLoopMode mode) override { skip_mode_ = mode; }
 
  private:
-  Match SearchMemchr(std::string_view text, size_t from,
-                     SearchStats* stats) const;
+  Match SearchSkip(std::string_view text, size_t from,
+                   SearchStats* stats) const;
 
   std::vector<std::string> patterns_;       // exactly one element
   std::array<int, 256> bad_char_;           // last occurrence index, -1 if none
   std::vector<size_t> good_suffix_;         // shift for mismatch at index j
-  bool skip_loops_ = true;                  // memchr rare-byte skip loop
+  SkipLoopMode skip_mode_ = SkipLoopMode::kSimd;  // rare-byte probe tier
   size_t probe_pos_ = 0;                    // offset of the rarest byte
   size_t probe2_pos_ = 0;                   // offset of the 2nd-rarest byte
-  bool pair_probe_ = false;                 // use the two-byte SWAR probe
+  bool pair_probe_ = false;                 // use the two-byte pair probe
 };
 
 /// Horspool simplification (bad-character rule keyed on the window's last

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <queue>
 
+#include "simd/simd.h"
 #include "strmatch/byte_scan.h"
 
 namespace smpx::strmatch {
@@ -184,9 +185,36 @@ Match CommentzWalterMatcher::SearchFast(std::string_view text, size_t from,
     return {};
   };
 
-  // Word-at-a-time candidate scan: pop every lead-byte hit out of each
-  // 8-byte word (see byte_scan.h for why this beats per-candidate memchr).
+  // Candidate scan: pop every lead-byte hit out of each 8-byte word (SWAR,
+  // byte_scan.h) or 64-byte block (SIMD bitmap). Both enumerate hits in
+  // ascending text order, so matches and stats are tier-independent.
   size_t k = from;
+  if (skip_mode_ == SkipLoopMode::kSimd) {
+    const simd::Kernels& kn = simd::Active();
+    const unsigned char* ud = reinterpret_cast<const unsigned char*>(d);
+    while (k < n) {
+      size_t take = n - k;
+      uint64_t hits;
+      if (take >= simd::kBlock) {
+        take = simd::kBlock;
+        hits = kn.eq64(ud + k, lead);
+      } else {
+        hits = simd::EqMaskTail(ud + k, take, lead);
+      }
+      while (hits != 0) {
+        size_t s = k + simd::NextSetBit(hits);
+        Match m = verify(s);
+        if (m.found()) return m;
+        hits = simd::ClearLowestBit(hits);
+      }
+      k += take;
+    }
+    if (stats != nullptr && n > prev) {
+      ++stats->shifts;
+      stats->shift_chars += n - prev;
+    }
+    return {};
+  }
   for (; k + 8 <= n; k += 8) {
     uint64_t hits = detail::ByteEqMask(detail::LoadWord(d + k), lead);
     while (hits != 0) {
@@ -214,7 +242,9 @@ Match CommentzWalterMatcher::Search(std::string_view text, size_t from,
   const size_t n = text.size();
   const size_t wmin = trie_.wmin;
   if (wmin == 0 || from > n || n - from < wmin) return {};
-  if (fast_path_ && skip_loops_) return SearchFast(text, from, stats);
+  if (fast_path_ && skip_mode_ != SkipLoopMode::kClassic) {
+    return SearchFast(text, from, stats);
+  }
 
   size_t i = from + wmin - 1;  // window end position in text
   while (i < n) {

@@ -57,7 +57,7 @@ class CommentzWalterMatcher : public Matcher {
     return patterns_;
   }
   std::string_view name() const override { return "CW"; }
-  void set_skip_loops(bool enabled) override { skip_loops_ = enabled; }
+  void set_skip_mode(SkipLoopMode mode) override { skip_mode_ = mode; }
 
  private:
   Match SearchFast(std::string_view text, size_t from,
@@ -85,7 +85,7 @@ class CommentzWalterMatcher : public Matcher {
   };
 
   bool fast_path_ = false;
-  bool skip_loops_ = true;  // fast path may be toggled off (ablation)
+  SkipLoopMode skip_mode_ = SkipLoopMode::kSimd;  // candidate-scan tier
   char lead_ = 0;
   std::vector<ForwardTrieNode> fwd_;  // rooted at fwd_[0]'s lead child
 };

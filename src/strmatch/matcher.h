@@ -46,6 +46,17 @@ struct Match {
   bool found() const { return pos != npos; }
 };
 
+/// Candidate-scan implementation tiers for the skip-loop fast paths (BM,
+/// CW). All three produce identical matches AND identical SearchStats: the
+/// candidate order is ascending text position in every tier, and the
+/// verify/shift logic is shared, so the tiers differ only in how fast
+/// candidates are enumerated.
+enum class SkipLoopMode {
+  kClassic = 0,  ///< textbook scan loops (no candidate fast path)
+  kSwar = 1,     ///< 8-bytes-per-word probe loops (byte_scan.h)
+  kSimd = 2,     ///< dispatched 64-byte bitmap probes (simd/simd.h)
+};
+
 /// A compiled set of patterns searchable in a text.
 ///
 /// Contract: Search returns an occurrence with the minimal *end* position
@@ -72,10 +83,16 @@ class Matcher {
   /// Algorithm name for reports ("BM", "CW", ...).
   virtual std::string_view name() const = 0;
 
-  /// Enables/disables the memchr skip-loop fast paths (BM, CW). Default on;
-  /// turning them off restores the classical textbook scan loops (ablation
-  /// and differential-testing baseline). No-op for algorithms without one.
-  virtual void set_skip_loops(bool enabled) { (void)enabled; }
+  /// Selects the candidate skip-loop tier (BM, CW). Default kSimd;
+  /// kClassic restores the classical textbook scan loops (ablation and
+  /// differential-testing baseline). No-op for algorithms without a fast
+  /// path.
+  virtual void set_skip_mode(SkipLoopMode mode) { (void)mode; }
+
+  /// Back-compat shim: `false` = kClassic, `true` = kSimd.
+  void set_skip_loops(bool enabled) {
+    set_skip_mode(enabled ? SkipLoopMode::kSimd : SkipLoopMode::kClassic);
+  }
 };
 
 /// Algorithm selector for MakeMatcher.

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/prefilter.h"
+#include "simd/simd.h"
 #include "xml/tokenizer.h"
 #include "xmlgen/medline.h"
 #include "xmlgen/xmark.h"
@@ -188,6 +189,92 @@ TEST(DispatchDiffTest, CountNestingRecursionUnderSpanScanner) {
   EngineOptions opts;
   opts.window_capacity = 64;
   ExpectIdentical(pf, kRecursiveDoc, opts);
+}
+
+// --- SIMD tier replay --------------------------------------------------------
+// The same compiled prefilter replayed under every available dispatch tier
+// (SetIsa) must produce byte-identical output AND identical statistics --
+// including matcher comparisons/shifts and scan_chars -- with the scalar
+// tier as the oracle. Tiers only change how fast structural bytes are
+// found, never which bytes are found.
+
+TEST(DispatchDiffTest, EveryIsaTierMatchesScalarByteForByte) {
+  const simd::Isa saved = simd::ActiveIsa();
+  xmlgen::XmarkOptions gen;
+  gen.target_bytes = 512 << 10;
+  std::string doc = xmlgen::GenerateXmark(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/site/people/person@ /site/people/person/name# //description");
+  ASSERT_TRUE(paths.ok());
+  auto pf = Prefilter::Compile(xmlgen::XmarkDtd(), *paths, {});
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+
+  simd::SetIsa(simd::Isa::kScalar);
+  RunStats ref_stats;
+  auto ref = pf->RunOnBuffer(doc, &ref_stats);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    ASSERT_EQ(simd::SetIsa(isa), isa);
+    RunStats stats;
+    auto out = pf->RunOnBuffer(doc, &stats);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    ASSERT_EQ(*out, *ref);
+    EXPECT_EQ(stats.matches, ref_stats.matches);
+    EXPECT_EQ(stats.false_matches, ref_stats.false_matches);
+    EXPECT_EQ(stats.scan_chars, ref_stats.scan_chars);
+    EXPECT_EQ(stats.search.comparisons, ref_stats.search.comparisons);
+    EXPECT_EQ(stats.search.shifts, ref_stats.search.shifts);
+    EXPECT_EQ(stats.search.shift_chars, ref_stats.search.shift_chars);
+    EXPECT_EQ(stats.bm_searches, ref_stats.bm_searches);
+    EXPECT_EQ(stats.cw_searches, ref_stats.cw_searches);
+    EXPECT_EQ(stats.initial_jump_chars, ref_stats.initial_jump_chars);
+  }
+  simd::SetIsa(saved);
+}
+
+// The SWAR and SIMD matcher skip-loop tiers enumerate identical candidate
+// sequences, so output and search stats must match exactly; the classical
+// loops (skip loops disabled) must still agree on output and semantic
+// counters (their shift accounting legitimately differs).
+TEST(DispatchDiffTest, MatcherSkipModeTiersAgree) {
+  xmlgen::MedlineOptions gen;
+  gen.target_bytes = 512 << 10;
+  std::string doc = xmlgen::GenerateMedline(gen);
+  auto paths = paths::ProjectionPath::ParseList(
+      "/MedlineCitationSet//DataBank/DataBankName# "
+      "/MedlineCitationSet/MedlineCitation/DateCompleted#");
+  ASSERT_TRUE(paths.ok());
+
+  auto compile = [&](strmatch::SkipLoopMode mode, bool disable) {
+    CompileOptions opts;
+    opts.tables.matcher_skip_mode = mode;
+    opts.tables.disable_matcher_skip_loops = disable;
+    auto pf = Prefilter::Compile(xmlgen::MedlineDtd(), *paths, opts);
+    EXPECT_TRUE(pf.ok()) << pf.status().ToString();
+    return std::move(*pf);
+  };
+  Prefilter simd_pf = compile(strmatch::SkipLoopMode::kSimd, false);
+  Prefilter swar_pf = compile(strmatch::SkipLoopMode::kSwar, false);
+  Prefilter classic_pf = compile(strmatch::SkipLoopMode::kSimd, true);
+
+  RunStats simd_stats, swar_stats, classic_stats;
+  auto out_simd = simd_pf.RunOnBuffer(doc, &simd_stats);
+  auto out_swar = swar_pf.RunOnBuffer(doc, &swar_stats);
+  auto out_classic = classic_pf.RunOnBuffer(doc, &classic_stats);
+  ASSERT_TRUE(out_simd.ok() && out_swar.ok() && out_classic.ok());
+  ASSERT_EQ(*out_simd, *out_swar);
+  ASSERT_EQ(*out_simd, *out_classic);
+  EXPECT_EQ(simd_stats.search.comparisons, swar_stats.search.comparisons);
+  EXPECT_EQ(simd_stats.search.shifts, swar_stats.search.shifts);
+  EXPECT_EQ(simd_stats.search.shift_chars, swar_stats.search.shift_chars);
+  EXPECT_EQ(simd_stats.matches, swar_stats.matches);
+  EXPECT_EQ(simd_stats.false_matches, swar_stats.false_matches);
+  EXPECT_EQ(simd_stats.bm_searches, swar_stats.bm_searches);
+  EXPECT_EQ(simd_stats.cw_searches, swar_stats.cw_searches);
+  EXPECT_EQ(simd_stats.matches, classic_stats.matches);
+  EXPECT_EQ(simd_stats.false_matches, classic_stats.false_matches);
 }
 
 TEST(DispatchDiffTest, PrologAndDoctypeUnderSpanScanner) {

@@ -46,6 +46,7 @@
 #include "parallel/batch.h"
 #include "parallel/shard.h"
 #include "parallel/thread_pool.h"
+#include "simd/simd.h"
 #include "xml/tokenizer.h"
 #include "xmlgen/dtd_sampler.h"
 #include "xmlgen/medline.h"
@@ -413,6 +414,57 @@ TEST(FuzzDiffTest, ProteinSampledDocumentsAcrossAllModes) {
     ExpectAllModesIdentical(*pf, doc, &rng);
     ExpectBoundaryProperties(*pf, doc, /*dtd_valid=*/true);
   }
+}
+
+// --- Family 4: SIMD dispatch tier replay ----------------------------------
+// Every generated case is prefiltered once per available dispatch tier
+// (simd::SetIsa), with the scalar tier as the oracle: outputs must be
+// byte-identical and the full statistics -- matcher comparisons, shifts,
+// scan_chars -- must match, and the structural boundary scanner must pick
+// identical split points. Tiers change how fast structural bytes are
+// classified, never which bytes are classified.
+
+TEST(FuzzDiffTest, EveryDispatchTierReplaysByteIdentical) {
+  const simd::Isa saved = simd::ActiveIsa();
+  const int cases = FamilyCases();
+  for (int seed = 0; seed < cases; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0x15a0000u + static_cast<unsigned>(seed));
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::string doc = InjectEdgeMix(xmlgen::RandomDocument(dtd, &rng), &rng,
+                                    /*stray_closers=*/true);
+    auto pf = Prefilter::Compile(dtd, xmlgen::RandomPaths(dtd, &rng));
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    EngineOptions eopts = RandomEngineOptions(&rng);
+
+    simd::SetIsa(simd::Isa::kScalar);
+    RunStats ref_stats;
+    auto ref = pf->RunOnBuffer(doc, &ref_stats, eopts);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    std::vector<uint64_t> ref_bounds =
+        parallel::FindTopLevelBoundaries(doc, 5);
+
+    for (simd::Isa isa : simd::AvailableIsas()) {
+      SCOPED_TRACE(simd::IsaName(isa));
+      ASSERT_EQ(simd::SetIsa(isa), isa);
+      RunStats stats;
+      auto out = pf->RunOnBuffer(doc, &stats, eopts);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ASSERT_EQ(*out, *ref);
+      EXPECT_EQ(stats.matches, ref_stats.matches);
+      EXPECT_EQ(stats.false_matches, ref_stats.false_matches);
+      EXPECT_EQ(stats.scan_chars, ref_stats.scan_chars);
+      EXPECT_EQ(stats.search.comparisons, ref_stats.search.comparisons);
+      EXPECT_EQ(stats.search.shifts, ref_stats.search.shifts);
+      EXPECT_EQ(stats.search.shift_chars, ref_stats.search.shift_chars);
+      EXPECT_EQ(stats.bm_searches, ref_stats.bm_searches);
+      EXPECT_EQ(stats.cw_searches, ref_stats.cw_searches);
+      EXPECT_EQ(stats.initial_jump_chars, ref_stats.initial_jump_chars);
+      EXPECT_EQ(stats.output_bytes, ref_stats.output_bytes);
+      EXPECT_EQ(parallel::FindTopLevelBoundaries(doc, 5), ref_bounds);
+    }
+  }
+  simd::SetIsa(saved);
 }
 
 }  // namespace
