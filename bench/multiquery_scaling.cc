@@ -1,0 +1,244 @@
+// Multi-query scaling benchmark + regression gate.
+//
+// Two sections:
+//
+//  1. Catalog scaling (informative): growing prefixes of the XMark
+//     workload catalog (XM1..XM20) compiled into one shared product DFA
+//     and prefiltered ONCE per mix, against the baseline of running every
+//     query as its own independent serial pass. The paper's catalog
+//     queries jointly cover most of the document, so the one-pass win
+//     saturates around 2x here -- the table documents that honestly.
+//
+//  2. Multi-tenant gate (enforced): a 39-query mix of selective leaf
+//     projections (per-region item fields, person contact fields,
+//     category names) -- the many-subscribers shape multi-query
+//     prefiltering exists for. Each independent pass re-scans the whole
+//     document to extract a sliver; the one-pass run amortizes the scan
+//     across all subscribers. The mix must beat the summed separate runs
+//     by at least SMPX_MQ_MIN_SPEEDUP (default 5x), and EVERY query's
+//     one-pass projection (in both sections) must be byte-identical to
+//     its independent run, or the gate fails (exit 1).
+//
+// Columns: queries in the mix, unique components after equivalence
+// collapse, product-DFA states, summed independent time, one-pass time,
+// speedup, and the byte-identity verdict.
+//
+// Knobs:
+//   SMPX_SCALE_MB          document size (default 24)
+//   SMPX_REPS              best-of-N timed runs per mode (default 3)
+//   SMPX_MQ_MIN_SPEEDUP    required speedup on the multi-tenant mix
+//                          (default 5)
+//   SMPX_CSV=1 / SMPX_JSON=1  machine-readable output (bench_util)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/io.h"
+#include "common/timer.h"
+#include "core/prefilter.h"
+#include "query/multiquery.h"
+#include "xmlgen/xmark.h"
+
+namespace smpx::bench {
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  double parsed = std::atof(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+// Selective leaf projections over the XMark DTD: six regions x five item
+// fields, person contact/address fields, and category names. 39 queries,
+// each touching a sliver of the document.
+std::vector<std::string> MultiTenantMix() {
+  std::vector<std::string> mix;
+  for (const char* region :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    for (const char* field :
+         {"name", "location", "quantity", "payment", "shipping"}) {
+      mix.push_back(std::string("/site/regions/") + region + "/item/" +
+                    field + "#");
+    }
+  }
+  for (const char* field :
+       {"phone", "emailaddress", "homepage", "creditcard"}) {
+    mix.push_back(std::string("/site/people/person/") + field + "#");
+  }
+  for (const char* field : {"city", "country", "street", "zipcode"}) {
+    mix.push_back(std::string("/site/people/person/address/") + field + "#");
+  }
+  mix.push_back("/site/categories/category/name#");
+  return mix;
+}
+
+struct MixResult {
+  double indep_s = 0.0;
+  double onepass_s = 0.0;
+  bool identical = true;
+  int num_unique = 0;
+  size_t states = 0;
+  bool ok = false;
+};
+
+// Times a mix both ways (best of `reps`), byte-comparing every one-pass
+// projection against its independent serial run on every rep. Compile
+// time is amortized out of both sides: the engine compiles a query once
+// and reuses it across documents either way.
+MixResult RunMix(const std::string& doc,
+                 const std::vector<std::vector<paths::ProjectionPath>>& queries,
+                 int reps) {
+  MixResult result;
+  const size_t k = queries.size();
+
+  std::vector<core::Prefilter> singles;
+  for (size_t q = 0; q < k; ++q) {
+    auto pf = core::Prefilter::Compile(xmlgen::XmarkDtd(), queries[q]);
+    if (!pf.ok()) {
+      std::fprintf(stderr, "compile query %zu failed: %s\n", q,
+                   pf.status().ToString().c_str());
+      return result;
+    }
+    singles.push_back(std::move(*pf));
+  }
+  std::vector<std::string> expected(k);
+  for (int r = 0; r < reps; ++r) {
+    double total = 0.0;
+    for (size_t q = 0; q < k; ++q) {
+      WallTimer timer;
+      auto out = singles[q].RunOnBuffer(doc);
+      total += timer.Seconds();
+      if (!out.ok()) {
+        std::fprintf(stderr, "independent run %zu failed: %s\n", q,
+                     out.status().ToString().c_str());
+        return result;
+      }
+      expected[q] = std::move(*out);
+    }
+    if (result.indep_s == 0.0 || total < result.indep_s) {
+      result.indep_s = total;
+    }
+  }
+
+  auto mq = query::MultiQuery::Compile(xmlgen::XmarkDtd(), queries);
+  if (!mq.ok()) {
+    std::fprintf(stderr, "multi-query compile (%zu queries) failed: %s\n", k,
+                 mq.status().ToString().c_str());
+    return result;
+  }
+  result.num_unique = mq->num_unique();
+  result.states = mq->tables().states.size();
+  for (int r = 0; r < reps; ++r) {
+    std::vector<StringSink> sinks(k);
+    std::vector<OutputSink*> ptrs;
+    for (StringSink& s : sinks) ptrs.push_back(&s);
+    WallTimer timer;
+    Status s = mq->RunOnBuffer(doc, ptrs, nullptr, nullptr);
+    const double secs = timer.Seconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "one-pass run (%zu queries) failed: %s\n", k,
+                   s.ToString().c_str());
+      return result;
+    }
+    if (result.onepass_s == 0.0 || secs < result.onepass_s) {
+      result.onepass_s = secs;
+    }
+    for (size_t q = 0; q < k; ++q) {
+      if (sinks[q].str() != expected[q]) result.identical = false;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+int Run() {
+  const uint64_t scale = ScaleBytes();
+  const int reps = static_cast<int>(EnvU64("SMPX_REPS", 3));
+  const double min_speedup = EnvDouble("SMPX_MQ_MIN_SPEEDUP", 5.0);
+  const std::string& doc = Dataset("xmark", scale);
+  const std::vector<Workload>& catalog = XmarkWorkloads();
+
+  std::printf(
+      "== multi-query scaling (xmark %s, catalog of %zu queries, best of "
+      "%d) ==\n",
+      Mb(static_cast<double>(doc.size())).c_str(), catalog.size(), reps);
+
+  TablePrinter table({"mix", "queries", "unique", "states", "indep_s",
+                      "onepass_s", "speedup", "identical"});
+  bool all_identical = true;
+
+  // Section 1: catalog prefixes (informative).
+  for (size_t k : std::vector<size_t>{1, 2, 4, 8, catalog.size()}) {
+    if (k > catalog.size()) continue;
+    std::vector<std::vector<paths::ProjectionPath>> queries;
+    for (size_t q = 0; q < k; ++q) {
+      queries.push_back(MustPaths(catalog[q].projection_paths));
+    }
+    MixResult r = RunMix(doc, queries, reps);
+    if (!r.ok) return 1;
+    all_identical = all_identical && r.identical;
+    table.AddRow({"catalog", std::to_string(k), std::to_string(r.num_unique),
+                  std::to_string(r.states), Fmt("%.3f", r.indep_s),
+                  Fmt("%.3f", r.onepass_s),
+                  Fmt("%.2fx", r.indep_s / r.onepass_s),
+                  r.identical ? "yes" : "NO"});
+  }
+
+  // Section 2: the gated multi-tenant mix of selective leaf queries.
+  std::vector<std::vector<paths::ProjectionPath>> tenant_queries;
+  for (const std::string& q : MultiTenantMix()) {
+    tenant_queries.push_back(MustPaths(q.c_str()));
+  }
+  MixResult tenant = RunMix(doc, tenant_queries, reps);
+  if (!tenant.ok) return 1;
+  all_identical = all_identical && tenant.identical;
+  const double tenant_speedup =
+      tenant.onepass_s > 0 ? tenant.indep_s / tenant.onepass_s : 0.0;
+  table.AddRow({"tenant", std::to_string(tenant_queries.size()),
+                std::to_string(tenant.num_unique),
+                std::to_string(tenant.states), Fmt("%.3f", tenant.indep_s),
+                Fmt("%.3f", tenant.onepass_s), Fmt("%.2fx", tenant_speedup),
+                tenant.identical ? "yes" : "NO"});
+  table.Print("multiquery_scaling");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "multiquery gate FAILED: a one-pass projection diverged "
+                 "from its independent single-query run\n");
+    return 1;
+  }
+  if (tenant_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "multiquery gate FAILED: %zu-query multi-tenant mix "
+                 "achieved only %.2fx over separate runs (need >= %.2fx)\n",
+                 tenant_queries.size(), tenant_speedup, min_speedup);
+    return 1;
+  }
+  std::printf(
+      "multiquery gate ok: %zu-query multi-tenant mix %.2fx over separate "
+      "runs (>= %.2fx required), all projections byte-identical\n",
+      tenant_queries.size(), tenant_speedup, min_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smpx::bench
+
+int main() { return smpx::bench::Run(); }

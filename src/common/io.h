@@ -175,6 +175,27 @@ class CountingSink : public OutputSink {
   }
 };
 
+/// Duplicates every appended byte into each of N downstream sinks, in
+/// order. The multi-query layer routes a collapsed duplicate query's
+/// output through this so every original query still gets its own stream
+/// without buffering the shared bytes. bytes_written() counts one copy.
+class FanoutSink : public OutputSink {
+ public:
+  explicit FanoutSink(std::vector<OutputSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  Status Append(std::string_view data) override {
+    for (OutputSink* s : sinks_) {
+      SMPX_RETURN_IF_ERROR(s->Append(data));
+    }
+    bytes_written_ += data.size();
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<OutputSink*> sinks_;
+};
+
 /// Writes to a stdio FILE. Owns the handle.
 ///
 /// A short write puts the sink into a sticky failed state: the Status

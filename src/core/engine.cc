@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/strings.h"
@@ -48,9 +49,14 @@ class PrefilterSession::Impl {
 
   /// `in` == nullptr selects push mode (chunks via Resume); otherwise the
   /// engine pulls from `in` to completion and never suspends.
+  /// `multi_mode` selects the multi-query variant: `out` is null and every
+  /// query's bytes go to its own sink in `query_sinks` (MultiQueryInfo
+  /// order).
   Impl(const RuntimeTables& tables, InputStream* in, OutputSink* out,
        RunStats* stats, const EngineOptions& opts,
-       const SessionCheckpoint* start)
+       const SessionCheckpoint* start, bool multi_mode = false,
+       std::vector<OutputSink*> query_sinks = {},
+       std::vector<QueryRunStats>* query_stats = nullptr)
       : tables_(tables),
         win_(in != nullptr ? in : &feed_, opts.window_capacity,
              start != nullptr ? start->feed_begin() : 0),
@@ -59,7 +65,9 @@ class PrefilterSession::Impl {
         opts_(opts),
         interned_(tables.interned_dispatch),
         suspendable_(in == nullptr),
-        final_input_(in != nullptr) {
+        final_input_(in != nullptr),
+        mq_sinks_(std::move(query_sinks)),
+        mq_qstats_(query_stats) {
     win_.set_evict_fn([this](uint64_t begin, std::string_view data) {
       OnEvict(begin, data);
     });
@@ -78,6 +86,51 @@ class PrefilterSession::Impl {
       visited_.assign(tables_.states.size(), false);
       prolog_done_ = true;
       return;
+    }
+    if (multi_mode || tables_.multi != nullptr) {
+      const MultiQueryInfo* mq = tables_.multi.get();
+      Status bad;
+      if (mq == nullptr) {
+        bad = Status::InvalidArgument(
+            "multi-query session requires product tables");
+      } else if (!multi_mode) {
+        bad = Status::InvalidArgument(
+            "multi-query tables require the per-query-sink session");
+      } else if (!tables_.interned_dispatch) {
+        bad = Status::InvalidArgument(
+            "multi-query tables require interned dispatch");
+      } else if (static_cast<int>(mq_sinks_.size()) != mq->num_queries) {
+        bad = Status::InvalidArgument(
+            "query sink count does not match the compiled query mix");
+      } else if (start != nullptr && !start->mq_copy_depth.empty() &&
+                 (static_cast<int>(start->mq_copy_depth.size()) !=
+                      mq->num_queries ||
+                  start->mq_copy_flushed.size() !=
+                      start->mq_copy_depth.size())) {
+        bad = Status::InvalidArgument(
+            "checkpoint per-query copy state does not match the query mix");
+      } else if (start != nullptr && start->copy_depth > 0 &&
+                 start->mq_copy_depth.empty()) {
+        bad = Status::InvalidArgument(
+            "multi-query checkpoint with active copies needs per-query "
+            "copy state");
+      }
+      if (!bad.ok()) {
+        status_ = bad;
+        visited_.assign(std::max<size_t>(tables_.states.size(), 1), false);
+        prolog_done_ = true;
+        return;
+      }
+      mq_ = mq;
+      const size_t n = static_cast<size_t>(mq->num_queries);
+      mq_matches_.assign(n, 0);
+      if (start != nullptr && !start->mq_copy_depth.empty()) {
+        mq_copy_depth_ = start->mq_copy_depth;
+        mq_copy_flushed_ = start->mq_copy_flushed;
+      } else {
+        mq_copy_depth_.assign(n, 0);
+        mq_copy_flushed_.assign(n, 0);
+      }
     }
     visited_.assign(tables_.states.size(), false);
     if (start != nullptr) {
@@ -112,7 +165,9 @@ class PrefilterSession::Impl {
       // bytes. The flush is clamped to the delivered input -- an initial
       // jump can park the cursor beyond it, and those copy bytes (not yet
       // received) are re-fed to the successor via feed_begin().
-      Status flush = EmitCopiedRange(std::min(cursor_, win_.limit()));
+      const uint64_t end = std::min(cursor_, win_.limit());
+      Status flush = mq_ != nullptr ? FlushAllQueryCopies(end)
+                                    : EmitCopiedRange(end);
       if (!flush.ok()) {
         status_ = flush;
         return status_;
@@ -153,6 +208,10 @@ class PrefilterSession::Impl {
     cp.copy_flushed = copy_flushed_;
     cp.prolog_done = prolog_done_;
     cp.jump_pending = jump_pending_;
+    if (mq_ != nullptr) {
+      cp.mq_copy_depth = mq_copy_depth_;
+      cp.mq_copy_flushed = mq_copy_flushed_;
+    }
     return cp;
   }
 
@@ -160,7 +219,20 @@ class PrefilterSession::Impl {
 
   void FinalizeStats() {
     stats_->input_bytes = win_.bytes_read() - win_.origin();
-    stats_->output_bytes = out_->bytes_written();
+    if (mq_ != nullptr) {
+      uint64_t total = 0;
+      for (OutputSink* s : mq_sinks_) total += s->bytes_written();
+      stats_->output_bytes = total;
+      if (mq_qstats_ != nullptr) {
+        mq_qstats_->assign(mq_sinks_.size(), QueryRunStats{});
+        for (size_t qy = 0; qy < mq_sinks_.size(); ++qy) {
+          (*mq_qstats_)[qy].matches = mq_matches_[qy];
+          (*mq_qstats_)[qy].output_bytes = mq_sinks_[qy]->bytes_written();
+        }
+      }
+    } else {
+      stats_->output_bytes = out_->bytes_written();
+    }
     stats_->window_peak = win_.max_capacity_used();
     stats_->states_visited = 0;
     for (bool v : visited_) {
@@ -182,6 +254,11 @@ class PrefilterSession::Impl {
     uint64_t copy_flushed;
     bool jump_pending;
     RunStats stats;
+    // Multi-query state; the vector assignments reuse capacity, so a safe
+    // point stays allocation-free after the first one.
+    std::vector<int> mq_copy_depth;
+    std::vector<uint64_t> mq_copy_flushed;
+    std::vector<uint64_t> mq_matches;
   };
 
   /// True when running in push mode and more chunks may still arrive --
@@ -206,6 +283,11 @@ class PrefilterSession::Impl {
       snap_.copy_flushed = copy_flushed_;
       snap_.jump_pending = jump_pending_;
       snap_.stats = *stats_;
+      if (mq_ != nullptr) {
+        snap_.mq_copy_depth = mq_copy_depth_;
+        snap_.mq_copy_flushed = mq_copy_flushed_;
+        snap_.mq_matches = mq_matches_;
+      }
     }
   }
 
@@ -217,12 +299,30 @@ class PrefilterSession::Impl {
     copy_flushed_ = snap_.copy_flushed;
     jump_pending_ = snap_.jump_pending;
     *stats_ = snap_.stats;
+    if (mq_ != nullptr) {
+      mq_copy_depth_ = snap_.mq_copy_depth;
+      mq_copy_flushed_ = snap_.mq_copy_flushed;
+      mq_matches_ = snap_.mq_matches;
+    }
   }
 
   // Incremental flush of the active copy region when the window slides.
   void OnEvict(uint64_t begin, std::string_view data) {
     if (copy_depth_ == 0) return;
     uint64_t end = begin + data.size();
+    if (mq_ != nullptr) {
+      for (size_t qy = 0; qy < mq_copy_depth_.size(); ++qy) {
+        if (mq_copy_depth_[qy] == 0 || end <= mq_copy_flushed_[qy]) continue;
+        uint64_t from = std::max(begin, mq_copy_flushed_[qy]);
+        Status s = mq_sinks_[qy]->Append(
+            data.substr(static_cast<size_t>(from - begin),
+                        static_cast<size_t>(end - from)));
+        if (!s.ok() && status_.ok()) status_ = s;
+        mq_copy_flushed_[qy] = end;
+      }
+      RecomputeMqCopyFlushed(end);
+      return;
+    }
     if (end <= copy_flushed_) return;
     uint64_t from = std::max(begin, copy_flushed_);
     Status s = out_->Append(
@@ -246,6 +346,46 @@ class PrefilterSession::Impl {
     return Emit(view.substr(0, static_cast<size_t>(end - from)));
   }
 
+  /// Per-query EmitCopiedRange: flushes the still-buffered tail of query
+  /// qy's active copy region into its own sink. The lower clamp to
+  /// win_.base() keeps a safe-point rollback from re-emitting bytes an
+  /// eviction already pushed out (exactly as in the aggregate path).
+  Status EmitCopiedRangeFor(size_t qy, uint64_t end) {
+    if (end <= mq_copy_flushed_[qy]) return Status::Ok();
+    uint64_t from = std::max(mq_copy_flushed_[qy], win_.base());
+    std::string_view view = win_.View(from, static_cast<size_t>(end - from));
+    if (view.size() < end - from) {
+      return Status::Internal("copy region not resident");
+    }
+    mq_copy_flushed_[qy] = end;
+    return mq_sinks_[qy]->Append(
+        view.substr(0, static_cast<size_t>(end - from)));
+  }
+
+  /// Flushes every actively-copying query up to `end` (suspension
+  /// hand-off), then re-establishes the aggregate invariant.
+  Status FlushAllQueryCopies(uint64_t end) {
+    for (size_t qy = 0; qy < mq_copy_depth_.size(); ++qy) {
+      if (mq_copy_depth_[qy] == 0) continue;
+      SMPX_RETURN_IF_ERROR(EmitCopiedRangeFor(qy, end));
+    }
+    RecomputeMqCopyFlushed(end);
+    return Status::Ok();
+  }
+
+  /// Aggregate invariant on multi-query sessions: copy_flushed_ is the
+  /// minimum flushed position over actively-copying queries (so
+  /// SessionCheckpoint::feed_begin and shard hand-off checks work
+  /// unchanged); `fallback` when no query is copying.
+  void RecomputeMqCopyFlushed(uint64_t fallback) {
+    uint64_t mn = std::numeric_limits<uint64_t>::max();
+    for (size_t qy = 0; qy < mq_copy_depth_.size(); ++qy) {
+      if (mq_copy_depth_[qy] > 0) mn = std::min(mn, mq_copy_flushed_[qy]);
+    }
+    copy_flushed_ = mn == std::numeric_limits<uint64_t>::max() ? fallback
+                                                               : mn;
+  }
+
   Step Drive();
   bool SkipProlog();
   uint64_t SkipPast(uint64_t from, std::string_view term);
@@ -257,6 +397,22 @@ class PrefilterSession::Impl {
                      int close_state);
   Status ApplyAction(int state, uint64_t tag_begin, uint64_t tag_end,
                      bool closing, bool bachelor);
+  Status ApplyMulti(int state, uint64_t tag_begin, uint64_t tag_end,
+                    bool closing, bool bachelor, int suppress_open_state);
+
+  /// Attributes this accepted transition to every query that moved on the
+  /// entered product state's token (QueryRunStats::matches).
+  void BumpQueryMatches(int state) {
+    const uint64_t* moved = mq_->MaskAt(mq_->moved, state);
+    for (int w = 0; w < mq_->words; ++w) {
+      uint64_t bits = moved[w];
+      while (bits != 0) {
+        ++mq_matches_[static_cast<size_t>(w) * 64 +
+                      static_cast<size_t>(__builtin_ctzll(bits))];
+        bits &= bits - 1;
+      }
+    }
+  }
 
   /// Common tail of the false-match returns: a scan that ran into the end
   /// of a non-final chunk may just be truncated, so suspend instead of
@@ -290,6 +446,17 @@ class PrefilterSession::Impl {
   Snapshot snap_;
   Status status_;
   std::vector<bool> visited_;
+
+  // Multi-query mode (mq_ non-null): per-query sinks, copy regions, and
+  // match counters. The aggregate copy_depth_ above counts the actively
+  // copying queries, so every copy_depth_ == 0 check (hand-off cleanliness,
+  // evict short-circuit) keeps its meaning.
+  const MultiQueryInfo* mq_ = nullptr;
+  std::vector<OutputSink*> mq_sinks_;
+  std::vector<QueryRunStats>* mq_qstats_ = nullptr;
+  std::vector<int> mq_copy_depth_;
+  std::vector<uint64_t> mq_copy_flushed_;
+  std::vector<uint64_t> mq_matches_;
 
   void MarkVisited() {
     if (!visited_[static_cast<size_t>(q_)]) {
@@ -469,6 +636,115 @@ Status PrefilterSession::Impl::ApplyAction(int state, uint64_t tag_begin,
   return Status::Ok();
 }
 
+/// Per-query mirror of ApplyAction over the product state's action masks:
+/// each query set in a mask performs its own action against its own sink
+/// and copy region. Masks are mutually exclusive per query (a component
+/// contributes exactly one action per state), so the per-mask loops never
+/// touch the same query twice. `suppress_open_state` >= 0 marks the close
+/// half of a bachelor pair: queries whose opening action already emitted
+/// the "<name/>" form skip the duplicate "</name>" (the single-query
+/// engine's bachelor suppression, per query).
+Status PrefilterSession::Impl::ApplyMulti(int state, uint64_t tag_begin,
+                                          uint64_t tag_end, bool closing,
+                                          bool bachelor,
+                                          int suppress_open_state) {
+  const MultiQueryInfo& mq = *mq_;
+  const DfaState& st = tables_.states[static_cast<size_t>(state)];
+  const int words = mq.words;
+  const uint64_t* copy_tag = mq.MaskAt(mq.copy_tag, state);
+  const uint64_t* copy_tag_atts = mq.MaskAt(mq.copy_tag_atts, state);
+  const uint64_t* copy_on = mq.MaskAt(mq.copy_on, state);
+  const uint64_t* copy_off = mq.MaskAt(mq.copy_off, state);
+  const uint64_t* sup_open = nullptr;
+  if (suppress_open_state >= 0) {
+    // Suppression needs "open action was kCopyTag/kCopyTagAtts"; fold the
+    // two masks up front.
+    sup_open = mq.MaskAt(mq.copy_tag, suppress_open_state);
+  }
+  const uint64_t* sup_open_atts =
+      suppress_open_state >= 0
+          ? mq.MaskAt(mq.copy_tag_atts, suppress_open_state)
+          : nullptr;
+
+  // Pass 1: copy-tag emissions. The raw-tag view is fetched at most once;
+  // passes are separated because the copy-off pass below may refill the
+  // window (EmitCopiedRangeFor) and invalidate it.
+  std::string_view raw;
+  bool raw_fetched = false;
+  for (int w = 0; w < words; ++w) {
+    uint64_t bits = copy_tag[w] | copy_tag_atts[w];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      const size_t qy =
+          static_cast<size_t>(w) * 64 + static_cast<size_t>(bit);
+      const uint64_t qbit = 1ull << bit;
+      if (mq_copy_depth_[qy] > 0) continue;  // inside this query's copy
+      if (closing) {
+        if (sup_open != nullptr && (copy_tag[w] & qbit) != 0 &&
+            ((sup_open[w] | sup_open_atts[w]) & qbit) != 0) {
+          // Bachelor pair: this query's opening action already emitted
+          // "<name/>"; suppress the duplicate "</name>".
+          continue;
+        }
+        SMPX_RETURN_IF_ERROR(mq_sinks_[qy]->Append(st.emit_tag));
+        continue;
+      }
+      if ((copy_tag_atts[w] & qbit) != 0) {
+        if (!raw_fetched) {
+          raw = win_.View(tag_begin,
+                          static_cast<size_t>(tag_end + 1 - tag_begin));
+          if (raw.size() < tag_end + 1 - tag_begin) {
+            return Status::Internal("tag bytes not resident for copy");
+          }
+          raw = raw.substr(0, static_cast<size_t>(tag_end + 1 - tag_begin));
+          raw_fetched = true;
+        }
+        SMPX_RETURN_IF_ERROR(mq_sinks_[qy]->Append(raw));
+        continue;
+      }
+      SMPX_RETURN_IF_ERROR(
+          mq_sinks_[qy]->Append(bachelor ? st.emit_bachelor : st.emit_tag));
+    }
+  }
+  // Pass 2: copy-on.
+  for (int w = 0; w < words; ++w) {
+    uint64_t bits = copy_on[w];
+    while (bits != 0) {
+      const size_t qy = static_cast<size_t>(w) * 64 +
+                        static_cast<size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      if (mq_copy_depth_[qy]++ == 0) {
+        mq_copy_flushed_[qy] = tag_begin;
+        if (copy_depth_++ == 0 || tag_begin < copy_flushed_) {
+          copy_flushed_ = tag_begin;
+        }
+      }
+    }
+  }
+  // Pass 3: copy-off.
+  for (int w = 0; w < words; ++w) {
+    uint64_t bits = copy_off[w];
+    while (bits != 0) {
+      const size_t qy = static_cast<size_t>(w) * 64 +
+                        static_cast<size_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      if (mq_copy_depth_[qy] == 0) {
+        // Defensive: unmatched copy-off (possible only on invalid input);
+        // emit the closing tag so output nesting stays balanced.
+        SMPX_RETURN_IF_ERROR(mq_sinks_[qy]->Append(st.emit_tag));
+        continue;
+      }
+      if (--mq_copy_depth_[qy] == 0) {
+        SMPX_RETURN_IF_ERROR(EmitCopiedRangeFor(qy, tag_end + 1));
+        --copy_depth_;
+        RecomputeMqCopyFlushed(tag_end + 1);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 /// Common tail of both match handlers: performs the state transition(s) and
 /// copy actions for an accepted tag.
 Status PrefilterSession::Impl::FinishMatch(uint64_t pos, uint64_t tag_end,
@@ -491,6 +767,25 @@ Status PrefilterSession::Impl::FinishMatch(uint64_t pos, uint64_t tag_end,
   q_ = next_state;
   nesting_depth_ = 0;
   MarkVisited();
+  if (mq_ != nullptr) {
+    BumpQueryMatches(q_);
+    SMPX_RETURN_IF_ERROR(ApplyMulti(q_, pos, tag_end, closing, bachelor,
+                                    /*suppress_open_state=*/-1));
+    if (bachelor) {
+      // Fire the closing transition too; the product's bachelor successor
+      // moves exactly the opening transition's components (see
+      // MultiQueryInfo::bachelor_close).
+      const int open_state = q_;
+      q_ = close_state;
+      nesting_depth_ = 0;
+      MarkVisited();
+      SMPX_RETURN_IF_ERROR(ApplyMulti(q_, pos, tag_end, /*closing=*/true,
+                                      /*bachelor=*/false, open_state));
+    }
+    cursor_ = tag_end + 1;
+    jump_pending_ = true;
+    return Status::Ok();
+  }
   SMPX_RETURN_IF_ERROR(ApplyAction(q_, pos, tag_end, closing, bachelor));
   if (bachelor) {
     // Fire the closing transition too (paper Fig. 4, bachelor case).
@@ -644,12 +939,21 @@ Status PrefilterSession::Impl::HandleMatch(uint64_t pos, int* result) {
   *result = kAccepted;
 
   // For bachelor tags, resolve the closing transition now; the interned id
-  // makes this a single array load even after window refills.
+  // makes this a single array load even after window refills. Multi-query
+  // products resolve through the precomputed bachelor successor instead:
+  // the regular close edge would also move components that did NOT take
+  // the opening transition, but an idle component's independent run never
+  // sees the synthetic close inside "<name/>".
   int close_state = -1;
   if (!counted_tag && bachelor) {
-    const DfaState& opened =
-        tables_.states[static_cast<size_t>(next_state)];
-    close_state = opened.close_next_id[static_cast<size_t>(id)];
+    if (mq_ != nullptr) {
+      close_state =
+          mq_->bachelor_close[static_cast<size_t>(next_state)];
+    } else {
+      const DfaState& opened =
+          tables_.states[static_cast<size_t>(next_state)];
+      close_state = opened.close_next_id[static_cast<size_t>(id)];
+    }
     if (close_state < 0) {
       std::string_view nm =
           win_.View(pos + name_rel, name_len).substr(0, name_len);
@@ -888,6 +1192,16 @@ PrefilterSession::PrefilterSession(const RuntimeTables& tables,
                                    const EngineOptions& opts,
                                    const SessionCheckpoint* start)
     : impl_(new Impl(tables, /*in=*/nullptr, out, stats, opts, start)) {}
+
+PrefilterSession::PrefilterSession(const RuntimeTables& tables,
+                                   std::vector<OutputSink*> query_sinks,
+                                   std::vector<QueryRunStats>* query_stats,
+                                   RunStats* stats,
+                                   const EngineOptions& opts,
+                                   const SessionCheckpoint* start)
+    : impl_(new Impl(tables, /*in=*/nullptr, /*out=*/nullptr, stats, opts,
+                     start, /*multi_mode=*/true, std::move(query_sinks),
+                     query_stats)) {}
 
 PrefilterSession::~PrefilterSession() = default;
 

@@ -61,6 +61,15 @@ struct RunStats {
   }
 };
 
+/// Per-query slice of a multi-query session's result statistics. The
+/// aggregate RunStats of a multi-query run counts the shared scan work
+/// (searches, jumps, scan chars) once; matches and output bytes are
+/// attributed per query here.
+struct QueryRunStats {
+  uint64_t matches = 0;       ///< accepted transitions this query took
+  uint64_t output_bytes = 0;  ///< bytes emitted into this query's sink
+};
+
 struct EngineOptions {
   /// Sliding window capacity; the paper uses 8x the system page size.
   size_t window_capacity = SlidingWindow::kDefaultCapacity;
@@ -103,6 +112,15 @@ struct SessionCheckpoint {
   /// initial state while the prolog is still being skipped).
   bool jump_pending = false;
 
+  /// Multi-query sessions only: per-unique-query copy depths and flushed
+  /// positions. Empty means all-zero (e.g. at a clean top-level boundary,
+  /// where no query is copying). The aggregate fields above remain valid
+  /// on multi-query checkpoints -- copy_depth counts the actively copying
+  /// queries and copy_flushed is the minimum flushed position over them --
+  /// so shard verification logic compares checkpoints unchanged.
+  std::vector<int> mq_copy_depth;
+  std::vector<uint64_t> mq_copy_flushed;
+
   /// Absolute offset a successor session must be fed from. Normally the
   /// cursor; inside an active copy region the emitted prefix may lag
   /// behind it (an initial jump taken past the end of the delivered input
@@ -141,6 +159,22 @@ class PrefilterSession {
   /// and `stats` must outlive the session; `stats` may be null.
   PrefilterSession(const RuntimeTables& tables, OutputSink* out,
                    RunStats* stats, const EngineOptions& opts = {},
+                   const SessionCheckpoint* start = nullptr);
+
+  /// Multi-query session over product tables (`tables.multi` non-null,
+  /// interned dispatch only): one sink per unique query, in MultiQueryInfo
+  /// order. Each query's bytes go exclusively to its own sink, and each
+  /// query's output is byte-identical to an independent single-query run.
+  /// `query_stats` (may be null) receives per-query matches/output_bytes
+  /// on FinalizeStats; the aggregate `stats` counts shared scan work once,
+  /// with output_bytes summed over all sinks. Constructing with the
+  /// single-sink constructor above on multi tables -- or with this one on
+  /// single-query tables or a sink count != num_queries -- makes the
+  /// session inert with an InvalidArgument status.
+  PrefilterSession(const RuntimeTables& tables,
+                   std::vector<OutputSink*> query_sinks,
+                   std::vector<QueryRunStats>* query_stats, RunStats* stats,
+                   const EngineOptions& opts = {},
                    const SessionCheckpoint* start = nullptr);
   ~PrefilterSession();
 

@@ -18,15 +18,17 @@ using dtd::DtdAutomaton;
 
 constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
 
+}  // namespace
+
 /// Computes J[q] for one DFA state: the minimum, over all documents valid
 /// w.r.t. the DTD and all member NFA states, of the number of characters
 /// between the cursor (just past the matched tag) and the first possible
 /// occurrence of any keyword in V[q]. Multi-source Dijkstra over the full
 /// DTD-automaton; skipped elements cost their minimal serialization
 /// (bachelor form when nullable), skipped closing tags cost `</t>`.
-uint64_t ComputeJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
-                     const std::vector<int>& members,
-                     const std::set<int>& vocab_tokens) {
+uint64_t ComputeStateJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
+                          const std::vector<int>& members,
+                          const std::set<int>& vocab_tokens) {
   std::vector<uint64_t> dist(static_cast<size_t>(aut.num_states()), kInf);
   using Entry = std::pair<uint64_t, int>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
@@ -149,8 +151,6 @@ std::vector<int> ComputeBoundaryStates(const DtdAutomaton& aut,
   }
   return out;
 }
-
-}  // namespace
 
 TagInterner::TagInterner(const std::vector<std::string>& names) {
   for (const std::string& n : names) {
@@ -326,8 +326,12 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     }
 
     if (opts.enable_initial_jumps && !state.keywords.empty()) {
-      state.jump = ComputeJump(aut, &ms, subsets[q], vocab_tokens);
+      state.jump = ComputeStateJump(aut, &ms, subsets[q], vocab_tokens);
     }
+
+    // Retained for the multi-query product compiler (see DfaState doc).
+    state.subset_members = subsets[q];
+    state.vocab_tokens.assign(vocab_tokens.begin(), vocab_tokens.end());
   }
 
   if (opts.shared_vocabulary) {
@@ -474,6 +478,24 @@ uint64_t RuntimeTables::Fingerprint() const {
   }
   put_u64(boundary_states.size());
   for (int b : boundary_states) put_u64(static_cast<uint64_t>(b));
+  if (multi != nullptr) {
+    // Multi-query product tables: per-query semantics live in the masks,
+    // so checkpoints against a product must never validate against a
+    // single-query build (or a different mix) and vice versa.
+    canon.append("multi");
+    put_u64(static_cast<uint64_t>(multi->num_queries));
+    put_u64(static_cast<uint64_t>(multi->words));
+    for (const std::vector<uint64_t>* m :
+         {&multi->moved, &multi->copy_tag, &multi->copy_tag_atts,
+          &multi->copy_on, &multi->copy_off}) {
+      put_u64(m->size());
+      for (uint64_t w : *m) put_u64(w);
+    }
+    put_u64(multi->bachelor_close.size());
+    for (int32_t b : multi->bachelor_close) {
+      put_u64(static_cast<uint64_t>(static_cast<int64_t>(b)));
+    }
+  }
   return Hash64(canon);
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,10 @@
 #include "core/selection.h"
 #include "dtd/dtd_automaton.h"
 #include "strmatch/matcher.h"
+
+namespace smpx::dtd {
+class MinSerial;
+}  // namespace smpx::dtd
 
 namespace smpx::core {
 
@@ -112,6 +117,46 @@ struct DfaState {
   /// region; the engine balances <entry_name>/</entry_name> occurrences and
   /// only takes the closing transition when the balance returns to zero.
   bool count_nesting = false;
+
+  // Retained build analysis, consumed by the multi-query product compiler
+  // (query::MultiQuery): the DTD-automaton member states of this subset and
+  // the token ids of the frontier vocabulary. A product state's sound
+  // initial jump is recomputed from the UNION of its non-final components'
+  // members and vocabularies (taking the min of the component jumps is
+  // unsound: an idle component may have entered its state at an earlier
+  // cursor, so its jump window can already be spent).
+  std::vector<int> subset_members;
+  std::vector<int> vocab_tokens;
+};
+
+/// Per-query action data of a multi-query product DFA (attached by
+/// query::MultiQuery::Compile): for every product state, bitmasks over the
+/// unique queries saying which components moved on the state's entry token
+/// and which per-query action fires on entry. Masks are `words` uint64_t
+/// each, flattened per state (state q's word w sits at q * words + w), so
+/// any number of queries works without per-state allocation. The shared
+/// product action (DfaState::action) is always kNop on multi tables; the
+/// engine applies the per-query actions from these masks instead.
+struct MultiQueryInfo {
+  int num_queries = 0;  ///< unique queries after equivalence collapse
+  int words = 0;        ///< ceil(num_queries / 64) mask words per state
+  std::vector<uint64_t> moved;          ///< components that took the token
+  std::vector<uint64_t> copy_tag;      ///< per-query Action::kCopyTag
+  std::vector<uint64_t> copy_tag_atts; ///< per-query Action::kCopyTagAtts
+  std::vector<uint64_t> copy_on;       ///< per-query Action::kCopyOn
+  std::vector<uint64_t> copy_off;      ///< per-query Action::kCopyOff
+  /// Product state taken when an open-entry state's tag turns out to be a
+  /// bachelor "<t/>": moves EXACTLY the components in `moved` through their
+  /// closing transition. Idle components must not move -- their independent
+  /// runs never see the synthetic close inside "<t/>" because the keyword
+  /// is not in their vocabulary. -1 when some moved component has no
+  /// closing transition (a runtime ParseError, mirroring the single-query
+  /// engine) or for close-entry / initial states.
+  std::vector<int32_t> bachelor_close;
+
+  const uint64_t* MaskAt(const std::vector<uint64_t>& flat, int state) const {
+    return flat.data() + static_cast<size_t>(state) * words;
+  }
 };
 
 /// The complete set of runtime tables; self-contained (the DTD-automaton
@@ -138,6 +183,11 @@ struct RuntimeTables {
   /// are repaired by the verification pass). Empty only for hand-built
   /// tables or childless roots.
   std::vector<int> boundary_states;
+
+  /// Non-null iff these are multi-query product tables (see MultiQueryInfo).
+  /// Shared because RuntimeTables moves/copies around freely and the info
+  /// is immutable after construction.
+  std::shared_ptr<const MultiQueryInfo> multi;
 
   // Report metadata (paper Table I "States (CW + BM)").
   size_t num_cw_states = 0;   ///< states with |V| > 1
@@ -199,6 +249,21 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
                                   const Selection& sel,
                                   const SubgraphAutomaton& sub,
                                   const TableOptions& opts = {});
+
+/// J-computation for one runtime state: the minimum, over all DTD-valid
+/// documents and all member NFA states, of the characters between the
+/// cursor and the first possible keyword occurrence. Public so the
+/// multi-query product compiler can recompute sound jumps for merged
+/// states (union of members, union of vocabularies).
+uint64_t ComputeStateJump(const dtd::DtdAutomaton& aut, dtd::MinSerial* ms,
+                          const std::vector<int>& members,
+                          const std::set<int>& vocab_tokens);
+
+/// Static boundary-state analysis over arbitrary runtime tables (see
+/// RuntimeTables::boundary_states). Public so the multi-query product
+/// compiler can run it over the merged DFA.
+std::vector<int> ComputeBoundaryStates(const dtd::DtdAutomaton& aut,
+                                       const RuntimeTables& tables);
 
 }  // namespace smpx::core
 

@@ -32,6 +32,11 @@ Result<BoundaryIndex> BoundaryIndex::Build(const core::RuntimeTables& tables,
   if (tables.states.empty()) {
     return Status::InvalidArgument("empty runtime tables");
   }
+  if (tables.multi != nullptr) {
+    return Status::Unsupported(
+        "boundary indexing over multi-query product tables is not supported; "
+        "index each query's single-query tables instead");
+  }
   BoundaryIndex idx;
   idx.doc_size_ = doc.size();
   idx.doc_digest_ = Hash64(doc);

@@ -188,4 +188,61 @@ Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
   return commit.status();
 }
 
+Status MultiQueryStreamRun(const core::RuntimeTables& tables,
+                           const InputSource& src,
+                           const std::vector<OutputSink*>& query_sinks,
+                           std::vector<core::QueryRunStats>* query_stats,
+                           core::RunStats* stats, const StreamOptions& opts) {
+  if (tables.multi == nullptr) {
+    return Status::InvalidArgument(
+        "MultiQueryStreamRun needs multi-query product tables");
+  }
+  std::vector<core::QueryRunStats> local_qstats;
+  core::PrefilterSession session(
+      tables, query_sinks, query_stats != nullptr ? query_stats : &local_qstats,
+      stats, opts.engine);
+  const size_t chunk = std::max<size_t>(1, opts.chunk_bytes);
+  std::vector<char> buf(chunk);
+  const uint64_t total = src.size();
+  uint64_t offset = 0;
+  while (offset < total && !session.finished()) {
+    auto n = src.ReadAt(offset, buf.data(), buf.size());
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // defensive: source shorter than advertised
+    SMPX_RETURN_IF_ERROR(session.Resume(std::string_view(buf.data(), *n)));
+    offset += *n;
+  }
+  if (session.finished()) {
+    session.FinalizeStats();
+    return Status::Ok();
+  }
+  return session.Finish();
+}
+
+std::vector<Status> MultiQueryBatchRunStreaming(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<std::vector<OutputSink*>>& sinks,
+    std::vector<std::vector<core::QueryRunStats>>* query_stats,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts) {
+  std::vector<Status> statuses(docs.size());
+  if (sinks.size() != docs.size()) {
+    statuses.assign(docs.size(), Status::InvalidArgument(
+                                     "one sink set per document required"));
+    return statuses;
+  }
+  if (stats != nullptr) stats->assign(docs.size(), core::RunStats{});
+  if (query_stats != nullptr) {
+    query_stats->assign(docs.size(), std::vector<core::QueryRunStats>{});
+  }
+  pool->RunAndWait(docs.size(), [&](size_t i) {
+    statuses[i] = MultiQueryStreamRun(
+        tables, *docs[i], sinks[i],
+        query_stats != nullptr ? &(*query_stats)[i] : nullptr,
+        stats != nullptr ? &(*stats)[i] : nullptr, opts);
+  });
+  return statuses;
+}
+
 }  // namespace smpx::parallel

@@ -126,6 +126,33 @@ Status BatchRunStreamingMerged(const core::RuntimeTables& tables,
                                ThreadPool* pool,
                                const StreamOptions& opts = {});
 
+/// Streaming single-document run over multi-query product tables
+/// (`tables.multi` set): pulls `src` through one multi-query session in
+/// bounded chunks, writing each unique query's projection to its own sink
+/// (`query_sinks` in MultiQueryInfo order). Every query's output is
+/// byte-identical to its independent single-query serial run.
+/// `query_stats` (may be null) receives per-unique-query totals.
+Status MultiQueryStreamRun(const core::RuntimeTables& tables,
+                           const InputSource& src,
+                           const std::vector<OutputSink*>& query_sinks,
+                           std::vector<core::QueryRunStats>* query_stats,
+                           core::RunStats* stats,
+                           const StreamOptions& opts = {});
+
+/// Streaming batch over multi-query tables: one MultiQueryStreamRun per
+/// document, concurrently on `pool`; `sinks[i]` holds document i's
+/// per-unique-query sinks (written from pool threads but never shared).
+/// Per-document statuses in input order; `query_stats` (may be null)
+/// receives per-document per-query totals. Must not be called from a pool
+/// thread.
+std::vector<Status> MultiQueryBatchRunStreaming(
+    const core::RuntimeTables& tables,
+    const std::vector<const InputSource*>& docs,
+    const std::vector<std::vector<OutputSink*>>& sinks,
+    std::vector<std::vector<core::QueryRunStats>>* query_stats,
+    std::vector<core::RunStats>* stats, ThreadPool* pool,
+    const StreamOptions& opts = {});
+
 }  // namespace smpx::parallel
 
 #endif  // SMPX_PARALLEL_BATCH_H_

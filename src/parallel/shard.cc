@@ -452,26 +452,53 @@ void SpeculativeResolver::RunSegment(size_t k,
   eopts.mark_start_state_visited = mark_start;
   eopts.cancel = cancel;
   CountingSink counter;
-  OutputSink* out = &counter;
-  if (opts_.capture_output) {
-    r->sink = std::make_unique<SpillSink>(opts_.max_buffer_bytes != 0
-                                              ? opts_.max_buffer_bytes
-                                              : SpillSink::kUnlimited,
-                                          opts_.arena);
-    out = r->sink.get();
-  }
-  core::PrefilterSession session(tables_, out, &r->stats, eopts, start);
-  r->status = session.Resume(doc_.substr(static_cast<size_t>(begin),
-                                         static_cast<size_t>(end - begin)));
-  if (r->status.ok() && k + 1 == n && !session.finished()) {
-    r->status = session.Finish();
+  std::vector<CountingSink> mq_counters;
+  std::unique_ptr<core::PrefilterSession> session;
+  if (tables_.multi != nullptr) {
+    // Multi-query product tables: one budget-bounded segment per unique
+    // query; the aggregate budget is split evenly across the queries.
+    const size_t m = static_cast<size_t>(tables_.multi->num_queries);
+    const size_t per_query =
+        opts_.max_buffer_bytes != 0
+            ? std::max<size_t>(opts_.max_buffer_bytes / m, 1)
+            : SpillSink::kUnlimited;
+    std::vector<OutputSink*> outs(m);
+    if (opts_.capture_output) {
+      r->mq_sinks.reserve(m);
+      for (size_t u = 0; u < m; ++u) {
+        r->mq_sinks.push_back(
+            std::make_unique<SpillSink>(per_query, opts_.arena));
+        outs[u] = r->mq_sinks.back().get();
+      }
+    } else {
+      mq_counters.resize(m);
+      for (size_t u = 0; u < m; ++u) outs[u] = &mq_counters[u];
+    }
+    session = std::make_unique<core::PrefilterSession>(
+        tables_, std::move(outs), &r->mq_stats, &r->stats, eopts, start);
   } else {
-    session.FinalizeStats();
+    OutputSink* out = &counter;
+    if (opts_.capture_output) {
+      r->sink = std::make_unique<SpillSink>(opts_.max_buffer_bytes != 0
+                                                ? opts_.max_buffer_bytes
+                                                : SpillSink::kUnlimited,
+                                            opts_.arena);
+      out = r->sink.get();
+    }
+    session = std::make_unique<core::PrefilterSession>(tables_, out,
+                                                       &r->stats, eopts, start);
   }
-  r->finished = session.finished();
-  r->exit = session.checkpoint();
-  r->clean = session.drained_cleanly();
-  r->visited = session.visited();
+  r->status = session->Resume(doc_.substr(static_cast<size_t>(begin),
+                                          static_cast<size_t>(end - begin)));
+  if (r->status.ok() && k + 1 == n && !session->finished()) {
+    r->status = session->Finish();
+  } else {
+    session->FinalizeStats();
+  }
+  r->finished = session->finished();
+  r->exit = session->checkpoint();
+  r->clean = session->drained_cleanly();
+  r->visited = session->visited();
   r->read_end = begin + r->stats.input_bytes;
 }
 
@@ -508,6 +535,7 @@ void SpeculativeResolver::KillLocked(Attempt* a) {
     // Completed before it lost: reclaim its buffer/spill right away. A
     // still-running one frees itself in AttemptTask when it stops.
     a->result.sink.reset();
+    a->result.mq_sinks.clear();
     a->result.visited.clear();
   }
 }
@@ -542,6 +570,7 @@ void SpeculativeResolver::AttemptTask(size_t idx) {
   if (a.result.status.code() == StatusCode::kCancelled) ++report_.killed;
   if (a.loser) {
     a.result.sink.reset();
+    a.result.mq_sinks.clear();
     a.result.visited.clear();
   }
   a.done = true;
@@ -716,6 +745,10 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
   if (tables.states.empty()) {
     return Status::InvalidArgument("empty runtime tables");
   }
+  if (tables.multi != nullptr) {
+    return Status::InvalidArgument(
+        "multi-query tables need MultiQueryShardedRun (one sink per query)");
+  }
   size_t max_shards =
       opts.max_shards != 0 ? opts.max_shards
                            : static_cast<size_t>(std::max(1, pool->size()));
@@ -786,6 +819,120 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       // re-run hand-offs re-read their predecessor's overlap tail (counted
       // once), and initial jumps across a boundary leave a gap the serial
       // stream would have read and discarded (counted for parity).
+      ShardResult& r = resolver.result(k);
+      r.stats.input_bytes =
+          r.read_end > read_end ? r.read_end - read_end : 0;
+      read_end = std::max(read_end, r.read_end);
+      MergeRunStats(stats, r.stats);
+      if (visited.empty()) visited = r.visited;
+      for (size_t i = 0; i < r.visited.size(); ++i) {
+        if (r.visited[i]) visited[i] = true;
+      }
+    }
+    stats->states_visited = 0;
+    for (bool v : visited) {
+      if (v) ++stats->states_visited;
+    }
+  }
+  return final_status;
+}
+
+Status MultiQueryShardedRun(const core::RuntimeTables& tables,
+                            std::string_view doc,
+                            const std::vector<OutputSink*>& query_sinks,
+                            std::vector<core::QueryRunStats>* query_stats,
+                            core::RunStats* stats, ThreadPool* pool,
+                            const ShardOptions& opts, ShardReport* report) {
+  if (tables.states.empty()) {
+    return Status::InvalidArgument("empty runtime tables");
+  }
+  if (tables.multi == nullptr) {
+    return Status::InvalidArgument(
+        "MultiQueryShardedRun needs multi-query product tables");
+  }
+  const size_t m = static_cast<size_t>(tables.multi->num_queries);
+  if (query_sinks.size() != m) {
+    return Status::InvalidArgument(
+        "multi-query sharded run needs one sink per unique query (" +
+        std::to_string(m) + "), got " + std::to_string(query_sinks.size()));
+  }
+  size_t max_shards =
+      opts.max_shards != 0 ? opts.max_shards
+                           : static_cast<size_t>(std::max(1, pool->size()));
+  std::vector<uint64_t> bounds;
+  if (max_shards > 1) {
+    bounds = pool->size() > 1
+                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool)
+                 : FindTopLevelBoundaries(doc, max_shards - 1);
+  }
+
+  SpeculativeResolver::Options ropts;
+  ropts.max_candidate_states = opts.max_candidate_states;
+  ropts.max_buffer_bytes = opts.max_buffer_bytes;
+  ropts.engine = opts.engine;
+  SpillArena arena;
+  ropts.arena = &arena;
+  SpeculativeResolver resolver(tables, doc, bounds, ropts);
+  const size_t n = resolver.segments();
+  resolver.LaunchWave(pool);
+
+  // Same sequential verification as ShardedRun, but each query owns its
+  // own ordered-commit frontier: the moment a segment's entry is verified,
+  // its per-query SpillSinks stream into the respective query sinks and
+  // are freed. Per-query matches accumulate from the resolved segments
+  // only -- exactly the segments the serial run would have executed.
+  std::vector<std::unique_ptr<OrderedCommitSink>> commits;
+  commits.reserve(m);
+  for (size_t u = 0; u < m; ++u) {
+    commits.push_back(std::make_unique<OrderedCommitSink>(query_sinks[u], n));
+  }
+  std::vector<core::QueryRunStats> totals(m);
+  Status commit_status;
+  Status final_status;
+  size_t produced = n;
+  for (size_t k = 0; commit_status.ok() && k < n; ++k) {
+    if (k > 0) {
+      ShardResult& prev = resolver.result(k - 1);
+      if (!prev.status.ok()) {
+        final_status = prev.status;
+        produced = k;
+        break;
+      }
+      if (prev.finished) {
+        produced = k;  // serial run ends here; later bytes are ignored
+        break;
+      }
+    }
+    ShardResult& r = resolver.Resolve(k);
+    for (size_t u = 0; u < m && u < r.mq_stats.size(); ++u) {
+      totals[u].matches += r.mq_stats[u].matches;
+      totals[u].output_bytes += r.mq_stats[u].output_bytes;
+    }
+    for (size_t u = 0; u < m; ++u) {
+      std::unique_ptr<SpillSink> seg;
+      if (u < r.mq_sinks.size()) seg = std::move(r.mq_sinks[u]);
+      Status s = commits[u]->Install(k, std::move(seg));
+      if (commit_status.ok() && !s.ok()) commit_status = s;
+    }
+  }
+  resolver.Abort();
+  if (!commit_status.ok()) {
+    if (report != nullptr) *report = resolver.report();
+    return commit_status;
+  }
+  if (produced < n) {
+    for (size_t u = 0; u < m; ++u) commits[u]->Truncate(produced);
+  }
+  if (final_status.ok() && produced == n &&
+      !resolver.result(n - 1).status.ok()) {
+    final_status = resolver.result(n - 1).status;
+  }
+  if (report != nullptr) *report = resolver.report();
+  if (query_stats != nullptr) *query_stats = std::move(totals);
+  if (stats != nullptr) {
+    std::vector<bool> visited;
+    uint64_t read_end = 0;
+    for (size_t k = 0; k < produced; ++k) {
       ShardResult& r = resolver.result(k);
       r.stats.input_bytes =
           r.read_end > read_end ? r.read_end - read_end : 0;

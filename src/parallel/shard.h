@@ -102,8 +102,15 @@ struct ShardReport {
 /// engine's checkpoint at the segment's end offset.
 struct ShardResult {
   /// Budget-bounded output segment; null in discard mode (indexing) and
-  /// after the caller moved it into an ordered committer.
+  /// after the caller moved it into an ordered committer. Single-query
+  /// tables only; multi-query segments fill `mq_sinks` instead.
   std::unique_ptr<SpillSink> sink;
+  /// Multi-query tables: one budget-bounded segment per unique query, in
+  /// MultiQueryInfo order (the per-query budget is max_buffer_bytes divided
+  /// by the query count). Moved out by the per-query ordered committers.
+  std::vector<std::unique_ptr<SpillSink>> mq_sinks;
+  /// Multi-query tables: this segment's per-query matches/output bytes.
+  std::vector<core::QueryRunStats> mq_stats;
   core::RunStats stats;
   core::SessionCheckpoint exit;
   Status status;
@@ -292,6 +299,22 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
                   OutputSink* out, core::RunStats* stats, ThreadPool* pool,
                   const ShardOptions& opts = {},
                   ShardReport* report = nullptr);
+
+/// Sharded execution of multi-query product tables (`tables.multi` set):
+/// same speculative wave/verify machinery as ShardedRun, but every segment
+/// session writes one budget-bounded SpillSink PER UNIQUE QUERY and each
+/// query's segments stream through their own ordered-commit frontier into
+/// `query_sinks[u]` (one sink per unique query, MultiQueryInfo order). Every
+/// query's output is byte-identical to its independent single-query serial
+/// run. `query_stats` (may be null) receives per-unique-query totals;
+/// `stats`/`report` as in ShardedRun. Must not be called from a pool thread.
+Status MultiQueryShardedRun(const core::RuntimeTables& tables,
+                            std::string_view doc,
+                            const std::vector<OutputSink*>& query_sinks,
+                            std::vector<core::QueryRunStats>* query_stats,
+                            core::RunStats* stats, ThreadPool* pool,
+                            const ShardOptions& opts = {},
+                            ShardReport* report = nullptr);
 
 /// Merges shard- or document-level RunStats into `dst` (counters add,
 /// window peak maxes; states_visited is handled by the callers via the

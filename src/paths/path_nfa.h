@@ -63,6 +63,26 @@ class PathSetEvaluator {
   bool AnyAccepting(const State& state) const;
   bool PathAccepts(size_t index, const State& state) const;
 
+  /// What the path set demands at a node whose branch drove the evaluator
+  /// into `state`: `select` -- some path selects the node itself;
+  /// `descendants` -- some selecting path carries '#' (keep the whole
+  /// subtree); `attributes` -- some selecting path carries '@'. Two path
+  /// sets inducing equal flag triples after every branch are equivalent
+  /// projection queries -- query::EquivalentProjectionQueries walks the
+  /// product of two evaluators over a DTD alphabet comparing exactly this.
+  struct AcceptFlags {
+    bool select = false;
+    bool descendants = false;
+    bool attributes = false;
+
+    bool operator==(const AcceptFlags& o) const {
+      return select == o.select && descendants == o.descendants &&
+             attributes == o.attributes;
+    }
+    bool operator!=(const AcceptFlags& o) const { return !(*this == o); }
+  };
+  AcceptFlags Flags(const State& state) const;
+
   const std::vector<ProjectionPath>& paths() const { return *paths_; }
 
  private:

@@ -54,6 +54,27 @@ Result<SafetyReport> CheckProjectionSafety(
 /// Converts a projection path into the XPath used for safety evaluation.
 XPath ProjectionPathToXPath(const paths::ProjectionPath& path);
 
+/// Canonical form of one query's path set for multi-query collapse:
+/// sorted and deduplicated by ToString(). Queries with equal canonical
+/// forms are syntactically identical (the cheap tier of collapse).
+std::vector<paths::ProjectionPath> CanonicalizePathSet(
+    std::vector<paths::ProjectionPath> paths);
+
+/// Semantic equivalence of two projection queries over documents whose
+/// element names come from `alphabet`: walks the product of the two
+/// PathSetEvaluators over every label sequence the alphabet can spell,
+/// comparing the demanded (select / '#' / '@') flag triple at every
+/// reachable state pair. Flag equality on every branch implies both
+/// queries keep exactly the same nodes, subtrees, and attributes of any
+/// such document -- i.e. identical projections, so the multi-query
+/// compiler can serve both from one compiled component. Conservative:
+/// returns false once more than `max_states` distinct state pairs have
+/// been explored (budget exceeded), never falsely true.
+bool EquivalentProjectionQueries(const std::vector<paths::ProjectionPath>& a,
+                                 const std::vector<paths::ProjectionPath>& b,
+                                 const std::vector<std::string>& alphabet,
+                                 size_t max_states = 1 << 14);
+
 }  // namespace smpx::query
 
 #endif  // SMPX_QUERY_EQUIVALENCE_H_

@@ -1,0 +1,129 @@
+// Multi-query projection: compile N projection-path sets against one
+// nonrecursive DTD into a single shared product DFA whose actions carry
+// per-query bitmasks (core::MultiQueryInfo), so one pass over a document
+// serves the whole query mix. Equivalent and duplicate queries are
+// collapsed first (query/equivalence.cc: syntactic canonical forms, then a
+// semantic product walk over the DTD alphabet), and every original query's
+// output stays byte-identical to an independent single-query serial run --
+// duplicates are routed through FanoutSink, never re-executed.
+//
+// Execution drivers: serial one-pass (RunOnBuffer), chunked streaming
+// (Run), sharded single-document (parallel::MultiQueryShardedRun via
+// ShardedRun), and streaming batches (parallel::MultiQueryBatchRun via the
+// CLI). A fused superset projection (one output safe for every query) is
+// available through CompileFused.
+
+#ifndef SMPX_QUERY_MULTIQUERY_H_
+#define SMPX_QUERY_MULTIQUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/prefilter.h"
+#include "core/tables.h"
+#include "dtd/dtd.h"
+#include "paths/projection_path.h"
+
+namespace smpx::query {
+
+struct MultiQueryOptions {
+  /// Table knobs forwarded to every per-query component build and the
+  /// product's matchers. Recursive DTDs (allow_recursion), map dispatch,
+  /// and the shared-vocabulary ablation are rejected: the product needs
+  /// interned dispatch and per-state build analysis.
+  core::CompileOptions compile;
+  /// State-pair budget per semantic equivalence check (see
+  /// EquivalentProjectionQueries); exceeded pairs stay un-collapsed.
+  size_t equivalence_budget = 1 << 14;
+  /// Also run the semantic equivalence walk when canonical forms differ
+  /// (duplicates by ToString always collapse).
+  bool semantic_collapse = true;
+  /// Cap on product-DFA states; compilation fails with kUnsupported beyond
+  /// it (a pathological mix, not a document property).
+  size_t max_product_states = 1 << 18;
+};
+
+/// A compiled multi-query mix: shared product tables plus the
+/// original-query -> unique-query routing produced by equivalence collapse.
+class MultiQuery {
+ public:
+  static Result<MultiQuery> Compile(
+      dtd::Dtd dtd, std::vector<std::vector<paths::ProjectionPath>> queries,
+      const MultiQueryOptions& opts = {});
+
+  /// Number of original queries (the sink order of every driver).
+  int num_queries() const { return static_cast<int>(unique_of_.size()); }
+  /// Number of unique queries after collapse (the engine's sink count).
+  int num_unique() const { return static_cast<int>(unique_queries_.size()); }
+  /// Unique index serving original query `original`.
+  int unique_of(int original) const {
+    return unique_of_[static_cast<size_t>(original)];
+  }
+  /// Canonical path set of unique query `u` (without the implicit "/*").
+  const std::vector<paths::ProjectionPath>& unique_paths(int u) const {
+    return unique_queries_[static_cast<size_t>(u)];
+  }
+
+  const core::RuntimeTables& tables() const { return *tables_; }
+  std::shared_ptr<const core::RuntimeTables> shared_tables() const {
+    return tables_;
+  }
+  const dtd::Dtd& dtd() const { return *dtd_; }
+
+  /// One serial pass over an in-memory document. `sinks` has one sink per
+  /// ORIGINAL query; duplicates of a unique query each receive their own
+  /// copy of its bytes. `query_stats` (may be null) gets one entry per
+  /// original query.
+  Status RunOnBuffer(std::string_view document,
+                     const std::vector<OutputSink*>& sinks,
+                     std::vector<core::QueryRunStats>* query_stats = nullptr,
+                     core::RunStats* stats = nullptr,
+                     const core::EngineOptions& opts = {}) const;
+
+  /// Chunked push-mode pass over a stream (bounded memory); same sink and
+  /// stats contract as RunOnBuffer.
+  Status Run(InputStream* in, const std::vector<OutputSink*>& sinks,
+             std::vector<core::QueryRunStats>* query_stats = nullptr,
+             core::RunStats* stats = nullptr,
+             const core::EngineOptions& opts = {},
+             size_t chunk_bytes = 1 << 20) const;
+
+  /// Fused superset projection: one ordinary single-query prefilter over
+  /// the union of every original query's paths. Its single output is
+  /// projection-safe for each query individually (each query evaluates
+  /// top-level-equal on it; see query::CheckProjectionSafety).
+  Result<core::Prefilter> CompileFused() const;
+
+  /// Routing helper for external drivers (sharded / batch): maps one sink
+  /// per original query to one sink per unique query, fanning duplicates
+  /// out. The returned FanoutSinks are owned by `owned`; `unique_sinks`
+  /// is in MultiQueryInfo order and valid while `owned` lives.
+  void RouteSinks(const std::vector<OutputSink*>& sinks,
+                  std::vector<std::unique_ptr<FanoutSink>>* owned,
+                  std::vector<OutputSink*>* unique_sinks) const;
+
+  /// Expands per-unique stats (engine order) to per-original stats.
+  void ExpandStats(const std::vector<core::QueryRunStats>& unique_stats,
+                   std::vector<core::QueryRunStats>* per_original) const;
+
+ private:
+  MultiQuery() = default;
+
+  std::shared_ptr<const dtd::Dtd> dtd_;
+  std::shared_ptr<const core::RuntimeTables> tables_;
+  /// Canonicalized path sets of the unique queries, in engine sink order.
+  std::vector<std::vector<paths::ProjectionPath>> unique_queries_;
+  /// Original queries as given (for CompileFused and reporting).
+  std::vector<std::vector<paths::ProjectionPath>> original_queries_;
+  std::vector<int> unique_of_;
+  core::CompileOptions compile_opts_;
+};
+
+}  // namespace smpx::query
+
+#endif  // SMPX_QUERY_MULTIQUERY_H_

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,7 @@
 #include "parallel/batch.h"
 #include "parallel/shard.h"
 #include "parallel/thread_pool.h"
+#include "query/multiquery.h"
 #include "simd/simd.h"
 #include "xml/tokenizer.h"
 #include "xmlgen/dtd_sampler.h"
@@ -465,6 +467,133 @@ TEST(FuzzDiffTest, EveryDispatchTierReplaysByteIdentical) {
     }
   }
   simd::SetIsa(saved);
+}
+
+// --- Family 5: multi-query product vs independent single-query runs -------
+// Random 2-8 query mixes (with occasional exact duplicates) compile into
+// one shared product DFA and run serially, sharded at 2 and 4 threads
+// with a tiny spill budget, and through the streaming driver; every
+// ORIGINAL query's bytes and semantic statistics must equal its own
+// independent single-query serial run. This is the differential contract
+// the multi-query engine ships under: one pass, N projections, each
+// byte-identical to what the query would have produced alone.
+
+TEST(FuzzDiffTest, MultiQueryMixesMatchIndependentRuns) {
+  const int cases = FamilyCases();
+  for (int seed = 0; seed < cases; ++seed) {
+    SCOPED_TRACE(seed);
+    xmlgen::Rng rng(0x309b0000u + static_cast<unsigned>(seed));
+    dtd::Dtd dtd = xmlgen::RandomDtd(&rng);
+    std::string doc = xmlgen::RandomDocument(dtd, &rng);
+    const int n = static_cast<int>(xmlgen::Uniform(&rng, 2, 8));
+    std::vector<std::vector<paths::ProjectionPath>> queries;
+    for (int q = 0; q < n; ++q) {
+      if (!queries.empty() && xmlgen::Chance(&rng, 0.2)) {
+        // Exact duplicate of an earlier query: must collapse to one
+        // component and still fill its own sink and stats.
+        queries.push_back(queries[static_cast<size_t>(xmlgen::Uniform(
+            &rng, 0, static_cast<int64_t>(queries.size()) - 1))]);
+      } else {
+        queries.push_back(xmlgen::RandomPaths(dtd, &rng));
+      }
+    }
+
+    // Ground truth: each original query's own independent serial run.
+    std::vector<std::string> expected;
+    std::vector<RunStats> expected_stats(static_cast<size_t>(n));
+    for (int q = 0; q < n; ++q) {
+      auto pf = Prefilter::Compile(dtd, queries[static_cast<size_t>(q)]);
+      ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+      auto out =
+          pf->RunOnBuffer(doc, &expected_stats[static_cast<size_t>(q)]);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      expected.push_back(std::move(*out));
+    }
+
+    auto mq = query::MultiQuery::Compile(dtd, queries);
+    ASSERT_TRUE(mq.ok()) << mq.status().ToString();
+    ASSERT_EQ(mq->num_queries(), n);
+    ASSERT_LE(mq->num_unique(), n);
+
+    EngineOptions eopts = RandomEngineOptions(&rng);
+    auto check = [&](const std::string& mode,
+                     const std::vector<StringSink>& sinks,
+                     const std::vector<QueryRunStats>& qstats) {
+      ASSERT_EQ(qstats.size(), static_cast<size_t>(n)) << mode;
+      for (int q = 0; q < n; ++q) {
+        const size_t i = static_cast<size_t>(q);
+        EXPECT_EQ(sinks[i].str(), expected[i])
+            << mode << " diverged for query " << q;
+        EXPECT_EQ(qstats[i].matches, expected_stats[i].matches)
+            << mode << " match count diverged for query " << q;
+        EXPECT_EQ(qstats[i].output_bytes, expected_stats[i].output_bytes)
+            << mode << " output bytes diverged for query " << q;
+      }
+    };
+
+    // One serial product pass over the buffer.
+    {
+      std::vector<StringSink> sinks(static_cast<size_t>(n));
+      std::vector<OutputSink*> ptrs;
+      for (StringSink& s : sinks) ptrs.push_back(&s);
+      std::vector<QueryRunStats> qstats;
+      RunStats stats;
+      Status s = mq->RunOnBuffer(doc, ptrs, &qstats, &stats, eopts);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      check("serial", sinks, qstats);
+    }
+
+    // Sharded product runs; tiny budgets force the per-query spill +
+    // ordered-commit machinery on most cases.
+    for (int threads : {2, 4}) {
+      parallel::ThreadPool pool(threads);
+      parallel::ShardOptions sopts;
+      sopts.engine = eopts;
+      sopts.max_shards = static_cast<size_t>(
+          xmlgen::Uniform(&rng, 1, 2 * threads + 1));
+      sopts.max_buffer_bytes =
+          static_cast<size_t>(xmlgen::Uniform(&rng, 0, 65));
+      std::vector<StringSink> sinks(static_cast<size_t>(n));
+      std::vector<OutputSink*> ptrs;
+      for (StringSink& s : sinks) ptrs.push_back(&s);
+      std::vector<std::unique_ptr<FanoutSink>> owned;
+      std::vector<OutputSink*> unique_sinks;
+      mq->RouteSinks(ptrs, &owned, &unique_sinks);
+      std::vector<QueryRunStats> unique_stats;
+      RunStats stats;
+      Status s =
+          parallel::MultiQueryShardedRun(*mq->shared_tables(), doc,
+                                         unique_sinks, &unique_stats, &stats,
+                                         &pool, sopts);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      std::vector<QueryRunStats> qstats;
+      mq->ExpandStats(unique_stats, &qstats);
+      check("sharded t=" + std::to_string(threads), sinks, qstats);
+    }
+
+    // Streaming driver at a random chunk size.
+    {
+      parallel::StreamOptions sopts;
+      sopts.engine = eopts;
+      sopts.chunk_bytes = static_cast<size_t>(xmlgen::Uniform(&rng, 1, 4096));
+      MemorySource src(doc);
+      std::vector<StringSink> sinks(static_cast<size_t>(n));
+      std::vector<OutputSink*> ptrs;
+      for (StringSink& s : sinks) ptrs.push_back(&s);
+      std::vector<std::unique_ptr<FanoutSink>> owned;
+      std::vector<OutputSink*> unique_sinks;
+      mq->RouteSinks(ptrs, &owned, &unique_sinks);
+      std::vector<QueryRunStats> unique_stats;
+      RunStats stats;
+      Status s = parallel::MultiQueryStreamRun(*mq->shared_tables(), src,
+                                               unique_sinks, &unique_stats,
+                                               &stats, sopts);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      std::vector<QueryRunStats> qstats;
+      mq->ExpandStats(unique_stats, &qstats);
+      check("streaming", sinks, qstats);
+    }
+  }
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 // target_bytes 4096, re-run the serial engine, and replace the files --
 // then justify the diff in review like any other golden-file change.
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -22,6 +24,7 @@
 #include "index/cursor.h"
 #include "parallel/shard.h"
 #include "parallel/thread_pool.h"
+#include "query/multiquery.h"
 
 namespace smpx {
 namespace {
@@ -116,6 +119,79 @@ TEST(GoldenCorpusTest, IndexedCursorsServeCheckedInSuffixes) {
       EXPECT_EQ(sink.str(),
                 expected.substr(static_cast<size_t>(e.out_offset)))
           << "cursor at frozen boundary " << e.offset << " diverged";
+    }
+  }
+}
+
+// The multi-query corpus: tests/data/xmark_mix.queries holds a frozen
+// 4-query mix (one exact duplicate), and xmark_tiny.mqN.proj.xml holds
+// query N's expected projection as produced by an INDEPENDENT single-query
+// serial run -- so this test pins the product engine's differential
+// contract against frozen bytes, not against the current engine.
+// Regenerate with `smpx --dtd xmark.dtd --paths "<line N>" --out
+// xmark_tiny.mqN.proj.xml xmark_tiny.xml` per non-comment line.
+TEST(GoldenCorpusTest, MultiQueryMixMatchesCheckedInProjections) {
+  std::string mix = DataFile("xmark_mix.queries");
+  ASSERT_FALSE(mix.empty());
+  std::vector<std::vector<paths::ProjectionPath>> queries;
+  for (size_t pos = 0; pos < mix.size();) {
+    size_t eol = mix.find('\n', pos);
+    if (eol == std::string::npos) eol = mix.size();
+    std::string line = mix.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    auto paths = paths::ProjectionPath::ParseList(line);
+    ASSERT_TRUE(paths.ok()) << line;
+    queries.push_back(std::move(*paths));
+  }
+  ASSERT_EQ(queries.size(), 4u);
+
+  std::vector<std::string> expected;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    expected.push_back(
+        DataFile("xmark_tiny.mq" + std::to_string(q + 1) + ".proj.xml"));
+  }
+
+  auto dtd = dtd::Dtd::Parse(DataFile("xmark.dtd"));
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  auto mq = query::MultiQuery::Compile(std::move(*dtd), queries);
+  ASSERT_TRUE(mq.ok()) << mq.status().ToString();
+  EXPECT_EQ(mq->num_queries(), 4);
+  EXPECT_EQ(mq->num_unique(), 3);  // the duplicate collapses
+
+  std::string doc = DataFile("xmark_tiny.xml");
+  ASSERT_FALSE(doc.empty());
+
+  {
+    std::vector<StringSink> sinks(queries.size());
+    std::vector<OutputSink*> ptrs;
+    for (StringSink& s : sinks) ptrs.push_back(&s);
+    std::vector<core::QueryRunStats> qstats;
+    Status s = mq->RunOnBuffer(doc, ptrs, &qstats, nullptr);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(sinks[q].str(), expected[q])
+          << "one-pass projection of frozen query " << (q + 1)
+          << " diverged from its independent single-query golden";
+    }
+  }
+
+  for (int threads : {2, 4}) {
+    parallel::ThreadPool pool(threads);
+    std::vector<StringSink> sinks(queries.size());
+    std::vector<OutputSink*> ptrs;
+    for (StringSink& s : sinks) ptrs.push_back(&s);
+    std::vector<std::unique_ptr<FanoutSink>> owned;
+    std::vector<OutputSink*> unique_sinks;
+    mq->RouteSinks(ptrs, &owned, &unique_sinks);
+    Status s = parallel::MultiQueryShardedRun(*mq->shared_tables(), doc,
+                                              unique_sinks, nullptr, nullptr,
+                                              &pool);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(sinks[q].str(), expected[q])
+          << "sharded (threads=" << threads << ") projection of frozen query "
+          << (q + 1) << " diverged";
     }
   }
 }

@@ -51,15 +51,19 @@
 #include "parallel/thread_pool.h"
 #include "paths/projection_path.h"
 #include "paths/xquery_extract.h"
+#include "query/equivalence.h"
+#include "query/multiquery.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --dtd FILE (--paths LIST | --paths-file FILE | --query XQ)\n"
+      "usage: %s --dtd FILE (--paths LIST | --paths-file FILE | --query XQ\n"
+      "          | --query-file FILE)\n"
       "          [--stats] [--tables] [--window SIZE] [--chunk SIZE]\n"
       "          [--max-buffer SIZE] [--threads N] [--batch] [--out FILE]\n"
+      "          [--fused]\n"
       "          [--index-build FILE [--index-granularity SIZE]]\n"
       "          [--index FILE [--seek OFFSET] [--count N]]\n"
       "          [in.xml ... [out.xml]]\n"
@@ -69,6 +73,20 @@ int Usage(const char* argv0) {
       "XQuery expression, via path extraction). SIZE arguments accept\n"
       "K/M/G suffixes (binary units: 64K, 1M, 1MiB, ...).\n"
       "\n"
+      "  --query-file F  MULTI-QUERY mode: one query (a projection-path\n"
+      "                  list) per line; '#'-prefixed lines are comments.\n"
+      "                  All N queries run in ONE pass over the input\n"
+      "                  through a shared product automaton; equivalent\n"
+      "                  queries are collapsed and each query's output is\n"
+      "                  byte-identical to running it alone. Output file\n"
+      "                  out.xml becomes out.q1.xml, out.q2.xml, ...\n"
+      "                  (query order). Repeating --paths enters the same\n"
+      "                  mode, one query per occurrence. Works with\n"
+      "                  --threads (sharded one-pass) and --batch\n"
+      "                  (in.xml -> in.proj.q1.xml, ...)\n"
+      "  --fused         multi-query mode: emit ONE superset projection\n"
+      "                  (union of all queries' paths, safe for each of\n"
+      "                  them) instead of per-query outputs\n"
       "  --threads N     run on N threads: one document is sharded at\n"
       "                  top-level element boundaries and run\n"
       "                  speculatively; with --batch, the documents are\n"
@@ -107,6 +125,20 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+/// Per-query output file name: inserts ".qN" (1-based, query order) before
+/// the extension -- out.xml -> out.q3.xml; extensionless names get the
+/// suffix appended.
+std::string QueryOutputPath(const std::string& base, size_t q) {
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  const std::string suffix = ".q" + std::to_string(q);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 /// Reads all of stdin.
 std::string ReadStdin() {
   std::string out;
@@ -122,6 +154,9 @@ int main(int argc, char** argv) {
   std::string dtd_file;
   std::string paths_text;
   std::string query;
+  std::vector<std::string> query_texts;  // one entry per --paths occurrence
+  std::string query_file;
+  bool fused = false;
   std::vector<std::string> inputs;
   std::string out_file;
   bool stats_flag = false;
@@ -164,7 +199,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--paths") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      paths_text = v;
+      query_texts.push_back(v);
     } else if (arg == "--paths-file") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -178,6 +213,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       query = v;
+    } else if (arg == "--query-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      query_file = v;
+    } else if (arg == "--fused") {
+      fused = true;
     } else if (arg == "--stats") {
       stats_flag = true;
     } else if (arg == "--tables") {
@@ -225,12 +266,55 @@ int main(int argc, char** argv) {
     }
   }
   if (bad_size) return 2;
-  if (dtd_file.empty() || (paths_text.empty() && query.empty())) {
+  if (!query_file.empty()) {
+    // One query (a projection-path list) per line; blank lines and
+    // '#'-prefixed comment lines are skipped. '#' only ever SUFFIXES a
+    // path ("/a/b#"), so a leading '#' is unambiguous.
+    auto content = smpx::ReadFileToString(query_file);
+    if (!content.ok()) {
+      std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    size_t pos = 0;
+    while (pos <= content->size()) {
+      const size_t eol = content->find('\n', pos);
+      std::string line = content->substr(
+          pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      pos = eol == std::string::npos ? content->size() + 1 : eol + 1;
+      const size_t b = line.find_first_not_of(" \t\r");
+      if (b == std::string::npos || line[b] == '#') continue;
+      const size_t e = line.find_last_not_of(" \t\r");
+      query_texts.push_back(line.substr(b, e - b + 1));
+    }
+    if (query_texts.empty()) {
+      std::fprintf(stderr, "%s: no queries\n", query_file.c_str());
+      return 1;
+    }
+  }
+  // Multi-query mode: a query file, or more than one --paths occurrence
+  // (each occurrence is one query). A single --paths keeps the classic
+  // single-query form.
+  bool multi_mode = !query_file.empty() || query_texts.size() > 1;
+  if (!multi_mode && query_texts.size() == 1) paths_text = query_texts[0];
+  if (multi_mode && (!query.empty() || !paths_text.empty())) {
+    std::fprintf(stderr,
+                 "multi-query mode (--query-file / repeated --paths) cannot "
+                 "be combined with --query or --paths-file\n");
+    return 2;
+  }
+  if (fused && !multi_mode) return Usage(argv[0]);
+  if (dtd_file.empty() ||
+      (paths_text.empty() && query.empty() && !multi_mode)) {
     return Usage(argv[0]);
   }
   const bool index_mode = !index_build_file.empty() || !index_file.empty();
   if (index_mode &&
       (batch_flag || (!index_build_file.empty() && !index_file.empty()))) {
+    return Usage(argv[0]);
+  }
+  // Per-query product tables have no --tables dump and no skip-index
+  // support (index each query's single-query tables instead).
+  if (multi_mode && !fused && (tables_flag || index_mode)) {
     return Usage(argv[0]);
   }
   if (!batch_flag) {
@@ -259,7 +343,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::vector<std::vector<smpx::paths::ProjectionPath>> mq_queries;
+  if (multi_mode) {
+    for (const std::string& text : query_texts) {
+      auto parsed = smpx::paths::ProjectionPath::ParseList(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "query %zu: %s\n", mq_queries.size() + 1,
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      if (parsed->empty()) {
+        std::fprintf(stderr, "query %zu: empty path list\n",
+                     mq_queries.size() + 1);
+        return 1;
+      }
+      mq_queries.push_back(std::move(*parsed));
+    }
+  }
+
   std::vector<smpx::paths::ProjectionPath> paths;
+  if (multi_mode && fused) {
+    // One superset projection: the union of every query's paths is
+    // projection-safe for each query individually
+    // (query::CheckProjectionSafety), so the run falls through to the
+    // ordinary single-query pipeline below with one output.
+    for (const auto& q : mq_queries) {
+      paths.insert(paths.end(), q.begin(), q.end());
+    }
+    paths = smpx::query::CanonicalizePathSet(std::move(paths));
+    multi_mode = false;
+  }
   if (!query.empty()) {
     auto extracted = smpx::paths::ExtractProjectionPaths(query);
     if (!extracted.ok()) {
@@ -282,6 +395,179 @@ int main(int argc, char** argv) {
       return 1;
     }
     paths.insert(paths.end(), parsed->begin(), parsed->end());
+  }
+
+  if (multi_mode) {
+    // N queries, ONE pass: compile the mix into shared product tables
+    // (equivalent queries collapse to one component; duplicates fan out
+    // through FanoutSink) and run it under the requested driver. Every
+    // query's output file is byte-identical to its own single-query run.
+    smpx::WallTimer mq_compile_timer;
+    auto mq = smpx::query::MultiQuery::Compile(std::move(*dtd),
+                                               std::move(mq_queries));
+    if (!mq.ok()) {
+      std::fprintf(stderr, "multi-query compile: %s\n",
+                   mq.status().ToString().c_str());
+      return 1;
+    }
+    const int nq = mq->num_queries();
+    std::string mq_stdin_buffer;
+    std::vector<std::unique_ptr<smpx::MmapSource>> mq_sources;
+    std::vector<std::string_view> mq_docs;
+    if (inputs.empty()) {
+      mq_stdin_buffer = ReadStdin();
+      mq_docs.push_back(mq_stdin_buffer);
+    } else {
+      for (const std::string& path : inputs) {
+        auto src = smpx::MmapSource::Open(path);
+        if (!src.ok()) {
+          std::fprintf(stderr, "%s\n", src.status().ToString().c_str());
+          return 1;
+        }
+        mq_docs.push_back((*src)->Contiguous());
+        mq_sources.push_back(std::move(*src));
+      }
+    }
+    smpx::core::EngineOptions eopts;
+    eopts.window_capacity = window;
+    smpx::core::RunStats stats;
+    std::vector<smpx::core::QueryRunStats> qstats;  // per ORIGINAL query
+    smpx::WallTimer run_timer;
+    smpx::CpuTimer cpu_timer;
+    int failures = 0;
+
+    if (batch_flag) {
+      // Per-input per-query files: in.xml -> in.proj.q1.xml, ... A merged
+      // --out has no meaning when each query owns its byte stream.
+      if (!out_file.empty()) return Usage(argv[0]);
+      smpx::parallel::ThreadPool pool(threads);
+      smpx::parallel::StreamOptions sopts;
+      sopts.engine = eopts;
+      sopts.chunk_bytes = chunk;
+      sopts.max_buffer_bytes = max_buffer;
+      std::vector<const smpx::InputSource*> srcs;
+      std::vector<std::vector<std::unique_ptr<smpx::BufferedFileSink>>>
+          files(mq_docs.size());
+      std::vector<std::vector<std::unique_ptr<smpx::FanoutSink>>> owned(
+          mq_docs.size());
+      std::vector<std::vector<smpx::OutputSink*>> doc_sinks(mq_docs.size());
+      std::vector<std::vector<std::string>> names(mq_docs.size());
+      for (size_t i = 0; i < mq_sources.size(); ++i) {
+        srcs.push_back(mq_sources[i].get());
+        std::vector<smpx::OutputSink*> originals;
+        for (int j = 0; j < nq; ++j) {
+          names[i].push_back(QueryOutputPath(
+              smpx::ProjectedOutputPath(inputs[i]), static_cast<size_t>(j) + 1));
+          auto f = smpx::BufferedFileSink::Open(names[i].back());
+          if (!f.ok()) {
+            std::fprintf(stderr, "%s\n", f.status().ToString().c_str());
+            return 1;
+          }
+          originals.push_back(f->get());
+          files[i].push_back(std::move(*f));
+        }
+        mq->RouteSinks(originals, &owned[i], &doc_sinks[i]);
+      }
+      std::vector<std::vector<smpx::core::QueryRunStats>> doc_qstats;
+      std::vector<smpx::core::RunStats> doc_stats;
+      std::vector<smpx::Status> statuses =
+          smpx::parallel::MultiQueryBatchRunStreaming(
+              mq->tables(), srcs, doc_sinks, &doc_qstats, &doc_stats, &pool,
+              sopts);
+      for (size_t i = 0; i < statuses.size(); ++i) {
+        for (auto& f : files[i]) {
+          smpx::Status fs = f->Flush();
+          if (statuses[i].ok() && !fs.ok()) statuses[i] = fs;
+        }
+        if (!statuses[i].ok()) {
+          std::fprintf(stderr, "%s: %s\n", inputs[i].c_str(),
+                       statuses[i].ToString().c_str());
+          ++failures;
+          continue;
+        }
+        smpx::parallel::MergeRunStats(&stats, doc_stats[i]);
+        if (stats_flag) {
+          std::vector<smpx::core::QueryRunStats> per_original;
+          mq->ExpandStats(doc_qstats[i], &per_original);
+          for (int j = 0; j < nq; ++j) {
+            std::fprintf(stderr, "%s q%d -> %s: output=%llu matches=%llu\n",
+                         inputs[i].c_str(), j + 1, names[i][j].c_str(),
+                         static_cast<unsigned long long>(
+                             per_original[j].output_bytes),
+                         static_cast<unsigned long long>(
+                             per_original[j].matches));
+          }
+        }
+      }
+    } else {
+      // One document, N output files named off the single output name.
+      if (out_file.empty()) {
+        std::fprintf(stderr,
+                     "multi-query mode writes one file per query; name the "
+                     "output (--out FILE or a positional out.xml)\n");
+        return 2;
+      }
+      std::vector<std::unique_ptr<smpx::BufferedFileSink>> files;
+      std::vector<smpx::OutputSink*> originals;
+      std::vector<std::string> names;
+      for (int j = 0; j < nq; ++j) {
+        names.push_back(QueryOutputPath(out_file, static_cast<size_t>(j) + 1));
+        auto f = smpx::BufferedFileSink::Open(names.back());
+        if (!f.ok()) {
+          std::fprintf(stderr, "%s\n", f.status().ToString().c_str());
+          return 1;
+        }
+        originals.push_back(f->get());
+        files.push_back(std::move(*f));
+      }
+      smpx::Status s;
+      if (threads > 1) {
+        smpx::parallel::ThreadPool pool(threads);
+        smpx::parallel::ShardOptions popts;
+        popts.engine = eopts;
+        popts.max_buffer_bytes = max_buffer;
+        std::vector<std::unique_ptr<smpx::FanoutSink>> owned;
+        std::vector<smpx::OutputSink*> unique_sinks;
+        mq->RouteSinks(originals, &owned, &unique_sinks);
+        std::vector<smpx::core::QueryRunStats> uq_stats;
+        s = smpx::parallel::MultiQueryShardedRun(mq->tables(), mq_docs[0],
+                                                 unique_sinks, &uq_stats,
+                                                 &stats, &pool, popts);
+        if (s.ok()) mq->ExpandStats(uq_stats, &qstats);
+      } else {
+        smpx::MemoryInputStream in(mq_docs[0]);
+        s = mq->Run(&in, originals, &qstats, &stats, eopts, chunk);
+      }
+      for (auto& f : files) {
+        if (s.ok()) s = f->Flush();
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "run: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (stats_flag) {
+        for (int j = 0; j < nq; ++j) {
+          std::fprintf(
+              stderr, "q%d -> %s: output=%llu matches=%llu\n", j + 1,
+              names[j].c_str(),
+              static_cast<unsigned long long>(qstats[j].output_bytes),
+              static_cast<unsigned long long>(qstats[j].matches));
+        }
+      }
+    }
+    if (stats_flag) {
+      std::fprintf(
+          stderr,
+          "multi: queries=%d unique=%d states=%zu input=%llu output=%llu "
+          "time=%.3fs usr+sys=%.3fs matches=%llu\n",
+          nq, mq->num_unique(), mq->tables().states.size(),
+          static_cast<unsigned long long>(stats.input_bytes),
+          static_cast<unsigned long long>(stats.output_bytes),
+          run_timer.Seconds() + mq_compile_timer.Seconds(),
+          cpu_timer.Seconds(),
+          static_cast<unsigned long long>(stats.matches));
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   smpx::WallTimer compile_timer;
