@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "simd/simd.h"
 #include "strmatch/matcher.h"
 
 namespace smpx::bench {
@@ -103,7 +106,71 @@ void BM_Memchr(benchmark::State& state) {
 }
 BENCHMARK(BM_Memchr)->Args({3, 1});
 
+/// Pre-benchmark correctness gate: every algorithm must enumerate the
+/// exact same (pos, pattern) match sequence on the bench text -- the
+/// minimal-end contract all speed tricks (skip loops, plane probes, the
+/// hoisted FindPattern memcmp verify) must preserve. A silent candidate
+/// reorder would make the timing columns compare different work.
+void CrossCheckMatchSequences() {
+  const std::string& text = Text();
+  const std::string_view probe(text.data(),
+                               std::min<size_t>(text.size(), 1 << 20));
+  for (int count : {1, 3, 5}) {
+    const std::vector<std::string> keywords = Keywords(count, true);
+    std::vector<std::vector<std::pair<size_t, int>>> seqs;
+    std::vector<Algorithm> algos = {Algorithm::kCommentzWalter,
+                                    Algorithm::kSetHorspool,
+                                    Algorithm::kAhoCorasick};
+    if (count == 1) {
+      algos.push_back(Algorithm::kBoyerMoore);
+      algos.push_back(Algorithm::kHorspool);
+    }
+    for (Algorithm algo : algos) {
+      std::unique_ptr<Matcher> m = strmatch::MakeMatcher(keywords, algo);
+      if (m == nullptr) continue;
+      std::vector<std::pair<size_t, int>> seq;
+      for (size_t from = 0;;) {
+        strmatch::Match r = m->Search(probe, from, nullptr);
+        if (!r.found()) break;
+        seq.emplace_back(r.pos, r.pattern);
+        from = r.pos + 1;
+      }
+      seqs.push_back(std::move(seq));
+      if (seqs.size() > 1 && seqs.back() != seqs.front()) {
+        std::fprintf(stderr,
+                     "strmatch_micro: match sequences diverge "
+                     "(keywords=%d, algo=%d)\n",
+                     count, static_cast<int>(algo));
+        std::abort();
+      }
+    }
+  }
+  // And the structural FindPattern primitive against the library oracle:
+  // the hoisted middle-bytes memcmp must not shift reported positions.
+  for (std::string_view term : {std::string_view("?>"),
+                                std::string_view("-->"),
+                                std::string_view("<description")}) {
+    size_t want = probe.find(term);
+    if (want == std::string_view::npos) want = probe.size();
+    const size_t got = simd::FindPattern(probe.data(), probe.size(), term);
+    if (got != want) {
+      std::fprintf(stderr,
+                   "strmatch_micro: FindPattern position mismatch "
+                   "(term=%.*s, got=%zu, want=%zu)\n",
+                   static_cast<int>(term.size()), term.data(), got, want);
+      std::abort();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace smpx::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  smpx::bench::CrossCheckMatchSequences();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

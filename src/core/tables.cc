@@ -180,6 +180,7 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
                                   const SubgraphAutomaton& sub,
                                   const TableOptions& opts) {
   RuntimeTables tables;
+  tables.use_bitmap_plane = opts.use_bitmap_plane;
   tables.stopover_states = sel.stopover_states;
   tables.collapsed_pairs = sel.collapsed_pairs;
   for (bool b : sel.in_s) {

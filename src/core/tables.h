@@ -189,6 +189,11 @@ struct RuntimeTables {
   /// is immutable after construction.
   std::shared_ptr<const MultiQueryInfo> multi;
 
+  /// Mirror of TableOptions::use_bitmap_plane; sessions AND it with the
+  /// process-wide simd::PlaneEnabled(). Not part of Fingerprint(): the
+  /// plane never changes what is projected, only how bytes are classified.
+  bool use_bitmap_plane = false;
+
   // Report metadata (paper Table I "States (CW + BM)").
   size_t num_cw_states = 0;   ///< states with |V| > 1
   size_t num_bm_states = 0;   ///< states with |V| == 1
@@ -242,6 +247,17 @@ struct TableOptions {
   /// Initial jumps J[q] stay per-state (they derive from the automaton,
   /// not the keyword list).
   bool shared_vocabulary = false;
+  /// Classify each resident window once through a shared simd::BitmapPlane
+  /// and bit-walk it from the consumers with cross-state sharing (engine
+  /// span scans, the CW lead-lane probe) instead of re-running kernels per
+  /// call. Output and search stats are identical either way (also ANDed
+  /// with the process-wide simd::PlaneEnabled()). Default off: on XMark
+  /// every consumer sweeps a disjoint monotonic region and the hot byte
+  /// classes hit nearly every block, so the per-call kernels already
+  /// classify each byte once and the plane's fill+walk overhead costs
+  /// ~15% geomean throughput (bench_hotpath_micro's plane column keeps
+  /// the trade-off measured; see README "Measured ceiling").
+  bool use_bitmap_plane = false;
 };
 
 /// Determinizes the subgraph automaton and builds all tables.

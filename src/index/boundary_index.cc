@@ -53,9 +53,11 @@ Result<BoundaryIndex> BoundaryIndex::Build(const core::RuntimeTables& tables,
   if (max_splits > 0) {
     bounds = pool->size() > 1
                  ? parallel::FindTopLevelBoundariesParallel(
-                       doc, static_cast<size_t>(max_splits), pool)
+                       doc, static_cast<size_t>(max_splits), pool,
+                       /*scanned_bytes=*/nullptr, opts.use_bitmap_plane)
                  : parallel::FindTopLevelBoundaries(
-                       doc, static_cast<size_t>(max_splits));
+                       doc, static_cast<size_t>(max_splits),
+                       opts.use_bitmap_plane);
   }
 
   // The sharded execution pipeline with the output thrown away: speculate

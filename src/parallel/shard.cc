@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "simd/bitmap_plane.h"
 #include "simd/simd.h"
 
 namespace smpx::parallel {
@@ -20,82 +21,131 @@ namespace {
 // ShardedRun detects and repairs by re-running -- correctness never
 // depends on the two scanners agreeing, only throughput does.
 
-/// Position one past the next occurrence of `term` at or after `from`;
-/// doc.size() when absent.
-size_t SkipPastTerm(std::string_view doc, size_t from, std::string_view term) {
-  if (from >= doc.size()) return doc.size();
-  const size_t hit =
-      simd::FindPattern(doc.data() + from, doc.size() - from, term);
-  if (hit == doc.size() - from) return doc.size();
-  return from + hit + term.size();
-}
-
-/// Position of the '>' closing the tag whose '<' sits at `from`, skipping
-/// quoted attribute values; doc.size() when unterminated.
-size_t TagEnd(std::string_view doc, size_t from) {
-  static constexpr simd::ByteSet kTagEnd(">\"'");
-  size_t r = from + 1;
-  for (;;) {
-    if (r >= doc.size()) return doc.size();
-    const size_t hit =
-        r + simd::FindAny(doc.data() + r, doc.size() - r, kTagEnd);
-    if (hit == doc.size()) return doc.size();
-    if (doc[hit] == '>') return hit;
-    const size_t end = simd::FindByte(
-        doc.data() + hit + 1, doc.size() - hit - 1,
-        static_cast<unsigned char>(doc[hit]));
-    if (end == doc.size() - hit - 1) return doc.size();
-    r = hit + 1 + end + 1;
+/// Structural scan context over one contiguous document. With the plane
+/// (default), a local BitmapPlane bound to the whole doc memoizes every
+/// byte class the scan touches -- the '<' candidate lane, the tag-end and
+/// DOCTYPE any-of lanes, the comment/PI pair lanes -- so each region pass
+/// classifies its windows once instead of per helper call. With the plane
+/// disabled the primitives fall back to the per-call kernels; both paths
+/// enumerate identical positions (the differential suites assert it).
+/// One scanner per scan call: region workers on the pool each build their
+/// own (the plane is not thread-safe).
+class StructScanner {
+ public:
+  StructScanner(std::string_view doc, bool use_plane)
+      : doc_(doc),
+        use_plane_(use_plane && simd::PlaneEnabled() && !doc.empty()),
+        open_scan_(doc.data(), doc.size(), '<') {
+    if (use_plane_) plane_.Bind(doc.data(), doc.size(), /*origin=*/0);
   }
-}
 
-/// Position one past the '>' closing a "<!DOCTYPE"-style construct at
-/// `from` (pointing at "<!"), honoring [...] subsets and quoted literals.
-/// Bitmap-driven, mirroring the engine's SkipDoctype: one vectorized
-/// any-of classification per structural step, so a pathological
-/// multi-megabyte internal subset does not serialize the boundary scan.
-size_t SkipDeclaration(std::string_view doc, size_t from) {
-  static constexpr simd::ByteSet kStructural("[]>\"'");
-  size_t r = from + 2;
-  int bracket = 0;
-  while (r < doc.size()) {
-    const size_t hit =
-        r + simd::FindAny(doc.data() + r, doc.size() - r, kStructural);
-    if (hit == doc.size()) return doc.size();
-    const char hc = doc[hit];
-    if (hc == '[') {
-      ++bracket;
-      r = hit + 1;
-    } else if (hc == ']') {
-      --bracket;
-      r = hit + 1;
-    } else if (hc == '>') {
-      if (bracket <= 0) return hit + 1;
-      r = hit + 1;
-    } else {
-      const size_t end = simd::FindByte(
-          doc.data() + hit + 1, doc.size() - hit - 1,
-          static_cast<unsigned char>(hc));
-      if (end == doc.size() - hit - 1) return doc.size();
-      r = hit + 1 + end + 1;
+  /// Next '<' at or after `pos`; doc.size() when none.
+  size_t NextOpen(size_t pos) {
+    if (pos >= doc_.size()) return doc_.size();
+    if (use_plane_) return pos + plane_.FindByte(pos, doc_.size() - pos, '<');
+    return open_scan_.Next(pos);
+  }
+
+  /// Position one past the next occurrence of `term` at or after `from`;
+  /// doc.size() when absent.
+  size_t SkipPastTerm(size_t from, std::string_view term) {
+    if (from >= doc_.size()) return doc_.size();
+    const size_t hit = FindPatternAt(from, term);
+    if (hit == doc_.size()) return doc_.size();
+    return hit + term.size();
+  }
+
+  /// Position of the '>' closing the tag whose '<' sits at `from`, skipping
+  /// quoted attribute values; doc.size() when unterminated.
+  size_t TagEnd(size_t from) {
+    static constexpr simd::ByteSet kTagEnd(">\"'");
+    size_t r = from + 1;
+    for (;;) {
+      if (r >= doc_.size()) return doc_.size();
+      const size_t hit = FindAnyAt(r, kTagEnd);
+      if (hit == doc_.size()) return doc_.size();
+      if (doc_[hit] == '>') return hit;
+      const size_t end =
+          FindByteAt(hit + 1, static_cast<unsigned char>(doc_[hit]));
+      if (end == doc_.size()) return doc_.size();
+      r = end + 1;
     }
   }
-  return doc.size();
-}
 
-/// Position one past the opaque markup construct whose '<' sits at `t`
-/// (`next` = doc[t+1], '!' or '?'): comment, CDATA section, DOCTYPE-style
-/// declaration, or processing instruction. Shared by the serial and the
-/// region-parallel scanner so their construct handling cannot diverge.
-size_t SkipMarkupConstruct(std::string_view doc, size_t t, char next) {
-  if (next == '?') return SkipPastTerm(doc, t + 2, "?>");
-  std::string_view rest = doc.substr(t);
-  if (rest.substr(0, 4) == "<!--") return SkipPastTerm(doc, t + 4, "-->");
-  if (rest.substr(0, 9) == "<![CDATA[") {
-    return SkipPastTerm(doc, t + 9, "]]>");
+  /// Position one past the '>' closing a "<!DOCTYPE"-style construct at
+  /// `from` (pointing at "<!"), honoring [...] subsets and quoted literals.
+  /// Bitmap-driven, mirroring the engine's SkipDoctype: one vectorized
+  /// any-of classification per structural step, so a pathological
+  /// multi-megabyte internal subset does not serialize the boundary scan.
+  size_t SkipDeclaration(size_t from) {
+    static constexpr simd::ByteSet kStructural("[]>\"'");
+    size_t r = from + 2;
+    int bracket = 0;
+    while (r < doc_.size()) {
+      const size_t hit = FindAnyAt(r, kStructural);
+      if (hit == doc_.size()) return doc_.size();
+      const char hc = doc_[hit];
+      if (hc == '[') {
+        ++bracket;
+        r = hit + 1;
+      } else if (hc == ']') {
+        --bracket;
+        r = hit + 1;
+      } else if (hc == '>') {
+        if (bracket <= 0) return hit + 1;
+        r = hit + 1;
+      } else {
+        const size_t end =
+            FindByteAt(hit + 1, static_cast<unsigned char>(hc));
+        if (end == doc_.size()) return doc_.size();
+        r = end + 1;
+      }
+    }
+    return doc_.size();
   }
-  return SkipDeclaration(doc, t);
-}
+
+  /// Position one past the opaque markup construct whose '<' sits at `t`
+  /// (`next` = doc[t+1], '!' or '?'): comment, CDATA section, DOCTYPE-style
+  /// declaration, or processing instruction. Shared by the serial and the
+  /// region-parallel scanner so their construct handling cannot diverge.
+  size_t SkipMarkupConstruct(size_t t, char next) {
+    if (next == '?') return SkipPastTerm(t + 2, "?>");
+    std::string_view rest = doc_.substr(t);
+    if (rest.substr(0, 4) == "<!--") return SkipPastTerm(t + 4, "-->");
+    if (rest.substr(0, 9) == "<![CDATA[") {
+      return SkipPastTerm(t + 9, "]]>");
+    }
+    return SkipDeclaration(t);
+  }
+
+ private:
+  // Absolute-position primitives: first hit at or after `from`, doc.size()
+  // when absent (the kernels return len-when-absent, so from + len lands
+  // exactly on doc.size()).
+  size_t FindByteAt(size_t from, unsigned char c) {
+    if (from >= doc_.size()) return doc_.size();
+    if (use_plane_) return from + plane_.FindByte(from, doc_.size() - from, c);
+    return from + simd::FindByte(doc_.data() + from, doc_.size() - from, c);
+  }
+  size_t FindAnyAt(size_t from, const simd::ByteSet& set) {
+    if (from >= doc_.size()) return doc_.size();
+    if (use_plane_) return from + plane_.FindAny(from, doc_.size() - from, set);
+    return from + simd::FindAny(doc_.data() + from, doc_.size() - from, set);
+  }
+  size_t FindPatternAt(size_t from, std::string_view term) {
+    if (from >= doc_.size()) return doc_.size();
+    if (use_plane_) {
+      return from + plane_.FindPattern(from, doc_.size() - from, term);
+    }
+    return from +
+           simd::FindPattern(doc_.data() + from, doc_.size() - from, term);
+  }
+
+  std::string_view doc_;
+  const bool use_plane_;
+  simd::MaskScanner open_scan_;  // kernel-path '<' scan (plane off)
+  simd::BitmapPlane plane_;
+};
 
 constexpr uint64_t kNoPos = ~uint64_t{0};
 
@@ -121,15 +171,16 @@ struct RegionSummary {
 /// an unknown absolute depth. Construct skips use the full document, so a
 /// construct straddling `end` is consumed completely and resume_pos tells
 /// the fix-up how far this region's view actually reached.
-RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
+RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end,
+                         bool use_plane) {
   RegionSummary sum;
   sum.first_open.assign(static_cast<size_t>(kMaxRelDepth + 2), kNoPos);
   int64_t depth = 0;
   size_t pos = static_cast<size_t>(begin);
   const size_t stop = static_cast<size_t>(end);
-  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
+  StructScanner sc(doc, use_plane);
   while (pos < stop) {
-    size_t t = open_scan.Next(pos);
+    size_t t = sc.NextOpen(pos);
     if (t >= stop) {
       pos = stop;
       break;
@@ -141,11 +192,11 @@ RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
     }
     char next = rest[1];
     if (next == '!' || next == '?') {
-      pos = SkipMarkupConstruct(doc, t, next);
+      pos = sc.SkipMarkupConstruct(t, next);
       continue;
     }
     if (next == '/') {
-      size_t tag_end = TagEnd(doc, t);
+      size_t tag_end = sc.TagEnd(t);
       --depth;  // may go negative: the region started below its closers
       pos = tag_end + 1;
       continue;
@@ -159,7 +210,7 @@ RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
       size_t slot = static_cast<size_t>(depth + kMaxRelDepth);
       if (sum.first_open[slot] == kNoPos) sum.first_open[slot] = t;
     }
-    size_t tag_end = TagEnd(doc, t);
+    size_t tag_end = sc.TagEnd(t);
     bool bachelor =
         tag_end < doc.size() && tag_end > t + 1 && doc[tag_end - 1] == '/';
     if (!bachelor) ++depth;
@@ -178,12 +229,13 @@ RegionSummary ScanRegion(std::string_view doc, uint64_t begin, uint64_t end) {
 /// read -- the early-exit the serial scanner gets for free. `scanned`
 /// accumulates the bytes consumed.
 uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
-                             int64_t depth, uint64_t* scanned) {
+                             int64_t depth, uint64_t* scanned,
+                             bool use_plane) {
   size_t pos = static_cast<size_t>(begin);
   uint64_t found = kNoPos;
-  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
+  StructScanner sc(doc, use_plane);
   while (pos < doc.size()) {
-    size_t t = open_scan.Next(pos);
+    size_t t = sc.NextOpen(pos);
     if (t == doc.size()) {
       pos = doc.size();
       break;
@@ -195,12 +247,12 @@ uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
     }
     char next = rest[1];
     if (next == '!' || next == '?') {
-      pos = SkipMarkupConstruct(doc, t, next);
+      pos = sc.SkipMarkupConstruct(t, next);
       continue;
     }
     if (next == '/') {
       --depth;
-      pos = TagEnd(doc, t) + 1;
+      pos = sc.TagEnd(t) + 1;
       continue;
     }
     if (!IsNameChar(next)) {
@@ -212,7 +264,7 @@ uint64_t FirstTopLevelOpenAt(std::string_view doc, uint64_t begin,
       pos = t;
       break;
     }
-    size_t tag_end = TagEnd(doc, t);
+    size_t tag_end = sc.TagEnd(t);
     bool bachelor =
         tag_end < doc.size() && tag_end > t + 1 && doc[tag_end - 1] == '/';
     if (!bachelor) ++depth;
@@ -257,7 +309,8 @@ bool SameRuntimeBehavior(const core::RuntimeTables& t, int a, int b) {
 }  // namespace
 
 std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
-                                             size_t max_splits) {
+                                             size_t max_splits,
+                                             bool use_plane) {
   std::vector<uint64_t> splits;
   if (max_splits == 0 || doc.size() < 2) return splits;
   const size_t stride = doc.size() / (max_splits + 1);
@@ -266,19 +319,19 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
   size_t pos = 0;
   size_t depth = 0;        // number of currently open elements
   size_t target_idx = 1;   // next split target = target_idx * stride
-  simd::MaskScanner open_scan(doc.data(), doc.size(), '<');
+  StructScanner sc(doc, use_plane);
   while (pos < doc.size() && splits.size() < max_splits) {
-    size_t t = open_scan.Next(pos);
+    size_t t = sc.NextOpen(pos);
     if (t == doc.size()) break;
     std::string_view rest = doc.substr(t);
     if (rest.size() < 2) break;
     char next = rest[1];
     if (next == '!' || next == '?') {
-      pos = SkipMarkupConstruct(doc, t, next);
+      pos = sc.SkipMarkupConstruct(t, next);
       continue;
     }
     if (next == '/') {
-      size_t end = TagEnd(doc, t);
+      size_t end = sc.TagEnd(t);
       if (depth > 0) --depth;
       pos = end + 1;
       continue;
@@ -295,7 +348,7 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
         ++target_idx;  // collapse targets this boundary already covers
       }
     }
-    size_t end = TagEnd(doc, t);
+    size_t end = sc.TagEnd(t);
     bool bachelor = end < doc.size() && end > t + 1 && doc[end - 1] == '/';
     if (!bachelor) ++depth;
     pos = end + 1;
@@ -305,7 +358,7 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
 
 std::vector<uint64_t> FindTopLevelBoundariesParallel(
     std::string_view doc, size_t max_splits, ThreadPool* pool,
-    uint64_t* scanned_bytes) {
+    uint64_t* scanned_bytes, bool use_plane) {
   if (scanned_bytes != nullptr) *scanned_bytes = 0;
   std::vector<uint64_t> splits;
   if (max_splits == 0 || doc.size() < 2) return splits;
@@ -315,7 +368,7 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(
     // A one-worker wave degenerates to a sequential whole-document scan;
     // the serial scanner is strictly better (it stops at the last chosen
     // boundary).
-    splits = FindTopLevelBoundaries(doc, max_splits);
+    splits = FindTopLevelBoundaries(doc, max_splits, use_plane);
     if (scanned_bytes != nullptr) {
       *scanned_bytes =
           splits.size() == max_splits ? splits.back() : doc.size();
@@ -334,9 +387,9 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(
   auto region_begin = [stride](size_t j) { return stride * j; };
   auto region_end = [stride](size_t j) { return stride * (j + 1); };
   std::vector<RegionSummary> sums(interior);
-  pool->RunAndWait(interior, [&doc, &sums, &region_begin, &region_end](
-                                 size_t j) {
-    sums[j] = ScanRegion(doc, region_begin(j), region_end(j));
+  pool->RunAndWait(interior, [&doc, &sums, &region_begin, &region_end,
+                              use_plane](size_t j) {
+    sums[j] = ScanRegion(doc, region_begin(j), region_end(j), use_plane);
   });
   if (scanned_bytes != nullptr) {
     for (size_t j = 0; j < interior; ++j) {
@@ -357,7 +410,7 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(
     uint64_t e = region_end(j);
     if (pos >= e) continue;
     if (pos > b) {
-      sums[j] = ScanRegion(doc, pos, e);
+      sums[j] = ScanRegion(doc, pos, e, use_plane);
       if (scanned_bytes != nullptr) {
         *scanned_bytes += sums[j].resume_pos - pos;
       }
@@ -385,7 +438,8 @@ std::vector<uint64_t> FindTopLevelBoundariesParallel(
   if (target_idx <= max_splits) {
     uint64_t begin = std::max<uint64_t>(pos, region_begin(interior));
     if (begin < doc.size()) {
-      uint64_t hit = FirstTopLevelOpenAt(doc, begin, depth, scanned_bytes);
+      uint64_t hit =
+          FirstTopLevelOpenAt(doc, begin, depth, scanned_bytes, use_plane);
       if (hit != kNoPos) splits.push_back(hit);
     }
   }
@@ -755,8 +809,11 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
   std::vector<uint64_t> bounds;
   if (max_shards > 1) {
     bounds = pool->size() > 1
-                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool)
-                 : FindTopLevelBoundaries(doc, max_shards - 1);
+                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool,
+                                                  nullptr,
+                                                  tables.use_bitmap_plane)
+                 : FindTopLevelBoundaries(doc, max_shards - 1,
+                                          tables.use_bitmap_plane);
   }
 
   SpeculativeResolver::Options ropts;
@@ -862,8 +919,11 @@ Status MultiQueryShardedRun(const core::RuntimeTables& tables,
   std::vector<uint64_t> bounds;
   if (max_shards > 1) {
     bounds = pool->size() > 1
-                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool)
-                 : FindTopLevelBoundaries(doc, max_shards - 1);
+                 ? FindTopLevelBoundariesParallel(doc, max_shards - 1, pool,
+                                                  nullptr,
+                                                  tables.use_bitmap_plane)
+                 : FindTopLevelBoundaries(doc, max_shards - 1,
+                                          tables.use_bitmap_plane);
   }
 
   SpeculativeResolver::Options ropts;

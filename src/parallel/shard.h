@@ -261,9 +261,13 @@ class SpeculativeResolver {
 /// sections, processing instructions, DOCTYPE internal subsets, and quoted
 /// attribute values, so a candidate never lands mid-tag or inside opaque
 /// markup. Documents with few top-level children simply yield fewer splits
-/// (possibly none).
+/// (possibly none). `use_plane` routes the structural scans through a
+/// local simd::BitmapPlane over the document (classify once, bit-walk
+/// everywhere); it changes throughput only, never the boundaries, and is
+/// further gated on the process-wide simd::PlaneEnabled().
 std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
-                                             size_t max_splits);
+                                             size_t max_splits,
+                                             bool use_plane = true);
 
 /// Region-parallel variant of FindTopLevelBoundaries: each target's region
 /// is scanned concurrently on `pool` (relative depths), then a sequential
@@ -284,7 +288,7 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
 /// a pool thread.
 std::vector<uint64_t> FindTopLevelBoundariesParallel(
     std::string_view doc, size_t max_splits, ThreadPool* pool,
-    uint64_t* scanned_bytes = nullptr);
+    uint64_t* scanned_bytes = nullptr, bool use_plane = true);
 
 /// Prefilters `doc` by sharding it across `pool`. Output and the merged
 /// `stats` totals are byte-identical to RunEngine over the same document

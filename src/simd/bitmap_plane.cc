@@ -1,0 +1,310 @@
+#include "simd/bitmap_plane.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace smpx::simd {
+namespace {
+
+std::atomic<int> g_plane_enabled{-1};  // -1 = read SMPX_DISABLE_PLANE first
+
+// kFillChunk-byte chunks covering an n-byte binding.
+constexpr size_t ChunkCount(size_t n) {
+  return (n + BitmapPlane::kFillChunk - 1) / BitmapPlane::kFillChunk;
+}
+
+bool SameSet(const ByteSet& x, const ByteSet& y) {
+  if (x.n != y.n) return false;
+  for (unsigned j = 0; j < x.n; ++j) {
+    if (x.chars[j] != y.chars[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PlaneEnabled() {
+  int v = g_plane_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("SMPX_DISABLE_PLANE");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 0 : 1;
+    g_plane_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetPlaneEnabled(bool on) {
+  g_plane_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void BitmapPlane::Bind(const char* data, size_t n, uint64_t origin,
+                       uint64_t epoch) {
+  if (data == data_ && origin == origin_ && epoch == epoch_ && n >= n_) {
+    if (n == n_) return;
+    // Append-only refill: a classified chunk still describes the same
+    // bytes, except around the old end -- the partial word there was
+    // masked against the old length, and a pair lane's bits in the
+    // trailing `delta` bytes were zeroed because their partner sat past
+    // the old end. Re-open exactly the chunks covering those words.
+    const size_t n_old = n_;
+    n_ = n;
+    chunks_ = ChunkCount(n_);
+    fill_words_ = (chunks_ + 63) / 64;
+    for (Lane& l : lanes_) {
+      l.filled.resize(fill_words_, 0);
+      if (n_old == 0) continue;
+      // First word whose bits could have depended on the old length: the
+      // word holding byte n_old - delta (pair partners), or the partial
+      // word holding byte n_old when the old end was mid-word.
+      size_t stale = n_old - (l.delta < n_old ? l.delta : n_old);
+      if (stale == n_old && (n_old % kBlock) == 0) continue;  // whole words
+      const size_t w_stale = stale / kBlock;
+      const size_t w_last = (n_old - 1) / kBlock;
+      for (size_t c = w_stale / kChunkWords; c <= w_last / kChunkWords; ++c) {
+        l.filled[c >> 6] &= ~(uint64_t{1} << (c & 63));
+      }
+    }
+    return;
+  }
+  data_ = data;
+  n_ = n;
+  chunks_ = ChunkCount(n_);
+  fill_words_ = (chunks_ + 63) / 64;
+  origin_ = origin;
+  epoch_ = epoch;
+  for (Lane& l : lanes_) l.filled.assign(fill_words_, 0);  // words reused
+}
+
+BitmapPlane::Lane* BitmapPlane::GetLane(LaneKind kind, unsigned char a,
+                                        unsigned char b, size_t delta,
+                                        const ByteSet* set) {
+  ++tick_;
+  // Per-kind MRU: probe loops and the engine's scans alternate between a
+  // couple of classes of *different* kinds, so the last lane of each kind
+  // almost always answers without the linear scan below.
+  const unsigned ki = static_cast<unsigned>(kind);
+  if (mru_[ki] < lanes_.size()) {
+    Lane& l = lanes_[mru_[ki]];
+    if (l.kind == kind &&
+        (kind == LaneKind::kAny
+             ? SameSet(l.set, *set)
+             : (l.a == a && (kind != LaneKind::kPair ||
+                             (l.b == b && l.delta == delta))))) {
+      l.last_use = tick_;
+      return &l;
+    }
+  }
+  for (Lane& l : lanes_) {
+    if (l.kind != kind) continue;
+    if (kind == LaneKind::kAny) {
+      if (!SameSet(l.set, *set)) continue;
+    } else if (l.a != a ||
+               (kind == LaneKind::kPair && (l.b != b || l.delta != delta))) {
+      continue;
+    }
+    l.last_use = tick_;
+    mru_[ki] = static_cast<uint8_t>(&l - lanes_.data());
+    return &l;
+  }
+  Lane* lane;
+  if (lanes_.size() < kMaxLanes) {
+    lanes_.reserve(kMaxLanes);  // keeps existing Lane addresses stable
+    lanes_.emplace_back();
+    lane = &lanes_.back();
+  } else {
+    // Evict the least recently used class; its word storage is recycled.
+    lane = &lanes_[0];
+    for (Lane& l : lanes_) {
+      if (l.last_use < lane->last_use) lane = &l;
+    }
+  }
+  lane->kind = kind;
+  lane->a = a;
+  lane->b = b;
+  lane->delta = delta;
+  lane->set = set != nullptr ? *set : ByteSet();
+  lane->filled.assign(fill_words_, 0);
+  lane->last_use = tick_;
+  lane->gen = tick_;  // invalidates any LaneRef to the previous class
+  mru_[ki] = static_cast<uint8_t>(lane - lanes_.data());
+  return lane;
+}
+
+// Lazy fill stays strictly per-lane and per-chunk. A speculative co-fill
+// (classifying the chunk for every lane streaming through the region while
+// its bytes are cache-hot) was measured: it trades memory passes for extra
+// classification compute, and at window sizes that fit L3 the compute is
+// the scarce resource -- geomean unchanged, worst row noticeably worse.
+void BitmapPlane::FillChunk(Lane* lane, size_t c) {
+  const size_t total = (n_ + kBlock - 1) / kBlock;
+  const size_t w0 = c * kChunkWords;
+  size_t w1 = w0 + kChunkWords;
+  if (w1 > total) w1 = total;
+  if (lane->words.size() < w1) lane->words.resize(w1);
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data_);
+  const Kernels& kn = Active();
+
+  // Blocks whose kernel reads stay inside the binding go through one bulk
+  // call; the remainder stages through the masked-tail helpers (which never
+  // read past n_ -- guard-page safe at the window edge).
+  size_t bulk = 0;  // exclusive end block of the in-bounds region
+  switch (lane->kind) {
+    case LaneKind::kEq:
+    case LaneKind::kAny:
+      bulk = n_ / kBlock;
+      break;
+    case LaneKind::kPair:
+      bulk = n_ >= lane->delta + kBlock ? (n_ - lane->delta) / kBlock : 0;
+      break;
+  }
+  if (bulk > w1) bulk = w1;
+  if (w0 < bulk) {
+    uint64_t* out = lane->words.data() + w0;
+    const unsigned char* q = p + w0 * kBlock;
+    switch (lane->kind) {
+      case LaneKind::kEq:
+        kn.eq_fill(q, bulk - w0, lane->a, out);
+        break;
+      case LaneKind::kAny:
+        kn.any_fill(q, bulk - w0, lane->set, out);
+        break;
+      case LaneKind::kPair:
+        kn.pair_fill(q, bulk - w0, lane->delta, lane->a, lane->b, out);
+        break;
+    }
+  }
+  for (size_t w = w0 > bulk ? w0 : bulk; w < w1; ++w) {
+    const size_t off = w * kBlock;
+    const size_t avail = n_ - off;
+    switch (lane->kind) {
+      case LaneKind::kEq:
+        lane->words[w] =
+            EqMaskTail(p + off, avail < kBlock ? avail : kBlock, lane->a);
+        break;
+      case LaneKind::kAny:
+        lane->words[w] =
+            AnyMaskTail(p + off, avail < kBlock ? avail : kBlock, lane->set);
+        break;
+      case LaneKind::kPair:
+        lane->words[w] =
+            PairMaskTail(p + off, avail, lane->delta, lane->a, lane->b);
+        break;
+    }
+  }
+  lane->filled[c >> 6] |= uint64_t{1} << (c & 63);
+}
+
+uint64_t BitmapPlane::Extract(Lane* lane, uint64_t abs) {
+  const size_t rel = static_cast<size_t>(abs - origin_);
+  if (rel >= n_) return 0;
+  const size_t w = rel / kBlock;
+  const unsigned r = static_cast<unsigned>(rel % kBlock);
+  const uint64_t lo = WordAt(lane, w);
+  if (r == 0) return lo;
+  return (lo >> r) | (WordAt(lane, w + 1) << (kBlock - r));
+}
+
+size_t BitmapPlane::ScanLane(Lane* lane, uint64_t abs, size_t len) {
+  if (len == 0) return 0;
+  const size_t rel = static_cast<size_t>(abs - origin_);
+  const size_t rel_end = rel + len;
+  const size_t w_end = (rel_end + kBlock - 1) / kBlock;
+  size_t w = rel / kBlock;
+  // The chunk-filled test is hoisted out of the word loop: within one
+  // chunk the walk is raw word loads off the lane array.
+  uint64_t head_mask = ~TakeMask(rel - w * kBlock);
+  while (w < w_end) {
+    const size_t c = w / kChunkWords;
+    if (!ChunkFilled(*lane, c)) FillChunk(lane, c);
+    size_t w_stop = (c + 1) * kChunkWords;
+    if (w_stop > w_end) w_stop = w_end;
+    const uint64_t* words = lane->words.data();
+    for (; w < w_stop; ++w) {
+      uint64_t m = words[w] & head_mask;
+      head_mask = ~uint64_t{0};
+      if (m != 0) {
+        if ((w + 1) * kBlock > rel_end) m &= TakeMask(rel_end - w * kBlock);
+        if (m != 0) return w * kBlock + NextSetBit(m) - rel;
+      }
+    }
+  }
+  return len;
+}
+
+size_t BitmapPlane::FindByte(uint64_t abs, size_t len, unsigned char c) {
+  return ScanLane(GetLane(LaneKind::kEq, c, 0, 0, nullptr), abs, len);
+}
+
+size_t BitmapPlane::FindAny(uint64_t abs, size_t len, const ByteSet& set) {
+  return ScanLane(GetLane(LaneKind::kAny, 0, 0, 0, &set), abs, len);
+}
+
+size_t BitmapPlane::FindPattern(uint64_t abs, size_t len,
+                                std::string_view term) {
+  const size_t tn = term.size();
+  if (tn == 0 || len < tn) return tn == 0 ? 0 : len;
+  if (tn == 1) {
+    return FindByte(abs, len, static_cast<unsigned char>(term[0]));
+  }
+  Lane* lane = GetLane(LaneKind::kPair, static_cast<unsigned char>(term[0]),
+                       static_cast<unsigned char>(term[tn - 1]), tn - 1,
+                       nullptr);
+  const size_t n_align = len - tn + 1;
+  const char* base = data_ + static_cast<size_t>(abs - origin_);
+  const char* tmid = term.data() + 1;
+  const size_t mid_len = tn > 2 ? tn - 2 : 0;
+  for (size_t i = 0; i < n_align; i += kBlock) {
+    uint64_t hits = Extract(lane, abs + i);
+    if (i + kBlock > n_align) hits &= TakeMask(n_align - i);
+    const char* block = base + i + 1;
+    while (hits != 0) {
+      const unsigned bit = NextSetBit(hits);
+      hits = ClearLowestBit(hits);
+      if (mid_len == 0 || std::memcmp(block + bit, tmid, mid_len) == 0) {
+        return i + bit;
+      }
+    }
+  }
+  return len;
+}
+
+uint64_t BitmapPlane::EqWord(unsigned char c, uint64_t abs) {
+  return Extract(GetLane(LaneKind::kEq, c, 0, 0, nullptr), abs);
+}
+
+uint64_t BitmapPlane::AnyWord(const ByteSet& set, uint64_t abs) {
+  return Extract(GetLane(LaneKind::kAny, 0, 0, 0, &set), abs);
+}
+
+uint64_t BitmapPlane::PairWord(unsigned char a, unsigned char b, size_t delta,
+                               uint64_t abs) {
+  return Extract(GetLane(LaneKind::kPair, a, b, delta, nullptr), abs);
+}
+
+BitmapPlane::LaneRef BitmapPlane::EqLaneRef(unsigned char c) {
+  Lane* l = GetLane(LaneKind::kEq, c, 0, 0, nullptr);
+  LaneRef r;
+  r.lane = l;
+  r.gen = l->gen;
+  return r;
+}
+
+BitmapPlane::LaneRef BitmapPlane::AnyLaneRef(const ByteSet& set) {
+  Lane* l = GetLane(LaneKind::kAny, 0, 0, 0, &set);
+  LaneRef r;
+  r.lane = l;
+  r.gen = l->gen;
+  return r;
+}
+
+BitmapPlane::LaneRef BitmapPlane::PairLaneRef(unsigned char a, unsigned char b,
+                                              size_t delta) {
+  Lane* l = GetLane(LaneKind::kPair, a, b, delta, nullptr);
+  LaneRef r;
+  r.lane = l;
+  r.gen = l->gen;
+  return r;
+}
+
+}  // namespace smpx::simd

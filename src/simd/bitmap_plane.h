@@ -1,0 +1,219 @@
+// Shared structural bitmap plane: classify each resident window once,
+// consume it everywhere.
+//
+// PR 7's kernels classify bytes per call -- every FindByte/FindAny/
+// FindPattern/MaskScanner invocation runs its own block loop through the
+// dispatch indirection, and blocks straddling call boundaries are
+// re-classified by the next call. The plane is the simdjson-style stage-1
+// answer (Langdale & Lemire): one bulk vectorized pass per lane fills a
+// memoized LSB-first bitmap over the bound buffer, and every consumer --
+// the engine's tag-end/quote/DOCTYPE/comment/PI scans, the boundary
+// scanner, the BM/CW candidate probes -- bit-walks those words instead of
+// re-running kernels.
+//
+// Lanes are memoized by byte class: eq(c), any(set), and pair(a, b, delta)
+// each get one lane, filled lazily one kFillChunk-byte chunk at a time
+// (a per-lane chunk bitmap tracks what is classified) so a lane only ever
+// pays for the chunks its queries actually touch -- early-exit scans never
+// classify bytes nobody looks at, a lane first queried deep into the
+// buffer does not classify the prefix, and an evicted-then-recreated lane
+// refills only what is re-queried -- while steady scans amortize to one
+// dispatch call per chunk instead of per 64-byte block. Positions are
+// ABSOLUTE (the binding records the buffer's origin), so classifications
+// survive as long as the binding does; SlidingWindow append-refills keep
+// every computed lane (only the chunks holding the old partial tail word
+// -- plus, for pair lanes, the trailing delta bytes whose partner used to
+// sit past the end -- re-open), and slides/reallocs -- detected via the
+// (data, origin, epoch) key -- invalidate everything.
+//
+// Every lane is computed by the active dispatch tier (simd::Active()), so
+// a forced-scalar process fills its plane with the same scalar oracle the
+// per-call path uses: outputs are bit-identical to the kernels under every
+// tier by construction, which is what the differential suites assert.
+//
+// Not thread-safe: each consumer (engine session, scan call) owns its own
+// plane. Tables-less consumers gate on PlaneEnabled() alone; engine
+// sessions AND it with TableOptions::use_bitmap_plane.
+
+#ifndef SMPX_SIMD_BITMAP_PLANE_H_
+#define SMPX_SIMD_BITMAP_PLANE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "simd/simd.h"
+
+namespace smpx::simd {
+
+/// Process-wide plane switch, default on; SMPX_DISABLE_PLANE=1 in the
+/// environment disables it at startup (the CI force-disabled job).
+bool PlaneEnabled();
+/// Test/bench hook; not thread-safe against concurrent scans.
+void SetPlaneEnabled(bool on);
+
+class BitmapPlane {
+ public:
+  /// Classification granularity: lanes fill one chunk per miss, tracked in
+  /// a per-lane chunk bitmap.
+  static constexpr size_t kFillChunk = 8192;
+
+  /// Lane words per fill chunk (the granularity of ChunkWords walks).
+  static constexpr size_t kChunkWords = kFillChunk / kBlock;
+
+  BitmapPlane() = default;
+  BitmapPlane(const BitmapPlane&) = delete;
+  BitmapPlane& operator=(const BitmapPlane&) = delete;
+
+  /// (Re)binds the plane to the resident bytes [data, data + n) whose first
+  /// byte sits at absolute position `origin`. `epoch` must change whenever
+  /// the bytes behind an unchanged (data, origin) pair may have moved or
+  /// been rewritten (SlidingWindow::epoch(); fixed buffers pass 0).
+  /// Re-binding the same buffer is free; append-only growth (same data,
+  /// origin, epoch, larger n) keeps every computed lane and re-opens only
+  /// the chunks around the old end whose bits depended on the old length;
+  /// anything else invalidates all lanes.
+  void Bind(const char* data, size_t n, uint64_t origin, uint64_t epoch = 0);
+
+  bool bound() const { return data_ != nullptr; }
+  uint64_t origin() const { return origin_; }
+  uint64_t end() const { return origin_ + n_; }
+
+  /// simd::FindByte over the absolute range [abs, abs + len): RELATIVE
+  /// offset of the first byte == c, len when absent. The range must lie
+  /// within the binding.
+  size_t FindByte(uint64_t abs, size_t len, unsigned char c);
+  /// simd::FindAny over [abs, abs + len).
+  size_t FindAny(uint64_t abs, size_t len, const ByteSet& set);
+  /// simd::FindPattern over [abs, abs + len).
+  size_t FindPattern(uint64_t abs, size_t len, std::string_view term);
+
+  /// The 64 classification bits at absolute positions [abs, abs + 64):
+  /// bit i = (byte at abs + i == c); bits at or past the binding end are 0.
+  /// The matcher probe primitive -- one unaligned word extracted from the
+  /// lane, any alignment.
+  uint64_t EqWord(unsigned char c, uint64_t abs);
+  uint64_t AnyWord(const ByteSet& set, uint64_t abs);
+  /// Bit i = (byte at abs+i == a && byte at abs+i+delta == b); bits whose
+  /// partner would sit at or past the binding end are 0 (the PairMaskTail
+  /// convention).
+  uint64_t PairWord(unsigned char a, unsigned char b, size_t delta,
+                    uint64_t abs);
+
+  /// A resolved lane for hot probe loops: Word() through a ref skips the
+  /// per-query class lookup that EqWord/AnyWord/PairWord pay. Resolve every
+  /// ref a loop needs up front, then probe. Refs stay valid while the plane
+  /// stays bound to the same buffer (append refills included) and no *new*
+  /// byte class is requested: only a new class can recycle a lane, and the
+  /// lanes behind freshly resolved refs are the most recently used, so a
+  /// loop's refs can never evict one another. Word() asserts freshness in
+  /// debug builds.
+  struct LaneRef {
+   private:
+    friend class BitmapPlane;
+    void* lane = nullptr;
+    uint64_t gen = 0;
+  };
+  LaneRef EqLaneRef(unsigned char c);
+  LaneRef AnyLaneRef(const ByteSet& set);
+  LaneRef PairLaneRef(unsigned char a, unsigned char b, size_t delta);
+  /// The 64 lane bits at [abs, abs + 64) through a resolved ref --
+  /// identical to EqWord/AnyWord/PairWord for the ref's class.
+  uint64_t Word(LaneRef ref, uint64_t abs) {
+    Lane* l = static_cast<Lane*>(ref.lane);
+    assert(l != nullptr && l->gen == ref.gen && "stale LaneRef");
+    return Extract(l, abs);
+  }
+
+  /// Aligned access for stride-64 probe loops: lane word w holds the bits
+  /// for absolute positions [WordBase(w), WordBase(w) + 64), so walking w
+  /// upward reads each word exactly once with no cross-word stitching --
+  /// cheaper than Word() at arbitrary alignment. WordIndexOf/WordBase
+  /// convert between absolute positions and word indexes.
+  size_t WordIndexOf(uint64_t abs) const {
+    return static_cast<size_t>(abs - origin_) / kBlock;
+  }
+  uint64_t WordBase(size_t w) const { return origin_ + w * kBlock; }
+  uint64_t AlignedWord(LaneRef ref, size_t w) {
+    Lane* l = static_cast<Lane*>(ref.lane);
+    assert(l != nullptr && l->gen == ref.gen && "stale LaneRef");
+    return WordAt(l, w);
+  }
+  /// The cheapest walk: ensures chunk c (words [c * kChunkWords, ...)) is
+  /// classified and returns the lane's word array, indexed by the same
+  /// word indexes WordIndexOf yields. Words past the binding end are not
+  /// dereferenceable -- cap walks at WordIndexOf(end() - 1) + 1. The
+  /// pointer is invalidated by the next fill on this lane (a later chunk
+  /// can grow the array), so re-fetch it for every chunk walked.
+  const uint64_t* ChunkWords(LaneRef ref, size_t c) {
+    Lane* l = static_cast<Lane*>(ref.lane);
+    assert(l != nullptr && l->gen == ref.gen && "stale LaneRef");
+    if (!ChunkFilled(*l, c)) FillChunk(l, c);
+    return l->words.data();
+  }
+
+ private:
+  enum class LaneKind : uint8_t { kEq, kAny, kPair };
+
+  /// One memoized byte-class bitmap. `filled` holds one bit per
+  /// kFillChunk-byte chunk of the binding; only chunks whose bit is set
+  /// have classified words, so the kernel work a lane pays tracks the
+  /// chunks its queries touch, not the binding size. `words` grows to
+  /// cover the highest filled chunk (unfilled gaps are zero-allocated but
+  /// never classified).
+  struct Lane {
+    LaneKind kind = LaneKind::kEq;
+    unsigned char a = 0;
+    unsigned char b = 0;
+    size_t delta = 0;
+    ByteSet set;
+    std::vector<uint64_t> words;
+    std::vector<uint64_t> filled;
+    uint64_t last_use = 0;
+    uint64_t gen = 0;  // bumped when the lane is re-keyed (LaneRef freshness)
+  };
+
+  /// Enough for every structural class plus the shared matcher lead class
+  /// of a complex query mix: evicting a live class forces whole-chunk
+  /// refills, which costs far more than the lane table scan ever can.
+  static constexpr size_t kMaxLanes = 16;
+
+  Lane* GetLane(LaneKind kind, unsigned char a, unsigned char b, size_t delta,
+                const ByteSet* set);
+  /// Classifies chunk c of `lane` (words [c * kChunkWords, the chunk end or
+  /// the binding end)) via one bulk kernel call for the in-bounds blocks
+  /// and masked tails at the edge, then marks it filled.
+  void FillChunk(Lane* lane, size_t c);
+  bool ChunkFilled(const Lane& lane, size_t c) const {
+    return ((lane.filled[c >> 6] >> (c & 63)) & 1) != 0;
+  }
+  /// The lane's word w (bits for bytes [64w, 64w + 64)), filling the
+  /// enclosing chunk on demand; 0 for words entirely past the binding end.
+  inline uint64_t WordAt(Lane* lane, size_t w) {
+    if (w * kBlock >= n_) return 0;
+    const size_t c = w / kChunkWords;
+    if (((lane->filled[c >> 6] >> (c & 63)) & 1) == 0) FillChunk(lane, c);
+    return lane->words[w];
+  }
+  /// 64 lane bits starting at absolute position abs (unaligned extraction).
+  uint64_t Extract(Lane* lane, uint64_t abs);
+  /// First set lane bit in [abs, abs + len), as a relative offset; len when
+  /// none.
+  size_t ScanLane(Lane* lane, uint64_t abs, size_t len);
+
+  const char* data_ = nullptr;
+  size_t n_ = 0;
+  size_t chunks_ = 0;      // kFillChunk-byte chunks covering the binding
+  size_t fill_words_ = 0;  // uint64 words in each lane's chunk bitmap
+  uint64_t origin_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t tick_ = 0;
+  uint8_t mru_[3] = {255, 255, 255};  // most recent lane index per LaneKind
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace smpx::simd
+
+#endif  // SMPX_SIMD_BITMAP_PLANE_H_

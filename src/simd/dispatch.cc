@@ -6,6 +6,7 @@
 
 #include "simd/kernels.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 #include <vector>
@@ -64,7 +65,17 @@ const Kernels& Init() {
   Isa want = BestIsa();
   if (const char* force = std::getenv("SMPX_FORCE_ISA")) {
     Isa forced;
-    if (ParseIsa(force, &forced)) want = forced;
+    if (!ParseIsa(force, &forced)) {
+      // A typo'd tier name silently falling back to best-available would
+      // invalidate every differential CI run that relies on the pin; fail
+      // loudly instead.
+      std::fprintf(stderr,
+                   "smpx: unrecognized SMPX_FORCE_ISA value \"%s\" "
+                   "(expected scalar|swar|sse2|sse42|avx2|neon)\n",
+                   force);
+      std::abort();
+    }
+    want = forced;
   }
   const Kernels* k = BestAtOrBelow(want);
   g_active.store(k, std::memory_order_relaxed);

@@ -55,7 +55,25 @@ uint64_t Pair64Swar(const unsigned char* p, size_t delta, unsigned char a,
   return mask;
 }
 
-constexpr Kernels kSwar = {Isa::kSwar, Eq64Swar, Any64Swar, Pair64Swar};
+void EqFillSwar(const unsigned char* p, size_t nblocks, unsigned char c,
+                uint64_t* out) {
+  for (size_t b = 0; b < nblocks; ++b) out[b] = Eq64Swar(p + kBlock * b, c);
+}
+
+void AnyFillSwar(const unsigned char* p, size_t nblocks, const ByteSet& set,
+                 uint64_t* out) {
+  for (size_t b = 0; b < nblocks; ++b) out[b] = Any64Swar(p + kBlock * b, set);
+}
+
+void PairFillSwar(const unsigned char* p, size_t nblocks, size_t delta,
+                  unsigned char a, unsigned char b, uint64_t* out) {
+  for (size_t k = 0; k < nblocks; ++k) {
+    out[k] = Pair64Swar(p + kBlock * k, delta, a, b);
+  }
+}
+
+constexpr Kernels kSwar = {Isa::kSwar,  Eq64Swar,    Any64Swar,   Pair64Swar,
+                           EqFillSwar,  AnyFillSwar, PairFillSwar};
 
 }  // namespace
 

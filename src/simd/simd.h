@@ -76,6 +76,17 @@ struct Kernels {
   /// [p+delta, p+delta+64) readable.
   uint64_t (*pair64)(const unsigned char* p, size_t delta, unsigned char a,
                      unsigned char b);
+  /// Bulk stage-1 passes behind simd::BitmapPlane: out[b] = the matching
+  /// block kernel over p + 64*b for b in [0, nblocks). One dispatch
+  /// indirection per chunk instead of per block; each tier's loop inlines
+  /// its own block kernel. eq/any require [p, p + 64*nblocks) readable,
+  /// pair additionally delta bytes beyond that.
+  void (*eq_fill)(const unsigned char* p, size_t nblocks, unsigned char c,
+                  uint64_t* out);
+  void (*any_fill)(const unsigned char* p, size_t nblocks, const ByteSet& set,
+                   uint64_t* out);
+  void (*pair_fill)(const unsigned char* p, size_t nblocks, size_t delta,
+                    unsigned char a, unsigned char b, uint64_t* out);
 };
 
 namespace detail {
@@ -207,6 +218,9 @@ inline size_t FindPattern(const char* data, size_t n, std::string_view term) {
   const unsigned char tl = static_cast<unsigned char>(term[tn - 1]);
   const Kernels& k = Active();
   const size_t n_align = n - tn + 1;
+  const unsigned char* tmid =
+      reinterpret_cast<const unsigned char*>(term.data()) + 1;
+  const size_t mid_len = tn > 2 ? tn - 2 : 0;
   size_t i = 0;
   for (;;) {
     uint64_t hits;
@@ -217,11 +231,12 @@ inline size_t FindPattern(const char* data, size_t n, std::string_view term) {
     } else {
       break;
     }
+    const unsigned char* block = p + i + 1;  // candidate middles, this block
     while (hits != 0) {
-      const size_t j = i + NextSetBit(hits);
+      const unsigned bit = NextSetBit(hits);
       hits = ClearLowestBit(hits);
-      if (tn <= 2 || std::memcmp(p + j + 1, term.data() + 1, tn - 2) == 0) {
-        return j;
+      if (mid_len == 0 || std::memcmp(block + bit, tmid, mid_len) == 0) {
+        return i + bit;
       }
     }
     i += kBlock;

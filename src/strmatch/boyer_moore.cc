@@ -153,11 +153,19 @@ BoyerMooreMatcher::BoyerMooreMatcher(std::string pattern) {
 
 Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
                                 SearchStats* stats) const {
+  return Search(text, from, stats, nullptr);
+}
+
+Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
+                                SearchStats* stats,
+                                const PlaneContext* ctx) const {
   const std::string& p = patterns_[0];
   const size_t m = p.size();
   const size_t n = text.size();
   if (from > n || n - from < m) return {};
-  if (skip_mode_ != SkipLoopMode::kClassic) return SearchSkip(text, from, stats);
+  if (skip_mode_ != SkipLoopMode::kClassic) {
+    return SearchSkip(text, from, stats, ctx);
+  }
 
   size_t i = from;  // current alignment: pattern start at text position i
   while (i + m <= n) {
@@ -183,8 +191,20 @@ Match BoyerMooreMatcher::Search(std::string_view text, size_t from,
   return {};
 }
 
+// Note on the bitmap plane: BM deliberately does NOT consult it. The probe
+// byte for tag keywords is '<', which occurs every ~25 bytes in
+// element-dense XML, so nearly every 64-byte block has hits and a bitmap
+// walk cannot skip anything -- it only adds bitmap loads and per-word
+// rechecks on top of the pair kernel's two loads + two compares per block.
+// And because each BM state searches a disjoint, monotonically-advancing
+// region, the per-call kernels classify each byte at most once already;
+// memoizing per-state pair classes in plane lanes was measured to cost
+// ~1.5 extra full-document classification passes for zero reuse. The
+// PlaneContext parameter stays for interface uniformity (Commentz-Walter
+// does profit from the shared '<' lead lane).
 Match BoyerMooreMatcher::SearchSkip(std::string_view text, size_t from,
-                                    SearchStats* stats) const {
+                                    SearchStats* stats,
+                                    const PlaneContext* /*ctx*/) const {
   const std::string& p = patterns_[0];
   const size_t m = p.size();
   const size_t n = text.size();

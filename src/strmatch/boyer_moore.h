@@ -20,6 +20,8 @@ class BoyerMooreMatcher : public Matcher {
 
   Match Search(std::string_view text, size_t from,
                SearchStats* stats) const override;
+  Match Search(std::string_view text, size_t from, SearchStats* stats,
+               const PlaneContext* ctx) const override;
 
   size_t min_length() const override { return patterns_[0].size(); }
   size_t max_length() const override { return patterns_[0].size(); }
@@ -30,8 +32,8 @@ class BoyerMooreMatcher : public Matcher {
   void set_skip_mode(SkipLoopMode mode) override { skip_mode_ = mode; }
 
  private:
-  Match SearchSkip(std::string_view text, size_t from,
-                   SearchStats* stats) const;
+  Match SearchSkip(std::string_view text, size_t from, SearchStats* stats,
+                   const PlaneContext* ctx) const;
 
   std::vector<std::string> patterns_;       // exactly one element
   std::array<int, 256> bad_char_;           // last occurrence index, -1 if none

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "simd/simd.h"
 #include "strmatch/matcher.h"
 
 namespace smpx::strmatch {
@@ -50,6 +51,8 @@ class CommentzWalterMatcher : public Matcher {
 
   Match Search(std::string_view text, size_t from,
                SearchStats* stats) const override;
+  Match Search(std::string_view text, size_t from, SearchStats* stats,
+               const PlaneContext* ctx) const override;
 
   size_t min_length() const override { return trie_.wmin; }
   size_t max_length() const override { return trie_.wmax; }
@@ -60,8 +63,8 @@ class CommentzWalterMatcher : public Matcher {
   void set_skip_mode(SkipLoopMode mode) override { skip_mode_ = mode; }
 
  private:
-  Match SearchFast(std::string_view text, size_t from,
-                   SearchStats* stats) const;
+  Match SearchFast(std::string_view text, size_t from, SearchStats* stats,
+                   const PlaneContext* ctx) const;
 
   std::vector<std::string> patterns_;
   detail::ReverseTrie trie_;
@@ -88,6 +91,17 @@ class CommentzWalterMatcher : public Matcher {
   SkipLoopMode skip_mode_ = SkipLoopMode::kSimd;  // candidate-scan tier
   char lead_ = 0;
   std::vector<ForwardTrieNode> fwd_;  // rooted at fwd_[0]'s lead child
+
+  // Plane-fed trie-verify vectorization: when every pattern is >= 2 bytes
+  // and the forward trie's lead node has <= 8 distinct children, a
+  // candidate whose *second* text byte is outside `second_set_` is doomed
+  // after exactly two trie steps. The plane's any(second_set_) lane kills
+  // such candidates in bulk before any trie node is touched; the kill
+  // accounts the identical stats verify would have (shift bookkeeping plus
+  // the two counted comparisons), so matches and SearchStats stay
+  // tier- and plane-independent.
+  bool precheck_ok_ = false;
+  simd::ByteSet second_set_;
 };
 
 /// Set-Horspool: same reversed trie, but shifts only by the bad-character

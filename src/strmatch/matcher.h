@@ -13,6 +13,10 @@
 #include <string_view>
 #include <vector>
 
+namespace smpx::simd {
+class BitmapPlane;
+}  // namespace smpx::simd
+
 namespace smpx::strmatch {
 
 /// Counters reproducing the paper's per-query measurement columns:
@@ -57,6 +61,18 @@ enum class SkipLoopMode {
   kSimd = 2,     ///< dispatched 64-byte bitmap probes (simd/simd.h)
 };
 
+/// The caller's shared structural bitmap plane, offered to Search so the
+/// kSimd candidate probes read memoized class words instead of re-running
+/// kernels over the text. `abs_base` is the absolute position of
+/// text.data()[0] within the plane's binding (the plane must cover the
+/// whole text). Matchers are shared across threads, so the plane travels
+/// per call, never through matcher state; candidate order and stats are
+/// identical with or without it.
+struct PlaneContext {
+  simd::BitmapPlane* plane = nullptr;
+  uint64_t abs_base = 0;
+};
+
 /// A compiled set of patterns searchable in a text.
 ///
 /// Contract: Search returns an occurrence with the minimal *end* position
@@ -73,6 +89,15 @@ class Matcher {
   /// `stats` may be null.
   virtual Match Search(std::string_view text, size_t from,
                        SearchStats* stats) const = 0;
+
+  /// Plane-aware overload: algorithms with a kSimd fast path (BM, CW) read
+  /// their candidate probes from `ctx->plane` when given one; everyone else
+  /// ignores it. Matches and stats are identical to the 3-arg Search.
+  virtual Match Search(std::string_view text, size_t from, SearchStats* stats,
+                       const PlaneContext* ctx) const {
+    (void)ctx;
+    return Search(text, from, stats);
+  }
 
   /// Shortest / longest pattern lengths.
   virtual size_t min_length() const = 0;
