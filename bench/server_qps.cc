@@ -1,0 +1,233 @@
+// smpxd serving benchmark: queries per second and tail latency of the
+// projection server under a mixed concurrent workload, the ROADMAP
+// "serving" number (QPS + p99) for the long-lived daemon.
+//
+// An in-process Server (same code path as the smpxd binary, minus
+// process startup) listens on a unix socket; N client threads hammer it
+// with the three request shapes:
+//
+//   seek1    open a cursor at a random record ordinal, stream 1 record
+//            (the pagination hot path; index + checkpoint resume)
+//   resume1  restore the client-held token from the previous response
+//            and stream 1 more record (the stateless load-balancer path)
+//   project  stream the whole projected document (bulk transfer)
+//
+// Rows report per-op QPS and p50/p99 latency over all client threads.
+//
+//   SMPX_SCALE_MB=24 ./bench_server_qps
+//   SMPX_CLIENTS=8      concurrent connections (default 8)
+//   SMPX_REQS=400       requests per client for the cursor ops
+//   SMPX_CSV=1 / SMPX_JSON=1   machine-readable output
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/io.h"
+#include "common/timer.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "xmlgen/medline.h"
+
+namespace smpx::bench {
+namespace {
+
+constexpr const char* kPaths =
+    "/MedlineCitationSet/MedlineCitation/MedlineJournalInfo# "
+    "/MedlineCitationSet/MedlineCitation/DateCompleted#";
+
+int EnvInt(const char* name, int def) {
+  const char* env = std::getenv(name);
+  int v = env != nullptr ? std::atoi(env) : 0;
+  return v > 0 ? v : def;
+}
+
+struct OpResult {
+  std::vector<double> latencies_us;
+  uint64_t bytes = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t i = static_cast<size_t>(p * (v->size() - 1));
+  return (*v)[i];
+}
+
+int Run() {
+  const uint64_t bytes = ScaleBytes();
+  const std::string& doc = Dataset("medline", bytes);
+  const std::string doc_path = "bench_server_qps_doc.xml";
+  const std::string sock_path = "bench_server_qps.sock";
+  Status w = WriteStringToFile(doc_path, doc);
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.ToString().c_str());
+    return 1;
+  }
+  const std::string dtd_text = xmlgen::MedlineDtdText();
+
+  server::ServerOptions sopts;
+  sopts.unix_path = sock_path;
+  sopts.cache.index_granularity = 1;
+  server::Server srv(sopts);
+  Status s = srv.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const int clients = EnvInt("SMPX_CLIENTS", 8);
+  const int reqs = EnvInt("SMPX_REQS", 400);
+
+  server::Request base;
+  base.dtd_text = dtd_text;
+  base.paths_text = kPaths;
+  base.doc_path = doc_path;
+
+  // Warm the cache (tables compile + index build) outside the timed
+  // region: steady-state serving is the number of interest.
+  {
+    auto c = server::Client::Connect("unix:" + sock_path);
+    if (!c.ok()) {
+      std::fprintf(stderr, "connect: %s\n", c.status().ToString().c_str());
+      return 1;
+    }
+    server::Request warm = base;
+    warm.op = server::Op::kSeek;
+    warm.by_record = true;
+    warm.target = 0;
+    warm.count = 1;
+    auto t = c->Call(warm, nullptr);
+    if (!t.ok()) {
+      std::fprintf(stderr, "warmup: %s\n", t.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // Total records, for spreading seek targets: ask the index via a drain
+  // trailer on a cheap seek to the far end.
+  uint64_t total_records = 0;
+  {
+    auto c = server::Client::Connect("unix:" + sock_path);
+    server::Request probe = base;
+    probe.op = server::Op::kSeek;
+    probe.target = doc.size();
+    auto t = c->Call(probe, nullptr);
+    if (t.ok()) total_records = t->record_position;
+  }
+  if (total_records == 0) total_records = 1;
+
+  TablePrinter table({"op", "clients", "reqs", "qps", "p50_us", "p99_us",
+                      "MB/s"});
+
+  auto run_op = [&](const char* name, auto make_req, int per_client) {
+    std::vector<OpResult> results(static_cast<size_t>(clients));
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        OpResult& r = results[static_cast<size_t>(t)];
+        auto c = server::Client::Connect("unix:" + sock_path);
+        if (!c.ok()) {
+          r.errors = static_cast<uint64_t>(per_client);
+          return;
+        }
+        uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+        std::string token;
+        for (int i = 0; i < per_client; ++i) {
+          rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+          server::Request req = make_req(rng, &token);
+          WallTimer lt;
+          auto resp = c->Call(req, nullptr);
+          if (!resp.ok()) {
+            ++r.errors;
+            token.clear();
+            continue;
+          }
+          r.latencies_us.push_back(lt.Seconds() * 1e6);
+          r.bytes += resp->emitted_bytes;
+          token = resp->at_end ? std::string() : resp->token;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    double secs = wall.Seconds();
+    OpResult all;
+    for (auto& r : results) {
+      all.latencies_us.insert(all.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+      all.bytes += r.bytes;
+      all.errors += r.errors;
+    }
+    if (all.errors > 0) {
+      std::fprintf(stderr, "%s: %llu errors\n", name,
+                   static_cast<unsigned long long>(all.errors));
+    }
+    auto fixed = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    table.AddRow({name, std::to_string(clients),
+                  std::to_string(all.latencies_us.size()),
+                  fixed(all.latencies_us.size() / secs),
+                  fixed(Percentile(&all.latencies_us, 0.50)),
+                  fixed(Percentile(&all.latencies_us, 0.99)),
+                  fixed(static_cast<double>(all.bytes) / secs / 1e6)});
+  };
+
+  run_op(
+      "seek1",
+      [&](uint64_t rng, std::string*) {
+        server::Request req = base;
+        req.op = server::Op::kSeek;
+        req.by_record = true;
+        req.target = rng % total_records;
+        req.count = 1;
+        return req;
+      },
+      reqs);
+  run_op(
+      "resume1",
+      [&](uint64_t rng, std::string* token) {
+        server::Request req = base;
+        if (token->empty()) {
+          req.op = server::Op::kSeek;
+          req.by_record = true;
+          req.target = rng % total_records;
+        } else {
+          req.op = server::Op::kResume;
+          req.token = *token;
+        }
+        req.count = 1;
+        return req;
+      },
+      reqs);
+  run_op(
+      "project",
+      [&](uint64_t, std::string*) {
+        server::Request req = base;
+        req.op = server::Op::kProject;
+        return req;
+      },
+      std::max(2, reqs / 50));
+
+  table.Print("server_qps");
+  std::printf(
+      "(seek1 = open cursor at random record + stream 1; resume1 = restore "
+      "client token + stream 1; project = full projected document)\n");
+
+  srv.Stop();
+  std::remove(doc_path.c_str());
+  std::remove(sock_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace smpx::bench
+
+int main() { return smpx::bench::Run(); }

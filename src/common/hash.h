@@ -121,6 +121,104 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a * kPrime1 + kPrime4;
 }
 
+/// Incremental Hash64: Update() in arbitrary-sized pieces, then Digest().
+/// Produces EXACTLY Hash64(concatenation of the pieces, seed), so digests
+/// computed over a chunked read of a document interoperate with one-shot
+/// digests of the same bytes (boundary-index Matches relies on this; the
+/// equivalence is pinned by hash_stability tests). Digest() is const and
+/// repeatable; Update() after Digest() continues the stream.
+class Hash64Stream {
+ public:
+  explicit Hash64Stream(uint64_t seed = 0)
+      : seed_(seed),
+        v1_(seed + hash_internal::kPrime1 + hash_internal::kPrime2),
+        v2_(seed + hash_internal::kPrime2),
+        v3_(seed),
+        v4_(seed - hash_internal::kPrime1) {}
+
+  void Update(std::string_view data) {
+    using namespace hash_internal;
+    total_ += data.size();
+    const char* p = data.data();
+    size_t n = data.size();
+    if (buffered_ > 0) {
+      const size_t take = n < sizeof(buf_) - buffered_
+                              ? n
+                              : sizeof(buf_) - buffered_;
+      std::memcpy(buf_ + buffered_, p, take);
+      buffered_ += take;
+      p += take;
+      n -= take;
+      if (buffered_ < sizeof(buf_)) return;
+      // The one-shot loop consumes stripes while >= 32 bytes remain (a
+      // trailing exact stripe included), so a full buffer is always
+      // consumable here and the digest tail stays in [0, 31] bytes.
+      v1_ = Round(v1_, LoadLe64(buf_));
+      v2_ = Round(v2_, LoadLe64(buf_ + 8));
+      v3_ = Round(v3_, LoadLe64(buf_ + 16));
+      v4_ = Round(v4_, LoadLe64(buf_ + 24));
+      buffered_ = 0;
+    }
+    while (n >= sizeof(buf_)) {
+      v1_ = Round(v1_, LoadLe64(p));
+      v2_ = Round(v2_, LoadLe64(p + 8));
+      v3_ = Round(v3_, LoadLe64(p + 16));
+      v4_ = Round(v4_, LoadLe64(p + 24));
+      p += 32;
+      n -= 32;
+    }
+    if (n > 0) {
+      std::memcpy(buf_, p, n);
+      buffered_ = n;
+    }
+  }
+
+  uint64_t Digest() const {
+    using namespace hash_internal;
+    uint64_t h;
+    if (total_ >= 32) {
+      h = Rotl(v1_, 1) + Rotl(v2_, 7) + Rotl(v3_, 12) + Rotl(v4_, 18);
+      h = MergeRound(h, v1_);
+      h = MergeRound(h, v2_);
+      h = MergeRound(h, v3_);
+      h = MergeRound(h, v4_);
+    } else {
+      h = seed_ + kPrime5;
+    }
+    h += total_;
+    const char* p = buf_;
+    const char* end = buf_ + buffered_;
+    while (p + 8 <= end) {
+      h ^= Round(0, LoadLe64(p));
+      h = Rotl(h, 27) * kPrime1 + kPrime4;
+      p += 8;
+    }
+    if (p + 4 <= end) {
+      h ^= LoadLe32(p) * kPrime1;
+      h = Rotl(h, 23) * kPrime2 + kPrime3;
+      p += 4;
+    }
+    while (p < end) {
+      h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p)) * kPrime5;
+      h = Rotl(h, 11) * kPrime1;
+      ++p;
+    }
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  uint64_t seed_;
+  uint64_t v1_, v2_, v3_, v4_;
+  uint64_t total_ = 0;
+  char buf_[32];
+  size_t buffered_ = 0;
+};
+
 }  // namespace smpx
 
 #endif  // SMPX_COMMON_HASH_H_

@@ -94,6 +94,68 @@ Result<size_t> MmapSource::ReadAt(uint64_t offset, char* buf,
   return n;
 }
 
+Result<std::unique_ptr<FileSource>> FileSource::Open(
+    const std::string& path) {
+#ifdef SMPX_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IoError("fstat '" + path + "': " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (S_ISREG(st.st_mode)) {
+    return std::unique_ptr<FileSource>(new FileSource(
+        fd, static_cast<uint64_t>(st.st_size), std::string()));
+  }
+  ::close(fd);
+#endif
+  // Pipes, /proc files, or platforms without pread: owned memory.
+  SMPX_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  const uint64_t size = content.size();
+  return std::unique_ptr<FileSource>(
+      new FileSource(-1, size, std::move(content)));
+}
+
+FileSource::~FileSource() {
+#ifdef SMPX_HAVE_MMAP
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+Result<size_t> FileSource::ReadAt(uint64_t offset, char* buf,
+                                  size_t len) const {
+  if (fd_ < 0) {
+    if (offset >= fallback_.size()) return static_cast<size_t>(0);
+    size_t n = std::min<uint64_t>(len, fallback_.size() - offset);
+    std::memcpy(buf, fallback_.data() + offset, n);
+    return n;
+  }
+#ifdef SMPX_HAVE_MMAP
+  if (offset >= size_) return static_cast<size_t>(0);
+  len = static_cast<size_t>(std::min<uint64_t>(len, size_ - offset));
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd_, buf + done, len - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // file shrank under us; report the short read
+    done += static_cast<size_t>(n);
+  }
+  return done;
+#else
+  return Status::Internal("FileSource without pread support");
+#endif
+}
+
 Result<size_t> SourceStream::Read(char* buf, size_t len) {
   if (pos_ >= end_) return static_cast<size_t>(0);
   size_t want = static_cast<size_t>(std::min<uint64_t>(len, end_ - pos_));

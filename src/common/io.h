@@ -92,6 +92,35 @@ class MmapSource : public InputSource {
   std::string fallback_;  // owns the bytes when mmap was unavailable
 };
 
+/// InputSource over a file descriptor via positioned reads (pread), never
+/// mapping the file: the random-access path for documents too large to
+/// mmap in one piece (or at all on 32-bit address spaces). Each ReadAt is
+/// an independent positioned read, so concurrent readers need no locking.
+/// On platforms without POSIX pread, Open falls back to owned memory the
+/// same way MmapSource does.
+class FileSource : public InputSource {
+ public:
+  static Result<std::unique_ptr<FileSource>> Open(const std::string& path);
+  ~FileSource() override;
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  uint64_t size() const override { return size_; }
+  Result<size_t> ReadAt(uint64_t offset, char* buf,
+                        size_t len) const override;
+  /// Deliberately no Contiguous(): callers must go through ReadAt, which
+  /// is the point of this source.
+
+ private:
+  FileSource(int fd, uint64_t size, std::string fallback)
+      : fd_(fd), size_(size), fallback_(std::move(fallback)) {}
+
+  int fd_;                // -1 when backed by the in-memory fallback
+  uint64_t size_;
+  std::string fallback_;  // owns the bytes when pread was unavailable
+};
+
 /// Adapter: pull-based InputStream over a byte range of an InputSource.
 /// Keeps the existing streaming consumers (SlidingWindow, RunEngine)
 /// working against random-access sources.

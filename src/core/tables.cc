@@ -1,6 +1,7 @@
 #include "core/tables.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <queue>
 #include <set>
@@ -17,6 +18,13 @@ namespace {
 using dtd::DtdAutomaton;
 
 constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+
+/// Copy-depth saturation cap for the boundary-state analysis: statically
+/// unbounded copy recursion (e.g. a recursive //x# target containing
+/// itself) stops widening the product here. Performance-only -- a
+/// saturated candidate never equals a real exit checkpoint, so the
+/// resolver just re-runs those shards.
+constexpr int kMaxCopyDepth = 64;
 
 }  // namespace
 
@@ -110,44 +118,76 @@ uint64_t ComputeStateJump(const DtdAutomaton& aut, dtd::MinSerial* ms,
 /// tracked; a closing entry tag inside a counting state forks into both
 /// "still nested" and "region left", which can only over-approximate --
 /// containment of the true entry state is what speculation needs.
-std::vector<int> ComputeBoundaryStates(const DtdAutomaton& aut,
+///
+/// Each node additionally carries the number of active copy regions:
+/// entering a state replays its entry action on the counter (kCopyOn
+/// opens, kCopyOff closes), exactly mirroring the engine's copy_depth, so
+/// candidates come out as (state, depth) pairs and a boundary inside a
+/// copy region (e.g. a root-copying query) is a first-class speculation
+/// target. Depths saturate at kMaxCopyDepth for statically unbounded copy
+/// recursion; a saturated candidate simply never matches a real exit
+/// checkpoint (the resolver compares depths exactly), so saturation can
+/// only cost a re-run, never correctness. The true (state, depth) of a
+/// valid document's boundary below the cap is always contained.
+BoundaryAnalysis ComputeBoundaryStates(const DtdAutomaton& aut,
                                        const RuntimeTables& tables) {
   const uint64_t nq = tables.states.size();
   if (nq == 0) return {};
-  std::vector<char> boundary(static_cast<size_t>(nq), 0);
+  std::set<std::pair<int, int>> boundary;  // ordered (state, depth) pairs
   std::unordered_set<uint64_t> seen;
-  std::vector<std::pair<int, int>> work;
-  auto push = [&seen, &work, nq](int s, int q) {
-    uint64_t key = static_cast<uint64_t>(s) * nq + static_cast<uint64_t>(q);
-    if (seen.insert(key).second) work.emplace_back(s, q);
+  std::vector<std::array<int, 3>> work;
+  auto push = [&seen, &work, nq](int s, int q, int d) {
+    uint64_t key = (static_cast<uint64_t>(s) * nq + static_cast<uint64_t>(q)) *
+                       (kMaxCopyDepth + 1) +
+                   static_cast<uint64_t>(d);
+    if (seen.insert(key).second) work.push_back({s, q, d});
   };
-  push(0, tables.initial);
+  // Copy depth after the engine transitions into DFA state `to` with `d`
+  // regions active (the entry action fires exactly once, on that move).
+  auto step_depth = [&tables](int to, int d) {
+    switch (tables.states[static_cast<size_t>(to)].action) {
+      case Action::kCopyOn:
+        return std::min(d + 1, kMaxCopyDepth);
+      case Action::kCopyOff:
+        return d > 0 ? d - 1 : 0;
+      default:
+        return d;
+    }
+  };
+  push(0, tables.initial, 0);
   while (!work.empty()) {
-    auto [s, q] = work.back();
+    auto [s, q, d] = work.back();
     work.pop_back();
     const DfaState& st = tables.states[static_cast<size_t>(q)];
     for (const DtdAutomaton::Transition& t : aut.Out(s)) {
       const dtd::TagToken& tok = aut.token(t.token);
       if (!tok.closing && aut.IsTopLevelOpenState(t.to)) {
-        boundary[static_cast<size_t>(q)] = 1;
+        boundary.insert({q, d});
       }
       if (st.count_nesting && tok.name == st.entry_name) {
         // The engine balances the region's own tag: openings always stay
         // inside; a closing leaves only when the balance hits zero.
-        push(t.to, q);
+        push(t.to, q, d);
         if (tok.closing) {
           int next = tables.NextState(q, tok.name, /*closing=*/true);
-          if (next >= 0) push(t.to, next);
+          if (next >= 0) push(t.to, next, step_depth(next, d));
         }
         continue;
       }
       int next = tables.NextState(q, tok.name, tok.closing);
-      push(t.to, next >= 0 ? next : q);
+      if (next >= 0) {
+        push(t.to, next, step_depth(next, d));
+      } else {
+        push(t.to, q, d);
+      }
     }
   }
-  std::vector<int> out;
-  for (size_t q = 0; q < boundary.size(); ++q) {
-    if (boundary[q] != 0) out.push_back(static_cast<int>(q));
+  BoundaryAnalysis out;
+  out.states.reserve(boundary.size());
+  out.copy_depths.reserve(boundary.size());
+  for (const auto& [q, d] : boundary) {
+    out.states.push_back(q);
+    out.copy_depths.push_back(d);
   }
   return out;
 }
@@ -383,7 +423,9 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
       tables.states[q].open_next = std::move(open_maps[q]);
       tables.states[q].close_next = std::move(close_maps[q]);
     }
-    tables.boundary_states = ComputeBoundaryStates(aut, tables);
+    BoundaryAnalysis ba = ComputeBoundaryStates(aut, tables);
+    tables.boundary_states = std::move(ba.states);
+    tables.boundary_copy_depths = std::move(ba.copy_depths);
     return tables;
   }
 
@@ -421,7 +463,9 @@ Result<RuntimeTables> BuildTables(const dtd::DtdAutomaton& aut,
     }
   }
   tables.interned_dispatch = true;
-  tables.boundary_states = ComputeBoundaryStates(aut, tables);
+  BoundaryAnalysis ba = ComputeBoundaryStates(aut, tables);
+  tables.boundary_states = std::move(ba.states);
+  tables.boundary_copy_depths = std::move(ba.copy_depths);
   return tables;
 }
 
@@ -479,6 +523,7 @@ uint64_t RuntimeTables::Fingerprint() const {
   }
   put_u64(boundary_states.size());
   for (int b : boundary_states) put_u64(static_cast<uint64_t>(b));
+  for (int d : boundary_copy_depths) put_u64(static_cast<uint64_t>(d));
   if (multi != nullptr) {
     // Multi-query product tables: per-query semantics live in the masks,
     // so checkpoints against a product must never validate against a

@@ -182,7 +182,20 @@ struct RuntimeTables {
   /// without serializing shard 0 (invalid inputs merely mis-speculate and
   /// are repaired by the verification pass). Empty only for hand-built
   /// tables or childless roots.
+  ///
+  /// A state may appear more than once: candidates are really
+  /// (state, copy depth) pairs -- boundary_copy_depths[i] is the number of
+  /// active copy regions when the cursor rests on such a boundary in state
+  /// boundary_states[i] (a query that copies the whole root puts every
+  /// top-level boundary inside one). The sharder seeds each speculative
+  /// attempt with the candidate's depth, so boundaries inside copy regions
+  /// speculate like clean ones instead of forcing a serial re-run.
   std::vector<int> boundary_states;
+  /// Parallel to boundary_states, always the same length. Depths saturate
+  /// at ComputeBoundaryStates' cap (statically unbounded copy recursion),
+  /// which only costs speculation accuracy, never soundness -- acceptance
+  /// is an exact exit-vs-entry comparison in the resolver.
+  std::vector<int> boundary_copy_depths;
 
   /// Non-null iff these are multi-query product tables (see MultiQueryInfo).
   /// Shared because RuntimeTables moves/copies around freely and the info
@@ -276,9 +289,13 @@ uint64_t ComputeStateJump(const dtd::DtdAutomaton& aut, dtd::MinSerial* ms,
                           const std::set<int>& vocab_tokens);
 
 /// Static boundary-state analysis over arbitrary runtime tables (see
-/// RuntimeTables::boundary_states). Public so the multi-query product
-/// compiler can run it over the merged DFA.
-std::vector<int> ComputeBoundaryStates(const dtd::DtdAutomaton& aut,
+/// RuntimeTables::boundary_states / boundary_copy_depths). Public so the
+/// multi-query product compiler can run it over the merged DFA.
+struct BoundaryAnalysis {
+  std::vector<int> states;       ///< candidate DFA states, one per pair
+  std::vector<int> copy_depths;  ///< active copy regions at that boundary
+};
+BoundaryAnalysis ComputeBoundaryStates(const dtd::DtdAutomaton& aut,
                                        const RuntimeTables& tables);
 
 }  // namespace smpx::core

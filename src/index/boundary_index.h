@@ -14,11 +14,11 @@
 // projects the document's remainder byte-identically to the suffix of a
 // full serial run (see cursor.h), without ever touching the prefix.
 //
-// On-disk format (version 1, little-endian, built for mmap-and-go):
+// On-disk format (version 2, little-endian, built for mmap-and-go):
 //
 //   offset  size  field
 //        0     8  magic "SMPXBIX1"
-//        8     4  version (1)
+//        8     4  version (2)
 //       12     4  reserved (0)
 //       16     8  document size in bytes
 //       24     8  document content digest (Hash64 over the whole document)
@@ -26,8 +26,17 @@
 //       40     8  entry count
 //       48     -  entries, LEB128 varints (see boundary_index.cc):
 //                 offset delta, out_offset delta, state, cursor backset,
-//                 nesting depth, copy depth, copy-flush backset, flags
+//                 nesting depth, copy depth, copy-flush backset, flags,
+//                 record-ordinal delta, stats-prefix deltas (StatsPrefix
+//                 field order)
 //      end-8    8  Hash64 over every preceding byte of the file
+//
+// Version 2 added the per-entry record ordinal (count of top-level
+// records preceding the boundary, enabling record-addressed seeks) and
+// the cumulative StatsPrefix. Version-1 files fail closed on Load with
+// Status::Unsupported -- the new fields cannot be reconstructed without
+// re-running the indexing pass, and inventing zeros would silently turn
+// record seeks and seek-point stats into lies. Rebuild old indexes.
 //
 // Loading validates structure (magic, version, monotonicity, exact
 // trailing hash, no trailing bytes); *using* an index additionally
@@ -52,6 +61,44 @@
 
 namespace smpx::index {
 
+/// Cumulative run statistics of the indexing pass for the document prefix
+/// before an entry, so a seek can report meaningful totals instead of
+/// zeros. `matches` and `false_matches` are exact serial-run prefix
+/// counts; the search-effort counters (comparisons, shifts, searches,
+/// jumps, scan chars) are as executed by the indexing pass, which
+/// restarts its keyword search at every indexed boundary -- within one
+/// search-restart of the uninterrupted serial run, close enough for the
+/// paper's percentage columns. Field order here is the on-disk varint
+/// order.
+struct StatsPrefix {
+  uint64_t matches = 0;
+  uint64_t false_matches = 0;
+  uint64_t scan_chars = 0;
+  uint64_t initial_jumps = 0;
+  uint64_t initial_jump_chars = 0;
+  uint64_t bm_searches = 0;
+  uint64_t cw_searches = 0;
+  uint64_t search_comparisons = 0;
+  uint64_t search_shifts = 0;
+  uint64_t search_shift_chars = 0;
+
+  /// Snapshots the cumulative counters of `s` (a running total).
+  static StatsPrefix FromRunStats(const core::RunStats& s);
+  /// Adds this prefix onto `s`, e.g. to complete a resumed run's stats
+  /// into whole-document totals.
+  void AccumulateInto(core::RunStats* s) const;
+
+  bool operator==(const StatsPrefix& o) const {
+    return matches == o.matches && false_matches == o.false_matches &&
+           scan_chars == o.scan_chars && initial_jumps == o.initial_jumps &&
+           initial_jump_chars == o.initial_jump_chars &&
+           bm_searches == o.bm_searches && cw_searches == o.cw_searches &&
+           search_comparisons == o.search_comparisons &&
+           search_shifts == o.search_shifts &&
+           search_shift_chars == o.search_shift_chars;
+  }
+};
+
 /// One indexed boundary: a resume point for random access.
 struct IndexEntry {
   /// Byte offset of the '<' opening a top-level element (child of the
@@ -61,9 +108,16 @@ struct IndexEntry {
   /// before this boundary; the resumed suffix starts at exactly this
   /// position of the full serial projection.
   uint64_t out_offset = 0;
+  /// Number of top-level records (root children, bachelor tags included)
+  /// starting strictly before `offset`; equivalently, the zero-based
+  /// ordinal of the record that starts AT this boundary. Strictly
+  /// increasing across entries.
+  uint64_t record_ordinal = 0;
   /// The serial engine's resumable state at `offset` (cursor may trail the
   /// boundary by the keyword-overlap tail; see SessionCheckpoint).
   core::SessionCheckpoint checkpoint;
+  /// Cumulative indexing-pass statistics for the prefix before `offset`.
+  StatsPrefix stats;
 };
 
 struct BoundaryIndexOptions {
@@ -81,6 +135,10 @@ struct BoundaryIndexOptions {
   /// the entries are identical either way. Gated additionally on the
   /// process-wide simd::PlaneEnabled().
   bool use_bitmap_plane = false;
+  /// Rolling-buffer size for the chunked (InputSource) build overload:
+  /// peak resident memory of that path is O(chunk_bytes + window), never
+  /// O(document). Ignored by the in-memory overload.
+  uint64_t chunk_bytes = 64 << 20;
   core::EngineOptions engine;
 };
 
@@ -96,6 +154,31 @@ class BoundaryIndex {
                                      parallel::ThreadPool* pool,
                                      const BoundaryIndexOptions& opts = {});
 
+  /// Chunked build: streams `src` through a rolling buffer of
+  /// `opts.chunk_bytes`, so documents larger than the address space (or
+  /// any mmap window) can be indexed -- the resident set is
+  /// O(chunk + engine window) regardless of document size. One serial
+  /// pass: the structural boundary scan, the record count, the content
+  /// digest, and the engine feed advance together, with the engine
+  /// suspended exactly at each selected boundary to capture its
+  /// checkpoint. Selects the same boundaries as the in-memory overload
+  /// (same stride arithmetic, same structural rules) and agrees with it
+  /// on every durable field -- offsets, projection offsets, record
+  /// ordinals, checkpoints -- and on the exact StatsPrefix counters
+  /// (matches, false matches); only the approximate search-effort
+  /// counters differ, because the two builders suspend the engine with
+  /// different histories. Chunked builds themselves are fully
+  /// deterministic: any two chunk sizes (or sources) produce
+  /// byte-identical files as long as no inter-entry span exceeds the
+  /// chunk (a larger span forces an extra mid-span suspension, again
+  /// perturbing only search counters). Reads the source about twice
+  /// (scan + feed), trading I/O for bounded memory. `pool` may be null;
+  /// the chunked path is single-threaded.
+  static Result<BoundaryIndex> Build(const core::RuntimeTables& tables,
+                                     const InputSource& src,
+                                     parallel::ThreadPool* pool,
+                                     const BoundaryIndexOptions& opts = {});
+
   /// Entries sorted by strictly increasing offset.
   const std::vector<IndexEntry>& entries() const { return entries_; }
   uint64_t doc_size() const { return doc_size_; }
@@ -105,6 +188,13 @@ class BoundaryIndex {
   /// Index of the greatest entry with offset <= byte_target; -1 when the
   /// target precedes every entry (resume from the document start).
   int64_t FindEntry(uint64_t byte_target) const;
+
+  /// Index of the greatest entry with record_ordinal <= record_target; -1
+  /// when the target precedes every entry's ordinal (resume from the
+  /// document start). With a granularity-1 index every record has an
+  /// entry whose ordinal equals it exactly; coarser indexes land on the
+  /// nearest preceding indexed boundary, like FindEntry does for bytes.
+  int64_t FindRecord(uint64_t record_target) const;
 
   /// Fail-closed compatibility check: the document must have the indexed
   /// size and content digest, and `tables` the recorded fingerprint.

@@ -56,6 +56,28 @@ Result<Cursor> Cursor::OpenAt(const BoundaryIndex& index,
   return c;
 }
 
+Result<Cursor> Cursor::OpenAtRecord(const BoundaryIndex& index,
+                                    const core::RuntimeTables& tables,
+                                    std::string_view doc,
+                                    uint64_t record_target,
+                                    const CursorOptions& opts) {
+  if (opts.verify_document) {
+    SMPX_RETURN_IF_ERROR(index.Matches(doc, tables));
+  }
+  Cursor c(&index, &tables, doc, opts);
+  int64_t j = index.FindRecord(record_target);
+  if (j < 0) {
+    c.from_scratch_ = true;
+  } else {
+    const IndexEntry& e = index.entries()[static_cast<size_t>(j)];
+    c.ckpt_ = e.checkpoint;
+    c.pos_ = e.offset;
+    c.out_pos_ = e.out_offset;
+    c.next_entry_ = static_cast<size_t>(j) + 1;
+  }
+  return c;
+}
+
 Status Cursor::Advance(uint64_t feed_end, bool to_eof, OutputSink* out) {
   // A resumed session is fed from the checkpoint's feed position, which
   // can lag the boundary (copy bytes pending emission) or lead it (an

@@ -53,6 +53,19 @@ class Cursor {
                                std::string_view doc, uint64_t byte_target,
                                const CursorOptions& opts = {});
 
+  /// Record-addressed variant: opens at the greatest indexed boundary
+  /// whose record ordinal is at or before `record_target` (the document
+  /// start when none is). With a granularity-1 index this positions the
+  /// cursor exactly at record `record_target`; a coarser index lands at
+  /// the nearest preceding indexed boundary, mirroring OpenAt's byte
+  /// semantics. Requires a version-2 index (ordinals are always present
+  /// there; version-1 files no longer load at all).
+  static Result<Cursor> OpenAtRecord(const BoundaryIndex& index,
+                                     const core::RuntimeTables& tables,
+                                     std::string_view doc,
+                                     uint64_t record_target,
+                                     const CursorOptions& opts = {});
+
   /// Restores a cursor from a SaveToken() string minted over the same
   /// (document, index, tables) triple; corrupted, foreign, or stale
   /// tokens fail closed with a clear Status.
@@ -82,6 +95,24 @@ class Cursor {
   uint64_t output_position() const { return out_pos_; }
   /// Index of the first index entry strictly ahead of the cursor.
   size_t next_entry() const { return next_entry_; }
+  /// Record ordinal of the boundary the cursor last resumed from or
+  /// paused at (0 at the document start). Exact while the cursor sits on
+  /// an indexed boundary; once at_end() it keeps reporting the last
+  /// boundary's ordinal.
+  uint64_t record_position() const {
+    return next_entry_ == 0
+               ? 0
+               : index_->entries()[next_entry_ - 1].record_ordinal;
+  }
+  /// Cumulative indexing-pass statistics for the document prefix before
+  /// the boundary of record_position() (all-zero at the document start);
+  /// lets a seek report whole-document-so-far totals instead of only the
+  /// resumed suffix's.
+  StatsPrefix stats_prefix() const {
+    return next_entry_ == 0
+               ? StatsPrefix{}
+               : index_->entries()[next_entry_ - 1].stats;
+  }
 
   /// Serializes the cursor state (not the session's window -- cursors
   /// pause only at checkpoints) into a compact opaque token.

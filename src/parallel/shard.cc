@@ -149,6 +149,10 @@ class StructScanner {
 
 constexpr uint64_t kNoPos = ~uint64_t{0};
 
+/// Candidate class sentinel: the candidate is never speculated on (e.g. an
+/// in-copy candidate over multi-query product tables).
+constexpr size_t kNoClass = ~size_t{0};
+
 /// Deepest region-start element depth the lazy scan can resolve; regions
 /// starting deeper than this simply report no boundary (safe: shards just
 /// get fewer split candidates there).
@@ -356,6 +360,44 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
   return splits;
 }
 
+uint64_t CountTopLevelStarts(std::string_view doc, uint64_t begin,
+                             uint64_t end, int64_t depth_at_begin,
+                             bool use_plane) {
+  uint64_t count = 0;
+  int64_t depth = depth_at_begin;
+  size_t pos = static_cast<size_t>(begin);
+  const size_t stop = static_cast<size_t>(std::min<uint64_t>(end, doc.size()));
+  StructScanner sc(doc, use_plane);
+  while (pos < stop) {
+    size_t t = sc.NextOpen(pos);
+    if (t >= stop) break;
+    std::string_view rest = doc.substr(t);
+    if (rest.size() < 2) break;
+    char next = rest[1];
+    if (next == '!' || next == '?') {
+      pos = sc.SkipMarkupConstruct(t, next);
+      continue;
+    }
+    if (next == '/') {
+      size_t tag_end = sc.TagEnd(t);
+      if (depth > 0) --depth;
+      pos = tag_end + 1;
+      continue;
+    }
+    if (!IsNameChar(next)) {
+      pos = t + 1;  // stray '<' in text
+      continue;
+    }
+    if (depth == 1) ++count;
+    size_t tag_end = sc.TagEnd(t);
+    bool bachelor =
+        tag_end < doc.size() && tag_end > t + 1 && doc[tag_end - 1] == '/';
+    if (!bachelor) ++depth;
+    pos = tag_end + 1;
+  }
+  return count;
+}
+
 std::vector<uint64_t> FindTopLevelBoundariesParallel(
     std::string_view doc, size_t max_splits, ThreadPool* pool,
     uint64_t* scanned_bytes, bool use_plane) {
@@ -460,15 +502,27 @@ SpeculativeResolver::SpeculativeResolver(const core::RuntimeTables& tables,
   // Collapse the static candidate set into behavior classes; candidates
   // whose vocabulary and transitions coincide (they differ only in entry
   // actions, which never re-fire at a resume point) share one speculative
-  // run per segment.
+  // run per segment. A candidate's entry copy depth is part of the class
+  // key: an attempt is seeded with it, and a session resumed with one
+  // active copy behaves observably differently (emits the segment) from a
+  // depth-0 resume of the same state.
   const std::vector<int>& boundary_states = tables_.boundary_states;
-  class_of_.assign(boundary_states.size(), 0);
+  class_of_.assign(boundary_states.size(), kNoClass);
   if (n > 1) {
     for (size_t i = 0; i < boundary_states.size(); ++i) {
+      const int depth = i < tables_.boundary_copy_depths.size()
+                            ? tables_.boundary_copy_depths[i]
+                            : 0;
+      if (depth != 0 && tables_.multi != nullptr) {
+        // Multi-query in-copy hand-offs re-run (see Resolve); never launch
+        // an attempt the engine would reject (no per-query depth vector).
+        continue;
+      }
       size_t c = 0;
       while (c < class_reps_.size() &&
-             !SameRuntimeBehavior(tables_, class_reps_[c],
-                                  boundary_states[i])) {
+             !(class_rep_depths_[c] == depth &&
+               SameRuntimeBehavior(tables_, class_reps_[c],
+                                   boundary_states[i]))) {
         ++c;
       }
       if (c == class_reps_.size()) {
@@ -477,9 +531,11 @@ SpeculativeResolver::SpeculativeResolver(const core::RuntimeTables& tables,
           // (the deep state comparisons are wasted past the cap) and fall
           // back to dynamic seeding.
           class_reps_.clear();
+          class_rep_depths_.clear();
           break;
         }
         class_reps_.push_back(boundary_states[i]);
+        class_rep_depths_.push_back(depth);
       }
       class_of_[i] = c;
     }
@@ -567,6 +623,11 @@ void SpeculativeResolver::RunAttempt(size_t idx, Attempt* a) {
     size_t c = (idx - 1) % classes;
     core::SessionCheckpoint start;
     start.state = class_reps_[c];
+    // In-copy candidates resume mid-copy with nothing flushed yet: the
+    // session emits [boundary, ...) itself and the driver owes the
+    // predecessor's unflushed tail below the boundary (ShardResult::
+    // tail_begin/tail_end, recorded on acceptance).
+    start.copy_depth = class_rep_depths_[c];
     start.cursor = seg_begin_[k];
     start.copy_flushed = seg_begin_[k];
     // The representative may differ from the true entry state (whose
@@ -679,9 +740,13 @@ void SpeculativeResolver::LaunchWave(ThreadPool* pool) {
     RunSegment(0, nullptr, &results_[0], /*mark_start=*/true, nullptr);
     report_.serial_bytes += results_[0].stats.input_bytes;
     const ShardResult& head = results_[0];
+    // A single-query head suspended inside a copy region still seeds
+    // speculation (the attempts resume at its depth, tail bytes are the
+    // driver's); multi-query tables need per-query depth vectors the seed
+    // cannot supply, so they keep requiring a copy-free hand-off.
     dynamic_spec_ = n > 1 && head.status.ok() && !head.finished &&
-                    head.clean && head.exit.copy_depth == 0 &&
-                    head.exit.nesting_depth == 0;
+                    head.clean && head.exit.nesting_depth == 0 &&
+                    (head.exit.copy_depth == 0 || tables_.multi == nullptr);
     if (dynamic_spec_) {
       dynamic_guess_ = head.exit;
       attempts_.reserve(n - 1);
@@ -710,48 +775,74 @@ ShardResult& SpeculativeResolver::Resolve(size_t k) {
     return results_[0];  // dynamic mode ran the head synchronously
   }
   ShardResult& prev = results_[k - 1];
-  // Accept the speculative attempt whose assumed entry matches the
-  // predecessor's actual hand-off; otherwise re-run the segment from the
-  // true checkpoint. Deterministic by construction -- the accepted
-  // sequence replays the serial run (early-kill only cancels attempts
-  // that were never going to be part of it).
-  const bool clean_handoff = prev.clean && prev.exit.copy_depth == 0 &&
-                             prev.exit.nesting_depth == 0;
-  int hit = -1;
-  if (clean_handoff) {
+  // Accept the speculative attempt whose assumed entry (state, copy depth)
+  // matches the predecessor's actual hand-off; otherwise re-run the
+  // segment from the true checkpoint. Deterministic by construction -- the
+  // accepted sequence replays the serial run (early-kill only cancels
+  // attempts that were never going to be part of it).
+  //
+  // Why a copy-depth match suffices: a clean drain means no keyword
+  // completed in the overlap tail, and no keyword can straddle a
+  // top-level '<' (keywords contain '<' only at position 0), so state,
+  // copy depth and opaque nesting are all constant from the exit cursor
+  // through the boundary -- (state, depth, nesting 0) IS the serial
+  // engine's entry configuration there. An in-copy hand-off additionally
+  // owes the unflushed copy bytes [exit.copy_flushed, boundary) that the
+  // predecessor's suspension withheld; the accepted attempt started
+  // flushing at the boundary, so they are recorded as the segment's
+  // hand-off tail for the driver and folded into its output stats.
+  // Multi-query product tables keep the re-run fallback when copies are
+  // active: a candidate would need the full per-query depth vector, which
+  // the static analysis does not enumerate.
+  const bool maybe_speculated =
+      prev.clean && prev.exit.nesting_depth == 0 &&
+      (prev.exit.copy_depth == 0 || tables_.multi == nullptr);
+  size_t hit = kNoClass;
+  if (maybe_speculated) {
     if (static_spec_) {
       const std::vector<int>& boundary_states = tables_.boundary_states;
+      const std::vector<int>& depths = tables_.boundary_copy_depths;
       for (size_t c = 0; c < boundary_states.size(); ++c) {
-        if (boundary_states[c] == prev.exit.state) {
-          hit = static_cast<int>(class_of_[c]);
+        const int depth = c < depths.size() ? depths[c] : 0;
+        if (boundary_states[c] == prev.exit.state &&
+            depth == prev.exit.copy_depth && class_of_[c] != kNoClass) {
+          hit = class_of_[c];
           break;
         }
       }
-    } else if (dynamic_spec_ && prev.exit.state == dynamic_guess_.state) {
+    } else if (dynamic_spec_ && prev.exit.state == dynamic_guess_.state &&
+               prev.exit.copy_depth == dynamic_guess_.copy_depth) {
       hit = 0;
     }
   }
   const size_t classes = static_spec_ ? class_reps_.size()
                         : dynamic_spec_ ? 1
                                         : 0;
-  if (hit >= 0) {
+  if (hit != kNoClass) {
     // Kill the losing attempts of this segment before waiting on the
     // winner: a running loser aborts at its next safe point and frees its
     // buffered output mid-wave.
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t c = 0; c < classes; ++c) {
-        if (c != static_cast<size_t>(hit)) {
+        if (c != hit) {
           KillLocked(attempts_[AttemptIndex(k, c)].get());
         }
       }
     }
-    WaitDone(AttemptIndex(k, static_cast<size_t>(hit)));
+    WaitDone(AttemptIndex(k, hit));
     {
       std::lock_guard<std::mutex> lock(mu_);
-      results_[k] =
-          std::move(attempts_[AttemptIndex(k, static_cast<size_t>(hit))]
-                        ->result);
+      results_[k] = std::move(attempts_[AttemptIndex(k, hit)]->result);
+    }
+    if (prev.exit.copy_depth > 0) {
+      ++report_.copy_handoffs;
+      if (prev.exit.copy_flushed < seg_begin_[k]) {
+        results_[k].tail_begin = prev.exit.copy_flushed;
+        results_[k].tail_end = seg_begin_[k];
+        results_[k].stats.output_bytes +=
+            results_[k].tail_end - results_[k].tail_begin;
+      }
     }
     ++report_.accepted;
   } else {
@@ -852,7 +943,19 @@ Status ShardedRun(const core::RuntimeTables& tables, std::string_view doc,
       produced = k;  // serial run ends here; later bytes are ignored
       break;
     }
-    commit_status = commit.Install(k, std::move(resolver.Resolve(k).sink));
+    ShardResult& r = resolver.Resolve(k);
+    if (r.tail_end > r.tail_begin) {
+      // In-copy hand-off: the predecessor suspended with copy bytes below
+      // the boundary unflushed and the accepted attempt's output starts AT
+      // the boundary. Segments install strictly in order, so the ordered
+      // frontier is caught up with segment k-1 here and the tail streams
+      // straight into the output between the two segments.
+      commit_status = out->Append(doc.substr(
+          static_cast<size_t>(r.tail_begin),
+          static_cast<size_t>(r.tail_end - r.tail_begin)));
+      if (!commit_status.ok()) break;
+    }
+    commit_status = commit.Install(k, std::move(r.sink));
   }
   // Cancel whatever the early exits above made moot (attempts past a
   // finished or failed segment) and quiesce the wave: the report's work

@@ -94,6 +94,10 @@ struct ShardReport {
   /// Wave attempts executed inline by the resolving thread because no
   /// worker had picked them up yet (their bytes count as wave work).
   size_t stolen = 0;
+  /// Accepted speculative shards whose entry sat inside an active copy
+  /// region (hand-off at copy depth > 0). Before (state, depth) candidates
+  /// these were forced re-runs; now they ride the wave like clean ones.
+  size_t copy_handoffs = 0;
 };
 
 /// One segment's execution record: the session's exit checkpoint, stats,
@@ -118,6 +122,16 @@ struct ShardResult {
   bool clean = false;     ///< suspended in a plain keyword search
   uint64_t read_end = 0;  ///< absolute end of the bytes this run read
   std::vector<bool> visited;
+  /// Hand-off tail [tail_begin, tail_end): copy-region bytes the
+  /// predecessor's suspension left unflushed when this segment was accepted
+  /// speculatively at copy depth > 0. The speculative session started with
+  /// copy_flushed at the boundary, so its own output omits them; the driver
+  /// must emit doc[tail_begin, tail_end) immediately BEFORE this segment's
+  /// sink. The bytes are already folded into stats.output_bytes (serial
+  /// parity); empty for clean hand-offs and re-runs (a re-run resumes from
+  /// the true checkpoint and emits them itself).
+  uint64_t tail_begin = 0;
+  uint64_t tail_end = 0;
 };
 
 /// The speculative wave/verify machinery shared by single-document
@@ -240,8 +254,9 @@ class SpeculativeResolver {
   std::string_view doc_;
   std::vector<uint64_t> seg_begin_;  // segments()+1 fenceposts
   Options opts_;
-  std::vector<int> class_reps_;      // representative state per class
-  std::vector<size_t> class_of_;     // candidate index -> class
+  std::vector<int> class_reps_;        // representative state per class
+  std::vector<int> class_rep_depths_;  // entry copy depth per class
+  std::vector<size_t> class_of_;       // candidate index -> class
   bool static_spec_ = false;
   bool dynamic_spec_ = false;
   core::SessionCheckpoint dynamic_guess_;
@@ -289,6 +304,19 @@ std::vector<uint64_t> FindTopLevelBoundaries(std::string_view doc,
 std::vector<uint64_t> FindTopLevelBoundariesParallel(
     std::string_view doc, size_t max_splits, ThreadPool* pool,
     uint64_t* scanned_bytes = nullptr, bool use_plane = true);
+
+/// Counts top-level record starts -- element starts (opening or bachelor
+/// tags) whose parent is the document root -- in doc[begin, end), using
+/// the same structural rules as FindTopLevelBoundaries. `depth_at_begin`
+/// is the number of elements open at `begin` (0 at the document start, 1
+/// at a top-level boundary), and the scan must enter at a content
+/// position, which every top-level boundary is. Construct skips use the
+/// full document, but no construct straddles a top-level boundary, so
+/// per-segment counts over a boundary partition sum exactly. Feeds the
+/// boundary index's record ordinals.
+uint64_t CountTopLevelStarts(std::string_view doc, uint64_t begin,
+                             uint64_t end, int64_t depth_at_begin,
+                             bool use_plane = true);
 
 /// Prefilters `doc` by sharding it across `pool`. Output and the merged
 /// `stats` totals are byte-identical to RunEngine over the same document

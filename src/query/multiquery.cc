@@ -753,7 +753,9 @@ Result<MultiQuery> MultiQuery::Compile(
     }
   }
   tables.interned_dispatch = true;
-  tables.boundary_states = core::ComputeBoundaryStates(aut, tables);
+  core::BoundaryAnalysis ba = core::ComputeBoundaryStates(aut, tables);
+  tables.boundary_states = std::move(ba.states);
+  tables.boundary_copy_depths = std::move(ba.copy_depths);
 
   // Flatten the per-state masks into the MultiQueryInfo.
   auto info = std::make_shared<MultiQueryInfo>();

@@ -1,0 +1,46 @@
+#include "server/client.h"
+
+namespace smpx::server {
+
+Result<Client> Client::Connect(const std::string& endpoint) {
+  auto fd = smpx::server::Connect(endpoint);
+  if (!fd.ok()) return fd.status();
+  return Client(std::move(*fd));
+}
+
+Result<Trailer> Client::Call(const Request& req, OutputSink* out) {
+  last_retryable_ = false;
+  Status s = WriteFrame(fd_, kFrameRequest, req.Encode());
+  if (!s.ok()) return s;
+  for (;;) {
+    char kind = 0;
+    std::string payload;
+    s = ReadFrame(fd_, &kind, &payload);
+    if (!s.ok()) {
+      return s.code() == StatusCode::kNotFound
+                 ? Status::IoError("server closed the connection mid-response")
+                 : s;
+    }
+    switch (kind) {
+      case kFrameData:
+        if (out != nullptr) {
+          Status a = out->Append(payload);
+          if (!a.ok()) return a;
+        }
+        break;
+      case kFrameTrailer:
+        return Trailer::Decode(payload);
+      case kFrameError: {
+        auto e = ErrorFrame::Decode(payload);
+        if (!e.ok()) return e.status();
+        last_retryable_ = e->retryable;
+        return e->ToStatus();
+      }
+      default:
+        return Status::ParseError("unexpected frame kind '" +
+                                  std::string(1, kind) + "' in response");
+    }
+  }
+}
+
+}  // namespace smpx::server

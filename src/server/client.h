@@ -1,0 +1,45 @@
+// Client side of the smpxd protocol: connect to an endpoint, send one
+// request, stream the data frames into an OutputSink, and return the
+// trailer. Used by `smpx_cli --connect`, the server tests, and the QPS
+// bench; small enough to embed anywhere.
+
+#ifndef SMPX_SERVER_CLIENT_H_
+#define SMPX_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "server/protocol.h"
+#include "server/socket.h"
+
+namespace smpx::server {
+
+class Client {
+ public:
+  /// Connects to "unix:PATH", "tcp:HOST:PORT", or a bare socket path.
+  static Result<Client> Connect(const std::string& endpoint);
+
+  /// Sends `req` and consumes the response stream: data frames append to
+  /// `out` (may be null to discard) in order, the trailer is returned.
+  /// A server error frame becomes its Status -- check
+  /// `status.code() == StatusCode::kResourceExhausted` together with
+  /// `last_error_retryable()` for the admission back-off contract. The
+  /// connection stays usable after a retryable rejection; any transport
+  /// or protocol failure poisons it (reconnect to continue).
+  Result<Trailer> Call(const Request& req, OutputSink* out);
+
+  /// True when the most recent Call failed with a server error frame
+  /// marked retryable (admission rejection).
+  bool last_error_retryable() const { return last_retryable_; }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  bool last_retryable_ = false;
+};
+
+}  // namespace smpx::server
+
+#endif  // SMPX_SERVER_CLIENT_H_

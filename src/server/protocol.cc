@@ -1,0 +1,175 @@
+#include "server/protocol.h"
+
+#include "index/wire.h"
+
+namespace smpx::server {
+namespace {
+
+namespace wire = smpx::index::wire;
+
+void PutString(std::string* out, std::string_view s) {
+  wire::PutVarint(out, s.size());
+  out->append(s);
+}
+
+bool ReadString(wire::Reader* r, std::string_view payload, std::string* out) {
+  uint64_t len = 0;
+  if (!r->ReadVarint(&len) || len > payload.size() - r->pos()) return false;
+  out->assign(payload.substr(r->pos(), static_cast<size_t>(len)));
+  return r->Skip(static_cast<size_t>(len));
+}
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " frame");
+}
+
+}  // namespace
+
+std::string Request::Encode() const {
+  std::string p;
+  p.push_back(static_cast<char>(op));
+  PutString(&p, dtd_text);
+  PutString(&p, paths_text);
+  PutString(&p, doc_path);
+  wire::PutVarint(&p, window);
+  wire::PutVarint(&p, target);
+  p.push_back(by_record ? 1 : 0);
+  wire::PutVarint(&p, count);
+  PutString(&p, token);
+  return p;
+}
+
+Result<Request> Request::Decode(std::string_view payload) {
+  Request q;
+  wire::Reader r(payload);
+  uint8_t op = 0, by_record = 0;
+  if (!r.ReadByte(&op)) return Malformed("request");
+  if (op < 1 || op > 3) {
+    return Status::ParseError("unknown request op " + std::to_string(op));
+  }
+  q.op = static_cast<Op>(op);
+  if (!ReadString(&r, payload, &q.dtd_text) ||
+      !ReadString(&r, payload, &q.paths_text) ||
+      !ReadString(&r, payload, &q.doc_path) || !r.ReadVarint(&q.window) ||
+      !r.ReadVarint(&q.target) || !r.ReadByte(&by_record) ||
+      !r.ReadVarint(&q.count) || !ReadString(&r, payload, &q.token) ||
+      r.remaining() != 0) {
+    return Malformed("request");
+  }
+  q.by_record = by_record != 0;
+  return q;
+}
+
+std::string Trailer::Encode() const {
+  std::string p;
+  wire::PutVarint(&p, emitted_bytes);
+  wire::PutVarint(&p, records);
+  wire::PutVarint(&p, position);
+  wire::PutVarint(&p, out_position);
+  wire::PutVarint(&p, record_position);
+  p.push_back(at_end ? 1 : 0);
+  PutString(&p, token);
+  return p;
+}
+
+Result<Trailer> Trailer::Decode(std::string_view payload) {
+  Trailer t;
+  wire::Reader r(payload);
+  uint8_t at_end = 0;
+  if (!r.ReadVarint(&t.emitted_bytes) || !r.ReadVarint(&t.records) ||
+      !r.ReadVarint(&t.position) || !r.ReadVarint(&t.out_position) ||
+      !r.ReadVarint(&t.record_position) || !r.ReadByte(&at_end) ||
+      !ReadString(&r, payload, &t.token) || r.remaining() != 0) {
+    return Malformed("trailer");
+  }
+  t.at_end = at_end != 0;
+  return t;
+}
+
+std::string ErrorFrame::Encode() const {
+  std::string p;
+  p.push_back(static_cast<char>(code));
+  p.push_back(retryable ? 1 : 0);
+  PutString(&p, message);
+  return p;
+}
+
+Result<ErrorFrame> ErrorFrame::Decode(std::string_view payload) {
+  ErrorFrame e;
+  wire::Reader r(payload);
+  uint8_t code = 0, retryable = 0;
+  if (!r.ReadByte(&code) || !r.ReadByte(&retryable) ||
+      !ReadString(&r, payload, &e.message) || r.remaining() != 0) {
+    return Malformed("error");
+  }
+  e.code = static_cast<StatusCode>(code);
+  e.retryable = retryable != 0;
+  return e;
+}
+
+Status ErrorFrame::ToStatus() const {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kParseError:
+      return Status::ParseError(message);
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case StatusCode::kIoError:
+      return Status::IoError(message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(message);
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(message);
+}
+
+std::string HexEncode(std::string_view bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad hex digit in token");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string EncodeFrame(char kind, std::string_view payload) {
+  std::string f;
+  wire::PutU32(&f, static_cast<uint32_t>(payload.size() + 1));
+  f.push_back(kind);
+  f.append(payload);
+  return f;
+}
+
+}  // namespace smpx::server

@@ -1,0 +1,116 @@
+// smpxd wire protocol: length-prefixed frames over a byte stream.
+//
+// Every frame is `u32 LE payload length | u8 kind | payload`; the length
+// counts the kind byte, so a frame is never empty and a reader can bound
+// memory before trusting a peer (frames above kMaxFrameBytes are a
+// protocol error and close the connection -- fail closed, never
+// allocate-then-decide).
+//
+// A conversation is one request frame ('Q') from the client followed by a
+// response stream from the server: zero or more data frames ('D', raw
+// projected bytes in order) terminated by exactly one trailer ('T', the
+// operation's result metadata: positions, span count, an optional cursor
+// token) or one error frame ('E', status code + message + retryable
+// flag). The retryable flag is the admission-control contract: a 'E'
+// with retryable=1 means "nothing about the request is wrong, the
+// server's global memory budget is momentarily exhausted -- back off and
+// resend verbatim".
+//
+// Requests name server-side documents by path: the daemon owns the mmap
+// and the boundary index; clients hold only cursor tokens (index/cursor.h
+// format, opaque here), which is what makes a fleet of smpxd processes
+// behind a dumb load balancer work -- any server can restore any token
+// minted over the same (document, index, tables) triple.
+
+#ifndef SMPX_SERVER_PROTOCOL_H_
+#define SMPX_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smpx::server {
+
+/// Frame kind tags (the byte after the length prefix).
+constexpr char kFrameRequest = 'Q';
+constexpr char kFrameData = 'D';
+constexpr char kFrameTrailer = 'T';
+constexpr char kFrameError = 'E';
+
+/// Upper bound on a single frame's payload (kind byte included). Request
+/// frames carry DTD text and path lists, never documents, so this is
+/// generous; data frames are produced by our own sinks well below it.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Target size of one data frame: the server-side socket sink coalesces
+/// engine appends up to this and flushes, so a projection streams in
+/// bounded pieces however large it is.
+constexpr size_t kDataFrameBytes = 64u << 10;
+
+enum class Op : uint8_t {
+  kProject = 1,  ///< stream the whole document through the prefilter
+  kSeek = 2,     ///< open a cursor at a byte offset / record ordinal
+  kResume = 3,   ///< restore a client-held cursor token
+};
+
+/// One client request. `dtd_text` + `paths_text` identify (and, on a
+/// cache miss, compile) the runtime tables; `doc_path` names the
+/// server-side document.
+struct Request {
+  Op op = Op::kProject;
+  std::string dtd_text;
+  std::string paths_text;
+  std::string doc_path;
+  /// Engine window capacity; 0 = server default.
+  uint64_t window = 0;
+  /// kSeek: target byte offset, or record ordinal when by_record.
+  uint64_t target = 0;
+  bool by_record = false;
+  /// kSeek/kResume: spans to stream; 0 = drain to the end.
+  uint64_t count = 0;
+  /// kResume: the cursor token to restore.
+  std::string token;
+
+  std::string Encode() const;
+  static Result<Request> Decode(std::string_view payload);
+};
+
+/// Trailer of a successful response.
+struct Trailer {
+  uint64_t emitted_bytes = 0;    ///< data bytes streamed before this
+  uint64_t records = 0;          ///< spans consumed (kSeek/kResume)
+  uint64_t position = 0;         ///< cursor document offset after the op
+  uint64_t out_position = 0;     ///< cursor projection offset after the op
+  uint64_t record_position = 0;  ///< cursor record ordinal after the op
+  bool at_end = false;
+  std::string token;  ///< cursor token to continue from (kSeek/kResume)
+
+  std::string Encode() const;
+  static Result<Trailer> Decode(std::string_view payload);
+};
+
+/// Error frame payload: a Status plus the retryable admission flag.
+struct ErrorFrame {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  bool retryable = false;
+
+  std::string Encode() const;
+  static Result<ErrorFrame> Decode(std::string_view payload);
+  Status ToStatus() const;
+};
+
+/// Prepends the `u32 length | kind` header to `payload`.
+std::string EncodeFrame(char kind, std::string_view payload);
+
+/// Lowercase hex codec for cursor tokens on command lines and logs
+/// (tokens are binary; hex keeps them shell- and copy/paste-safe).
+std::string HexEncode(std::string_view bytes);
+Result<std::string> HexDecode(std::string_view hex);
+
+}  // namespace smpx::server
+
+#endif  // SMPX_SERVER_PROTOCOL_H_

@@ -1,0 +1,292 @@
+#include "server/socket.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SMPX_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#endif
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "index/wire.h"
+
+namespace smpx::server {
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+#if SMPX_HAVE_SOCKETS
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// A dying client must surface as a write error on this connection's
+// thread, not a process-wide SIGPIPE. MSG_NOSIGNAL covers send(); the
+// one-time ignore covers any other path.
+void IgnoreSigpipeOnce() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Result<Fd> ListenUnix(const std::string& path) {
+  IgnoreSigpipeOnce();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno(("bind " + path).c_str());
+  }
+  if (::listen(fd.get(), 64) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<Fd> ListenTcp(int port, int* bound_port) {
+  IgnoreSigpipeOnce();
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 64) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Result<Fd> Accept(const Fd& listener) {
+  for (;;) {
+    int c = ::accept(listener.get(), nullptr, nullptr);
+    if (c >= 0) return Fd(c);
+    if (errno == EINTR) continue;
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Cancelled("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void ShutdownListener(const Fd& listener) {
+  if (listener.valid()) ::shutdown(listener.get(), SHUT_RDWR);
+}
+
+Result<Fd> Connect(const std::string& endpoint) {
+  IgnoreSigpipeOnce();
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    std::string rest = endpoint.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("tcp endpoint needs host:port: " +
+                                     endpoint);
+    }
+    std::string host = rest.substr(0, colon);
+    int port = std::atoi(rest.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      return Status::InvalidArgument("bad tcp port in " + endpoint);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (host == "localhost" || host.empty()) host = "127.0.0.1";
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad tcp host in " + endpoint);
+    }
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return Errno("socket");
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Errno(("connect " + endpoint).c_str());
+    }
+    return fd;
+  }
+  std::string path =
+      endpoint.rfind("unix:", 0) == 0 ? endpoint.substr(5) : endpoint;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno(("connect " + path).c_str());
+  }
+  return fd;
+}
+
+Status WriteAll(const Fd& fd, std::string_view data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+#if defined(MSG_NOSIGNAL)
+    ssize_t n = ::send(fd.get(), p, left, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::write(fd.get(), p, left);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadExact(const Fd& fd, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::read(fd.get(), buf + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("peer closed");
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+#else  // !SMPX_HAVE_SOCKETS
+
+void Fd::Close() { fd_ = -1; }
+
+namespace {
+Status NoSockets() {
+  return Status::Unsupported("smpx server sockets require a POSIX platform");
+}
+}  // namespace
+
+Result<Fd> ListenUnix(const std::string&) { return NoSockets(); }
+Result<Fd> ListenTcp(int, int*) { return NoSockets(); }
+Result<Fd> Accept(const Fd&) { return NoSockets(); }
+Result<Fd> Connect(const std::string&) { return NoSockets(); }
+void ShutdownListener(const Fd&) {}
+Status WriteAll(const Fd&, std::string_view) { return NoSockets(); }
+Status ReadExact(const Fd&, char*, size_t) { return NoSockets(); }
+
+#endif  // SMPX_HAVE_SOCKETS
+
+Status ReadFrame(const Fd& fd, char* kind, std::string* payload) {
+  char hdr[4];
+  Status s = ReadExact(fd, hdr, sizeof(hdr));
+  if (!s.ok()) return s;
+  uint32_t len = static_cast<uint8_t>(hdr[0]) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(hdr[1])) << 8) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(hdr[2])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(hdr[3])) << 24);
+  if (len == 0) return Status::ParseError("empty frame");
+  if (len > kMaxFrameBytes) {
+    return Status::ParseError("frame of " + std::to_string(len) +
+                              " bytes exceeds limit");
+  }
+  s = ReadExact(fd, kind, 1);
+  if (!s.ok()) {
+    return s.code() == StatusCode::kNotFound
+               ? Status::IoError("connection closed mid-frame")
+               : s;
+  }
+  payload->resize(len - 1);
+  if (len == 1) return Status::Ok();
+  s = ReadExact(fd, payload->data(), payload->size());
+  if (!s.ok() && s.code() == StatusCode::kNotFound) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  return s;
+}
+
+Status WriteFrame(const Fd& fd, char kind, std::string_view payload) {
+  if (payload.size() + 1 > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  return WriteAll(fd, EncodeFrame(kind, payload));
+}
+
+Status FrameSink::Append(std::string_view data) {
+  if (!error_.ok()) return error_;
+  bytes_written_ += data.size();
+  while (!data.empty()) {
+    size_t take = std::min(cap_ - buf_.size(), data.size());
+    buf_.append(data.substr(0, take));
+    data.remove_prefix(take);
+    if (buf_.size() == cap_) {
+      error_ = WriteFrame(*fd_, kFrameData, buf_);
+      buf_.clear();
+      if (!error_.ok()) return error_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FrameSink::Flush() {
+  if (!error_.ok()) return error_;
+  if (!buf_.empty()) {
+    error_ = WriteFrame(*fd_, kFrameData, buf_);
+    buf_.clear();
+  }
+  return error_;
+}
+
+}  // namespace smpx::server

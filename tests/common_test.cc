@@ -1,6 +1,7 @@
 // Tests for the common substrate: Status/Result, string helpers, streams,
 // and the sliding window (including eviction callbacks and growth).
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <numeric>
@@ -276,6 +277,66 @@ TEST(HashStabilityTest, Hash64ValuesArePinnedForever) {
   EXPECT_EQ(HashCombine(1, 2), 4498758804896154761ull);
   // Single-byte sensitivity: flipping any one byte moves the hash.
   EXPECT_NE(Hash64("smpx boundary index"), Hash64("smpx boundary inde_"));
+}
+
+TEST(HashStabilityTest, Hash64StreamMatchesOneShotAtEverySplit) {
+  // The chunked index build digests the document incrementally; its files
+  // interoperate with Matches() only if the streaming digest is EXACTLY
+  // the one-shot Hash64. Cover all tail lengths (0..31), stripe
+  // boundaries, and multi-piece splits.
+  std::string input;
+  for (int i = 0; i < 300; ++i) {
+    input += static_cast<char>('A' + (i * 7) % 61);
+  }
+  for (size_t len : {size_t{0}, size_t{1}, size_t{31}, size_t{32},
+                     size_t{33}, size_t{64}, size_t{100}, input.size()}) {
+    std::string_view piece(input.data(), len);
+    const uint64_t want = Hash64(piece);
+    for (size_t split = 0; split <= len; ++split) {
+      Hash64Stream h;
+      h.Update(piece.substr(0, split));
+      h.Update(piece.substr(split));
+      EXPECT_EQ(h.Digest(), want) << "len=" << len << " split=" << split;
+    }
+    // Byte-at-a-time, and Digest() must be repeatable (non-destructive).
+    Hash64Stream one;
+    for (size_t i = 0; i < len; ++i) one.Update(piece.substr(i, 1));
+    EXPECT_EQ(one.Digest(), want) << "byte-at-a-time len=" << len;
+    EXPECT_EQ(one.Digest(), want) << "second Digest() call len=" << len;
+  }
+  // Seeded variant agrees too.
+  Hash64Stream seeded(77);
+  seeded.Update("ab");
+  seeded.Update("c");
+  EXPECT_EQ(seeded.Digest(), Hash64("abc", 77));
+}
+
+TEST(FileSourceTest, ReadsAtArbitraryOffsetsWithoutMapping) {
+  std::string payload;
+  for (int i = 0; i < 5000; ++i) payload += static_cast<char>('a' + i % 26);
+  std::string path = "/tmp/smpx_filesource_test.bin";
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+
+  auto src = FileSource::Open(path);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  EXPECT_EQ((*src)->size(), payload.size());
+  // FileSource deliberately offers no contiguous view.
+  EXPECT_EQ((*src)->Contiguous().data(), nullptr);
+
+  char buf[512];
+  for (uint64_t off : {uint64_t{0}, uint64_t{1}, uint64_t{4999},
+                       uint64_t{4000}, uint64_t{2600}}) {
+    auto n = (*src)->ReadAt(off, buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    size_t want = std::min<size_t>(sizeof(buf), payload.size() - off);
+    ASSERT_EQ(*n, want) << "offset " << off;
+    EXPECT_EQ(std::string_view(buf, *n), std::string_view(payload).substr(off, want));
+  }
+  // Reads at or past EOF return zero bytes, not an error.
+  auto eof = (*src)->ReadAt(payload.size(), buf, sizeof(buf));
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

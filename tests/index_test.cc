@@ -14,6 +14,7 @@
 //    wrong bytes.
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -449,6 +450,277 @@ TEST(BoundaryIndexTest, CoarseGranularityMatchesFineResumes) {
     EXPECT_EQ(sink.str(),
               serial->substr(static_cast<size_t>(e.out_offset)));
   }
+}
+
+TEST(BoundaryIndexTest, RecordOrdinalsMatchTokenizerTruth) {
+  // With a granularity-1 index, entry i is the boundary of top-level
+  // record i: ordinals must be exactly 0, 1, 2, ...; coarse indexes must
+  // carry the same ordinal the fine index has at the same offset.
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(16 << 10);
+  auto fine = BuildEveryBoundary(pf, doc);
+  ASSERT_TRUE(fine.ok());
+  for (size_t i = 0; i < fine->entries().size(); ++i) {
+    EXPECT_EQ(fine->entries()[i].record_ordinal, i) << "entry " << i;
+  }
+
+  parallel::ThreadPool pool(3);
+  BoundaryIndexOptions coarse_opts;
+  coarse_opts.granularity_bytes = 2048;
+  auto coarse = BoundaryIndex::Build(pf.tables(), doc, &pool, coarse_opts);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_FALSE(coarse->entries().empty());
+  for (const IndexEntry& e : coarse->entries()) {
+    int64_t j = fine->FindEntry(e.offset);
+    ASSERT_GE(j, 0);
+    EXPECT_EQ(e.record_ordinal,
+              fine->entries()[static_cast<size_t>(j)].record_ordinal)
+        << "offset " << e.offset;
+  }
+}
+
+TEST(BoundaryIndexTest, FindRecordAndOpenAtRecordPaginateBySerialRecord) {
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(8 << 10);
+  auto serial = pf.RunOnBuffer(doc);
+  ASSERT_TRUE(serial.ok());
+  auto idx = BuildEveryBoundary(pf, doc);
+  ASSERT_TRUE(idx.ok());
+  const size_t n = idx->entries().size();
+  ASSERT_GE(n, 3u);
+
+  // FindRecord mirrors FindEntry's semantics in record space.
+  EXPECT_EQ(idx->FindRecord(0), 0);
+  EXPECT_EQ(idx->FindRecord(1), 1);
+  EXPECT_EQ(idx->FindRecord(n - 1), static_cast<int64_t>(n - 1));
+  EXPECT_EQ(idx->FindRecord(n + 1000), static_cast<int64_t>(n - 1));
+
+  // Opening at record k resumes exactly at boundary k and drains the
+  // serial suffix; record_position() reports k.
+  for (uint64_t k : {uint64_t{0}, uint64_t{1}, static_cast<uint64_t>(n / 2),
+                     static_cast<uint64_t>(n - 1)}) {
+    auto cur = Cursor::OpenAtRecord(*idx, pf.tables(), doc, k);
+    ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+    const IndexEntry& e = idx->entries()[static_cast<size_t>(k)];
+    EXPECT_EQ(cur->position(), e.offset);
+    EXPECT_EQ(cur->record_position(), k);
+    StringSink sink;
+    ASSERT_TRUE(cur->Drain(&sink).ok());
+    EXPECT_EQ(sink.str(), serial->substr(static_cast<size_t>(e.out_offset)))
+        << "record seek " << k;
+  }
+
+  // A coarse index lands on the nearest preceding indexed boundary.
+  parallel::ThreadPool pool(2);
+  BoundaryIndexOptions coarse_opts;
+  coarse_opts.granularity_bytes = 2048;
+  auto coarse = BoundaryIndex::Build(pf.tables(), doc, &pool, coarse_opts);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_FALSE(coarse->entries().empty());
+  uint64_t target = coarse->entries().back().record_ordinal + 1;
+  auto cur = Cursor::OpenAtRecord(*coarse, pf.tables(), doc, target);
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(cur->position(), coarse->entries().back().offset);
+  EXPECT_EQ(cur->record_position(), coarse->entries().back().record_ordinal);
+}
+
+TEST(BoundaryIndexTest, StatsPrefixCompletesResumedRunsToSerialTotals) {
+  // For the chunk-split-invariant counters (matches, false matches), the
+  // stored prefix plus a resumed run's own stats must equal the full
+  // serial run's totals -- that is what makes seek-point stats honest.
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(8 << 10);
+  core::RunStats serial_stats;
+  {
+    CountingSink discard;
+    core::PrefilterSession s(pf.tables(), &discard, &serial_stats, {});
+    ASSERT_TRUE(s.Resume(doc).ok());
+    if (!s.finished()) {
+      ASSERT_TRUE(s.Finish().ok());
+    }
+  }
+  auto idx = BuildEveryBoundary(pf, doc);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_GE(idx->entries().size(), 2u);
+
+  for (size_t i : {size_t{0}, idx->entries().size() / 2,
+                   idx->entries().size() - 1}) {
+    auto cur = Cursor::OpenAt(*idx, pf.tables(), doc,
+                              idx->entries()[i].offset);
+    ASSERT_TRUE(cur.ok());
+    StatsPrefix prefix = cur->stats_prefix();
+    // Re-run the suffix serially to get the resumed portion's stats.
+    core::RunStats suffix_stats;
+    {
+      CountingSink discard;
+      const core::SessionCheckpoint ckpt = idx->entries()[i].checkpoint;
+      core::PrefilterSession s(pf.tables(), &discard, &suffix_stats, {},
+                               &ckpt);
+      ASSERT_TRUE(s.Resume(doc.substr(
+                              static_cast<size_t>(ckpt.feed_begin())))
+                      .ok());
+      if (!s.finished()) {
+      ASSERT_TRUE(s.Finish().ok());
+    }
+    }
+    core::RunStats total = suffix_stats;
+    prefix.AccumulateInto(&total);
+    EXPECT_EQ(total.matches, serial_stats.matches) << "entry " << i;
+    EXPECT_EQ(total.false_matches, serial_stats.false_matches)
+        << "entry " << i;
+  }
+}
+
+TEST(BoundaryIndexTest, VersionOneFilesFailClosedAsUnsupported) {
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(2 << 10);
+  auto idx = BuildEveryBoundary(pf, doc);
+  ASSERT_TRUE(idx.ok());
+  std::string bytes = idx->Serialize();
+  // Rewrite the version field to 1 and re-seal the trailing hash so ONLY
+  // the version check can reject it.
+  bytes[8] = 1;
+  std::string body = bytes.substr(0, bytes.size() - 8);
+  std::string resealed = body;
+  uint64_t h = Hash64(body);
+  for (int i = 0; i < 8; ++i) {
+    resealed.push_back(static_cast<char>((h >> (8 * i)) & 0xff));
+  }
+  auto r = BoundaryIndex::Load(resealed);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported)
+      << r.status().ToString();
+}
+
+/// Chunked-build differential helper: entries must be identical to the
+/// in-memory build's in every durable field (offsets, ordinals,
+/// checkpoints, exact match counters); only the approximate search-effort
+/// counters may differ, because the two builders suspend the engine with
+/// different histories.
+void ExpectChunkedMatchesInMemory(const core::Prefilter& pf,
+                                  const std::string& doc,
+                                  uint64_t granularity, uint64_t chunk) {
+  parallel::ThreadPool pool(3);
+  BoundaryIndexOptions opts;
+  opts.granularity_bytes = granularity;
+  auto mem = BoundaryIndex::Build(pf.tables(), doc, &pool, opts);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+
+  MemorySource src(doc);
+  BoundaryIndexOptions copts = opts;
+  copts.chunk_bytes = chunk;
+  auto chunked = BoundaryIndex::Build(pf.tables(), src, nullptr, copts);
+  ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+
+  EXPECT_EQ(chunked->doc_size(), mem->doc_size());
+  EXPECT_EQ(chunked->doc_digest(), mem->doc_digest());
+  EXPECT_EQ(chunked->tables_fingerprint(), mem->tables_fingerprint());
+  ASSERT_EQ(chunked->entries().size(), mem->entries().size());
+  for (size_t i = 0; i < mem->entries().size(); ++i) {
+    const IndexEntry& a = mem->entries()[i];
+    const IndexEntry& b = chunked->entries()[i];
+    EXPECT_EQ(a.offset, b.offset) << "entry " << i;
+    EXPECT_EQ(a.out_offset, b.out_offset) << "entry " << i;
+    EXPECT_EQ(a.record_ordinal, b.record_ordinal) << "entry " << i;
+    EXPECT_EQ(a.checkpoint.state, b.checkpoint.state) << "entry " << i;
+    EXPECT_EQ(a.checkpoint.cursor, b.checkpoint.cursor) << "entry " << i;
+    EXPECT_EQ(a.checkpoint.nesting_depth, b.checkpoint.nesting_depth);
+    EXPECT_EQ(a.checkpoint.copy_depth, b.checkpoint.copy_depth);
+    EXPECT_EQ(a.checkpoint.copy_flushed, b.checkpoint.copy_flushed);
+    EXPECT_EQ(a.checkpoint.prolog_done, b.checkpoint.prolog_done);
+    EXPECT_EQ(a.checkpoint.jump_pending, b.checkpoint.jump_pending);
+    EXPECT_EQ(a.stats.matches, b.stats.matches) << "entry " << i;
+    EXPECT_EQ(a.stats.false_matches, b.stats.false_matches) << "entry " << i;
+  }
+}
+
+TEST(BoundaryIndexTest, ChunkedBuildMatchesInMemoryOnEveryDurableField) {
+  core::Prefilter xm = CompileXmark();
+  ExpectChunkedMatchesInMemory(xm, XmarkDoc(16 << 10), /*granularity=*/1,
+                               /*chunk=*/4 << 10);
+  core::Prefilter ml = CompileMedline();
+  ExpectChunkedMatchesInMemory(ml, MedlineDoc(16 << 10), /*granularity=*/1,
+                               /*chunk=*/4 << 10);
+}
+
+TEST(BoundaryIndexTest, ChunkedBuildsAreByteIdenticalAcrossChunkSizes) {
+  // The chunked path is deterministic in itself: as long as no
+  // inter-entry span exceeds the chunk, the chunk size cannot leak into
+  // the file -- the engine suspends at exactly the same boundaries.
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(16 << 10);
+  MemorySource src(doc);
+  BoundaryIndexOptions opts;
+  opts.granularity_bytes = 1;
+  opts.chunk_bytes = 4 << 10;
+  auto a = BoundaryIndex::Build(pf.tables(), src, nullptr, opts);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  opts.chunk_bytes = 8 << 10;
+  auto b = BoundaryIndex::Build(pf.tables(), src, nullptr, opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Serialize(), b->Serialize());
+}
+
+TEST(BoundaryIndexTest, ChunkedBuildSurvivesSpansLargerThanTheChunk) {
+  // Coarse granularity with a tiny chunk forces mid-span suspensions:
+  // everything except the approximate search counters must still agree,
+  // and cursors over the chunked index must serve identical bytes.
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(16 << 10);
+  ExpectChunkedMatchesInMemory(pf, doc, /*granularity=*/4096,
+                               /*chunk=*/256);
+
+  MemorySource src(doc);
+  BoundaryIndexOptions opts;
+  opts.granularity_bytes = 4096;
+  opts.chunk_bytes = 256;
+  auto idx = BoundaryIndex::Build(pf.tables(), src, nullptr, opts);
+  ASSERT_TRUE(idx.ok());
+  auto serial = pf.RunOnBuffer(doc);
+  ASSERT_TRUE(serial.ok());
+  for (const IndexEntry& e : idx->entries()) {
+    auto cur = Cursor::OpenAt(*idx, pf.tables(), doc, e.offset);
+    ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+    StringSink sink;
+    ASSERT_TRUE(cur->Drain(&sink).ok());
+    EXPECT_EQ(sink.str(), serial->substr(static_cast<size_t>(e.out_offset)))
+        << "chunked-index resume at offset " << e.offset;
+  }
+}
+
+TEST(BoundaryIndexTest, ChunkedBuildFromFileSourceNeverMapsTheDocument) {
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(16 << 10);
+  std::string path = "/tmp/smpx_chunked_index_input.xml";
+  ASSERT_TRUE(WriteStringToFile(path, doc).ok());
+  auto src = FileSource::Open(path);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  ASSERT_EQ((*src)->Contiguous().data(), nullptr);
+
+  // The pread-backed build must be byte-identical to the same chunked
+  // build over in-memory bytes, and its digest must satisfy Matches.
+  MemorySource mem_src(doc);
+  BoundaryIndexOptions opts;
+  opts.granularity_bytes = 1;
+  opts.chunk_bytes = 1 << 10;
+  auto mem = BoundaryIndex::Build(pf.tables(), mem_src, nullptr, opts);
+  ASSERT_TRUE(mem.ok());
+  auto chunked = BoundaryIndex::Build(pf.tables(), **src, nullptr, opts);
+  ASSERT_TRUE(chunked.ok()) << chunked.status().ToString();
+  EXPECT_EQ(chunked->Serialize(), mem->Serialize());
+  ASSERT_TRUE(chunked->Matches(doc, pf.tables()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BoundaryIndexTest, ChunkedBuildFailsOnDocumentsThatDoNotPrefilter) {
+  core::Prefilter pf = CompileMedline();
+  std::string doc = MedlineDoc(4 << 10);
+  doc.resize(doc.size() / 2);
+  MemorySource src(doc);
+  BoundaryIndexOptions opts;
+  opts.granularity_bytes = 256;
+  opts.chunk_bytes = 512;
+  EXPECT_FALSE(BoundaryIndex::Build(pf.tables(), src, nullptr, opts).ok());
 }
 
 }  // namespace

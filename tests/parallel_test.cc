@@ -450,6 +450,23 @@ TEST(BoundaryStatesTest, StarRootEnumeratesBoundaryPhases) {
   }
 }
 
+TEST(BoundaryStatesTest, RootCopyCandidatesCarryCopyDepth) {
+  // A root-copying query (/a#) turns the whole document into one copy
+  // region, so EVERY top-level boundary sits at copy depth 1. The analysis
+  // must say so -- (state, depth) pairs, depths parallel to the states --
+  // while plain child queries stay all-depth-0.
+  Prefilter deep = Compile(kPaperDtd, "/a#");
+  ASSERT_EQ(deep.tables().boundary_copy_depths.size(),
+            deep.tables().boundary_states.size());
+  ASSERT_FALSE(deep.tables().boundary_states.empty());
+  for (int d : deep.tables().boundary_copy_depths) EXPECT_EQ(d, 1);
+
+  Prefilter shallow = Compile(kPaperDtd, "/a/b#");
+  ASSERT_EQ(shallow.tables().boundary_copy_depths.size(),
+            shallow.tables().boundary_states.size());
+  for (int d : shallow.tables().boundary_copy_depths) EXPECT_EQ(d, 0);
+}
+
 TEST(BoundaryStatesTest, OrderedRootEnumeratesAllPhases) {
   // (x, y, z) root: the run is in a different state before x, y, and z, so
   // the analysis must report several candidates (and each boundary's true
@@ -743,6 +760,72 @@ TEST(ShardedRunTest, FullySpeculativeWaveHasNoSerialPrefix) {
   EXPECT_EQ(report.reruns, 0u);
   EXPECT_EQ(report.serial_bytes, 0u);
   EXPECT_GT(report.wave_bytes, 0u);
+}
+
+TEST(ShardedRunTest, InCopyBoundariesSpeculateWithoutReruns) {
+  // Deep-copy document: /a# copies the entire root subtree, so every
+  // top-level boundary falls INSIDE the active copy region. These
+  // hand-offs used to force a sequential re-run of every shard; with
+  // (state, depth) candidates they speculate like clean ones -- zero
+  // re-runs -- and the driver stitches in the copy bytes the predecessor's
+  // suspension left unflushed, keeping output and stats byte-exact.
+  Prefilter pf = Compile(kPaperDtd, "/a#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 400; ++i) {
+    doc += "<b>keep " + std::to_string(i) + "</b><c><b>no</b></c>";
+  }
+  doc += "</a>";
+  RunStats serial_stats;
+  std::string serial = SerialRun(pf, doc, &serial_stats);
+
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE(threads);
+    parallel::ThreadPool pool(threads);
+    parallel::ShardOptions opts;
+    opts.max_shards = 4;
+    parallel::ShardReport report;
+    StringSink sink;
+    RunStats stats;
+    Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                    opts, &report);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(sink.str(), serial);
+    EXPECT_EQ(report.shards, 4u);
+    EXPECT_EQ(report.reruns, 0u);
+    EXPECT_EQ(report.accepted, 3u);
+    EXPECT_EQ(report.copy_handoffs, 3u);
+    EXPECT_EQ(report.serial_bytes, 0u);
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.output_bytes, serial_stats.output_bytes);
+    EXPECT_EQ(stats.input_bytes, serial_stats.input_bytes);
+    EXPECT_EQ(stats.states_visited, serial_stats.states_visited);
+  }
+}
+
+TEST(ShardedRunTest, InCopyBoundariesUnderTinyBudgetSpillCleanly) {
+  // Same deep-copy shape under a 1 KiB per-shard budget: the hand-off
+  // tails interleave with spilled segment streams through the ordered
+  // commit without disturbing byte identity.
+  Prefilter pf = Compile(kPaperDtd, "/a#");
+  std::string doc = "<a>";
+  for (int i = 0; i < 600; ++i) {
+    doc += "<c><b>payload " + std::to_string(i * 7) + "</b></c>";
+  }
+  doc += "</a>";
+  std::string serial = SerialRun(pf, doc);
+  parallel::ThreadPool pool(4);
+  parallel::ShardOptions opts;
+  opts.max_shards = 7;
+  opts.max_buffer_bytes = 1 << 10;
+  parallel::ShardReport report;
+  StringSink sink;
+  RunStats stats;
+  Status s = parallel::ShardedRun(pf.tables(), doc, &sink, &stats, &pool,
+                                  opts, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.str(), serial);
+  EXPECT_EQ(report.reruns, 0u);
+  EXPECT_GT(report.copy_handoffs, 0u);
 }
 
 TEST(ShardedRunTest, EarlyKillAcrossPoolSizesStaysByteIdentical) {

@@ -34,9 +34,12 @@
 // byte-identical to the corresponding slice of a full serial run.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/io.h"
@@ -53,6 +56,7 @@
 #include "paths/xquery_extract.h"
 #include "query/equivalence.h"
 #include "query/multiquery.h"
+#include "server/client.h"
 
 namespace {
 
@@ -64,8 +68,9 @@ int Usage(const char* argv0) {
       "          [--stats] [--tables] [--window SIZE] [--chunk SIZE]\n"
       "          [--max-buffer SIZE] [--threads N] [--batch] [--out FILE]\n"
       "          [--fused]\n"
-      "          [--index-build FILE [--index-granularity SIZE]]\n"
-      "          [--index FILE [--seek OFFSET] [--count N]]\n"
+      "          [--index-build FILE [--index-granularity SIZE]\n"
+      "                             [--index-chunk SIZE]]\n"
+      "          [--index FILE [--seek OFFSET|@recordN] [--count N]]\n"
       "          [in.xml ... [out.xml]]\n"
       "\n"
       "Prefilters XML documents valid w.r.t. the given nonrecursive DTD\n"
@@ -113,9 +118,20 @@ int Usage(const char* argv0) {
       "                  verified engine checkpoint at top-level element\n"
       "                  boundaries (one per --index-granularity bytes,\n"
       "                  default 1M) and save the skip-index to F\n"
+      "  --index-chunk S build the index through a rolling buffer of S\n"
+      "                  bytes instead of mapping the whole document:\n"
+      "                  resident memory stays O(S + window) however large\n"
+      "                  the input, so documents beyond the address space\n"
+      "                  (or any mmap window) stay indexable. Identical\n"
+      "                  entries, single-threaded, about twice the read\n"
+      "                  I/O. 0 (default) maps the document and runs the\n"
+      "                  parallel speculative wave\n"
       "  --index F       load the skip-index F for the input document and\n"
       "                  resume at the nearest indexed boundary at or\n"
-      "                  before --seek OFFSET (default 0), emitting\n"
+      "                  before --seek OFFSET (default 0) -- or, as\n"
+      "                  '--seek @recordN', at top-level record number N\n"
+      "                  (0-based; exact for granularity-1 indexes) --\n"
+      "                  emitting\n"
       "                  --count N indexed spans (default: to the end)\n"
       "                  exactly as a full serial run would have. A span\n"
       "                  is one top-level record when the index was built\n"
@@ -169,8 +185,14 @@ int main(int argc, char** argv) {
   std::string index_build_file;
   std::string index_file;
   size_t index_granularity = 1 << 20;
+  size_t index_chunk = 0;  // 0 = in-memory build
   size_t seek_offset = 0;
+  bool seek_by_record = false;
+  bool seek_given = false;
+  uint64_t seek_record = 0;
   long long count = -1;  // -1 = drain to the end
+  std::string connect_endpoint;
+  std::string resume_token_hex;
 
   bool bad_size = false;
   for (int i = 1; i < argc; ++i) {
@@ -252,8 +274,36 @@ int main(int argc, char** argv) {
     } else if (arg == "--index-granularity") {
       if (!next_size(&index_granularity)) return Usage(argv[0]);
       if (index_granularity == 0) index_granularity = 1;
+    } else if (arg == "--index-chunk") {
+      if (!next_size(&index_chunk)) return Usage(argv[0]);
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      connect_endpoint = v;
+    } else if (arg == "--resume-token") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      resume_token_hex = v;
     } else if (arg == "--seek") {
-      if (!next_size(&seek_offset)) return Usage(argv[0]);
+      seek_given = true;
+      // "@recordN" (or shorthand "@N") addresses the N-th top-level
+      // record; anything else is a byte offset with size suffixes.
+      const char* peek = i + 1 < argc ? argv[i + 1] : nullptr;
+      if (peek != nullptr && peek[0] == '@') {
+        ++i;
+        const char* num = peek + 1;
+        if (std::strncmp(num, "record", 6) == 0) num += 6;
+        char* end = nullptr;
+        unsigned long long v = std::strtoull(num, &end, 10);
+        if (end == num || *end != '\0') {
+          std::fprintf(stderr, "--seek: bad record address '%s'\n", peek);
+          return 2;
+        }
+        seek_by_record = true;
+        seek_record = v;
+      } else if (!next_size(&seek_offset)) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--count") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -308,6 +358,16 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   const bool index_mode = !index_build_file.empty() || !index_file.empty();
+  // Client mode talks to a running smpxd; the daemon owns the documents
+  // and indexes, so the offline index/batch/multi machinery is moot.
+  if (!connect_endpoint.empty() &&
+      (index_mode || batch_flag || multi_mode || tables_flag)) {
+    return Usage(argv[0]);
+  }
+  if (!resume_token_hex.empty() && connect_endpoint.empty()) {
+    std::fprintf(stderr, "--resume-token requires --connect\n");
+    return 2;
+  }
   if (index_mode &&
       (batch_flag || (!index_build_file.empty() && !index_file.empty()))) {
     return Usage(argv[0]);
@@ -337,6 +397,94 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", dtd_text.status().ToString().c_str());
     return 1;
   }
+  if (!connect_endpoint.empty()) {
+    // Client mode: ship the raw DTD and path texts to the daemon (it
+    // compiles and caches them by content hash) and stream the response
+    // to the usual output. The document is named by its server-side
+    // path; resolve it to an absolute path so the daemon's cwd is moot.
+    if (inputs.size() != 1) return Usage(argv[0]);
+    std::string doc_path = inputs[0];
+    if (char* abs = ::realpath(doc_path.c_str(), nullptr)) {
+      doc_path = abs;
+      std::free(abs);
+    }
+    smpx::server::Request req;
+    if (!resume_token_hex.empty()) {
+      req.op = smpx::server::Op::kResume;
+      auto token = smpx::server::HexDecode(resume_token_hex);
+      if (!token.ok()) {
+        std::fprintf(stderr, "--resume-token: %s\n",
+                     token.status().ToString().c_str());
+        return 2;
+      }
+      req.token = std::move(*token);
+    } else if (seek_given || count >= 0) {
+      req.op = smpx::server::Op::kSeek;
+      req.by_record = seek_by_record;
+      req.target = seek_by_record ? seek_record : seek_offset;
+    } else {
+      req.op = smpx::server::Op::kProject;
+    }
+    req.dtd_text = *dtd_text;
+    req.paths_text = paths_text;
+    req.doc_path = doc_path;
+    req.window = window;
+    req.count = count >= 0 ? static_cast<uint64_t>(count) : 0;
+
+    std::unique_ptr<smpx::BufferedFileSink> sink;
+    if (out_file.empty()) {
+      sink = smpx::BufferedFileSink::Wrap(stdout);
+    } else {
+      auto opened = smpx::BufferedFileSink::Open(out_file);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return 1;
+      }
+      sink = std::move(*opened);
+    }
+
+    smpx::WallTimer timer;
+    auto client = smpx::server::Client::Connect(connect_endpoint);
+    if (!client.ok()) {
+      std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+      return 1;
+    }
+    smpx::Result<smpx::server::Trailer> resp = smpx::Status::Ok();
+    for (int attempt = 0;; ++attempt) {
+      resp = client->Call(req, sink.get());
+      // The retryable contract: admission rejections mean "resend
+      // verbatim after backing off", and the connection stays usable.
+      if (resp.ok() || !client->last_error_retryable() || attempt >= 5) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 << attempt));
+    }
+    if (!resp.ok()) {
+      std::fprintf(stderr, "server: %s\n", resp.status().ToString().c_str());
+      return 1;
+    }
+    smpx::Status fs = sink->Flush();
+    if (!fs.ok()) {
+      std::fprintf(stderr, "%s\n", fs.ToString().c_str());
+      return 1;
+    }
+    if (stats_flag) {
+      std::fprintf(
+          stderr,
+          "connect=%s op=%d emitted=%llu records=%llu position=%llu "
+          "out_offset=%llu record=%llu at_end=%d token=%s time=%.3fs\n",
+          connect_endpoint.c_str(), static_cast<int>(req.op),
+          static_cast<unsigned long long>(resp->emitted_bytes),
+          static_cast<unsigned long long>(resp->records),
+          static_cast<unsigned long long>(resp->position),
+          static_cast<unsigned long long>(resp->out_position),
+          static_cast<unsigned long long>(resp->record_position),
+          resp->at_end ? 1 : 0,
+          resp->token.empty() ? "-"
+                              : smpx::server::HexEncode(resp->token).c_str(),
+          timer.Seconds());
+    }
+    return 0;
+  }
+
   auto dtd = smpx::dtd::Dtd::Parse(*dtd_text);
   if (!dtd.ok()) {
     std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
@@ -582,6 +730,57 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!index_build_file.empty() && index_chunk > 0) {
+    // Chunked index build: the document is never mapped -- it streams
+    // through a rolling buffer, so this path works for inputs larger
+    // than the address space. Placed before the mmap plumbing on
+    // purpose.
+    smpx::WallTimer chunked_timer;
+    std::string stdin_buffer;
+    std::unique_ptr<smpx::InputSource> src;
+    if (inputs.empty()) {
+      stdin_buffer = ReadStdin();
+      src = std::make_unique<smpx::MemorySource>(stdin_buffer);
+    } else {
+      auto f = smpx::FileSource::Open(inputs[0]);
+      if (!f.ok()) {
+        std::fprintf(stderr, "%s\n", f.status().ToString().c_str());
+        return 1;
+      }
+      src = std::move(*f);
+    }
+    smpx::index::BoundaryIndexOptions iopts;
+    iopts.granularity_bytes = index_granularity;
+    iopts.chunk_bytes = index_chunk;
+    iopts.engine.window_capacity = window;
+    auto idx = smpx::index::BoundaryIndex::Build(pf->tables(), *src,
+                                                 /*pool=*/nullptr, iopts);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "index build: %s\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    std::string serialized = idx->Serialize();
+    smpx::Status s = smpx::WriteStringToFile(index_build_file, serialized);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (stats_flag) {
+      double secs = chunked_timer.Seconds();
+      std::fprintf(
+          stderr,
+          "index: entries=%zu index_bytes=%zu doc_bytes=%llu chunked=%zu "
+          "build=%.3fs (%.1f MB/s)\n",
+          idx->entries().size(), serialized.size(),
+          static_cast<unsigned long long>(src->size()), index_chunk, secs,
+          secs > 0
+              ? static_cast<double>(src->size()) / 1048576.0 / secs
+              : 0.0);
+    }
+    return 0;
+  }
+
   // Input plumbing: mmap file inputs (zero copy, sequential madvise);
   // stdin falls back to an in-memory buffer.
   std::string stdin_buffer;
@@ -660,14 +859,19 @@ int main(int argc, char** argv) {
     }
     smpx::index::CursorOptions copts;
     copts.engine = eopts;
-    auto cur = smpx::index::Cursor::OpenAt(*idx, pf->tables(), docs[0],
-                                           seek_offset, copts);
+    auto cur = seek_by_record
+                   ? smpx::index::Cursor::OpenAtRecord(
+                         *idx, pf->tables(), docs[0], seek_record, copts)
+                   : smpx::index::Cursor::OpenAt(*idx, pf->tables(), docs[0],
+                                                 seek_offset, copts);
     if (!cur.ok()) {
       std::fprintf(stderr, "seek: %s\n", cur.status().ToString().c_str());
       return 1;
     }
     uint64_t opened_at = cur->position();
     uint64_t out_offset = cur->output_position();
+    uint64_t opened_record = cur->record_position();
+    smpx::index::StatsPrefix prefix = cur->stats_prefix();
     size_t records = 0;
     smpx::Status s;
     if (count >= 0) {
@@ -686,15 +890,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (stats_flag) {
+      // prefix_* are the indexing pass's cumulative counters for the
+      // skipped document prefix: seek-point totals instead of zeros.
       std::fprintf(
           stderr,
-          "seek=%llu opened_at=%llu out_offset=%llu records=%zu "
-          "emitted=%llu time=%.3fs\n",
-          static_cast<unsigned long long>(seek_offset),
+          "seek=%s%llu opened_at=%llu record=%llu out_offset=%llu "
+          "records=%zu emitted=%llu prefix_matches=%llu "
+          "prefix_false_matches=%llu prefix_scan_chars=%llu time=%.3fs\n",
+          seek_by_record ? "@" : "",
+          static_cast<unsigned long long>(seek_by_record ? seek_record
+                                                         : seek_offset),
           static_cast<unsigned long long>(opened_at),
+          static_cast<unsigned long long>(opened_record),
           static_cast<unsigned long long>(out_offset), records,
           static_cast<unsigned long long>(cur->output_position() -
                                           out_offset),
+          static_cast<unsigned long long>(prefix.matches),
+          static_cast<unsigned long long>(prefix.false_matches),
+          static_cast<unsigned long long>(prefix.scan_chars),
           run_timer.Seconds());
     }
     return 0;
